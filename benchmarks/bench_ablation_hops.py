@@ -1,0 +1,42 @@
+"""Ablation: the h-hop horizon of RAPID's meeting-time estimation.
+
+Section 4.1.2 limits the expected-meeting-time computation to h = 3 hops.
+This ablation sweeps h in {1, 2, 3} on the trace scenario and reports the
+effect on delivery rate and average delay — the design-choice ablation
+called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import mean_metric
+from repro.experiments.config import ProtocolSpec
+from repro.experiments.runner import TraceRunner
+
+from bench_config import bench_trace_config
+
+
+def _hop_sweep(hops_values=(1, 2, 3), load=6.0):
+    runner = TraceRunner(bench_trace_config())
+    rows = {}
+    for hops in hops_values:
+        spec = ProtocolSpec("Rapid", "rapid", {"metric": "average_delay", "max_hops": hops, "label": f"rapid-h{hops}"})
+        results = runner.run_protocol(spec, load_packets_per_hour=load)
+        rows[hops] = {
+            "delivery_rate": mean_metric(results, "delivery_rate"),
+            "average_delay": mean_metric(results, "average_delay"),
+        }
+    return rows
+
+
+def test_meeting_horizon_ablation(benchmark):
+    rows = benchmark.pedantic(_hop_sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: meeting-time estimation horizon h")
+    for hops, metrics in rows.items():
+        print(
+            f"  h={hops}: delivery_rate={metrics['delivery_rate']:.3f} "
+            f"average_delay={metrics['average_delay'] / 60:.1f} min"
+        )
+    for metrics in rows.values():
+        assert 0.0 <= metrics["delivery_rate"] <= 1.0
+        assert metrics["average_delay"] >= 0.0

@@ -1,0 +1,75 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (see DESIGN.md, "Scale-down for tests and benches") and prints the
+resulting rows/series so the output can be compared against the paper's
+exhibits.  `pytest-benchmark` records the wall-clock cost of regenerating
+each exhibit; each exhibit is run once (``rounds=1``) because a single run
+already averages over days/seeds internally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro import units
+from repro.experiments.config import SyntheticExperimentConfig, TraceExperimentConfig
+from repro.traces.dieselnet import DieselNetParameters
+
+#: Load sweep (packets per hour per destination) for trace-driven figures.
+TRACE_LOADS: Sequence[float] = (2.0, 6.0, 12.0)
+#: Load sweep for the Optimal comparison (kept small as in the paper).
+OPTIMAL_LOADS: Sequence[float] = (1.0, 2.0)
+#: Load sweep (packets per 50 s per destination) for synthetic figures.
+SYNTHETIC_LOADS: Sequence[float] = (4.0, 10.0)
+#: Buffer sweep (KB) for the constrained-storage figures.
+BUFFER_SWEEP_KB: Sequence[float] = (10.0, 40.0, 120.0)
+
+
+def bench_trace_config(seed: int = 7, num_days: int = 1) -> TraceExperimentConfig:
+    """Reduced DieselNet configuration used by the trace-driven benches."""
+    config = TraceExperimentConfig.ci_scale(seed=seed, num_days=num_days)
+    return config
+
+
+def bench_optimal_trace_config(seed: int = 7) -> TraceExperimentConfig:
+    """Extra-small trace configuration so the ILP stays tractable."""
+    parameters = DieselNetParameters(
+        num_buses=8,
+        avg_buses_per_day=5,
+        day_duration=1.0 * units.HOUR,
+        avg_meetings_per_day=30,
+        avg_bytes_per_day=30 * 60 * units.KB,
+        num_routes=2,
+    )
+    return TraceExperimentConfig(
+        trace_parameters=parameters,
+        num_days=1,
+        deadline=0.15 * units.HOUR,
+        seed=seed,
+        metadata_byte_scale=0.05,
+    )
+
+
+def bench_synthetic_config(mobility: str = "powerlaw", seed: int = 11) -> SyntheticExperimentConfig:
+    """Reduced synthetic configuration used by the synthetic-mobility benches."""
+    return SyntheticExperimentConfig(
+        num_nodes=8,
+        mean_inter_meeting=70.0,
+        transfer_opportunity=100 * units.KB,
+        duration=4 * units.MINUTE,
+        buffer_capacity=40 * units.KB,
+        deadline=25.0,
+        packet_interval=50.0,
+        mobility=mobility,
+        num_runs=1,
+        seed=seed,
+    )
+
+
+def run_exhibit(benchmark, runner: Callable, **kwargs):
+    """Run one exhibit exactly once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    return result

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 3 of the paper at reduced scale.
+
+Per-day average delay: emulated deployment vs trace-driven simulation.
+"""
+
+from repro.experiments.deployment import run_figure3
+
+from bench_config import bench_trace_config, run_exhibit
+
+
+def test_run_figure3(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure3, config=bench_trace_config(num_days=2), simulation_repeats=2
+    )
+    assert result.labels() == ["Real", "Simulation"]
+    real = result.get("Real")
+    sim = result.get("Simulation")
+    assert len(real.y) == len(sim.y) >= 2
+    # The simulator tracks the deployment closely (paper: within 1%%; the
+    # noisy emulation at reduced scale stays within ~25%%).
+    mean_real = sum(real.y) / len(real.y)
+    mean_sim = sum(sim.y) / len(sim.y)
+    assert abs(mean_real - mean_sim) / mean_real < 0.25

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 of the paper at reduced scale.
+
+Trace-driven average delay vs load: RAPID vs MaxProp, Spray and Wait, Random.
+"""
+
+from repro.experiments.trace_comparison import run_figure4
+
+from bench_config import TRACE_LOADS, bench_trace_config, run_exhibit
+
+
+def test_run_figure4(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure4, loads=TRACE_LOADS, config=bench_trace_config()
+    )
+    assert set(result.labels()) == {"Rapid", "MaxProp", "Spray and Wait", "Random"}
+    assert all(len(series.x) == len(TRACE_LOADS) for series in result.series)
+
+    rapid = result.get("Rapid")
+    random_series = result.get("Random")
+    # Shape: RAPID's delivered-packet delay should not exceed Random's by much.
+    assert sum(rapid.y) <= sum(random_series.y) * 1.15

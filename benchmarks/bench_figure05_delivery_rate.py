@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 of the paper at reduced scale.
+
+Trace-driven delivery rate vs load.
+"""
+
+from repro.experiments.trace_comparison import run_figure5
+
+from bench_config import TRACE_LOADS, bench_trace_config, run_exhibit
+
+
+def test_run_figure5(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure5, loads=TRACE_LOADS, config=bench_trace_config()
+    )
+    assert set(result.labels()) == {"Rapid", "MaxProp", "Spray and Wait", "Random"}
+    assert all(len(series.x) == len(TRACE_LOADS) for series in result.series)
+
+    for series in result.series:
+        assert all(0.0 <= y <= 1.0 for y in series.y)
+    # Shape: delivery drops (or stays flat) as load grows for every protocol.
+    for series in result.series:
+        assert series.y[-1] <= series.y[0] + 0.05

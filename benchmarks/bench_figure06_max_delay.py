@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6 of the paper at reduced scale.
+
+Trace-driven maximum delay vs load (RAPID metric: max delay).
+"""
+
+from repro.experiments.trace_comparison import run_figure6
+
+from bench_config import TRACE_LOADS, bench_trace_config, run_exhibit
+
+
+def test_run_figure6(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure6, loads=TRACE_LOADS, config=bench_trace_config()
+    )
+    assert set(result.labels()) == {"Rapid", "MaxProp", "Spray and Wait", "Random"}
+    assert all(len(series.x) == len(TRACE_LOADS) for series in result.series)
+
+    assert all(y >= 0 for series in result.series for y in series.y)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 7 of the paper at reduced scale.
+
+Trace-driven delivery-within-deadline vs load (RAPID metric: deadline).
+"""
+
+from repro.experiments.trace_comparison import run_figure7
+
+from bench_config import TRACE_LOADS, bench_trace_config, run_exhibit
+
+
+def test_run_figure7(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure7, loads=TRACE_LOADS, config=bench_trace_config()
+    )
+    assert set(result.labels()) == {"Rapid", "MaxProp", "Spray and Wait", "Random"}
+    assert all(len(series.x) == len(TRACE_LOADS) for series in result.series)
+
+    rapid = result.get("Rapid")
+    random_series = result.get("Random")
+    # Shape: RAPID delivers at least as many packets within the deadline.
+    assert sum(rapid.y) >= sum(random_series.y) - 0.05

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 of the paper at reduced scale.
+
+Average delay as the in-band metadata allowance grows.
+"""
+
+from repro.experiments.control_channel import run_figure8
+
+from bench_config import bench_trace_config, run_exhibit
+
+
+def test_run_figure8(benchmark):
+    result = run_exhibit(
+        benchmark,
+        run_figure8,
+        caps=(0.0, 0.05, 0.35),
+        loads=(3.0, 8.0),
+        config=bench_trace_config(),
+    )
+    assert len(result.series) == 2
+    assert all(len(series.x) == 3 for series in result.series)
+    assert all(y >= 0 for series in result.series for y in series.y)

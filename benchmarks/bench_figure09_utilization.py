@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 9 of the paper at reduced scale.
+
+Channel utilization, metadata/data ratio and delivery rate vs load.
+"""
+
+from repro.experiments.control_channel import run_figure9
+
+from bench_config import TRACE_LOADS, bench_trace_config, run_exhibit
+
+
+def test_run_figure9(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure9, loads=TRACE_LOADS, config=bench_trace_config()
+    )
+    utilization = result.get("Channel utilization")
+    delivery = result.get("Delivery rate")
+    meta = result.get("Meta information / RAPID data")
+    assert all(0.0 <= y <= 1.0 for y in utilization.y + delivery.y)
+    # Shape: delivery rate decreases with load even though the channel is
+    # not saturated (bottleneck links), and metadata stays a small
+    # fraction of the data transferred.
+    assert delivery.y[-1] <= delivery.y[0] + 0.05
+    assert max(meta.y) < 0.2

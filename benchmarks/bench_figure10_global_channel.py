@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 10 of the paper at reduced scale.
+
+In-band vs instant-global control channel: average delay.
+"""
+
+from repro.experiments.global_channel import run_figure10
+
+from bench_config import TRACE_LOADS, bench_trace_config, run_exhibit
+
+
+def test_run_figure10(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure10, loads=TRACE_LOADS, config=bench_trace_config()
+    )
+    assert set(result.labels()) == {
+        "In-band control channel", "Instant global control channel",
+    }
+    assert all(y >= 0 for s in result.series for y in s.y)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 12 of the paper at reduced scale.
+
+In-band vs instant-global control channel: delivery within deadline.
+"""
+
+from repro.experiments.global_channel import run_figure12
+
+from bench_config import TRACE_LOADS, bench_trace_config, run_exhibit
+
+
+def test_run_figure12(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure12, loads=TRACE_LOADS, config=bench_trace_config()
+    )
+    assert set(result.labels()) == {
+        "In-band control channel", "Instant global control channel",
+    }
+    assert all(0 <= y <= 1 for s in result.series for y in s.y)

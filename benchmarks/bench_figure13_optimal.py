@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 13 of the paper at reduced scale.
+
+Comparison with offline Optimal at small loads (delay includes undelivered packets).
+"""
+
+from repro.experiments.optimal_comparison import run_figure13
+
+from bench_config import OPTIMAL_LOADS, bench_optimal_trace_config, run_exhibit
+
+
+def test_run_figure13(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure13, loads=OPTIMAL_LOADS, config=bench_optimal_trace_config()
+    )
+    optimal = result.get("Optimal")
+    rapid = result.get("Rapid: In-band control channel")
+    maxprop = result.get("Maxprop")
+    # Optimal lower-bounds every protocol at every load.
+    for x in optimal.x:
+        assert optimal.y_at(x) <= rapid.y_at(x) + 1e-6
+        assert optimal.y_at(x) <= maxprop.y_at(x) + 1e-6

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 14 of the paper at reduced scale.
+
+Value of RAPID components: Random, Random+acks, RAPID-local, RAPID.
+"""
+
+from repro.experiments.components import run_figure14
+
+from bench_config import TRACE_LOADS, bench_trace_config, run_exhibit
+
+
+def test_run_figure14(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure14, loads=TRACE_LOADS, config=bench_trace_config()
+    )
+    assert set(result.labels()) == {
+        "Rapid", "Rapid: Local", "Random: With Acks", "Random",
+    }
+    rapid = sum(result.get("Rapid").y)
+    random_plain = sum(result.get("Random").y)
+    # Shape: the full protocol does not do worse than plain Random.
+    assert rapid <= random_plain * 1.1

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 15 of the paper at reduced scale.
+
+CDF of Jain's fairness index over parallel packet batches.
+"""
+
+from repro.experiments.fairness import run_figure15
+
+from bench_config import bench_trace_config, run_exhibit
+
+
+def test_run_figure15(benchmark):
+    result = run_exhibit(
+        benchmark,
+        run_figure15,
+        batch_sizes=(10, 20),
+        config=bench_trace_config(num_days=2),
+        background_load=4.0,
+    )
+    assert len(result.series) == 2
+    for series in result.series:
+        assert all(0.0 <= x <= 1.0 + 1e-9 for x in series.x)
+        assert all(0.0 <= y <= 1.0 for y in series.y)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 17 of the paper at reduced scale.
+
+Powerlaw mobility: max delay vs load.
+"""
+
+from repro.experiments.synthetic import run_figure17
+
+from bench_config import SYNTHETIC_LOADS, bench_synthetic_config, run_exhibit
+
+
+def test_run_figure17(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure17, loads=SYNTHETIC_LOADS,
+        config=bench_synthetic_config(mobility="powerlaw"),
+    )
+    assert set(result.labels()) == {"Rapid", "MaxProp", "Spray and Wait", "Random"}
+    assert all(len(s.x) == len(SYNTHETIC_LOADS) for s in result.series)
+    assert all(y >= 0 for s in result.series for y in s.y)

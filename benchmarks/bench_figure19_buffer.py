@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 19 of the paper at reduced scale.
+
+Power-law mobility with constrained buffers: average delay vs storage.
+"""
+
+from repro.experiments.synthetic import run_figure19
+
+from bench_config import BUFFER_SWEEP_KB, bench_synthetic_config, run_exhibit
+
+
+def test_run_figure19(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure19, buffers_kb=BUFFER_SWEEP_KB, load=10.0,
+        config=bench_synthetic_config(mobility="powerlaw"),
+    )
+    assert set(result.labels()) == {"Rapid", "MaxProp", "Spray and Wait", "Random"}
+    assert all(len(s.x) == len(BUFFER_SWEEP_KB) for s in result.series)
+    assert all(y >= 0 for s in result.series for y in s.y)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 21 of the paper at reduced scale.
+
+Power-law mobility with constrained buffers: delivery within deadline vs storage.
+"""
+
+from repro.experiments.synthetic import run_figure21
+
+from bench_config import BUFFER_SWEEP_KB, bench_synthetic_config, run_exhibit
+
+
+def test_run_figure21(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure21, buffers_kb=BUFFER_SWEEP_KB, load=10.0,
+        config=bench_synthetic_config(mobility="powerlaw"),
+    )
+    assert set(result.labels()) == {"Rapid", "MaxProp", "Spray and Wait", "Random"}
+    assert all(len(s.x) == len(BUFFER_SWEEP_KB) for s in result.series)
+    assert all(0 <= y <= 1 for s in result.series for y in s.y)

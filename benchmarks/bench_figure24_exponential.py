@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 24 of the paper at reduced scale.
+
+Exponential mobility: delivery within deadline vs load.
+"""
+
+from repro.experiments.synthetic import run_figure24
+
+from bench_config import SYNTHETIC_LOADS, bench_synthetic_config, run_exhibit
+
+
+def test_run_figure24(benchmark):
+    result = run_exhibit(
+        benchmark, run_figure24, loads=SYNTHETIC_LOADS,
+        config=bench_synthetic_config(mobility="exponential"),
+    )
+    assert set(result.labels()) == {"Rapid", "MaxProp", "Spray and Wait", "Random"}
+    assert all(len(s.x) == len(SYNTHETIC_LOADS) for s in result.series)
+    assert all(0 <= y <= 1 for s in result.series for y in s.y)

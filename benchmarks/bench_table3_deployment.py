@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 3 of the paper at reduced scale.
+
+Average daily statistics of the (emulated) RAPID deployment.
+"""
+
+from repro.experiments.deployment import run_table3
+
+from bench_config import bench_trace_config
+
+
+def test_run_table3(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_table3(config=bench_trace_config(num_days=2)), rounds=1, iterations=1
+    )
+    print()
+    print(table.to_text())
+    assert 0.0 <= table.get("percentage_delivered_per_day") <= 100.0
+    assert table.get("avg_meetings_per_day") > 0
+    # Metadata overhead should be a small fraction of bandwidth, as in
+    # the deployment (paper: 0.002 of bandwidth, 0.017 of data).
+    assert table.get("metadata_size_over_bandwidth") < 0.05

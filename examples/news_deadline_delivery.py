@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""News-within-a-deadline: the motivating application of the paper's intro.
+
+"A simple news and information application is better served by maximizing
+the number of news stories delivered before they are outdated, rather than
+maximizing the number of stories eventually delivered."  This example
+models a news feed pushed over a vehicular DTN: stories expire after a
+fixed deadline, and we compare RAPID configured for the *deadline* metric
+against RAPID configured for average delay and against MaxProp — showing
+that the intentional choice of metric changes the outcome that matters.
+
+Run with:  python examples/news_deadline_delivery.py
+"""
+
+from __future__ import annotations
+
+from repro import PoissonWorkload, create_factory, run_simulation, units
+from repro.traces.dieselnet import DieselNetParameters, DieselNetTraceGenerator
+
+STORY_DEADLINE = 20 * units.MINUTE
+STORIES_PER_HOUR = 10.0
+BUFFER_CAPACITY = 60 * units.KB
+
+CONTENDERS = (
+    ("RAPID (deadline metric)", "rapid", {"metric": "deadline"}),
+    ("RAPID (avg-delay metric)", "rapid", {"metric": "average_delay"}),
+    ("MaxProp", "maxprop", {}),
+    ("Spray and Wait", "spray-and-wait", {}),
+)
+
+
+def build_day(seed: int = 4):
+    """A small bus network: one synthetic DieselNet operating day."""
+    parameters = DieselNetParameters(
+        num_buses=12,
+        avg_buses_per_day=9,
+        day_duration=3 * units.HOUR,
+        avg_meetings_per_day=90,
+        avg_bytes_per_day=90 * 80 * units.KB,
+        num_routes=3,
+    )
+    generator = DieselNetTraceGenerator(parameters, seed=seed)
+    return generator.generate_day(day_index=0)
+
+
+def main() -> None:
+    day = build_day()
+    workload = PoissonWorkload(
+        packets_per_hour=STORIES_PER_HOUR, deadline=STORY_DEADLINE, seed=5
+    )
+    stories = workload.generate(day.buses_on_road, day.schedule.duration)
+
+    print(
+        f"News scenario: {len(day.buses_on_road)} buses, {day.num_meetings} meetings, "
+        f"{len(stories)} stories, {units.format_duration(STORY_DEADLINE)} freshness window"
+    )
+    print(f"{'router':<28} {'fresh stories':>14} {'eventually':>11} {'avg delay':>10}")
+    for label, registry_name, options in CONTENDERS:
+        result = run_simulation(
+            day.schedule,
+            stories,
+            create_factory(registry_name, **options),
+            buffer_capacity=BUFFER_CAPACITY,
+            seed=6,
+        )
+        print(
+            f"{label:<28} {result.deadline_success_rate():>14.2%} "
+            f"{result.delivery_rate():>11.2%} "
+            f"{units.format_duration(result.average_delay()):>10}"
+        )
+    print("\n'fresh stories' = fraction delivered before the freshness window closes;")
+    print("the deadline-metric router maximises exactly this quantity.")
+
+
+if __name__ == "__main__":
+    main()

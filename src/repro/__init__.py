@@ -1,0 +1,116 @@
+"""repro: a reproduction of "DTN Routing as a Resource Allocation Problem".
+
+The package implements the RAPID routing protocol (Balasubramanian, Levine,
+Venkataramani — SIGCOMM 2007) together with every substrate its evaluation
+depends on: a bandwidth- and storage-constrained DTN simulator, mobility
+models and synthetic DieselNet traces, the baseline protocols it is
+compared against, the offline optimal router, the hardness constructions
+of the appendix, and an experiment harness reproducing every table and
+figure of the paper.
+
+Quickstart::
+
+    from repro import (
+        ExponentialMobility, PoissonWorkload, create_factory, run_simulation,
+    )
+
+    mobility = ExponentialMobility(num_nodes=10, mean_inter_meeting=60.0, seed=1)
+    schedule = mobility.generate(duration=600.0)
+    packets = PoissonWorkload(packets_per_hour=30, seed=2).generate(range(10), 600.0)
+    result = run_simulation(schedule, packets, create_factory("rapid"))
+    print(result.summary())
+"""
+
+from .constants import DEFAULT_PACKET_SIZE
+from .core import (
+    AverageDelayMetric,
+    DeadlineMetric,
+    MaximumDelayMetric,
+    MeetingTimeEstimator,
+    RapidProtocol,
+    TransferSizeEstimator,
+    make_metric,
+)
+from .dtn import (
+    DeploymentNoise,
+    Node,
+    NodeBuffer,
+    Packet,
+    PacketFactory,
+    PacketRecord,
+    ParallelWorkload,
+    PoissonWorkload,
+    SimulationResult,
+    Simulator,
+    run_simulation,
+)
+from .exceptions import ReproError
+from .mobility import (
+    ExponentialMobility,
+    Meeting,
+    MeetingSchedule,
+    MobilityModel,
+    PowerLawMobility,
+    TraceMobility,
+)
+from .optimal import OptimalResult, OptimalRouter
+from .routing import (
+    MaxPropProtocol,
+    ProphetProtocol,
+    ProtocolFactory,
+    RandomProtocol,
+    RoutingProtocol,
+    SprayAndWaitProtocol,
+    available_protocols,
+    create_factory,
+)
+from .traces import DieselNetParameters, DieselNetTraceGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DEFAULT_PACKET_SIZE",
+    # DTN substrate
+    "Packet",
+    "PacketFactory",
+    "PacketRecord",
+    "NodeBuffer",
+    "Node",
+    "DeploymentNoise",
+    "Simulator",
+    "run_simulation",
+    "SimulationResult",
+    "PoissonWorkload",
+    "ParallelWorkload",
+    # Mobility
+    "MobilityModel",
+    "ExponentialMobility",
+    "PowerLawMobility",
+    "TraceMobility",
+    "Meeting",
+    "MeetingSchedule",
+    "DieselNetTraceGenerator",
+    "DieselNetParameters",
+    # RAPID core
+    "RapidProtocol",
+    "MeetingTimeEstimator",
+    "TransferSizeEstimator",
+    "make_metric",
+    "AverageDelayMetric",
+    "DeadlineMetric",
+    "MaximumDelayMetric",
+    # Baselines and registry
+    "RoutingProtocol",
+    "ProtocolFactory",
+    "RandomProtocol",
+    "SprayAndWaitProtocol",
+    "ProphetProtocol",
+    "MaxPropProtocol",
+    "available_protocols",
+    "create_factory",
+    # Optimal
+    "OptimalRouter",
+    "OptimalResult",
+]

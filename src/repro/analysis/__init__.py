@@ -1,0 +1,43 @@
+"""Metrics, statistics and fairness analysis for the evaluation."""
+
+from .fairness import empirical_cdf, fraction_at_least, jain_fairness_index
+from .metrics import (
+    METRICS,
+    AggregatedMetric,
+    aggregate,
+    compare_protocols,
+    improvement_over,
+    mean_metric,
+    metric_function,
+)
+from .stats import (
+    ConfidenceInterval,
+    PairedTestResult,
+    matched_pair_delays,
+    mean_confidence_interval,
+    moving_average,
+    paired_delay_test,
+    per_pair_average_delays,
+    relative_difference,
+)
+
+__all__ = [
+    "jain_fairness_index",
+    "empirical_cdf",
+    "fraction_at_least",
+    "METRICS",
+    "AggregatedMetric",
+    "aggregate",
+    "mean_metric",
+    "metric_function",
+    "compare_protocols",
+    "improvement_over",
+    "ConfidenceInterval",
+    "PairedTestResult",
+    "mean_confidence_interval",
+    "paired_delay_test",
+    "per_pair_average_delays",
+    "matched_pair_delays",
+    "moving_average",
+    "relative_difference",
+]

@@ -1,0 +1,54 @@
+"""Fairness analysis (Section 6.2.5).
+
+The paper evaluates whether RAPID's resource allocation is fair to packets
+created in parallel using Jain's fairness index over the per-packet delays
+of each parallel batch, and reports the CDF of the index across batches
+(Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x_i)^2 / (n * sum x_i^2)``.
+
+    The index is 1 when all values are equal and approaches ``1/n`` when a
+    single value dominates.  Values must be non-negative; an empty or
+    all-zero input is defined as perfectly fair (index 1).
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return 1.0
+    if np.any(data < 0):
+        raise ValueError("Jain's index requires non-negative values")
+    total = data.sum()
+    squares = float((data ** 2).sum())
+    if squares == 0.0:
+        return 1.0
+    return float(total * total / (data.size * squares))
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Return ``(sorted values, cumulative fractions)`` for plotting a CDF."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        return [], []
+    n = len(data)
+    fractions = [(index + 1) / n for index in range(n)]
+    return data, fractions
+
+
+def fraction_at_least(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values greater than or equal to *threshold*.
+
+    Used to report statements like "the fairness index is 1 over 98% of
+    the time" from Figure 15.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return 0.0
+    return sum(1 for v in data if v >= threshold) / len(data)

@@ -1,0 +1,117 @@
+"""Cross-run metric aggregation.
+
+One simulation run produces a :class:`~repro.dtn.results.SimulationResult`;
+the evaluation averages metrics across many runs (10 seeds for synthetic
+mobility, 58 day traces for the testbed experiments).  This module provides
+the aggregation helpers the experiment harness builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..dtn.results import SimulationResult
+from .stats import ConfidenceInterval, mean_confidence_interval
+
+#: A metric extracts one number from a simulation result.
+MetricFunction = Callable[[SimulationResult], float]
+
+
+METRICS: Dict[str, MetricFunction] = {
+    "delivery_rate": lambda r: r.delivery_rate(),
+    "average_delay": lambda r: r.average_delay(),
+    "average_delay_with_undelivered": lambda r: r.average_delay(include_undelivered=True),
+    "max_delay": lambda r: r.max_delay(),
+    "deadline_success_rate": lambda r: r.deadline_success_rate(),
+    "channel_utilization": lambda r: r.channel_utilization(),
+    "metadata_fraction_of_bandwidth": lambda r: r.metadata_fraction_of_bandwidth(),
+    "metadata_fraction_of_data": lambda r: r.metadata_fraction_of_data(),
+    "replications": lambda r: float(r.replications),
+}
+
+
+def metric_function(name: str) -> MetricFunction:
+    """Look up a named metric extractor."""
+    try:
+        return METRICS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown metric {name!r}; available: {', '.join(sorted(METRICS))}"
+        ) from exc
+
+
+@dataclass
+class AggregatedMetric:
+    """Mean and confidence interval of one metric across runs."""
+
+    name: str
+    values: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values)) if self.values else 0.0
+
+    def confidence_interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        return mean_confidence_interval(self.values, confidence=confidence)
+
+
+def aggregate(
+    results: Iterable[SimulationResult],
+    metric_names: Optional[Sequence[str]] = None,
+) -> Dict[str, AggregatedMetric]:
+    """Aggregate the named metrics (default: all) over *results*."""
+    names = list(metric_names) if metric_names is not None else sorted(METRICS)
+    collected: Dict[str, AggregatedMetric] = {name: AggregatedMetric(name) for name in names}
+    for result in results:
+        for name in names:
+            collected[name].values.append(metric_function(name)(result))
+    return collected
+
+
+def mean_metric(results: Iterable[SimulationResult], metric_name: str) -> float:
+    """Mean of one metric across runs (0 for an empty collection)."""
+    extractor = metric_function(metric_name)
+    values = [extractor(result) for result in results]
+    return float(np.mean(values)) if values else 0.0
+
+
+def compare_protocols(
+    results_by_protocol: Dict[str, List[SimulationResult]],
+    metric_name: str,
+) -> Dict[str, float]:
+    """Mean of *metric_name* per protocol — one row of a paper figure."""
+    return {
+        protocol: mean_metric(results, metric_name)
+        for protocol, results in results_by_protocol.items()
+    }
+
+
+def improvement_over(
+    results_by_protocol: Dict[str, List[SimulationResult]],
+    metric_name: str,
+    protocol: str,
+    baseline: str,
+    lower_is_better: bool = True,
+) -> float:
+    """Relative improvement of *protocol* over *baseline* for one metric.
+
+    Positive values mean *protocol* is better.  For "lower is better"
+    metrics (delays) the improvement is ``(baseline - protocol)/baseline``;
+    for "higher is better" metrics it is ``(protocol - baseline)/baseline``.
+    """
+    values = compare_protocols(results_by_protocol, metric_name)
+    if protocol not in values or baseline not in values:
+        raise KeyError("both protocol and baseline must be present in the results")
+    base = values[baseline]
+    if base == 0:
+        return 0.0
+    if lower_is_better:
+        return (base - values[protocol]) / base
+    return (values[protocol] - base) / base

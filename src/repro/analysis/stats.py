@@ -1,0 +1,138 @@
+"""Statistical helpers used by the evaluation.
+
+The paper reports 95% confidence intervals on simulated delays (Figure 3)
+and uses a paired t-test over per source-destination pair average delays
+to establish that RAPID's improvement over MaxProp is statistically
+significant (Section 6.2.1, p < 0.0005).  This module wraps the small
+amount of statistics needed so experiment code stays declarative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass
+class ConfidenceInterval:
+    """A mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float = 0.95
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (0 when the mean is 0)."""
+        if self.mean == 0:
+            return 0.0
+        return abs(self.half_width / self.mean)
+
+
+def mean_confidence_interval(values: Sequence[float], confidence: float = 0.95) -> ConfidenceInterval:
+    """Student-t confidence interval of the mean of *values*."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot compute a confidence interval of no data")
+    mean = float(data.mean())
+    if data.size == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, confidence=confidence)
+    sem = float(scipy_stats.sem(data))
+    if sem == 0.0 or math.isnan(sem):
+        return ConfidenceInterval(mean=mean, half_width=0.0, confidence=confidence)
+    half_width = float(sem * scipy_stats.t.ppf((1 + confidence) / 2.0, data.size - 1))
+    return ConfidenceInterval(mean=mean, half_width=half_width, confidence=confidence)
+
+
+@dataclass
+class PairedTestResult:
+    """Result of a paired t-test between two protocols' per-pair delays."""
+
+    statistic: float
+    p_value: float
+    mean_difference: float
+    num_pairs: int
+
+    def significant(self, alpha: float = 0.0005) -> bool:
+        """Whether the difference is significant at level *alpha* (paper uses 0.0005)."""
+        return self.p_value < alpha
+
+
+def paired_delay_test(first: Sequence[float], second: Sequence[float]) -> PairedTestResult:
+    """Paired t-test between two matched sequences of per-pair delays."""
+    a = np.asarray(list(first), dtype=float)
+    b = np.asarray(list(second), dtype=float)
+    if a.size != b.size:
+        raise ValueError("paired test requires sequences of equal length")
+    if a.size < 2:
+        raise ValueError("paired test requires at least two pairs")
+    statistic, p_value = scipy_stats.ttest_rel(a, b)
+    return PairedTestResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        mean_difference=float((a - b).mean()),
+        num_pairs=int(a.size),
+    )
+
+
+def per_pair_average_delays(records) -> Dict[Tuple[int, int], float]:
+    """Average delivered delay per (source, destination) pair.
+
+    Accepts an iterable of :class:`~repro.dtn.packet.PacketRecord`.
+    Pairs with no delivered packets are omitted.
+    """
+    sums: Dict[Tuple[int, int], float] = {}
+    counts: Dict[Tuple[int, int], int] = {}
+    for record in records:
+        if not record.delivered:
+            continue
+        delay = record.delay()
+        if delay is None:
+            continue
+        key = (record.packet.source, record.packet.destination)
+        sums[key] = sums.get(key, 0.0) + delay
+        counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}
+
+
+def matched_pair_delays(
+    first_records, second_records
+) -> Tuple[List[float], List[float]]:
+    """Per-pair average delays restricted to pairs present in both runs."""
+    first = per_pair_average_delays(first_records)
+    second = per_pair_average_delays(second_records)
+    shared = sorted(set(first) & set(second))
+    return [first[key] for key in shared], [second[key] for key in shared]
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Simple trailing moving average with a growing head window."""
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    result: List[float] = []
+    for index in range(len(values)):
+        start = max(0, index - window + 1)
+        chunk = values[start : index + 1]
+        result.append(sum(chunk) / len(chunk))
+    return result
+
+
+def relative_difference(value: float, reference: float) -> float:
+    """``(value - reference) / reference`` guarded against zero division."""
+    if reference == 0:
+        return 0.0 if value == 0 else float("inf")
+    return (value - reference) / reference

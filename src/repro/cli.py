@@ -1,0 +1,139 @@
+"""Command-line interface.
+
+``repro-dtn`` (or ``python -m repro``) exposes the experiment harness:
+
+* ``repro-dtn list`` — list reproducible exhibits (tables/figures);
+* ``repro-dtn run figure4 --scale ci`` — run one exhibit and print its
+  rows/series;
+* ``repro-dtn protocols`` — list registered routing protocols;
+* ``repro-dtn quicksim --protocol rapid --nodes 10`` — run a single ad-hoc
+  simulation under exponential mobility and print the summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import units
+from .dtn.simulator import run_simulation
+from .dtn.workload import PoissonWorkload
+from .experiments import EXPERIMENT_INDEX, SyntheticExperimentConfig, TraceExperimentConfig
+from .mobility.exponential import ExponentialMobility
+from .routing.registry import available_protocols, create_factory
+
+_TRACE_EXHIBITS = {
+    "table3", "figure3", "figure4", "figure5", "figure6", "figure7",
+    "figure8", "figure9", "figure10", "figure11", "figure12", "figure13",
+    "figure14", "figure15",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dtn",
+        description="Reproduction harness for 'DTN Routing as a Resource Allocation Problem'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible tables and figures")
+    subparsers.add_parser("protocols", help="list registered routing protocols")
+
+    run_parser = subparsers.add_parser("run", help="run one exhibit and print its data")
+    run_parser.add_argument("exhibit", choices=sorted(EXPERIMENT_INDEX), help="exhibit id, e.g. figure4")
+    run_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="ci = reduced scale (fast); paper = full Table 4 scale (slow)",
+    )
+    run_parser.add_argument("--seed", type=int, default=7, help="random seed")
+
+    sim_parser = subparsers.add_parser("quicksim", help="run one ad-hoc simulation")
+    sim_parser.add_argument("--protocol", default="rapid", help="protocol registry name")
+    sim_parser.add_argument("--nodes", type=int, default=10, help="number of nodes")
+    sim_parser.add_argument("--duration", type=float, default=600.0, help="duration in seconds")
+    sim_parser.add_argument("--mean-meeting", type=float, default=60.0, help="mean inter-meeting time (s)")
+    sim_parser.add_argument("--load", type=float, default=30.0, help="packets per hour per destination")
+    sim_parser.add_argument("--buffer-kb", type=float, default=100.0, help="buffer capacity in KB")
+    sim_parser.add_argument("--seed", type=int, default=1, help="random seed")
+
+    return parser
+
+
+def _command_list() -> int:
+    print("Reproducible exhibits:")
+    for name in sorted(EXPERIMENT_INDEX):
+        print(f"  {name}")
+    return 0
+
+
+def _command_protocols() -> int:
+    print("Registered protocols:")
+    for name in available_protocols():
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(exhibit: str, scale: str, seed: int) -> int:
+    runner_fn = EXPERIMENT_INDEX[exhibit]
+    kwargs = {}
+    if exhibit in _TRACE_EXHIBITS:
+        config = (
+            TraceExperimentConfig.paper_scale(seed=seed)
+            if scale == "paper"
+            else TraceExperimentConfig.ci_scale(seed=seed)
+        )
+        kwargs["config"] = config
+    else:
+        config = (
+            SyntheticExperimentConfig.paper_scale(seed=seed)
+            if scale == "paper"
+            else SyntheticExperimentConfig.ci_scale(seed=seed)
+        )
+        kwargs["config"] = config
+    result = runner_fn(**kwargs)
+    print(result.to_text())
+    return 0
+
+
+def _command_quicksim(args: argparse.Namespace) -> int:
+    mobility = ExponentialMobility(
+        num_nodes=args.nodes, mean_inter_meeting=args.mean_meeting, seed=args.seed
+    )
+    schedule = mobility.generate(args.duration)
+    workload = PoissonWorkload(packets_per_hour=args.load, seed=args.seed + 1)
+    packets = workload.generate(list(range(args.nodes)), args.duration)
+    factory = create_factory(args.protocol)
+    result = run_simulation(
+        schedule,
+        packets,
+        factory,
+        buffer_capacity=args.buffer_kb * units.KB,
+        seed=args.seed,
+    )
+    print(f"protocol:          {result.protocol_name}")
+    for key, value in result.summary().items():
+        print(f"{key:35s} {value:.4f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "protocols":
+        return _command_protocols()
+    if args.command == "run":
+        return _command_run(args.exhibit, args.scale, args.seed)
+    if args.command == "quicksim":
+        return _command_quicksim(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Default parameters shared across the library.
+
+Values mirror the paper's experimental setup (Table 4 and Section 5/6):
+
+* trace-driven experiments: 1 KB packets, 40 GB buffers, 19-hour days,
+  default load of 4 packets per hour per destination, 2.7-hour deadlines;
+* synthetic experiments: 20 nodes, 100 KB buffers, 100 KB transfer
+  opportunities, 1 KB packets, packets generated every 50 seconds on
+  average, 20-second deadlines;
+* RAPID parameters: h = 3 hop meeting-time estimation horizon;
+* baseline parameters: Spray and Wait L = 12, PRoPHET
+  (P_init, beta, gamma) = (0.75, 0.25, 0.98).
+"""
+
+from __future__ import annotations
+
+from . import units
+
+# ---------------------------------------------------------------------------
+# Packet defaults
+# ---------------------------------------------------------------------------
+DEFAULT_PACKET_SIZE = 1 * units.KB
+
+# ---------------------------------------------------------------------------
+# Trace-driven (DieselNet) experiment defaults -- Table 4, right column
+# ---------------------------------------------------------------------------
+TRACE_NUM_BUSES = 40
+TRACE_AVG_BUSES_PER_DAY = 19
+TRACE_DAY_DURATION = 19 * units.HOUR
+TRACE_BUFFER_CAPACITY = 40 * units.GB
+TRACE_DEFAULT_LOAD_PER_HOUR = 4.0
+TRACE_DEADLINE = 2.7 * units.HOUR
+TRACE_AVG_MEETINGS_PER_DAY = 147.5
+TRACE_AVG_BYTES_PER_DAY = int(261.4 * units.MB)
+TRACE_NUM_DAYS = 58
+
+# ---------------------------------------------------------------------------
+# Synthetic (exponential / power-law) experiment defaults -- Table 4, left
+# ---------------------------------------------------------------------------
+SYNTHETIC_NUM_NODES = 20
+SYNTHETIC_BUFFER_CAPACITY = 100 * units.KB
+SYNTHETIC_TRANSFER_OPPORTUNITY = 100 * units.KB
+SYNTHETIC_DURATION = 15 * units.MINUTE
+SYNTHETIC_PACKET_INTERVAL = 50.0
+SYNTHETIC_DEADLINE = 20.0
+SYNTHETIC_MEAN_INTERMEETING = 150.0
+POWERLAW_MIN_POPULARITY = 1
+POWERLAW_MAX_POPULARITY = 20
+
+# ---------------------------------------------------------------------------
+# RAPID parameters
+# ---------------------------------------------------------------------------
+RAPID_MEETING_HOPS = 3
+# Effective sizes of one control-channel record after batching and
+# compression.  The deployment exchanges packed binary records (small
+# integer packet/holder ids, quantised delay estimates) and whole batches
+# compress well, so the marginal cost per record is a few bytes.
+RAPID_METADATA_ENTRY_BYTES = 6
+RAPID_ACK_ENTRY_BYTES = 4
+RAPID_TABLE_ENTRY_BYTES = 6
+# Relative change below which an updated delay estimate is not considered
+# "modified" for the purpose of re-flooding it (damps metadata churn).
+RAPID_ESTIMATE_TOLERANCE = 0.75
+
+# ---------------------------------------------------------------------------
+# Baseline protocol parameters
+# ---------------------------------------------------------------------------
+SPRAY_AND_WAIT_COPIES = 12
+PROPHET_P_INIT = 0.75
+PROPHET_BETA = 0.25
+PROPHET_GAMMA = 0.98
+PROPHET_AGING_TIME_UNIT = 30.0
+MAXPROP_HOPCOUNT_THRESHOLD = 4
+
+# ---------------------------------------------------------------------------
+# Infinity stand-in for "nodes that never meet" (Section 4.1.2)
+# ---------------------------------------------------------------------------
+NEVER_MEET = float("inf")

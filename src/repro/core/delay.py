@@ -1,0 +1,129 @@
+"""Estimate Delay: RAPID's delay-inference algorithm (Section 4.1).
+
+A node estimates the expected remaining delivery delay ``A(i)`` of a packet
+from three ingredients:
+
+1. for every node ``j`` believed to carry a replica, the number of meetings
+   with the destination needed to flush the bytes queued ahead of the
+   packet, ``n_j(i) = ceil((b_j(i) + s_i) / B_j)`` (Algorithm 2, steps 2-4;
+   the packet's own size is included so the very first packet in a queue
+   still needs one meeting);
+2. the expected inter-meeting time ``E(M_jZ)`` between the replica holder
+   and the destination, approximated as exponential (Section 4.1.2), giving
+   a per-replica direct-delivery delay ``d_j(i) = E(M_jZ) * n_j(i)``;
+3. the independence assumption of Assumption 2: the remaining delay is the
+   minimum of the per-replica delays, treated as independent exponentials,
+   so ``A(i) = 1 / sum_j (1 / d_j(i))`` (Eq. 8/9) and
+   ``P(a(i) < t) = 1 - exp(-t * sum_j 1/d_j(i))`` (Eq. 7).
+
+All functions cope with infinite expected meeting times ("never meet",
+Section 4.1.2): a replica whose holder cannot reach the destination within
+``h`` hops contributes a rate of zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .. import constants
+
+
+def meetings_needed(bytes_ahead: float, packet_size: float, expected_transfer_bytes: float) -> int:
+    """``n_j(i)``: meetings needed to deliver the packet directly.
+
+    Args:
+        bytes_ahead: ``b_j(i)`` — bytes of same-destination packets queued
+            ahead of the packet at the replica holder.
+        packet_size: ``s_i`` — the packet's own size in bytes.
+        expected_transfer_bytes: ``B_j`` — the holder's moving average of
+            transfer-opportunity sizes.
+
+    Returns:
+        At least 1 (delivering the packet always takes one meeting).
+    """
+    if packet_size <= 0:
+        raise ValueError("packet_size must be positive")
+    if expected_transfer_bytes <= 0:
+        return 1
+    return max(1, int(math.ceil((bytes_ahead + packet_size) / expected_transfer_bytes)))
+
+
+def direct_delivery_delay(
+    expected_meeting_time: float,
+    bytes_ahead: float,
+    packet_size: float,
+    expected_transfer_bytes: float,
+) -> float:
+    """``d_j(i) = E(M_jZ) * n_j(i)``: one replica's expected delivery delay.
+
+    The gamma-distributed time for ``n_j`` meetings is approximated by an
+    exponential with the same mean (Section 4.1.1), so only the mean is
+    needed here.
+    """
+    if expected_meeting_time < 0:
+        raise ValueError("expected_meeting_time must be non-negative")
+    if math.isinf(expected_meeting_time):
+        return constants.NEVER_MEET
+    n = meetings_needed(bytes_ahead, packet_size, expected_transfer_bytes)
+    return expected_meeting_time * n
+
+
+def delivery_rate(delays: Iterable[float]) -> float:
+    """Total delivery rate ``sum_j 1/d_j`` of a set of per-replica delays."""
+    rate = 0.0
+    for delay in delays:
+        if delay is None:
+            continue
+        if delay <= 0:
+            # A replica co-located with the destination delivers immediately;
+            # model it as an arbitrarily large rate.
+            return float("inf")
+        if math.isinf(delay):
+            continue
+        rate += 1.0 / delay
+    return rate
+
+
+def combined_remaining_delay(delays: Sequence[float]) -> float:
+    """``A(i)``: expected remaining delay given per-replica delays (Eq. 8/9).
+
+    Returns infinity when no replica can reach the destination.
+    """
+    rate = delivery_rate(delays)
+    if rate == 0.0:
+        return constants.NEVER_MEET
+    if math.isinf(rate):
+        return 0.0
+    return 1.0 / rate
+
+
+def delivery_probability_within(delays: Sequence[float], window: float) -> float:
+    """``P(a(i) < window)`` under the exponential-mixture model (Eq. 7)."""
+    if window <= 0:
+        return 0.0
+    rate = delivery_rate(delays)
+    if rate == 0.0:
+        return 0.0
+    if math.isinf(rate):
+        return 1.0
+    return 1.0 - math.exp(-rate * window)
+
+
+def expected_delay_with_extra_replica(delays: Sequence[float], extra_delay: float) -> float:
+    """``A(i)`` after adding one more replica with delay *extra_delay*."""
+    return combined_remaining_delay(list(delays) + [extra_delay])
+
+
+def uniform_exponential_remaining_delay(mean_meeting_time: float, num_replicas: int) -> float:
+    """Closed form for the unconstrained uniform-exponential case.
+
+    With ``k`` replicas and uniform mean meeting time ``1/lambda`` and no
+    bandwidth restriction, ``A(i) = 1 / (k * lambda)`` (Section 4.1.1).
+    Used by tests as an analytic cross-check of the general machinery.
+    """
+    if mean_meeting_time <= 0:
+        raise ValueError("mean_meeting_time must be positive")
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be at least 1")
+    return mean_meeting_time / num_replicas

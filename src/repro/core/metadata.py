@@ -1,0 +1,192 @@
+"""Replica metadata maintained by RAPID's control plane (Section 4.2).
+
+For every packet it has encountered (in its own buffer or learned about
+from peers), a RAPID node keeps the list of nodes believed to carry a
+replica together with each holder's own estimate of its direct-delivery
+delay.  Entries are timestamped so that (i) only fresher information
+overwrites older information, and (ii) the in-band control channel can
+send only entries that changed since the last exchange with a given peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .. import constants
+from ..dtn.packet import Packet
+
+
+@dataclass
+class ReplicaInfo:
+    """What one node is believed to know about one replica of a packet.
+
+    ``updated_at`` is the timestamp of the estimate itself; ``changed_at``
+    is the local time at which this node last learned something *meaningful*
+    about the replica (new holder, or an estimate that moved by more than
+    the tolerance).  The control channel forwards a replica record only when
+    ``changed_at`` is newer than the last exchange with the peer, which is
+    what keeps the flooded metadata proportional to genuinely new
+    information.
+    """
+
+    node_id: int
+    delay_estimate: float
+    updated_at: float
+    changed_at: float = 0.0
+
+
+@dataclass
+class PacketMetadata:
+    """Everything a node knows about one packet's replicas."""
+
+    packet: Packet
+    replicas: Dict[int, ReplicaInfo] = field(default_factory=dict)
+    last_change: float = 0.0
+
+    @property
+    def packet_id(self) -> int:
+        return self.packet.packet_id
+
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    def delay_estimates(self) -> List[float]:
+        """Delay estimates of every known replica holder."""
+        return [info.delay_estimate for info in self.replicas.values()]
+
+    def holders(self) -> List[int]:
+        return list(self.replicas.keys())
+
+
+class MetadataStore:
+    """Per-node store of packet replica metadata."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PacketMetadata] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, packet_id: int) -> bool:
+        return packet_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, packet_id: int) -> Optional[PacketMetadata]:
+        return self._entries.get(packet_id)
+
+    def entries(self) -> List[PacketMetadata]:
+        return list(self._entries.values())
+
+    def entries_changed_since(self, timestamp: float) -> List[PacketMetadata]:
+        """Entries whose replica information changed after *timestamp*."""
+        return [entry for entry in self._entries.values() if entry.last_change > timestamp]
+
+    def total_replica_entries(self) -> int:
+        """Number of (packet, holder) pairs stored — sizing for metadata bytes."""
+        return sum(entry.replica_count() for entry in self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def ensure_entry(self, packet: Packet) -> PacketMetadata:
+        entry = self._entries.get(packet.packet_id)
+        if entry is None:
+            entry = PacketMetadata(packet=packet)
+            self._entries[packet.packet_id] = entry
+        return entry
+
+    def update_replica(
+        self,
+        packet: Packet,
+        holder_id: int,
+        delay_estimate: float,
+        now: float,
+        tolerance: float = constants.RAPID_ESTIMATE_TOLERANCE,
+        learned_at: Optional[float] = None,
+    ) -> bool:
+        """Record that *holder_id* carries *packet* with the given estimate.
+
+        Args:
+            packet: The packet the record describes.
+            holder_id: The node believed to carry a replica.
+            delay_estimate: The holder's direct-delivery delay estimate.
+            now: Timestamp of the estimate itself (origin time).
+            tolerance: Relative drift below which the update is not treated
+                as a meaningful change (and hence not re-flooded).
+            learned_at: Local time at which this node learned the record;
+                defaults to *now*.
+
+        Returns True when the stored information meaningfully changed —
+        i.e. the holder is new, or its delay estimate moved by more than
+        *tolerance* (relative).  Older information never overwrites newer
+        information for the same holder.
+        """
+        entry = self.ensure_entry(packet)
+        existing = entry.replicas.get(holder_id)
+        if existing is not None and existing.updated_at > now:
+            return False
+        learned_at = now if learned_at is None else learned_at
+        previous_changed_at = existing.changed_at if existing is not None else 0.0
+        meaningful = True
+        if existing is not None:
+            previous = existing.delay_estimate
+            if previous == delay_estimate:
+                meaningful = False
+            elif previous > 0 and previous != float("inf") and delay_estimate != float("inf"):
+                if abs(delay_estimate - previous) <= tolerance * previous:
+                    meaningful = False
+        entry.replicas[holder_id] = ReplicaInfo(
+            node_id=holder_id,
+            delay_estimate=delay_estimate,
+            updated_at=now,
+            changed_at=learned_at if meaningful else previous_changed_at,
+        )
+        if not meaningful:
+            return False
+        entry.last_change = max(entry.last_change, learned_at)
+        return True
+
+    def remove_replica(self, packet_id: int, holder_id: int, now: float) -> None:
+        """Forget that *holder_id* carries *packet_id* (e.g. it evicted it)."""
+        entry = self._entries.get(packet_id)
+        if entry is None:
+            return
+        if holder_id in entry.replicas:
+            del entry.replicas[holder_id]
+            entry.last_change = max(entry.last_change, now)
+
+    def remove_packet(self, packet_id: int) -> None:
+        """Forget a packet entirely (called when an ack is received)."""
+        self._entries.pop(packet_id, None)
+
+    def merge_entry(self, entry: PacketMetadata, now: float) -> bool:
+        """Merge a peer's entry for one packet; return True if anything changed."""
+        changed = False
+        for info in entry.replicas.values():
+            changed |= self.update_replica(
+                entry.packet,
+                info.node_id,
+                info.delay_estimate,
+                info.updated_at,
+                learned_at=now,
+            )
+        return changed
+
+    def merge_replica_record(
+        self, packet: Packet, info: ReplicaInfo, now: float
+    ) -> bool:
+        """Merge a single replica record received from a peer."""
+        return self.update_replica(
+            packet, info.node_id, info.delay_estimate, info.updated_at, learned_at=now
+        )
+
+    def merge_entries(self, entries: Iterable[PacketMetadata], now: float) -> int:
+        """Merge several entries; return the number that changed anything."""
+        changed = 0
+        for entry in entries:
+            if self.merge_entry(entry, now):
+                changed += 1
+        return changed

@@ -1,0 +1,365 @@
+"""The RAPID routing protocol (Sections 3 and 4).
+
+RAPID treats DTN routing as a resource allocation problem: the configured
+routing metric is translated into a per-packet utility, and at every
+transfer opportunity packets are replicated in decreasing order of
+marginal utility per byte.  The protocol has three components, all
+implemented here or in sibling modules:
+
+* the **selection algorithm** (Protocol RAPID, Section 3.4):
+  :meth:`RapidProtocol.direct_delivery_order` and
+  :meth:`RapidProtocol.replication_candidates`;
+* the **inference algorithm** (Estimate Delay, Section 4.1):
+  :mod:`repro.core.delay` fed with per-replica state from the metadata
+  store, meeting-time estimator and transfer-size estimator;
+* the **control channel** (Section 4.2): :mod:`repro.core.control`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .. import constants
+from ..dtn.node import Node
+from ..dtn.packet import Packet
+from ..routing.base import ProtocolContext, RoutingProtocol, TransferBudget
+from . import delay as delay_module
+from .control import ControlChannel, GlobalControlChannel, make_channel
+from .meeting_estimator import MeetingTimeEstimator
+from .metadata import MetadataStore
+from .transfer_estimator import TransferSizeEstimator
+from .utility import DeadlineMetric, MaximumDelayMetric, UtilityMetric, make_metric
+
+#: Keys used in the shared protocol context options.
+_REGISTRY_KEY = "rapid_registry"
+_GLOBAL_ACKS_KEY = "rapid_global_acks"
+
+#: Marginal utilities below this threshold do not justify replication.
+_MIN_MARGINAL_UTILITY = 1e-12
+
+
+class RapidProtocol(RoutingProtocol):
+    """Per-node RAPID instance.
+
+    Args:
+        node: The node this instance controls.
+        context: Shared per-simulation context.
+        metric: Routing metric name (``average_delay``, ``deadline`` or
+            ``max_delay``) or a ready :class:`UtilityMetric` instance.
+        control_channel: ``in-band`` (default), ``local``, ``global`` or
+            ``none``; or a ready :class:`ControlChannel` instance.
+        metadata_fraction_cap: Optional cap on metadata as a fraction of
+            each transfer opportunity (Figure 8).
+        max_hops: Horizon ``h`` for expected meeting-time estimation
+            (Section 4.1.2; the paper uses 3).
+        default_deadline: Deadline (seconds) applied by the deadline metric
+            to packets that carry none of their own.
+    """
+
+    name = "rapid"
+    uses_acks = True
+
+    def __init__(
+        self,
+        node: Node,
+        context: ProtocolContext,
+        metric: object = "average_delay",
+        control_channel: object = "in-band",
+        metadata_fraction_cap: Optional[float] = None,
+        max_hops: int = constants.RAPID_MEETING_HOPS,
+        default_deadline: Optional[float] = None,
+        planning_horizon: Optional[float] = None,
+        metadata_byte_scale: float = 1.0,
+    ) -> None:
+        super().__init__(node, context)
+        self.metric = self._resolve_metric(metric, default_deadline)
+        if planning_horizon is not None:
+            self.metric.set_horizon(planning_horizon)
+        self.planning_horizon = planning_horizon
+        self.channel = self._resolve_channel(
+            control_channel, metadata_fraction_cap, metadata_byte_scale
+        )
+        self.counts_control_bytes = self.channel.counts_bytes
+
+        self.meetings = MeetingTimeEstimator(node.node_id, max_hops=max_hops)
+        self.transfer_sizes = TransferSizeEstimator()
+        self.metadata = MetadataStore()
+        self.last_metadata_exchange: Dict[int, float] = {}
+        #: Per peer, the last delivery-delay estimate sent for each packet —
+        #: used by the in-band channel to send only changed information
+        #: (Section 4.2: "only sends information about packets whose
+        #: information changed since the last exchange").
+        self.sent_buffer_estimates: Dict[int, Dict[int, float]] = {}
+        #: Per peer, the meeting-table version last shared (delta encoding).
+        self.sent_table_versions: Dict[int, int] = {}
+
+        self._use_oracle = isinstance(self.channel, GlobalControlChannel)
+        registry: Dict[int, "RapidProtocol"] = context.options.setdefault(_REGISTRY_KEY, {})
+        registry[self.node_id] = self
+        self._registry = registry
+        self._global_acks: Set[int] = context.options.setdefault(_GLOBAL_ACKS_KEY, set())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_metric(metric: object, default_deadline: Optional[float]) -> UtilityMetric:
+        if isinstance(metric, UtilityMetric):
+            return metric
+        if metric == DeadlineMetric.name or metric in ("missed_deadlines",):
+            return make_metric("deadline", default_deadline=default_deadline)
+        resolved = make_metric(str(metric))
+        if isinstance(resolved, DeadlineMetric) and default_deadline is not None:
+            resolved.default_deadline = default_deadline
+        return resolved
+
+    @staticmethod
+    def _resolve_channel(
+        channel: object, fraction_cap: Optional[float], byte_scale: float = 1.0
+    ) -> ControlChannel:
+        if isinstance(channel, ControlChannel):
+            return channel
+        return make_channel(str(channel), fraction_cap=fraction_cap, byte_scale=byte_scale)
+
+    # ------------------------------------------------------------------
+    # Delay estimation (the inference algorithm)
+    # ------------------------------------------------------------------
+    def own_delay_estimate(self, packet: Packet, now: float) -> float:
+        """This node's direct-delivery delay estimate ``d_X(i)``."""
+        expected_meeting = self.meetings.expected_meeting_time(packet.destination)
+        bytes_ahead = self.buffer.bytes_ahead_of(packet, now)
+        expected_transfer = self.transfer_sizes.expected_bytes(
+            packet.destination, default=float(packet.size)
+        )
+        return delay_module.direct_delivery_delay(
+            expected_meeting, bytes_ahead, packet.size, expected_transfer
+        )
+
+    def _estimate_for_holder(self, holder: "RapidProtocol", packet: Packet, now: float) -> float:
+        """Delay estimate for *packet* if held (or newly received) by *holder*."""
+        expected_meeting = holder.meetings.expected_meeting_time(packet.destination)
+        bytes_ahead = holder.buffer.bytes_ahead_of(packet, now)
+        expected_transfer = holder.transfer_sizes.expected_bytes(
+            packet.destination, default=float(packet.size)
+        )
+        return delay_module.direct_delivery_delay(
+            expected_meeting, bytes_ahead, packet.size, expected_transfer
+        )
+
+    def replica_delays(self, packet: Packet, now: float) -> List[float]:
+        """Per-replica delay estimates for every replica this node knows of."""
+        if self._use_oracle:
+            estimates = []
+            for holder in self._registry.values():
+                if packet.packet_id in holder.buffer:
+                    estimates.append(self._estimate_for_holder(holder, packet, now))
+            if not estimates and packet.packet_id in self.buffer:
+                estimates.append(self.own_delay_estimate(packet, now))
+            return estimates
+
+        estimates: List[float] = []
+        if packet.packet_id in self.buffer:
+            estimates.append(self.own_delay_estimate(packet, now))
+        entry = self.metadata.get(packet.packet_id)
+        if entry is not None:
+            for holder_id, info in entry.replicas.items():
+                if holder_id == self.node_id:
+                    continue
+                estimates.append(info.delay_estimate)
+        return estimates
+
+    def expected_remaining_delay(self, packet: Packet, now: float) -> float:
+        """``A(i)``: expected remaining delay considering all known replicas."""
+        return delay_module.combined_remaining_delay(self.replica_delays(packet, now))
+
+    def expected_delay(self, packet: Packet, now: float) -> float:
+        """``D(i) = T(i) + A(i)``."""
+        return packet.age(now) + self.expected_remaining_delay(packet, now)
+
+    def packet_utility(self, packet: Packet, now: float) -> float:
+        """``U_i`` under the configured metric."""
+        return self.metric.utility(packet, self.expected_remaining_delay(packet, now), now)
+
+    def peer_delay_estimate(self, packet: Packet, peer: "RapidProtocol", now: float) -> float:
+        """Estimate ``d_Y(i)`` if *packet* were replicated to *peer* now."""
+        return self._estimate_for_holder(peer, packet, now)
+
+    def marginal_utility(self, packet: Packet, peer: "RapidProtocol", now: float) -> float:
+        """``dU_i`` of replicating *packet* to *peer*."""
+        delays_before = self.replica_delays(packet, now)
+        extra = self.peer_delay_estimate(packet, peer, now)
+        return self.metric.marginal_utility(packet, delays_before, extra, now)
+
+    # ------------------------------------------------------------------
+    # Protocol RAPID step 1: metadata / control exchange
+    # ------------------------------------------------------------------
+    def on_meeting_start(self, peer: RoutingProtocol, now: float) -> None:
+        self.meetings.record_meeting(peer.node_id, now)
+        if self._use_oracle:
+            self._purge_globally_acked(now)
+
+    def exchange_control(self, peer: RoutingProtocol, now: float, budget: TransferBudget) -> None:
+        self.transfer_sizes.record(peer.node_id, budget.capacity)
+        if isinstance(peer, RapidProtocol):
+            self.channel.exchange(self, peer, now, budget)
+
+    def _purge_globally_acked(self, now: float) -> None:
+        for packet_id in list(self._global_acks):
+            if packet_id in self.buffer or packet_id in self.metadata:
+                self.learn_ack(packet_id, now)
+
+    # ------------------------------------------------------------------
+    # Protocol RAPID step 2: direct delivery
+    # ------------------------------------------------------------------
+    def direct_delivery_order(self, peer_id: int, now: float) -> List[Packet]:
+        packets = self.buffer.packets_for(peer_id)
+        packets.sort(key=lambda p: self.metric.direct_delivery_key(p, now), reverse=True)
+        return packets
+
+    # ------------------------------------------------------------------
+    # Protocol RAPID step 3: replication in marginal-utility order
+    # ------------------------------------------------------------------
+    def replication_candidates(self, peer: RoutingProtocol, now: float) -> Iterator[Packet]:
+        if not isinstance(peer, RapidProtocol):
+            return
+        if self._use_oracle:
+            self._purge_globally_acked(now)
+
+        ranked = self._ranked_candidates(peer, now)
+        for _, packet in ranked:
+            yield packet
+
+    def _ranked_candidates(
+        self, peer: "RapidProtocol", now: float
+    ) -> List[Tuple[Tuple[int, float], Packet]]:
+        """Candidates ranked for replication.
+
+        Packets are ordered by decreasing marginal utility per byte (the
+        selection algorithm of Section 3.4).  Packets whose replication
+        cannot improve the metric at all — e.g. the peer cannot reach the
+        destination within ``h`` hops, or the deadline has already passed —
+        are not dropped but pushed to the very end of the order: the cutoff
+        the paper describes emerges from the limited transfer opportunity,
+        not from an explicit filter.
+        """
+        candidates = self.transferable_packets(peer)
+        ranked: List[Tuple[Tuple[int, float], Packet]] = []
+        use_max_delay = isinstance(self.metric, MaximumDelayMetric)
+        for packet in candidates:
+            delays_before = self.replica_delays(packet, now)
+            extra = self.peer_delay_estimate(packet, peer, now)
+            marginal = self.metric.marginal_utility(packet, delays_before, extra, now)
+            improves = 1 if marginal > _MIN_MARGINAL_UTILITY else 0
+            if use_max_delay:
+                # Work-conserving max-delay ordering: the packet whose
+                # expected delay is currently largest goes first.
+                before = delay_module.combined_remaining_delay(delays_before)
+                key = packet.age(now) + (before if not math.isinf(before) else self._horizon_delay(now))
+            else:
+                key = self.metric.replication_priority(packet, marginal, now)
+                if improves == 0:
+                    # Order the "cannot help" tail by age so older packets
+                    # still get the spare bandwidth first.
+                    key = packet.age(now)
+            ranked.append(((improves, key), packet))
+        ranked.sort(key=lambda item: item[0], reverse=True)
+        return ranked
+
+    def _horizon_delay(self, now: float) -> float:
+        """Finite stand-in for an infinite expected delay when ranking."""
+        return now + 1e9
+
+    # ------------------------------------------------------------------
+    # Metadata bookkeeping on packet movement
+    # ------------------------------------------------------------------
+    def on_packet_created(self, packet: Packet, now: float) -> bool:
+        created = super().on_packet_created(packet, now)
+        if created:
+            self.metadata.update_replica(
+                packet, self.node_id, self.own_delay_estimate(packet, now), now
+            )
+        return created
+
+    def accept_replica(self, packet: Packet, sender: RoutingProtocol, now: float) -> bool:
+        accepted = super().accept_replica(packet, sender, now)
+        if accepted:
+            self.metadata.update_replica(
+                packet, self.node_id, self.own_delay_estimate(packet, now), now
+            )
+            if isinstance(sender, RapidProtocol):
+                self.metadata.update_replica(
+                    packet, sender.node_id, sender.own_delay_estimate(packet, now), now
+                )
+        return accepted
+
+    def on_replica_sent(self, packet: Packet, peer: RoutingProtocol, now: float) -> None:
+        if isinstance(peer, RapidProtocol):
+            estimate = self._estimate_for_holder(peer, packet, now)
+            self.metadata.update_replica(packet, peer.node_id, estimate, now)
+        self.metadata.update_replica(
+            packet, self.node_id, self.own_delay_estimate(packet, now), now
+        )
+
+    def learn_ack(self, packet_id: int, now: Optional[float]) -> None:
+        super().learn_ack(packet_id, now)
+        self.metadata.remove_packet(packet_id)
+        self._global_acks.add(packet_id)
+
+    # ------------------------------------------------------------------
+    # Storage management (Section 3.4: lowest utility evicted first)
+    # ------------------------------------------------------------------
+    def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
+        candidates = [
+            p
+            for p in self.buffer
+            if p.packet_id != incoming.packet_id
+            and not (p.source == self.node_id and p.packet_id not in self.acked)
+        ]
+        if not candidates:
+            # Only own unacknowledged packets remain.  An incoming relay may
+            # not displace them (Section 3.4), but a newly created local
+            # packet must not deadlock the source: the lowest-utility own
+            # packet yields instead.
+            if incoming.source != self.node_id:
+                return None
+            candidates = [p for p in self.buffer if p.packet_id != incoming.packet_id]
+            if not candidates:
+                return None
+        scored = []
+        for packet in candidates:
+            remaining = self.expected_remaining_delay(packet, now)
+            scored.append((self.metric.eviction_score(packet, remaining, now), packet.packet_id))
+        scored.sort(key=lambda item: item[0])
+        victim_id = scored[0][1]
+        self.metadata.remove_replica(victim_id, self.node_id, now)
+        return victim_id
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and examples)
+    # ------------------------------------------------------------------
+    def known_replica_count(self, packet_id: int) -> int:
+        """Number of replicas this node believes exist for *packet_id*."""
+        entry = self.metadata.get(packet_id)
+        own = 1 if packet_id in self.buffer else 0
+        if entry is None:
+            return own
+        holders = set(entry.holders())
+        if packet_id in self.buffer:
+            holders.add(self.node_id)
+        return len(holders)
+
+    def describe_buffer(self, now: float) -> List[Dict[str, float]]:
+        """Per-packet view of the buffer (id, age, utility, replicas)."""
+        description = []
+        for packet in self.buffer:
+            description.append(
+                {
+                    "packet_id": packet.packet_id,
+                    "age": packet.age(now),
+                    "expected_delay": self.expected_delay(packet, now),
+                    "utility": self.packet_utility(packet, now),
+                    "known_replicas": self.known_replica_count(packet.packet_id),
+                }
+            )
+        return description

@@ -1,0 +1,25 @@
+"""DTN substrate: packets, buffers, nodes, workloads and the simulator."""
+
+from .buffer import NodeBuffer
+from .node import DeploymentNoise, Node, NodeCounters
+from .packet import Ack, Packet, PacketFactory, PacketRecord
+from .results import SimulationResult
+from .simulator import Simulator, run_simulation
+from .workload import ParallelWorkload, PoissonWorkload, single_packet_workload
+
+__all__ = [
+    "NodeBuffer",
+    "Node",
+    "NodeCounters",
+    "DeploymentNoise",
+    "Packet",
+    "PacketFactory",
+    "PacketRecord",
+    "Ack",
+    "SimulationResult",
+    "Simulator",
+    "run_simulation",
+    "PoissonWorkload",
+    "ParallelWorkload",
+    "single_packet_workload",
+]

@@ -1,0 +1,167 @@
+"""Storage-constrained node buffer.
+
+Nodes carry in-transit packets in a finite buffer (problem class P5 of the
+paper: finite storage *and* finite bandwidth).  The buffer enforces the
+capacity invariant; *which* packet to evict under pressure is a routing
+decision and therefore belongs to the protocols, which call
+:meth:`NodeBuffer.remove` before inserting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..exceptions import BufferError_
+from .packet import Packet
+
+
+class NodeBuffer:
+    """A byte-capacity-limited container of packet replicas.
+
+    The buffer tracks per-packet arrival times (used by protocols that
+    prioritise by queueing order) and maintains the occupancy invariant
+    ``used_bytes <= capacity`` at all times.
+    """
+
+    def __init__(self, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._packets: Dict[int, Packet] = {}
+        self._arrival_times: Dict[int, float] = {}
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, packet_id: int) -> bool:
+        return packet_id in self._packets
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(list(self._packets.values()))
+
+    @property
+    def used_bytes(self) -> int:
+        """Total size in bytes of the packets currently stored."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        """Remaining capacity in bytes."""
+        return self.capacity - self._used
+
+    @property
+    def packet_ids(self) -> List[int]:
+        """Identifiers of stored packets (insertion order)."""
+        return list(self._packets.keys())
+
+    def packets(self) -> List[Packet]:
+        """A snapshot list of stored packets."""
+        return list(self._packets.values())
+
+    def get(self, packet_id: int) -> Optional[Packet]:
+        """Return the stored packet with *packet_id*, or ``None``."""
+        return self._packets.get(packet_id)
+
+    def arrival_time(self, packet_id: int) -> Optional[float]:
+        """Return the time the packet entered this buffer, or ``None``."""
+        return self._arrival_times.get(packet_id)
+
+    def occupancy(self) -> float:
+        """Return the fraction of capacity in use (0 when unlimited)."""
+        if self.capacity == float("inf"):
+            return 0.0
+        return self._used / self.capacity
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def fits(self, packet: Packet) -> bool:
+        """Return True when *packet* can be added without eviction."""
+        return packet.size <= self.free_bytes
+
+    def add(self, packet: Packet, now: float = 0.0) -> None:
+        """Insert a packet replica.
+
+        Raises:
+            BufferError_: when the packet is already present or would
+                overflow the capacity.  Callers must evict first.
+        """
+        if packet.packet_id in self._packets:
+            raise BufferError_(
+                f"packet {packet.packet_id} is already buffered at this node"
+            )
+        if not self.fits(packet):
+            raise BufferError_(
+                f"packet {packet.packet_id} ({packet.size} B) does not fit: "
+                f"{self.free_bytes:.0f} B free of {self.capacity:.0f} B"
+            )
+        self._packets[packet.packet_id] = packet
+        self._arrival_times[packet.packet_id] = now
+        self._used += packet.size
+
+    def remove(self, packet_id: int) -> Packet:
+        """Remove and return the packet with *packet_id*.
+
+        Raises:
+            BufferError_: when no such packet is stored.
+        """
+        if packet_id not in self._packets:
+            raise BufferError_(f"packet {packet_id} is not buffered at this node")
+        packet = self._packets.pop(packet_id)
+        self._arrival_times.pop(packet_id, None)
+        self._used -= packet.size
+        return packet
+
+    def discard(self, packet_id: int) -> Optional[Packet]:
+        """Remove the packet if present; return it or ``None``."""
+        if packet_id in self._packets:
+            return self.remove(packet_id)
+        return None
+
+    def clear(self) -> None:
+        """Remove every packet."""
+        self._packets.clear()
+        self._arrival_times.clear()
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # Queries used by routing protocols
+    # ------------------------------------------------------------------
+    def packets_for(self, destination: int) -> List[Packet]:
+        """Packets destined to *destination*, in insertion order."""
+        return [p for p in self._packets.values() if p.destination == destination]
+
+    def destinations(self) -> List[int]:
+        """Distinct destinations of buffered packets."""
+        seen: Dict[int, None] = {}
+        for packet in self._packets.values():
+            seen.setdefault(packet.destination, None)
+        return list(seen.keys())
+
+    def bytes_ahead_of(self, packet: Packet, now: float) -> int:
+        """Return ``b(i)``: bytes of same-destination packets served before *packet*.
+
+        Following Algorithm 2 (Step 1-2), packets destined to the same node
+        are served in descending order of time-in-system ``T(s)`` — i.e.
+        oldest first.  The returned value is the total size of packets that
+        precede *packet* in that order, used to compute how many meetings
+        with the destination are needed before *packet* can be delivered
+        directly.
+        """
+        ahead = 0
+        packet_age = packet.age(now)
+        for other in self._packets.values():
+            if other.packet_id == packet.packet_id:
+                continue
+            if other.destination != packet.destination:
+                continue
+            other_age = other.age(now)
+            if other_age > packet_age or (
+                other_age == packet_age and other.packet_id < packet.packet_id
+            ):
+                ahead += other.size
+        return ahead

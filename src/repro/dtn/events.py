@@ -1,0 +1,68 @@
+"""Discrete-event types for the DTN simulator.
+
+The simulator is driven by two externally supplied event streams — packet
+creations (the workload) and node meetings (the mobility schedule) — plus a
+terminating end-of-simulation event.  Events are ordered by time; ties are
+broken so that packet creations at time *t* are visible to a meeting at the
+same time *t* (a bus that generates a packet right as it meets another bus
+may transfer it in that meeting, as in the deployment).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..mobility.schedule import Meeting
+from .packet import Packet
+
+
+class EventKind(enum.IntEnum):
+    """Tie-breaking priority of events occurring at the same instant."""
+
+    PACKET_CREATION = 0
+    MEETING = 1
+    END_OF_SIMULATION = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: a timestamp plus a kind used for stable ordering."""
+
+    time: float
+    kind: EventKind = field(default=EventKind.MEETING)
+
+    def sort_key(self) -> tuple:
+        return (self.time, int(self.kind))
+
+
+@dataclass(frozen=True)
+class PacketCreationEvent(Event):
+    """A packet enters the system at its source node."""
+
+    packet: Optional[Packet] = None
+    kind: EventKind = field(default=EventKind.PACKET_CREATION)
+
+    def __post_init__(self) -> None:
+        if self.packet is None:
+            raise ValueError("PacketCreationEvent requires a packet")
+
+
+@dataclass(frozen=True)
+class MeetingEvent(Event):
+    """Two nodes come within range and may transfer data."""
+
+    meeting: Optional[Meeting] = None
+    kind: EventKind = field(default=EventKind.MEETING)
+
+    def __post_init__(self) -> None:
+        if self.meeting is None:
+            raise ValueError("MeetingEvent requires a meeting")
+
+
+@dataclass(frozen=True)
+class EndOfSimulationEvent(Event):
+    """Marks the end of the simulated horizon."""
+
+    kind: EventKind = field(default=EventKind.END_OF_SIMULATION)

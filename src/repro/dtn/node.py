@@ -1,0 +1,79 @@
+"""DTN node: identity plus a storage-constrained buffer.
+
+All routing intelligence lives in the per-node protocol instance
+(:mod:`repro.routing`); the node itself only owns the buffer and a few
+counters the evaluation reports on (bytes sent/received, drops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .buffer import NodeBuffer
+
+
+@dataclass
+class NodeCounters:
+    """Per-node traffic counters collected during a simulation run."""
+
+    packets_sent: int = 0
+    packets_received: int = 0
+    packets_delivered_here: int = 0
+    packets_dropped: int = 0
+    bytes_sent: float = 0.0
+    bytes_received: float = 0.0
+    metadata_bytes_sent: float = 0.0
+    meetings: int = 0
+
+
+@dataclass
+class Node:
+    """A mobile DTN node."""
+
+    node_id: int
+    buffer: NodeBuffer = field(default_factory=NodeBuffer)
+    counters: NodeCounters = field(default_factory=NodeCounters)
+
+    @classmethod
+    def with_capacity(cls, node_id: int, capacity: float) -> "Node":
+        """Create a node whose buffer holds at most *capacity* bytes."""
+        return cls(node_id=node_id, buffer=NodeBuffer(capacity))
+
+    def has_packet(self, packet_id: int) -> bool:
+        """Return True when a replica of *packet_id* is buffered here."""
+        return packet_id in self.buffer
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Node({self.node_id}, {len(self.buffer)} pkts, "
+            f"{self.buffer.used_bytes}/{self.buffer.capacity} B)"
+        )
+
+
+@dataclass
+class DeploymentNoise:
+    """Imperfections applied when emulating the real deployment (Figure 3).
+
+    The trace-driven simulator is validated against the deployment by
+    running the same workload through a noisy variant: transfer capacities
+    are jittered (radio conditions), a small fraction of meetings is missed
+    entirely (discovery and association failures), and deliveries incur a
+    processing delay (route computation on the bus computers).
+    """
+
+    capacity_jitter: float = 0.1
+    meeting_miss_probability: float = 0.03
+    processing_delay: float = 2.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.capacity_jitter < 1.0:
+            raise ValueError("capacity_jitter must be in [0, 1)")
+        if not 0.0 <= self.meeting_miss_probability < 1.0:
+            raise ValueError("meeting_miss_probability must be in [0, 1)")
+        if self.processing_delay < 0:
+            raise ValueError("processing_delay must be non-negative")

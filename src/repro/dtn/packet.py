@@ -1,0 +1,174 @@
+"""Packet, acknowledgment and per-packet outcome records.
+
+The paper models a workload as a set of packets ``(source, destination,
+size, creation time)``.  Packets are immutable value objects; everything a
+protocol learns about a packet at run time (replica locations, delivery
+estimates) lives in protocol-side state, not on the packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import constants
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single unfragmentable DTN packet.
+
+    Attributes:
+        packet_id: Globally unique integer identifier.
+        source: Node id of the packet's origin.
+        destination: Node id the packet must reach.
+        size: Packet size in bytes.
+        creation_time: Simulation time (seconds) at which the packet was
+            created at the source.
+        deadline: Optional relative lifetime ``L(i)`` in seconds.  A packet
+            whose delivery time exceeds ``creation_time + deadline`` counts
+            as a missed deadline for the deadline metric.
+    """
+
+    packet_id: int
+    source: int
+    destination: int
+    size: int = constants.DEFAULT_PACKET_SIZE
+    creation_time: float = 0.0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+        if self.creation_time < 0:
+            raise ValueError("creation_time must be non-negative")
+        if self.source == self.destination:
+            raise ValueError("packet source and destination must differ")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive when given")
+
+    def age(self, now: float) -> float:
+        """Return ``T(i)``, the time since creation of the packet."""
+        return max(0.0, now - self.creation_time)
+
+    def absolute_deadline(self) -> Optional[float]:
+        """Return the absolute simulation time of the deadline, if any."""
+        if self.deadline is None:
+            return None
+        return self.creation_time + self.deadline
+
+    def remaining_lifetime(self, now: float) -> Optional[float]:
+        """Return ``L(i) - T(i)``, or ``None`` when the packet has no deadline."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.age(now)
+
+    def has_expired(self, now: float) -> bool:
+        """Return True when the packet's deadline has already passed."""
+        remaining = self.remaining_lifetime(now)
+        return remaining is not None and remaining <= 0
+
+
+@dataclass(frozen=True)
+class Ack:
+    """An acknowledgment that a packet has been delivered to its destination.
+
+    Acks are flooded through the control plane (Section 4.2); a node that
+    learns of an ack purges its replica of the packet and stops replicating
+    it.
+    """
+
+    packet_id: int
+    delivered_at: float
+
+
+@dataclass
+class PacketRecord:
+    """Mutable per-packet bookkeeping kept by the simulator.
+
+    The record collects everything the evaluation needs: whether and when
+    the packet was delivered, how many replicas were created, and how many
+    hops the delivered copy traversed.
+    """
+
+    packet: Packet
+    delivered: bool = False
+    delivery_time: Optional[float] = None
+    delivering_node: Optional[int] = None
+    hop_count: Optional[int] = None
+    replicas_created: int = 0
+    drops: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def packet_id(self) -> int:
+        return self.packet.packet_id
+
+    def delay(self, horizon: Optional[float] = None) -> Optional[float]:
+        """Return the delivery delay in seconds.
+
+        For undelivered packets the return value is ``None`` unless a
+        *horizon* is given, in which case the delay is the time the packet
+        spent in the system up to the horizon — the convention the paper
+        uses when comparing against the ILP optimum (Section 6.2.4).
+        """
+        if self.delivered and self.delivery_time is not None:
+            return self.delivery_time - self.packet.creation_time
+        if horizon is None:
+            return None
+        return max(0.0, horizon - self.packet.creation_time)
+
+    def met_deadline(self) -> bool:
+        """Return True when the packet was delivered within its deadline."""
+        if not self.delivered or self.delivery_time is None:
+            return False
+        deadline = self.packet.absolute_deadline()
+        if deadline is None:
+            return True
+        return self.delivery_time <= deadline
+
+    def mark_delivered(self, now: float, node_id: int, hop_count: int) -> None:
+        """Record the first delivery of this packet (later copies ignored)."""
+        if self.delivered:
+            return
+        self.delivered = True
+        self.delivery_time = now
+        self.delivering_node = node_id
+        self.hop_count = hop_count
+
+
+class PacketFactory:
+    """Produces packets with unique ids.
+
+    The factory keeps the id-assignment logic in one place so that
+    workloads generated from several sources (e.g. different days of a
+    trace) never collide.
+    """
+
+    def __init__(self, start_id: int = 0) -> None:
+        self._next_id = start_id
+
+    def create(
+        self,
+        source: int,
+        destination: int,
+        size: int = constants.DEFAULT_PACKET_SIZE,
+        creation_time: float = 0.0,
+        deadline: Optional[float] = None,
+    ) -> Packet:
+        """Create a packet with the next free identifier."""
+        packet = Packet(
+            packet_id=self._next_id,
+            source=source,
+            destination=destination,
+            size=size,
+            creation_time=creation_time,
+            deadline=deadline,
+        )
+        self._next_id += 1
+        return packet
+
+    @property
+    def next_id(self) -> int:
+        """Identifier that will be assigned to the next packet."""
+        return self._next_id

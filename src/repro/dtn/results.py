@@ -1,0 +1,171 @@
+"""Simulation results and per-run summary metrics.
+
+The :class:`SimulationResult` gathers per-packet records plus the traffic
+counters needed by the evaluation: delivery rate, average/maximum delay
+(optionally counting undelivered packets as in the ILP comparison),
+deadline success rate, channel utilization and metadata overhead.
+Cross-run aggregation (mean over 58 days, confidence intervals, t-tests)
+lives in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .node import NodeCounters
+from .packet import Packet, PacketRecord
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    protocol_name: str
+    duration: float
+    records: Dict[int, PacketRecord] = field(default_factory=dict)
+    node_counters: Dict[int, NodeCounters] = field(default_factory=dict)
+    meetings_processed: int = 0
+    meetings_missed: int = 0
+    total_capacity_bytes: float = 0.0
+    data_bytes: float = 0.0
+    metadata_bytes: float = 0.0
+    replications: int = 0
+    deliveries: int = 0
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def record_for(self, packet_id: int) -> PacketRecord:
+        return self.records[packet_id]
+
+    def packets(self) -> List[Packet]:
+        return [r.packet for r in self.records.values()]
+
+    def delivered_records(self) -> List[PacketRecord]:
+        return [r for r in self.records.values() if r.delivered]
+
+    def undelivered_records(self) -> List[PacketRecord]:
+        return [r for r in self.records.values() if not r.delivered]
+
+    @property
+    def num_packets(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_delivered(self) -> int:
+        return sum(1 for r in self.records.values() if r.delivered)
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+    def delivery_rate(self) -> float:
+        """Fraction of generated packets delivered by the end of the run."""
+        if not self.records:
+            return 0.0
+        return self.num_delivered / self.num_packets
+
+    def delays(self, include_undelivered: bool = False) -> List[float]:
+        """Per-packet delivery delays in seconds.
+
+        With ``include_undelivered=True`` undelivered packets contribute the
+        time they spent in the system until the end of the run — the
+        convention used when comparing against the ILP optimum
+        (Section 6.2.4).
+        """
+        values: List[float] = []
+        for record in self.records.values():
+            delay = record.delay(horizon=self.duration if include_undelivered else None)
+            if delay is not None:
+                values.append(delay)
+        return values
+
+    def average_delay(self, include_undelivered: bool = False) -> float:
+        """Mean delivery delay in seconds (0 when nothing qualifies)."""
+        values = self.delays(include_undelivered=include_undelivered)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def max_delay(self, include_undelivered: bool = False) -> float:
+        """Maximum delivery delay in seconds (0 when nothing qualifies)."""
+        values = self.delays(include_undelivered=include_undelivered)
+        if not values:
+            return 0.0
+        return max(values)
+
+    def deadline_success_rate(self) -> float:
+        """Fraction of all generated packets delivered within their deadline."""
+        if not self.records:
+            return 0.0
+        met = sum(1 for r in self.records.values() if r.met_deadline())
+        return met / self.num_packets
+
+    # ------------------------------------------------------------------
+    # Channel / overhead metrics
+    # ------------------------------------------------------------------
+    def channel_utilization(self) -> float:
+        """Fraction of total transfer-opportunity bytes actually used."""
+        if self.total_capacity_bytes <= 0:
+            return 0.0
+        return (self.data_bytes + self.metadata_bytes) / self.total_capacity_bytes
+
+    def metadata_fraction_of_bandwidth(self) -> float:
+        """Metadata bytes as a fraction of total available bandwidth."""
+        if self.total_capacity_bytes <= 0:
+            return 0.0
+        return self.metadata_bytes / self.total_capacity_bytes
+
+    def metadata_fraction_of_data(self) -> float:
+        """Metadata bytes as a fraction of data bytes transferred."""
+        if self.data_bytes <= 0:
+            return 0.0
+        return self.metadata_bytes / self.data_bytes
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of the headline metrics (for reports/tests)."""
+        return {
+            "packets": float(self.num_packets),
+            "delivered": float(self.num_delivered),
+            "delivery_rate": self.delivery_rate(),
+            "average_delay": self.average_delay(),
+            "average_delay_with_undelivered": self.average_delay(include_undelivered=True),
+            "max_delay": self.max_delay(),
+            "deadline_success_rate": self.deadline_success_rate(),
+            "channel_utilization": self.channel_utilization(),
+            "metadata_fraction_of_bandwidth": self.metadata_fraction_of_bandwidth(),
+            "metadata_fraction_of_data": self.metadata_fraction_of_data(),
+            "replications": float(self.replications),
+            "meetings": float(self.meetings_processed),
+        }
+
+    @staticmethod
+    def merge(results: Iterable["SimulationResult"], protocol_name: Optional[str] = None) -> "SimulationResult":
+        """Merge several runs into one result (e.g. the 58 day traces).
+
+        Packet ids must be unique across the merged runs; the experiment
+        harness guarantees this by sharing a :class:`PacketFactory`.
+        """
+        results = list(results)
+        if not results:
+            raise ValueError("no results to merge")
+        merged = SimulationResult(
+            protocol_name=protocol_name or results[0].protocol_name,
+            duration=max(r.duration for r in results),
+        )
+        for result in results:
+            overlapping = set(merged.records) & set(result.records)
+            if overlapping:
+                raise ValueError(f"duplicate packet ids across runs: {sorted(overlapping)[:5]} ...")
+            merged.records.update(result.records)
+            merged.meetings_processed += result.meetings_processed
+            merged.meetings_missed += result.meetings_missed
+            merged.total_capacity_bytes += result.total_capacity_bytes
+            merged.data_bytes += result.data_bytes
+            merged.metadata_bytes += result.metadata_bytes
+            merged.replications += result.replications
+            merged.deliveries += result.deliveries
+        return merged

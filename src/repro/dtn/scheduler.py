@@ -1,0 +1,70 @@
+"""Event queue used by the simulator.
+
+A thin wrapper around :mod:`heapq` providing stable FIFO ordering for
+events with identical timestamps and kinds.  Keeping the queue behind a
+small class makes the simulator loop easy to read and lets tests exercise
+ordering guarantees in isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, List, Optional, Tuple
+
+from .events import Event
+
+
+class EventQueue:
+    """A time-ordered priority queue of :class:`Event` objects."""
+
+    def __init__(self, events: Optional[Iterable[Event]] = None) -> None:
+        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        if events:
+            for event in events:
+                self.push(event)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        heapq.heappush(
+            self._heap, (event.time, int(event.kind), next(self._counter), event)
+        )
+
+    def push_all(self, events: Iterable[Event]) -> None:
+        """Insert several events."""
+        for event in events:
+            self.push(event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            IndexError: when the queue is empty.
+        """
+        return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest event without removing it, or ``None``."""
+        if not self._heap:
+            return None
+        return self._heap[0][3]
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def drain(self) -> List[Event]:
+        """Pop every remaining event in order (mainly for tests)."""
+        out: List[Event] = []
+        while self._heap:
+            out.append(self.pop())
+        return out

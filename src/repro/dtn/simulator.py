@@ -1,0 +1,318 @@
+"""The trace-driven, discrete-event DTN simulator.
+
+The simulator consumes a meeting schedule (from a mobility model or a
+trace), a packet workload, and a routing protocol factory.  At every
+meeting it enforces the two resource constraints of problem class P5:
+
+* **bandwidth** — the total of data plus (for protocols that count it)
+  control metadata transferred in a meeting never exceeds the transfer
+  opportunity's size in bytes;
+* **storage** — nodes only accept replicas their buffer can hold, possibly
+  after protocol-chosen evictions.
+
+A :class:`~repro.dtn.node.DeploymentNoise` option reproduces the
+imperfections of the real deployment (jittered capacities, missed
+meetings, processing delay) used to validate the simulator in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, SimulationError
+from ..mobility.schedule import Meeting, MeetingSchedule
+from ..routing.base import ProtocolContext, ProtocolFactory, RoutingProtocol, TransferBudget
+from .events import EndOfSimulationEvent, MeetingEvent, PacketCreationEvent
+from .node import DeploymentNoise, Node
+from .packet import Packet, PacketRecord
+from .results import SimulationResult
+from .scheduler import EventQueue
+
+
+class Simulator:
+    """Runs one simulation of a routing protocol over a meeting schedule."""
+
+    def __init__(
+        self,
+        schedule: MeetingSchedule,
+        packets: Sequence[Packet],
+        protocol_factory: ProtocolFactory,
+        buffer_capacity: float = float("inf"),
+        seed: Optional[int] = None,
+        noise: Optional[DeploymentNoise] = None,
+        options: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if buffer_capacity <= 0:
+            raise ConfigurationError("buffer_capacity must be positive")
+        self.schedule = schedule
+        self.packets = sorted(packets, key=lambda p: p.creation_time)
+        self.protocol_factory = protocol_factory
+        self.buffer_capacity = buffer_capacity
+        self.seed = seed
+        self.noise = noise
+        self.options = dict(options or {})
+
+        self._rng = np.random.default_rng(seed)
+        self._noise_rng = np.random.default_rng(noise.seed if noise and noise.seed is not None else seed)
+        self.nodes: Dict[int, Node] = {}
+        self.protocols: Dict[int, RoutingProtocol] = {}
+        self.result: Optional[SimulationResult] = None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _node_ids(self) -> List[int]:
+        ids = set(self.schedule.nodes)
+        for packet in self.packets:
+            ids.add(packet.source)
+            ids.add(packet.destination)
+        return sorted(ids)
+
+    def _build_nodes(self) -> None:
+        self.nodes = {
+            node_id: Node.with_capacity(node_id, self.buffer_capacity)
+            for node_id in self._node_ids()
+        }
+        context = ProtocolContext(nodes=self.nodes, rng=self._rng, options=self.options)
+        self.context = context
+        self.protocols = {
+            node_id: self.protocol_factory.create(node, context)
+            for node_id, node in self.nodes.items()
+        }
+
+    def _build_events(self) -> EventQueue:
+        queue = EventQueue()
+        for packet in self.packets:
+            queue.push(PacketCreationEvent(time=packet.creation_time, packet=packet))
+        for meeting in self.schedule:
+            queue.push(MeetingEvent(time=meeting.time, meeting=meeting))
+        horizon = max(
+            self.schedule.duration,
+            max((p.creation_time for p in self.packets), default=0.0),
+        )
+        queue.push(EndOfSimulationEvent(time=horizon))
+        return queue
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return the collected results."""
+        self._build_nodes()
+        result = SimulationResult(
+            protocol_name=self.protocol_factory.name,
+            duration=max(self.schedule.duration, 0.0),
+        )
+        result.records = {p.packet_id: PacketRecord(p) for p in self.packets}
+        self.result = result
+
+        queue = self._build_events()
+        while queue:
+            event = queue.pop()
+            if isinstance(event, PacketCreationEvent):
+                self._handle_creation(event.packet, event.time)
+            elif isinstance(event, MeetingEvent):
+                self._handle_meeting(event.meeting, event.time)
+            elif isinstance(event, EndOfSimulationEvent):
+                break
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event type: {type(event)!r}")
+
+        for node_id, node in self.nodes.items():
+            result.node_counters[node_id] = node.counters
+        return result
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_creation(self, packet: Packet, now: float) -> None:
+        protocol = self.protocols.get(packet.source)
+        if protocol is None:  # pragma: no cover - defensive
+            raise SimulationError(f"packet source {packet.source} has no node")
+        accepted = protocol.on_packet_created(packet, now)
+        if not accepted:
+            record = self.result.records[packet.packet_id]
+            record.drops += 1
+
+    def _handle_meeting(self, meeting: Meeting, now: float) -> None:
+        result = self.result
+        if meeting.node_a not in self.protocols or meeting.node_b not in self.protocols:
+            # Meetings of buses that carry no traffic endpoints are still
+            # part of the schedule; register capacity and move on.
+            result.total_capacity_bytes += meeting.capacity
+            result.meetings_processed += 1
+            return
+
+        capacity = meeting.capacity
+        if self.noise is not None:
+            if float(self._noise_rng.random()) < self.noise.meeting_miss_probability:
+                result.meetings_missed += 1
+                return
+            if self.noise.capacity_jitter > 0:
+                factor = float(
+                    self._noise_rng.uniform(
+                        1.0 - self.noise.capacity_jitter, 1.0 + self.noise.capacity_jitter
+                    )
+                )
+                capacity *= factor
+
+        result.meetings_processed += 1
+        result.total_capacity_bytes += capacity
+
+        x = self.protocols[meeting.node_a]
+        y = self.protocols[meeting.node_b]
+        x.node.counters.meetings += 1
+        y.node.counters.meetings += 1
+
+        x.on_meeting_start(y, now)
+        y.on_meeting_start(x, now)
+
+        budget = TransferBudget(capacity=capacity)
+
+        # Step 1: control exchange (acks + protocol metadata), both ways.
+        x.exchange_control(y, now, budget)
+        y.exchange_control(x, now, budget)
+
+        # Step 2: direct delivery, both ways.
+        self._direct_delivery(x, y, now, budget)
+        self._direct_delivery(y, x, now, budget)
+
+        # Step 3: replication, alternating directions.
+        self._replicate(x, y, now, budget)
+
+        result.data_bytes += budget.data_bytes
+        result.metadata_bytes += budget.metadata_bytes
+        x.node.counters.metadata_bytes_sent += budget.metadata_bytes / 2.0
+        y.node.counters.metadata_bytes_sent += budget.metadata_bytes / 2.0
+
+    # ------------------------------------------------------------------
+    # Meeting phases
+    # ------------------------------------------------------------------
+    def _direct_delivery(
+        self, sender: RoutingProtocol, receiver: RoutingProtocol, now: float, budget: TransferBudget
+    ) -> None:
+        for packet in sender.direct_delivery_order(receiver.node_id, now):
+            if packet.packet_id not in sender.buffer:
+                continue
+            if not budget.can_send(packet.size):
+                break
+            budget.charge_data(packet.size)
+            self._record_delivery(packet, sender, receiver, now)
+
+    def _record_delivery(
+        self, packet: Packet, sender: RoutingProtocol, receiver: RoutingProtocol, now: float
+    ) -> None:
+        result = self.result
+        record = result.records.get(packet.packet_id)
+        delivery_time = now
+        if self.noise is not None:
+            delivery_time += self.noise.processing_delay
+        hop_count = sender.hop_counts.get(packet.packet_id, 0) + 1
+        if record is not None:
+            already_delivered = record.delivered
+            record.mark_delivered(delivery_time, receiver.node_id, hop_count)
+            if not already_delivered:
+                result.deliveries += 1
+        sender.node.counters.packets_sent += 1
+        sender.node.counters.bytes_sent += packet.size
+        receiver.node.counters.packets_received += 1
+        receiver.node.counters.bytes_received += packet.size
+        receiver.node.counters.packets_delivered_here += 1
+        # Both participants learn of the delivery immediately.
+        sender.on_delivery(packet, now)
+        receiver.on_delivery(packet, now)
+
+    def _replicate(
+        self, x: RoutingProtocol, y: RoutingProtocol, now: float, budget: TransferBudget
+    ) -> None:
+        directions: List[Tuple[RoutingProtocol, RoutingProtocol]] = [(x, y), (y, x)]
+        generators = [
+            x.replication_candidates(y, now),
+            y.replication_candidates(x, now),
+        ]
+        active = [True, True]
+        turn = 0
+        idle_turns = 0
+        while any(active) and idle_turns < 2:
+            if not active[turn]:
+                turn = 1 - turn
+                idle_turns += 1
+                continue
+            sender, receiver = directions[turn]
+            sent = self._send_one(sender, receiver, generators[turn], now, budget, active, turn)
+            idle_turns = 0 if sent else idle_turns + 1
+            turn = 1 - turn
+
+    def _send_one(
+        self,
+        sender: RoutingProtocol,
+        receiver: RoutingProtocol,
+        generator,
+        now: float,
+        budget: TransferBudget,
+        active: List[bool],
+        turn: int,
+    ) -> bool:
+        """Pull candidates until one replica is transferred; return success."""
+        for packet in generator:
+            if packet.packet_id not in sender.buffer:
+                continue
+            if packet.packet_id in receiver.buffer:
+                continue
+            if packet.destination == receiver.node_id:
+                # Destined to the peer: handled by direct delivery if the
+                # budget allows; try to deliver it now rather than replicate.
+                if budget.can_send(packet.size):
+                    budget.charge_data(packet.size)
+                    self._record_delivery(packet, sender, receiver, now)
+                    return True
+                active[turn] = False
+                return False
+            if not budget.can_send(packet.size):
+                active[turn] = False
+                return False
+            if receiver.accept_replica(packet, sender, now):
+                budget.charge_data(packet.size)
+                self._register_replication(packet, sender, receiver, now)
+                return True
+            # Storage refusal: try the next candidate.
+        active[turn] = False
+        return False
+
+    def _register_replication(
+        self, packet: Packet, sender: RoutingProtocol, receiver: RoutingProtocol, now: float
+    ) -> None:
+        result = self.result
+        record = result.records.get(packet.packet_id)
+        if record is not None:
+            record.replicas_created += 1
+        result.replications += 1
+        sender.node.counters.packets_sent += 1
+        sender.node.counters.bytes_sent += packet.size
+        receiver.node.counters.packets_received += 1
+        receiver.node.counters.bytes_received += packet.size
+        sender.on_replica_sent(packet, receiver, now)
+
+
+def run_simulation(
+    schedule: MeetingSchedule,
+    packets: Iterable[Packet],
+    protocol_factory: ProtocolFactory,
+    buffer_capacity: float = float("inf"),
+    seed: Optional[int] = None,
+    noise: Optional[DeploymentNoise] = None,
+    options: Optional[Dict[str, object]] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    simulator = Simulator(
+        schedule=schedule,
+        packets=list(packets),
+        protocol_factory=protocol_factory,
+        buffer_capacity=buffer_capacity,
+        seed=seed,
+        noise=noise,
+        options=options,
+    )
+    return simulator.run()

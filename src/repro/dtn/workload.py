@@ -1,0 +1,170 @@
+"""Workload generation.
+
+The deployment generated 1 KB packets on each bus with exponential
+inter-arrival times, addressed to every other bus on the road, at a default
+rate of 4 packets per hour per destination (Section 5.1).  The synthetic
+experiments use the same construction with different rates (Table 4).
+:class:`PoissonWorkload` reproduces that process; helper constructors cover
+the fairness experiment's "parallel packets" workload (Section 6.2.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import constants, units
+from .packet import Packet, PacketFactory
+
+
+class PoissonWorkload:
+    """Poisson (exponential inter-arrival) packet workload generator.
+
+    Args:
+        packets_per_hour: Rate at which each source generates packets for
+            each individual destination (the paper's load axis).
+        packet_size: Packet size in bytes.
+        deadline: Optional relative deadline applied to every packet.
+        seed: Random seed.
+        factory: Optional shared :class:`PacketFactory` so several
+            workloads (e.g. different trace days) produce unique ids.
+    """
+
+    def __init__(
+        self,
+        packets_per_hour: float = constants.TRACE_DEFAULT_LOAD_PER_HOUR,
+        packet_size: int = constants.DEFAULT_PACKET_SIZE,
+        deadline: Optional[float] = None,
+        seed: Optional[int] = None,
+        factory: Optional[PacketFactory] = None,
+    ) -> None:
+        if packets_per_hour <= 0:
+            raise ValueError("packets_per_hour must be positive")
+        self.packets_per_hour = packets_per_hour
+        self.packet_size = packet_size
+        self.deadline = deadline
+        self._rng = np.random.default_rng(seed)
+        self._factory = factory or PacketFactory()
+
+    @property
+    def rate_per_second(self) -> float:
+        """Per source-destination pair packet rate in packets/second."""
+        return self.packets_per_hour / units.HOUR
+
+    def generate(
+        self,
+        nodes: Sequence[int],
+        duration: float,
+        start_time: float = 0.0,
+    ) -> List[Packet]:
+        """Generate packets for every ordered pair of *nodes* over *duration*.
+
+        Every node generates packets destined to every other node with
+        exponential inter-arrival times of mean ``1 / rate_per_second``.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if len(nodes) < 2:
+            raise ValueError("need at least two nodes to generate traffic")
+        mean_gap = 1.0 / self.rate_per_second
+        packets: List[Packet] = []
+        for source in nodes:
+            for destination in nodes:
+                if source == destination:
+                    continue
+                t = start_time + float(self._rng.exponential(mean_gap))
+                while t < start_time + duration:
+                    packets.append(
+                        self._factory.create(
+                            source=source,
+                            destination=destination,
+                            size=self.packet_size,
+                            creation_time=t,
+                            deadline=self.deadline,
+                        )
+                    )
+                    t += float(self._rng.exponential(mean_gap))
+        packets.sort(key=lambda p: p.creation_time)
+        return packets
+
+
+class ParallelWorkload:
+    """Workload for the fairness experiment (Section 6.2.5).
+
+    Creates batches of packets at (nearly) the same instant, from random
+    sources to random destinations, so the per-packet delays of each batch
+    can be compared with Jain's fairness index.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 30,
+        packet_size: int = constants.DEFAULT_PACKET_SIZE,
+        deadline: Optional[float] = None,
+        seed: Optional[int] = None,
+        factory: Optional[PacketFactory] = None,
+    ) -> None:
+        if batch_size < 2:
+            raise ValueError("batch_size must be at least 2")
+        self.batch_size = batch_size
+        self.packet_size = packet_size
+        self.deadline = deadline
+        self._rng = np.random.default_rng(seed)
+        self._factory = factory or PacketFactory()
+
+    def generate_batch(self, nodes: Sequence[int], creation_time: float) -> List[Packet]:
+        """Create one batch of ``batch_size`` parallel packets."""
+        if len(nodes) < 2:
+            raise ValueError("need at least two nodes")
+        packets: List[Packet] = []
+        node_list = list(nodes)
+        for _ in range(self.batch_size):
+            source, destination = self._rng.choice(node_list, size=2, replace=False)
+            packets.append(
+                self._factory.create(
+                    source=int(source),
+                    destination=int(destination),
+                    size=self.packet_size,
+                    creation_time=creation_time,
+                    deadline=self.deadline,
+                )
+            )
+        return packets
+
+    def generate(
+        self,
+        nodes: Sequence[int],
+        duration: float,
+        batch_interval: float,
+        start_time: float = 0.0,
+    ) -> List[List[Packet]]:
+        """Create one batch every *batch_interval* seconds; return the batches."""
+        if batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        batches: List[List[Packet]] = []
+        t = start_time
+        while t < start_time + duration:
+            batches.append(self.generate_batch(nodes, t))
+            t += batch_interval
+        return batches
+
+
+def single_packet_workload(
+    source: int,
+    destination: int,
+    creation_time: float = 0.0,
+    size: int = constants.DEFAULT_PACKET_SIZE,
+    deadline: Optional[float] = None,
+) -> List[Packet]:
+    """Convenience helper: a workload containing exactly one packet."""
+    factory = PacketFactory()
+    return [
+        factory.create(
+            source=source,
+            destination=destination,
+            size=size,
+            creation_time=creation_time,
+            deadline=deadline,
+        )
+    ]

@@ -1,0 +1,74 @@
+"""The evaluation harness: one module per table/figure of the paper."""
+
+from . import (
+    components,
+    control_channel,
+    deployment,
+    fairness,
+    global_channel,
+    optimal_comparison,
+    synthetic,
+    trace_comparison,
+)
+from .config import (
+    ProtocolSpec,
+    SyntheticExperimentConfig,
+    TraceExperimentConfig,
+    component_protocols,
+    global_channel_protocols,
+    standard_protocols,
+)
+from .report import FigureResult, Series, TableResult, percentage_improvement
+from .runner import RunRecord, SyntheticRunner, TraceRunner, sweep
+
+__all__ = [
+    "ProtocolSpec",
+    "TraceExperimentConfig",
+    "SyntheticExperimentConfig",
+    "standard_protocols",
+    "component_protocols",
+    "global_channel_protocols",
+    "FigureResult",
+    "TableResult",
+    "Series",
+    "percentage_improvement",
+    "TraceRunner",
+    "SyntheticRunner",
+    "RunRecord",
+    "sweep",
+    "deployment",
+    "trace_comparison",
+    "control_channel",
+    "global_channel",
+    "optimal_comparison",
+    "components",
+    "fairness",
+    "synthetic",
+]
+
+#: Mapping from paper exhibit id to the callable that reproduces it.
+EXPERIMENT_INDEX = {
+    "table3": deployment.run_table3,
+    "figure3": deployment.run_figure3,
+    "figure4": trace_comparison.run_figure4,
+    "figure5": trace_comparison.run_figure5,
+    "figure6": trace_comparison.run_figure6,
+    "figure7": trace_comparison.run_figure7,
+    "figure8": control_channel.run_figure8,
+    "figure9": control_channel.run_figure9,
+    "figure10": global_channel.run_figure10,
+    "figure11": global_channel.run_figure11,
+    "figure12": global_channel.run_figure12,
+    "figure13": optimal_comparison.run_figure13,
+    "figure14": components.run_figure14,
+    "figure15": fairness.run_figure15,
+    "figure16": synthetic.run_figure16,
+    "figure17": synthetic.run_figure17,
+    "figure18": synthetic.run_figure18,
+    "figure19": synthetic.run_figure19,
+    "figure20": synthetic.run_figure20,
+    "figure21": synthetic.run_figure21,
+    "figure22": synthetic.run_figure22,
+    "figure23": synthetic.run_figure23,
+    "figure24": synthetic.run_figure24,
+}

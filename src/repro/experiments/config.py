@@ -1,0 +1,187 @@
+"""Experiment configuration.
+
+Two families of experiments exist in the paper (Table 4): trace-driven
+experiments over the DieselNet day traces and synthetic-mobility
+experiments (exponential and power-law).  The configuration dataclasses
+capture the paper-scale defaults and offer reduced "CI-scale" variants used
+by the test suite and the benchmark harness, where only the *shape* of the
+results matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from .. import constants, units
+from ..exceptions import ConfigurationError
+from ..routing.registry import create_factory
+from ..traces.dieselnet import DieselNetParameters
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """How to build one protocol curve of a figure."""
+
+    label: str
+    registry_name: str
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def factory(self, **extra):
+        """Build the protocol factory, merging per-experiment options."""
+        merged = {**self.options, **extra}
+        return create_factory(self.registry_name, **merged)
+
+    def with_options(self, **extra) -> "ProtocolSpec":
+        return ProtocolSpec(self.label, self.registry_name, {**self.options, **extra})
+
+
+def standard_protocols(metric: str = "average_delay") -> List[ProtocolSpec]:
+    """The four protocols compared throughout Section 6.2 / 6.3.
+
+    RAPID is instantiated with the requested routing *metric*; the paper's
+    figures use the metric matching the quantity on the y axis.
+    """
+    return [
+        ProtocolSpec("Rapid", "rapid", {"metric": metric, "label": "Rapid"}),
+        ProtocolSpec("MaxProp", "maxprop"),
+        ProtocolSpec("Spray and Wait", "spray-and-wait"),
+        ProtocolSpec("Random", "random"),
+    ]
+
+
+def component_protocols() -> List[ProtocolSpec]:
+    """The component-value protocols of Figure 14 (cumulative additions)."""
+    return [
+        ProtocolSpec("Rapid", "rapid", {"metric": "average_delay", "label": "Rapid"}),
+        ProtocolSpec("Rapid: Local", "rapid-local", {"metric": "average_delay"}),
+        ProtocolSpec("Random: With Acks", "random-acks"),
+        ProtocolSpec("Random", "random"),
+    ]
+
+
+def global_channel_protocols(metric: str = "average_delay") -> List[ProtocolSpec]:
+    """In-band versus instant-global control channel (Figures 10-12)."""
+    return [
+        ProtocolSpec("In-band control channel", "rapid", {"metric": metric, "label": "rapid-inband"}),
+        ProtocolSpec("Instant global control channel", "rapid-global", {"metric": metric}),
+    ]
+
+
+@dataclass
+class TraceExperimentConfig:
+    """Configuration of the trace-driven (DieselNet) experiments."""
+
+    trace_parameters: DieselNetParameters = field(default_factory=DieselNetParameters)
+    num_days: int = constants.TRACE_NUM_DAYS
+    buffer_capacity: float = constants.TRACE_BUFFER_CAPACITY
+    packet_size: int = constants.DEFAULT_PACKET_SIZE
+    deadline: float = constants.TRACE_DEADLINE
+    load_packets_per_hour: float = constants.TRACE_DEFAULT_LOAD_PER_HOUR
+    runs_per_day: int = 1
+    seed: int = 7
+    #: Factor applied to RAPID's per-record metadata byte costs.  Reduced
+    #: configurations scale it together with the transfer-opportunity sizes
+    #: so the metadata-to-opportunity ratio of the deployment is preserved.
+    metadata_byte_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_days < 1:
+            raise ConfigurationError("num_days must be at least 1")
+        if self.load_packets_per_hour <= 0:
+            raise ConfigurationError("load must be positive")
+
+    def with_load(self, load_packets_per_hour: float) -> "TraceExperimentConfig":
+        return replace(self, load_packets_per_hour=load_packets_per_hour)
+
+    @classmethod
+    def paper_scale(cls, seed: int = 7) -> "TraceExperimentConfig":
+        """The deployment-scale configuration (40 buses, 58 x 19-hour days)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def ci_scale(cls, seed: int = 7, num_days: int = 3) -> "TraceExperimentConfig":
+        """A reduced configuration for tests and benchmarks.
+
+        A smaller fleet over a two-hour "day".  The transfer-opportunity
+        sizes are scaled down together with the load range so that, as in
+        the real traces, bandwidth becomes the binding constraint at the
+        upper end of the load sweep (that is where the protocols separate);
+        storage stays effectively unconstrained as in the paper's
+        trace-driven experiments.
+        """
+        parameters = DieselNetParameters(
+            num_buses=12,
+            avg_buses_per_day=8,
+            day_duration=2 * units.HOUR,
+            avg_meetings_per_day=70,
+            avg_bytes_per_day=70 * 80 * units.KB,
+            num_routes=3,
+            same_route_affinity=6.0,
+            capacity_sigma=1.2,
+            min_capacity=2 * units.KB,
+        )
+        return cls(
+            trace_parameters=parameters,
+            num_days=num_days,
+            deadline=parameters.day_duration * 0.15,
+            seed=seed,
+            # Opportunities are ~20x smaller than the deployment's; scale
+            # the metadata record costs by the same factor so the control
+            # channel keeps the deployment's metadata:bandwidth ratio.
+            metadata_byte_scale=0.05,
+        )
+
+
+@dataclass
+class SyntheticExperimentConfig:
+    """Configuration of the synthetic-mobility experiments (Table 4, left)."""
+
+    num_nodes: int = constants.SYNTHETIC_NUM_NODES
+    mean_inter_meeting: float = constants.SYNTHETIC_MEAN_INTERMEETING
+    transfer_opportunity: float = constants.SYNTHETIC_TRANSFER_OPPORTUNITY
+    duration: float = constants.SYNTHETIC_DURATION
+    buffer_capacity: float = constants.SYNTHETIC_BUFFER_CAPACITY
+    packet_size: int = constants.DEFAULT_PACKET_SIZE
+    deadline: float = constants.SYNTHETIC_DEADLINE
+    packet_interval: float = constants.SYNTHETIC_PACKET_INTERVAL
+    mobility: str = "powerlaw"
+    num_runs: int = 10
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.mobility not in ("powerlaw", "exponential"):
+            raise ConfigurationError("mobility must be 'powerlaw' or 'exponential'")
+        if self.num_runs < 1:
+            raise ConfigurationError("num_runs must be at least 1")
+
+    def load_to_packets_per_hour(self, packets_per_interval: float) -> float:
+        """Convert the paper's load axis (packets per ``packet_interval`` per
+        destination) into packets per hour per destination."""
+        return packets_per_interval * (units.HOUR / self.packet_interval)
+
+    def with_mobility(self, mobility: str) -> "SyntheticExperimentConfig":
+        return replace(self, mobility=mobility)
+
+    def with_buffer(self, buffer_capacity: float) -> "SyntheticExperimentConfig":
+        return replace(self, buffer_capacity=buffer_capacity)
+
+    @classmethod
+    def paper_scale(cls, mobility: str = "powerlaw", seed: int = 11) -> "SyntheticExperimentConfig":
+        """The Table 4 synthetic configuration (20 nodes, 15 minutes)."""
+        return cls(mobility=mobility, seed=seed)
+
+    @classmethod
+    def ci_scale(cls, mobility: str = "powerlaw", seed: int = 11) -> "SyntheticExperimentConfig":
+        """Reduced synthetic configuration for tests and benchmarks."""
+        return cls(
+            num_nodes=10,
+            mean_inter_meeting=80.0,
+            duration=6 * units.MINUTE,
+            buffer_capacity=40 * units.KB,
+            deadline=30.0,
+            packet_interval=50.0,
+            mobility=mobility,
+            num_runs=2,
+            seed=seed,
+        )

@@ -1,0 +1,74 @@
+"""Metadata and channel utilization experiments (Figures 8 and 9).
+
+Figure 8 limits RAPID's in-band metadata to a fraction of the available
+bandwidth and shows average delay improving as the cap is lifted
+(about 20% between no metadata and unrestricted metadata).  Figure 9
+pushes the load up and reports channel utilization, delivery rate and the
+metadata-to-data ratio together.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .. import units
+from ..analysis.metrics import mean_metric
+from .config import ProtocolSpec, TraceExperimentConfig
+from .report import FigureResult
+from .runner import TraceRunner
+
+DEFAULT_CAPS: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.2, 0.35)
+DEFAULT_FIGURE8_LOADS: Sequence[float] = (3.0, 6.0, 10.0)
+DEFAULT_FIGURE9_LOADS: Sequence[float] = (2.0, 6.0, 12.0, 20.0)
+
+_RAPID = ProtocolSpec("Rapid", "rapid", {"metric": "average_delay", "label": "Rapid"})
+
+
+def run_figure8(
+    caps: Sequence[float] = DEFAULT_CAPS,
+    loads: Sequence[float] = DEFAULT_FIGURE8_LOADS,
+    config: Optional[TraceExperimentConfig] = None,
+    runner: Optional[TraceRunner] = None,
+) -> FigureResult:
+    """Figure 8: average delay vs metadata cap (one curve per load)."""
+    runner = runner or TraceRunner(config)
+    figure = FigureResult(
+        figure_id="Figure 8",
+        title="Control channel benefit: delay vs metadata allowance",
+        x_label="Metadata cap (fraction of available bandwidth)",
+        y_label="Average delay (min)",
+    )
+    for load in loads:
+        delays = []
+        for cap in caps:
+            results = runner.run_protocol(
+                _RAPID, load_packets_per_hour=load, metadata_fraction_cap=cap
+            )
+            delays.append(mean_metric(results, "average_delay") / units.MINUTE)
+        figure.add_series(f"Load: {load:g} packets/hour/destination", list(caps), delays)
+    return figure
+
+
+def run_figure9(
+    loads: Sequence[float] = DEFAULT_FIGURE9_LOADS,
+    config: Optional[TraceExperimentConfig] = None,
+    runner: Optional[TraceRunner] = None,
+) -> FigureResult:
+    """Figure 9: utilization, metadata ratio and delivery rate vs load."""
+    runner = runner or TraceRunner(config)
+    utilization, metadata_ratio, delivery = [], [], []
+    for load in loads:
+        results = runner.run_protocol(_RAPID, load_packets_per_hour=load)
+        utilization.append(mean_metric(results, "channel_utilization"))
+        metadata_ratio.append(mean_metric(results, "metadata_fraction_of_data"))
+        delivery.append(mean_metric(results, "delivery_rate"))
+    figure = FigureResult(
+        figure_id="Figure 9",
+        title="Channel utilization and metadata overhead vs load",
+        x_label="Packets generated per hour per destination",
+        y_label="Fraction",
+    )
+    figure.add_series("Meta information / RAPID data", list(loads), metadata_ratio)
+    figure.add_series("Channel utilization", list(loads), utilization)
+    figure.add_series("Delivery rate", list(loads), delivery)
+    return figure

@@ -1,0 +1,124 @@
+"""Deployment statistics and simulator validation (Table 3, Figure 3).
+
+The paper deployed RAPID on DieselNet for 58 days (Table 3 reports the
+average daily statistics) and validated the trace-driven simulator by
+replaying the same workload and comparing average delays day by day
+(Figure 3).  We reproduce the methodology with the synthetic DieselNet
+traces: the "real" deployment is a simulation run with deployment noise
+(jittered capacities, missed meetings, processing delays) and the
+"simulation" curve is the clean trace-driven simulator averaged over
+several runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import units
+from ..analysis.stats import mean_confidence_interval
+from ..dtn.node import DeploymentNoise
+from .config import ProtocolSpec, TraceExperimentConfig
+from .report import FigureResult, TableResult
+from .runner import TraceRunner
+
+_DEPLOYED_RAPID = ProtocolSpec("Rapid", "rapid", {"metric": "average_delay", "label": "Rapid"})
+
+
+def default_noise(seed: int = 97) -> DeploymentNoise:
+    """Deployment imperfections used for the 'real system' emulation."""
+    return DeploymentNoise(
+        capacity_jitter=0.15, meeting_miss_probability=0.05, processing_delay=5.0, seed=seed
+    )
+
+
+def run_table3(
+    config: Optional[TraceExperimentConfig] = None,
+    runner: Optional[TraceRunner] = None,
+) -> TableResult:
+    """Reproduce Table 3: average daily statistics of the RAPID deployment."""
+    runner = runner or TraceRunner(config)
+    results = runner.run_protocol(_DEPLOYED_RAPID, noise=default_noise(runner.config.seed))
+    days = runner.day_traces()
+
+    table = TableResult(
+        table_id="Table 3",
+        title="Deployment of RAPID: average daily statistics",
+        notes=(
+            "synthetic DieselNet traces calibrated to the paper's deployment; "
+            "absolute values depend on the scale factor, ratios are comparable"
+        ),
+    )
+    table.add_row("avg_buses_scheduled_per_day", float(np.mean([len(d.buses_on_road) for d in days])))
+    table.add_row(
+        "avg_total_bytes_transferred_per_day",
+        float(np.mean([r.data_bytes + r.metadata_bytes for r in results])) / units.MB,
+        "MB",
+    )
+    table.add_row("avg_meetings_per_day", float(np.mean([r.meetings_processed for r in results])))
+    table.add_row("percentage_delivered_per_day", float(np.mean([r.delivery_rate() for r in results])) * 100.0, "%")
+    table.add_row(
+        "avg_packet_delivery_delay",
+        float(np.mean([r.average_delay() for r in results])) / units.MINUTE,
+        "min",
+    )
+    table.add_row(
+        "metadata_size_over_bandwidth",
+        float(np.mean([r.metadata_fraction_of_bandwidth() for r in results])),
+    )
+    table.add_row(
+        "metadata_size_over_data_size",
+        float(np.mean([r.metadata_fraction_of_data() for r in results])),
+    )
+    return table
+
+
+def run_figure3(
+    config: Optional[TraceExperimentConfig] = None,
+    simulation_repeats: int = 3,
+    runner: Optional[TraceRunner] = None,
+) -> FigureResult:
+    """Reproduce Figure 3: per-day average delay, deployment vs simulator.
+
+    The returned figure also records (in ``notes``) the relative difference
+    between the overall means, the quantity the paper reports as "within 1%
+    with 95% confidence".
+    """
+    runner = runner or TraceRunner(config)
+    deployed = runner.run_protocol(_DEPLOYED_RAPID, noise=default_noise(runner.config.seed))
+
+    simulated_runs = []
+    for repeat in range(max(1, simulation_repeats)):
+        spec = ProtocolSpec("Rapid", "rapid", {"metric": "average_delay", "label": "Rapid"})
+        simulated_runs.append(runner.run_protocol(spec))
+
+    days = list(range(len(deployed)))
+    real_delays = [r.average_delay() / units.MINUTE for r in deployed]
+    simulated_delays = []
+    for day_index in days:
+        per_repeat = [runs[day_index].average_delay() / units.MINUTE for runs in simulated_runs]
+        simulated_delays.append(float(np.mean(per_repeat)))
+
+    real_mean = float(np.mean(real_delays)) if real_delays else 0.0
+    sim_mean = float(np.mean(simulated_delays)) if simulated_delays else 0.0
+    relative_gap = abs(real_mean - sim_mean) / real_mean if real_mean else 0.0
+    interval = mean_confidence_interval(simulated_delays) if len(simulated_delays) > 1 else None
+
+    figure = FigureResult(
+        figure_id="Figure 3",
+        title="Average delay per day: deployment vs trace-driven simulation",
+        x_label="Day",
+        y_label="Average delay (min)",
+        notes=(
+            f"relative gap between means = {relative_gap:.3f}"
+            + (
+                f"; simulator 95% CI half-width = {interval.half_width:.2f} min"
+                if interval is not None
+                else ""
+            )
+        ),
+    )
+    figure.add_series("Real", [float(d) for d in days], real_delays)
+    figure.add_series("Simulation", [float(d) for d in days], simulated_delays)
+    return figure

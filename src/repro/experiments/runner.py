@@ -1,0 +1,222 @@
+"""Sweep runners for the trace-driven and synthetic experiments.
+
+A runner owns the meeting schedules and workloads of one experiment family
+and runs any protocol over them, guaranteeing that every protocol sees the
+*same* meetings and the *same* packets — the paper's methodology for fair
+comparison (Section 6.1).  Schedules and workloads are cached, so a figure
+that sweeps several protocols over several loads only pays generation cost
+once per load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import mean_metric
+from ..dtn.node import DeploymentNoise
+from ..dtn.packet import Packet
+from ..dtn.results import SimulationResult
+from ..dtn.simulator import run_simulation
+from ..dtn.workload import PoissonWorkload
+from ..mobility.exponential import ExponentialMobility
+from ..mobility.powerlaw import PowerLawMobility
+from ..mobility.schedule import MeetingSchedule
+from ..optimal.router import OptimalResult, OptimalRouter
+from ..traces.dieselnet import DayTrace, DieselNetTraceGenerator
+from .config import ProtocolSpec, SyntheticExperimentConfig, TraceExperimentConfig
+
+
+@dataclass
+class RunRecord:
+    """The simulation results of one protocol at one sweep point."""
+
+    spec: ProtocolSpec
+    x_value: float
+    results: List[SimulationResult] = field(default_factory=list)
+
+    def mean(self, metric_name: str) -> float:
+        return mean_metric(self.results, metric_name)
+
+
+class TraceRunner:
+    """Runs protocols over the (synthetic) DieselNet day traces."""
+
+    def __init__(self, config: Optional[TraceExperimentConfig] = None) -> None:
+        self.config = config or TraceExperimentConfig.ci_scale()
+        self._generator = DieselNetTraceGenerator(
+            parameters=self.config.trace_parameters, seed=self.config.seed
+        )
+        self._days: Optional[List[DayTrace]] = None
+        self._workloads: Dict[float, List[List[Packet]]] = {}
+
+    # ------------------------------------------------------------------
+    # Inputs (cached)
+    # ------------------------------------------------------------------
+    def day_traces(self) -> List[DayTrace]:
+        if self._days is None:
+            self._days = self._generator.generate_days(self.config.num_days)
+        return self._days
+
+    def workloads(self, load_packets_per_hour: Optional[float] = None) -> List[List[Packet]]:
+        """Per-day packet workloads at the given load (same for every protocol)."""
+        load = load_packets_per_hour or self.config.load_packets_per_hour
+        if load not in self._workloads:
+            per_day: List[List[Packet]] = []
+            for index, day in enumerate(self.day_traces()):
+                workload = PoissonWorkload(
+                    packets_per_hour=load,
+                    packet_size=self.config.packet_size,
+                    deadline=self.config.deadline,
+                    seed=self.config.seed * 1000 + index,
+                )
+                nodes = day.buses_on_road if len(day.buses_on_road) >= 2 else day.schedule.nodes
+                per_day.append(workload.generate(nodes, day.schedule.duration))
+            self._workloads[load] = per_day
+        return self._workloads[load]
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def run_protocol(
+        self,
+        spec: ProtocolSpec,
+        load_packets_per_hour: Optional[float] = None,
+        noise: Optional[DeploymentNoise] = None,
+        buffer_capacity: Optional[float] = None,
+        metadata_fraction_cap: Optional[float] = None,
+    ) -> List[SimulationResult]:
+        """Run *spec* over every day trace; one result per day."""
+        is_rapid = spec.registry_name.startswith("rapid")
+        extra: Dict[str, object] = {}
+        if metadata_fraction_cap is not None:
+            extra["metadata_fraction_cap"] = metadata_fraction_cap
+        results: List[SimulationResult] = []
+        days = self.day_traces()
+        packets_per_day = self.workloads(load_packets_per_hour)
+        for index, (day, packets) in enumerate(zip(days, packets_per_day)):
+            if is_rapid:
+                # RAPID plans against the end of the operating day: expected
+                # delay reductions beyond it cannot materialise (each day is
+                # a separate experiment in the evaluation).
+                extra["planning_horizon"] = day.schedule.duration
+                extra["metadata_byte_scale"] = self.config.metadata_byte_scale
+            factory = spec.factory(**extra)
+            result = run_simulation(
+                schedule=day.schedule,
+                packets=packets,
+                protocol_factory=factory,
+                buffer_capacity=buffer_capacity or self.config.buffer_capacity,
+                seed=self.config.seed + index,
+                noise=noise,
+            )
+            results.append(result)
+        return results
+
+    def run_optimal(self, load_packets_per_hour: Optional[float] = None) -> List[OptimalResult]:
+        """Offline-optimal outcomes for the same day traces and workloads."""
+        router = OptimalRouter(method="auto")
+        outcomes: List[OptimalResult] = []
+        for day, packets in zip(self.day_traces(), self.workloads(load_packets_per_hour)):
+            if not packets:
+                continue
+            outcomes.append(router.solve(day.schedule, packets))
+        return outcomes
+
+
+class SyntheticRunner:
+    """Runs protocols under the exponential / power-law mobility models."""
+
+    def __init__(self, config: Optional[SyntheticExperimentConfig] = None) -> None:
+        self.config = config or SyntheticExperimentConfig.ci_scale()
+        self._schedules: Dict[int, MeetingSchedule] = {}
+        self._workloads: Dict[Tuple[int, float], List[Packet]] = {}
+
+    # ------------------------------------------------------------------
+    # Inputs (cached)
+    # ------------------------------------------------------------------
+    def _mobility(self, run_index: int):
+        seed = self.config.seed * 100 + run_index
+        if self.config.mobility == "powerlaw":
+            return PowerLawMobility(
+                num_nodes=self.config.num_nodes,
+                mean_inter_meeting=self.config.mean_inter_meeting,
+                transfer_opportunity=self.config.transfer_opportunity,
+                seed=seed,
+            )
+        return ExponentialMobility(
+            num_nodes=self.config.num_nodes,
+            mean_inter_meeting=self.config.mean_inter_meeting,
+            transfer_opportunity=self.config.transfer_opportunity,
+            seed=seed,
+        )
+
+    def schedule(self, run_index: int) -> MeetingSchedule:
+        if run_index not in self._schedules:
+            self._schedules[run_index] = self._mobility(run_index).generate(self.config.duration)
+        return self._schedules[run_index]
+
+    def workload(self, run_index: int, packets_per_interval: float) -> List[Packet]:
+        key = (run_index, packets_per_interval)
+        if key not in self._workloads:
+            generator = PoissonWorkload(
+                packets_per_hour=self.config.load_to_packets_per_hour(packets_per_interval),
+                packet_size=self.config.packet_size,
+                deadline=self.config.deadline,
+                seed=self.config.seed * 977 + run_index * 31 + int(packets_per_interval * 101),
+            )
+            self._workloads[key] = generator.generate(
+                list(range(self.config.num_nodes)), self.config.duration
+            )
+        return self._workloads[key]
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def run_protocol(
+        self,
+        spec: ProtocolSpec,
+        packets_per_interval: float,
+        buffer_capacity: Optional[float] = None,
+    ) -> List[SimulationResult]:
+        """Run *spec* for every random run at the given load."""
+        is_rapid = spec.registry_name.startswith("rapid")
+        results: List[SimulationResult] = []
+        for run_index in range(self.config.num_runs):
+            extra: Dict[str, object] = {}
+            if is_rapid:
+                extra["planning_horizon"] = self.config.duration
+            factory = spec.factory(**extra)
+            result = run_simulation(
+                schedule=self.schedule(run_index),
+                packets=self.workload(run_index, packets_per_interval),
+                protocol_factory=factory,
+                buffer_capacity=buffer_capacity or self.config.buffer_capacity,
+                seed=self.config.seed + run_index,
+            )
+            results.append(result)
+        return results
+
+
+def sweep(
+    runner,
+    specs: Sequence[ProtocolSpec],
+    x_values: Sequence[float],
+    metric_name: str,
+    **run_kwargs,
+) -> Dict[str, List[float]]:
+    """Run every protocol at every sweep point and average one metric.
+
+    Works with both runner types: the x value is passed as the load
+    argument (``load_packets_per_hour`` for :class:`TraceRunner`,
+    ``packets_per_interval`` for :class:`SyntheticRunner`).
+    """
+    series: Dict[str, List[float]] = {spec.label: [] for spec in specs}
+    for x in x_values:
+        for spec in specs:
+            if isinstance(runner, TraceRunner):
+                results = runner.run_protocol(spec, load_packets_per_hour=x, **run_kwargs)
+            else:
+                results = runner.run_protocol(spec, packets_per_interval=x, **run_kwargs)
+            series[spec.label].append(mean_metric(results, metric_name))
+    return series

@@ -1,0 +1,163 @@
+"""Synthetic-mobility experiments (Figures 16-24).
+
+Two mobility models are used (Section 6.3): a power-law model in which
+pairwise exponential inter-meeting times are skewed by node popularity,
+and a uniform exponential model.  Three families of figures are produced:
+
+* load sweeps under power-law mobility (Figures 16-18);
+* buffer-size sweeps under power-law mobility (Figures 19-21);
+* load sweeps under exponential mobility (Figures 22-24).
+
+Each family reports average delay, maximum delay and delivery-within-
+deadline, with RAPID's routing metric set accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .. import units
+from .config import SyntheticExperimentConfig, standard_protocols
+from .report import FigureResult
+from .runner import SyntheticRunner, sweep
+
+DEFAULT_LOADS: Sequence[float] = (5.0, 10.0, 20.0, 40.0)
+DEFAULT_BUFFERS_KB: Sequence[float] = (10.0, 40.0, 100.0, 280.0)
+DEFAULT_BUFFER_LOAD: float = 20.0
+
+_METRIC_BY_FIGURE = {
+    "average_delay": ("average_delay", "Average delay (s)", True),
+    "max_delay": ("max_delay", "Max delay (s)", True),
+    "deadline": ("deadline_success_rate", "Fraction delivered within deadline", False),
+}
+
+
+def _runner(mobility: str, config: Optional[SyntheticExperimentConfig]) -> SyntheticRunner:
+    if config is None:
+        config = SyntheticExperimentConfig.ci_scale(mobility=mobility)
+    elif config.mobility != mobility:
+        config = config.with_mobility(mobility)
+    return SyntheticRunner(config)
+
+
+def _load_sweep(
+    figure_id: str,
+    mobility: str,
+    rapid_metric: str,
+    loads: Sequence[float],
+    config: Optional[SyntheticExperimentConfig],
+    runner: Optional[SyntheticRunner],
+) -> FigureResult:
+    runner = runner or _runner(mobility, config)
+    result_metric, y_label, seconds = _METRIC_BY_FIGURE[rapid_metric]
+    specs = standard_protocols(metric=rapid_metric)
+    series = sweep(runner, specs, loads, result_metric)
+    interval = runner.config.packet_interval
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=f"{mobility.capitalize()} mobility: {y_label.lower()} vs load",
+        x_label=f"Packets generated per {interval:g} sec per destination",
+        y_label=y_label,
+    )
+    for spec in specs:
+        figure.add_series(spec.label, list(loads), series[spec.label])
+    return figure
+
+
+def _buffer_sweep(
+    figure_id: str,
+    rapid_metric: str,
+    buffers_kb: Sequence[float],
+    load: float,
+    config: Optional[SyntheticExperimentConfig],
+    runner: Optional[SyntheticRunner],
+) -> FigureResult:
+    runner = runner or _runner("powerlaw", config)
+    result_metric, y_label, _ = _METRIC_BY_FIGURE[rapid_metric]
+    specs = standard_protocols(metric=rapid_metric)
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=f"Power-law mobility: {y_label.lower()} vs available storage",
+        x_label="Available storage (KB)",
+        y_label=y_label,
+    )
+    from ..analysis.metrics import mean_metric
+
+    for spec in specs:
+        values = []
+        for buffer_kb in buffers_kb:
+            results = runner.run_protocol(
+                spec, packets_per_interval=load, buffer_capacity=buffer_kb * units.KB
+            )
+            values.append(mean_metric(results, result_metric))
+        figure.add_series(spec.label, list(buffers_kb), values)
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Power-law mobility, increasing load (Figures 16-18)
+# ----------------------------------------------------------------------
+def run_figure16(loads: Sequence[float] = DEFAULT_LOADS, config=None, runner=None) -> FigureResult:
+    """Figure 16: power-law mobility, average delay vs load."""
+    return _load_sweep("Figure 16", "powerlaw", "average_delay", loads, config, runner)
+
+
+def run_figure17(loads: Sequence[float] = DEFAULT_LOADS, config=None, runner=None) -> FigureResult:
+    """Figure 17: power-law mobility, max delay vs load."""
+    return _load_sweep("Figure 17", "powerlaw", "max_delay", loads, config, runner)
+
+
+def run_figure18(loads: Sequence[float] = DEFAULT_LOADS, config=None, runner=None) -> FigureResult:
+    """Figure 18: power-law mobility, delivery within deadline vs load."""
+    return _load_sweep("Figure 18", "powerlaw", "deadline", loads, config, runner)
+
+
+# ----------------------------------------------------------------------
+# Power-law mobility, constrained storage (Figures 19-21)
+# ----------------------------------------------------------------------
+def run_figure19(
+    buffers_kb: Sequence[float] = DEFAULT_BUFFERS_KB,
+    load: float = DEFAULT_BUFFER_LOAD,
+    config=None,
+    runner=None,
+) -> FigureResult:
+    """Figure 19: power-law mobility, average delay vs buffer size."""
+    return _buffer_sweep("Figure 19", "average_delay", buffers_kb, load, config, runner)
+
+
+def run_figure20(
+    buffers_kb: Sequence[float] = DEFAULT_BUFFERS_KB,
+    load: float = DEFAULT_BUFFER_LOAD,
+    config=None,
+    runner=None,
+) -> FigureResult:
+    """Figure 20: power-law mobility, max delay vs buffer size."""
+    return _buffer_sweep("Figure 20", "max_delay", buffers_kb, load, config, runner)
+
+
+def run_figure21(
+    buffers_kb: Sequence[float] = DEFAULT_BUFFERS_KB,
+    load: float = DEFAULT_BUFFER_LOAD,
+    config=None,
+    runner=None,
+) -> FigureResult:
+    """Figure 21: power-law mobility, delivery within deadline vs buffer size."""
+    return _buffer_sweep("Figure 21", "deadline", buffers_kb, load, config, runner)
+
+
+# ----------------------------------------------------------------------
+# Exponential mobility, increasing load (Figures 22-24)
+# ----------------------------------------------------------------------
+def run_figure22(loads: Sequence[float] = DEFAULT_LOADS, config=None, runner=None) -> FigureResult:
+    """Figure 22: exponential mobility, average delay vs load."""
+    return _load_sweep("Figure 22", "exponential", "average_delay", loads, config, runner)
+
+
+def run_figure23(loads: Sequence[float] = DEFAULT_LOADS, config=None, runner=None) -> FigureResult:
+    """Figure 23: exponential mobility, max delay vs load."""
+    return _load_sweep("Figure 23", "exponential", "max_delay", loads, config, runner)
+
+
+def run_figure24(loads: Sequence[float] = DEFAULT_LOADS, config=None, runner=None) -> FigureResult:
+    """Figure 24: exponential mobility, delivery within deadline vs load."""
+    return _load_sweep("Figure 24", "exponential", "deadline", loads, config, runner)

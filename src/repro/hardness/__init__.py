@@ -1,0 +1,51 @@
+"""Executable versions of the paper's hardness constructions (Appendix A/B)."""
+
+from .edp_reduction import (
+    DTNInstance,
+    max_edge_disjoint_paths,
+    max_packets_deliverable,
+    paths_to_transfer_schedule,
+    reduce_edp_to_dtn,
+    topological_edge_labels,
+)
+from .gadget import (
+    BasicGadget,
+    GadgetGameResult,
+    delivery_rate_bound,
+    left_first_choice,
+    packets_introduced,
+    play_basic_gadget,
+    play_composed_gadget,
+    replicate_first_choice,
+)
+from .online_adversary import (
+    AdversaryOutcome,
+    OnlineAdversary,
+    broadcast_first_strategy,
+    evaluate_online_algorithm,
+    one_to_one_strategy,
+    reversed_strategy,
+)
+
+__all__ = [
+    "OnlineAdversary",
+    "AdversaryOutcome",
+    "evaluate_online_algorithm",
+    "one_to_one_strategy",
+    "reversed_strategy",
+    "broadcast_first_strategy",
+    "BasicGadget",
+    "GadgetGameResult",
+    "play_basic_gadget",
+    "play_composed_gadget",
+    "delivery_rate_bound",
+    "packets_introduced",
+    "left_first_choice",
+    "replicate_first_choice",
+    "DTNInstance",
+    "reduce_edp_to_dtn",
+    "topological_edge_labels",
+    "paths_to_transfer_schedule",
+    "max_edge_disjoint_paths",
+    "max_packets_deliverable",
+]

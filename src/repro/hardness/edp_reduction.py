@@ -1,0 +1,188 @@
+"""Theorem 2: NP-hardness via reduction from edge-disjoint paths (EDP).
+
+The appendix reduces the EDP problem on a DAG to the offline DTN routing
+problem: edges are topologically labelled and become unit-sized transfer
+opportunities at increasing times; source-destination pairs become
+unit-sized packets created at time 0.  A feasible DTN schedule delivering
+``k`` packets corresponds exactly to ``k`` edge-disjoint paths and vice
+versa (an L-reduction, which also transfers the Omega(n^(1/2-eps))
+inapproximability bound).
+
+This module implements the forward reduction, the inverse mapping from a
+set of paths to a DTN transfer schedule, and small brute-force solvers for
+both problems so the equivalence can be verified on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..dtn.packet import Packet, PacketFactory
+from ..exceptions import ConfigurationError
+from ..mobility.schedule import Meeting, MeetingSchedule
+
+
+@dataclass
+class DTNInstance:
+    """A DTN routing instance produced by the reduction."""
+
+    schedule: MeetingSchedule
+    packets: List[Packet]
+    edge_labels: Dict[Tuple[int, int], int]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.schedule.nodes)
+
+
+def topological_edge_labels(graph: nx.DiGraph) -> Dict[Tuple[int, int], int]:
+    """Label edges so that edges later in any path get larger labels.
+
+    Implements the labelling algorithm of the appendix: vertices are
+    processed in decreasing topological order and every outgoing edge of a
+    vertex is labelled before edges of earlier vertices, guaranteeing
+    ``l(e_i) < l(e_j)`` whenever ``e_j`` follows ``e_i`` on a path.
+    """
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ConfigurationError("EDP reduction requires a DAG")
+    order = list(nx.topological_sort(graph))
+    labels: Dict[Tuple[int, int], int] = {}
+    label = 0
+    for vertex in reversed(order):
+        for _, successor in sorted(graph.out_edges(vertex)):
+            label += 1
+            labels[(vertex, successor)] = label
+    # Relabel so labels increase along topological order of the tail vertex
+    # (the appendix's property l(e_i) < l(e_j) for consecutive edges).
+    position = {vertex: index for index, vertex in enumerate(order)}
+    ordered_edges = sorted(labels, key=lambda edge: (position[edge[0]], position[edge[1]]))
+    return {edge: index + 1 for index, edge in enumerate(ordered_edges)}
+
+
+def reduce_edp_to_dtn(
+    graph: nx.DiGraph,
+    pairs: Sequence[Tuple[int, int]],
+    factory: Optional[PacketFactory] = None,
+) -> DTNInstance:
+    """Map an EDP instance to a DTN routing instance (the Theorem 2 reduction)."""
+    labels = topological_edge_labels(graph)
+    meetings = [
+        Meeting(time=float(label), node_a=u, node_b=v, capacity=1.0)
+        for (u, v), label in labels.items()
+    ]
+    factory = factory or PacketFactory()
+    packets = [
+        factory.create(source=s, destination=t, size=1, creation_time=0.0)
+        for s, t in pairs
+    ]
+    duration = max((m.time for m in meetings), default=0.0) + 1.0
+    schedule = MeetingSchedule(meetings, nodes=graph.nodes, duration=duration)
+    return DTNInstance(schedule=schedule, packets=packets, edge_labels=labels)
+
+
+def paths_to_transfer_schedule(
+    instance: DTNInstance, paths: Dict[int, List[Tuple[int, int]]]
+) -> Dict[int, List[Tuple[float, int, int]]]:
+    """Convert edge-disjoint paths into per-packet DTN transfer schedules.
+
+    Args:
+        instance: The reduced DTN instance.
+        paths: For each packet id, the list of graph edges of its path.
+
+    Returns:
+        For each packet id, a list of ``(time, from_node, to_node)``
+        transfers in increasing time order.
+
+    Raises:
+        ConfigurationError: if two paths share an edge (not edge-disjoint)
+            or a path's edge labels are not increasing.
+    """
+    used: Set[Tuple[int, int]] = set()
+    schedule: Dict[int, List[Tuple[float, int, int]]] = {}
+    for packet_id, edges in paths.items():
+        previous_label = 0
+        transfers: List[Tuple[float, int, int]] = []
+        for edge in edges:
+            if edge in used:
+                raise ConfigurationError(f"edge {edge} used by more than one path")
+            label = instance.edge_labels.get(edge)
+            if label is None:
+                raise ConfigurationError(f"edge {edge} does not exist in the instance")
+            if label <= previous_label:
+                raise ConfigurationError("path edges must have increasing labels")
+            used.add(edge)
+            transfers.append((float(label), edge[0], edge[1]))
+            previous_label = label
+        schedule[packet_id] = transfers
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# Brute-force solvers (small instances only, for verification)
+# ----------------------------------------------------------------------
+def max_edge_disjoint_paths(graph: nx.DiGraph, pairs: Sequence[Tuple[int, int]]) -> int:
+    """Maximum number of the given pairs connectable by edge-disjoint paths.
+
+    Exhaustive search over subsets and simple paths; only suitable for
+    small instances (a handful of nodes and pairs), which is all the tests
+    need to validate the reduction.
+    """
+    all_paths: List[List[List[Tuple[int, int]]]] = []
+    for source, target in pairs:
+        if source not in graph or target not in graph:
+            all_paths.append([])
+            continue
+        node_paths = list(nx.all_simple_paths(graph, source, target))
+        edge_paths = [
+            [(path[i], path[i + 1]) for i in range(len(path) - 1)] for path in node_paths
+        ]
+        all_paths.append(edge_paths)
+
+    best = 0
+    indices = range(len(pairs))
+    for subset_size in range(len(pairs), 0, -1):
+        if subset_size <= best:
+            break
+        for subset in combinations(indices, subset_size):
+            if _exists_disjoint_selection([all_paths[i] for i in subset]):
+                best = subset_size
+                break
+    return best
+
+
+def _exists_disjoint_selection(path_options: List[List[List[Tuple[int, int]]]]) -> bool:
+    """Backtracking search for one edge-disjoint path per pair."""
+
+    def backtrack(index: int, used: Set[Tuple[int, int]]) -> bool:
+        if index == len(path_options):
+            return True
+        for path in path_options[index]:
+            path_edges = set(path)
+            if path_edges & used:
+                continue
+            if backtrack(index + 1, used | path_edges):
+                return True
+        return False
+
+    if any(not options for options in path_options):
+        return False
+    return backtrack(0, set())
+
+
+def max_packets_deliverable(instance: DTNInstance) -> int:
+    """Brute-force optimum of the reduced DTN instance (small instances only).
+
+    Uses the path structure of the reduction: delivering packet ``p``
+    requires a label-increasing path of unused unit transfer opportunities
+    from its source to its destination, so the optimum equals the maximum
+    number of packets routable over edge-disjoint such paths.
+    """
+    graph = nx.DiGraph()
+    for (u, v) in instance.edge_labels:
+        graph.add_edge(u, v)
+    pairs = [(p.source, p.destination) for p in instance.packets]
+    return max_edge_disjoint_paths(graph, pairs)

@@ -1,0 +1,216 @@
+"""Theorem 1(a): online DTN routing with a known workload is Omega(n)-competitive.
+
+The appendix proves that a deterministic online algorithm that knows the
+packet workload but not the meeting schedule can be forced to deliver at
+most one packet, while an offline adversary delivers all ``n``.  This
+module makes that argument executable:
+
+* :class:`OnlineAdversary` implements the ``Generate_Y`` procedure: given
+  the algorithm's replication choices in the first phase, it constructs
+  the second-phase meetings (a bijection from intermediate nodes to
+  destinations) that foils all but at most one packet.
+* :func:`evaluate_online_algorithm` plays a full game against a
+  user-supplied replication strategy and reports how many packets the
+  algorithm and the adversary deliver, plus the resulting meeting
+  schedule, so the construction can also be fed back into the simulator.
+
+Node numbering: node 0 is the source ``A``; nodes ``1 .. n`` are the
+intermediate nodes ``u_1 .. u_n``; nodes ``n+1 .. 2n`` are the
+destinations ``v_1 .. v_n`` (packet ``i`` is destined to ``v_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
+
+from ..dtn.packet import Packet, PacketFactory
+from ..mobility.schedule import Meeting, MeetingSchedule
+
+#: Strategy type: given the list of packets and the intermediate node ids,
+#: return for each packet the set of intermediates it is replicated to
+#: (each intermediate can store at most one unit-sized packet).
+ReplicationStrategy = Callable[[Sequence[Packet], Sequence[int]], Mapping[int, Set[int]]]
+
+
+@dataclass
+class AdversaryOutcome:
+    """Result of one game between an online algorithm and the adversary."""
+
+    num_packets: int
+    algorithm_deliverable: int
+    adversary_deliverable: int
+    assignment: Dict[int, int] = field(default_factory=dict)
+    schedule: Optional[MeetingSchedule] = None
+
+    @property
+    def competitive_ratio(self) -> float:
+        """Adversary deliveries divided by algorithm deliveries (>= n)."""
+        if self.algorithm_deliverable == 0:
+            return float("inf")
+        return self.adversary_deliverable / self.algorithm_deliverable
+
+
+class OnlineAdversary:
+    """The offline adversary of Theorem 1(a)."""
+
+    def __init__(self, num_packets: int, phase_gap: float = 10.0) -> None:
+        if num_packets < 1:
+            raise ValueError("num_packets must be positive")
+        if phase_gap <= 0:
+            raise ValueError("phase_gap must be positive")
+        self.num_packets = num_packets
+        self.phase_gap = phase_gap
+        self.source = 0
+        self.intermediates = list(range(1, num_packets + 1))
+        self.destinations = list(range(num_packets + 1, 2 * num_packets + 1))
+
+    # ------------------------------------------------------------------
+    # Construction pieces
+    # ------------------------------------------------------------------
+    def workload(self, factory: Optional[PacketFactory] = None) -> List[Packet]:
+        """The ``n`` unit-sized packets, packet ``i`` destined to ``v_i``."""
+        factory = factory or PacketFactory()
+        return [
+            factory.create(source=self.source, destination=self.destinations[i], size=1, creation_time=0.0)
+            for i in range(self.num_packets)
+        ]
+
+    def first_phase_meetings(self) -> List[Meeting]:
+        """Meetings at t=0 between the source and every intermediate node."""
+        return [
+            Meeting(time=0.0, node_a=self.source, node_b=u, capacity=1.0)
+            for u in self.intermediates
+        ]
+
+    def generate_assignment(self, transfers: Mapping[int, Set[int]]) -> Dict[int, int]:
+        """Procedure ``Generate_Y``: map intermediates to destinations.
+
+        Args:
+            transfers: ``X`` — for each packet index ``i`` (0-based), the set
+                of intermediate node ids the algorithm replicated packet
+                ``i`` to during the first phase.
+
+        Returns:
+            A bijection ``intermediate node id -> destination node id`` such
+            that at most one packet sits at an intermediate node that is
+            subsequently connected to that packet's destination.
+        """
+        assignment: Dict[int, int] = {}
+        assigned: Set[int] = set()
+        for i in range(self.num_packets):
+            replicated_to = set(transfers.get(i, set()))
+            # Line 3: prefer an unassigned intermediate that does NOT hold p_i.
+            chosen = None
+            for u in self.intermediates:
+                if u not in assigned and u not in replicated_to:
+                    chosen = u
+                    break
+            if chosen is None:
+                # Line 6: forced to give the packet a useful intermediate.
+                for u in self.intermediates:
+                    if u not in assigned:
+                        chosen = u
+                        break
+            if chosen is None:  # pragma: no cover - defensive, cannot happen
+                raise RuntimeError("Generate_Y ran out of intermediate nodes")
+            assignment[chosen] = self.destinations[i]
+            assigned.add(chosen)
+        return assignment
+
+    def second_phase_meetings(self, assignment: Mapping[int, int]) -> List[Meeting]:
+        """Meetings at t=phase_gap between intermediates and their targets."""
+        return [
+            Meeting(time=self.phase_gap, node_a=u, node_b=v, capacity=1.0)
+            for u, v in sorted(assignment.items())
+        ]
+
+    def full_schedule(self, assignment: Mapping[int, int]) -> MeetingSchedule:
+        """The complete adversarial meeting schedule."""
+        meetings = self.first_phase_meetings() + self.second_phase_meetings(assignment)
+        return MeetingSchedule(meetings, duration=self.phase_gap * 2)
+
+    # ------------------------------------------------------------------
+    # Outcome analysis
+    # ------------------------------------------------------------------
+    def algorithm_deliveries(
+        self, transfers: Mapping[int, Set[int]], assignment: Mapping[int, int]
+    ) -> int:
+        """Packets the online algorithm can still deliver under *assignment*.
+
+        Each intermediate node stores at most one unit-sized packet (the
+        transfer opportunities are unit-sized), so packet ``i`` is
+        deliverable only if some intermediate it was replicated to is
+        mapped to ``v_i``; each intermediate counts for at most one packet.
+        """
+        deliverable = 0
+        used: Set[int] = set()
+        for i in range(self.num_packets):
+            target = self.destinations[i]
+            for u in transfers.get(i, set()):
+                if u in used:
+                    continue
+                if assignment.get(u) == target:
+                    deliverable += 1
+                    used.add(u)
+                    break
+        return deliverable
+
+
+def evaluate_online_algorithm(
+    strategy: ReplicationStrategy,
+    num_packets: int,
+    phase_gap: float = 10.0,
+) -> AdversaryOutcome:
+    """Play the Theorem 1(a) game against *strategy* and report the outcome."""
+    adversary = OnlineAdversary(num_packets=num_packets, phase_gap=phase_gap)
+    packets = adversary.workload()
+    raw = strategy(packets, adversary.intermediates)
+    transfers: Dict[int, Set[int]] = {}
+    for i in range(num_packets):
+        chosen = set(raw.get(i, set()))
+        # Unit-sized opportunities: the source can push at most one packet
+        # to each intermediate; enforce by dropping duplicates greedily.
+        transfers[i] = chosen
+    # Enforce per-intermediate storage of one packet (first packet wins).
+    seen: Dict[int, int] = {}
+    for i in range(num_packets):
+        kept: Set[int] = set()
+        for u in transfers[i]:
+            if u not in seen:
+                seen[u] = i
+                kept.add(u)
+            elif seen[u] == i:
+                kept.add(u)
+        transfers[i] = kept
+
+    assignment = adversary.generate_assignment(transfers)
+    outcome = AdversaryOutcome(
+        num_packets=num_packets,
+        algorithm_deliverable=adversary.algorithm_deliveries(transfers, assignment),
+        adversary_deliverable=num_packets,
+        assignment=assignment,
+        schedule=adversary.full_schedule(assignment),
+    )
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Reference strategies (used in tests and examples)
+# ----------------------------------------------------------------------
+def one_to_one_strategy(packets: Sequence[Packet], intermediates: Sequence[int]) -> Dict[int, Set[int]]:
+    """Replicate packet ``i`` to intermediate ``u_{i+1}`` (identity mapping)."""
+    return {i: {intermediates[i]} for i in range(len(packets))}
+
+
+def reversed_strategy(packets: Sequence[Packet], intermediates: Sequence[int]) -> Dict[int, Set[int]]:
+    """Replicate packet ``i`` to the intermediate with the opposite index."""
+    n = len(packets)
+    return {i: {intermediates[n - 1 - i]} for i in range(n)}
+
+
+def broadcast_first_strategy(packets: Sequence[Packet], intermediates: Sequence[int]) -> Dict[int, Set[int]]:
+    """Give every intermediate a copy of packet 0 and starve the rest."""
+    result: Dict[int, Set[int]] = {i: set() for i in range(len(packets))}
+    result[0] = set(intermediates)
+    return result

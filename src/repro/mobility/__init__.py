@@ -1,0 +1,17 @@
+"""Mobility models and meeting schedules."""
+
+from .base import MobilityModel
+from .exponential import ExponentialMobility
+from .powerlaw import PowerLawMobility
+from .schedule import Meeting, MeetingSchedule, ScheduleStatistics
+from .trace import TraceMobility
+
+__all__ = [
+    "MobilityModel",
+    "ExponentialMobility",
+    "PowerLawMobility",
+    "TraceMobility",
+    "Meeting",
+    "MeetingSchedule",
+    "ScheduleStatistics",
+]

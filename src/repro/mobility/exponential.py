@@ -1,0 +1,78 @@
+"""Uniform exponential inter-meeting mobility (Section 6.3.3).
+
+Every unordered pair of nodes meets according to an independent Poisson
+process: inter-meeting times are exponentially distributed with a common
+mean.  Transfer-opportunity sizes are constant (100 KB by default,
+Table 4), optionally jittered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import constants
+from .base import MobilityModel
+from .schedule import Meeting, MeetingSchedule
+
+
+class ExponentialMobility(MobilityModel):
+    """Pairwise-independent exponential inter-meeting times.
+
+    Args:
+        num_nodes: Number of DTN nodes.
+        mean_inter_meeting: Mean of the exponential inter-meeting time for
+            every pair, in seconds (``1 / lambda``).
+        transfer_opportunity: Bytes available at every meeting.
+        capacity_jitter: Fractional uniform jitter applied to the transfer
+            opportunity size (0 disables jitter).
+        seed: Random seed.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = constants.SYNTHETIC_NUM_NODES,
+        mean_inter_meeting: float = constants.SYNTHETIC_MEAN_INTERMEETING,
+        transfer_opportunity: float = constants.SYNTHETIC_TRANSFER_OPPORTUNITY,
+        capacity_jitter: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_nodes=num_nodes, seed=seed)
+        if mean_inter_meeting <= 0:
+            raise ValueError("mean_inter_meeting must be positive")
+        if transfer_opportunity <= 0:
+            raise ValueError("transfer_opportunity must be positive")
+        if not 0.0 <= capacity_jitter < 1.0:
+            raise ValueError("capacity_jitter must be in [0, 1)")
+        self.mean_inter_meeting = mean_inter_meeting
+        self.transfer_opportunity = transfer_opportunity
+        self.capacity_jitter = capacity_jitter
+
+    def pair_mean(self, node_a: int, node_b: int) -> float:
+        """Mean inter-meeting time for the pair (uniform for this model)."""
+        return self.mean_inter_meeting
+
+    def expected_pair_rate(self, node_a: int, node_b: int) -> float:
+        return 1.0 / self.pair_mean(node_a, node_b)
+
+    def _draw_capacity(self) -> float:
+        if self.capacity_jitter == 0.0:
+            return float(self.transfer_opportunity)
+        low = 1.0 - self.capacity_jitter
+        high = 1.0 + self.capacity_jitter
+        return float(self.transfer_opportunity) * float(self._rng.uniform(low, high))
+
+    def generate(self, duration: float) -> MeetingSchedule:
+        """Generate meetings over ``[0, duration)`` for every node pair."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        meetings = []
+        for a in range(self.num_nodes):
+            for b in range(a + 1, self.num_nodes):
+                mean = self.pair_mean(a, b)
+                t = float(self._rng.exponential(mean))
+                while t < duration:
+                    meetings.append(
+                        Meeting(time=t, node_a=a, node_b=b, capacity=self._draw_capacity())
+                    )
+                    t += float(self._rng.exponential(mean))
+        return MeetingSchedule(meetings, nodes=self.node_ids, duration=duration)

@@ -1,0 +1,42 @@
+"""Trace-driven mobility.
+
+Wraps a pre-recorded (or synthetically generated) meeting schedule so that
+it can be used wherever a :class:`MobilityModel` is expected — e.g. the
+experiment runner treats each DieselNet day trace as one mobility instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import MobilityModel
+from .schedule import MeetingSchedule
+
+
+class TraceMobility(MobilityModel):
+    """Mobility model backed by a fixed meeting schedule."""
+
+    def __init__(self, schedule: MeetingSchedule, seed: Optional[int] = None) -> None:
+        nodes = schedule.nodes
+        num_nodes = (max(nodes) + 1) if nodes else 2
+        super().__init__(num_nodes=max(2, num_nodes), seed=seed)
+        self._schedule = schedule
+
+    @property
+    def schedule(self) -> MeetingSchedule:
+        """The wrapped schedule."""
+        return self._schedule
+
+    def generate(self, duration: float) -> MeetingSchedule:
+        """Return the stored schedule truncated to *duration* seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if duration >= self._schedule.duration:
+            return self._schedule
+        return self._schedule.truncated(duration)
+
+    def expected_pair_rate(self, node_a: int, node_b: int) -> float:
+        meetings = self._schedule.meetings_of_pair(node_a, node_b)
+        if not meetings or self._schedule.duration <= 0:
+            return 0.0
+        return len(meetings) / self._schedule.duration

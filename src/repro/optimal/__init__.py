@@ -1,0 +1,27 @@
+"""Offline optimal routing: ILP (Appendix D) and earliest-arrival bounds."""
+
+from .ilp import ILPProblem, build_ilp, interpret_solution
+from .router import OptimalResult, OptimalRouter
+from .solver import ILPSolution, solve_ilp
+from .time_expanded import (
+    EarliestArrival,
+    TimeExpandedGraph,
+    build_time_expanded_graph,
+    earliest_arrival,
+    earliest_arrival_all,
+)
+
+__all__ = [
+    "ILPProblem",
+    "build_ilp",
+    "interpret_solution",
+    "ILPSolution",
+    "solve_ilp",
+    "OptimalRouter",
+    "OptimalResult",
+    "EarliestArrival",
+    "earliest_arrival",
+    "earliest_arrival_all",
+    "TimeExpandedGraph",
+    "build_time_expanded_graph",
+]

@@ -1,0 +1,132 @@
+"""Facade for offline optimal routing (the ``Optimal`` curve of Figure 13).
+
+``Optimal`` knows the meeting schedule and workload a priori and provides
+an upper bound on achievable performance.  Two methods are available:
+
+* ``ilp`` — the Appendix D integer program solved exactly (small
+  instances; the paper also limits the ILP comparison to 6 packets per
+  hour per destination for the same reason);
+* ``earliest-arrival`` — the contention-free earliest-delivery lower bound
+  on delay, exact at low loads and cheap at any scale.
+
+``auto`` picks the ILP when the instance is small enough and falls back to
+earliest-arrival otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..dtn.packet import Packet
+from ..exceptions import ConfigurationError
+from ..mobility.schedule import MeetingSchedule
+from .ilp import build_ilp, interpret_solution
+from .solver import solve_ilp
+from .time_expanded import earliest_arrival_all
+
+
+@dataclass
+class OptimalResult:
+    """Per-packet optimal delivery times plus the headline metrics."""
+
+    method: str
+    horizon: float
+    delivery_times: Dict[int, Optional[float]]
+    creation_times: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def num_packets(self) -> int:
+        return len(self.delivery_times)
+
+    @property
+    def num_delivered(self) -> int:
+        return sum(1 for t in self.delivery_times.values() if t is not None)
+
+    def delivery_rate(self) -> float:
+        if not self.delivery_times:
+            return 0.0
+        return self.num_delivered / self.num_packets
+
+    def delays(self, include_undelivered: bool = True) -> List[float]:
+        values = []
+        for packet_id, delivery in self.delivery_times.items():
+            creation = self.creation_times.get(packet_id, 0.0)
+            if delivery is not None:
+                values.append(delivery - creation)
+            elif include_undelivered:
+                values.append(max(0.0, self.horizon - creation))
+        return values
+
+    def average_delay(self, include_undelivered: bool = True) -> float:
+        values = self.delays(include_undelivered=include_undelivered)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def max_delay(self, include_undelivered: bool = True) -> float:
+        values = self.delays(include_undelivered=include_undelivered)
+        return max(values) if values else 0.0
+
+
+class OptimalRouter:
+    """Computes offline-optimal routing performance for a DTN instance."""
+
+    METHODS = ("auto", "ilp", "earliest-arrival")
+
+    def __init__(
+        self,
+        method: str = "auto",
+        max_ilp_packets: int = 40,
+        max_ilp_meetings: int = 250,
+        time_limit: Optional[float] = 30.0,
+    ) -> None:
+        if method not in self.METHODS:
+            raise ConfigurationError(
+                f"unknown optimal method {method!r}; choose from {self.METHODS}"
+            )
+        self.method = method
+        self.max_ilp_packets = max_ilp_packets
+        self.max_ilp_meetings = max_ilp_meetings
+        self.time_limit = time_limit
+
+    # ------------------------------------------------------------------
+    def _pick_method(self, schedule: MeetingSchedule, packets: Sequence[Packet]) -> str:
+        if self.method != "auto":
+            return self.method
+        if len(packets) <= self.max_ilp_packets and len(schedule) <= self.max_ilp_meetings:
+            return "ilp"
+        return "earliest-arrival"
+
+    def solve(self, schedule: MeetingSchedule, packets: Sequence[Packet]) -> OptimalResult:
+        """Compute the optimal routing outcome for the given instance."""
+        packets = list(packets)
+        if not packets:
+            raise ConfigurationError("need at least one packet")
+        method = self._pick_method(schedule, packets)
+        if method == "ilp":
+            return self._solve_ilp(schedule, packets)
+        return self._solve_earliest_arrival(schedule, packets)
+
+    # ------------------------------------------------------------------
+    def _solve_ilp(self, schedule: MeetingSchedule, packets: Sequence[Packet]) -> OptimalResult:
+        problem = build_ilp(schedule, packets, horizon=schedule.duration)
+        solution = solve_ilp(problem, time_limit=self.time_limit)
+        delivery_times = interpret_solution(problem, solution.variable_values)
+        return OptimalResult(
+            method=f"ilp ({solution.method})",
+            horizon=schedule.duration,
+            delivery_times=delivery_times,
+            creation_times={p.packet_id: p.creation_time for p in packets},
+        )
+
+    def _solve_earliest_arrival(
+        self, schedule: MeetingSchedule, packets: Sequence[Packet]
+    ) -> OptimalResult:
+        arrivals = earliest_arrival_all(schedule, packets)
+        return OptimalResult(
+            method="earliest-arrival",
+            horizon=schedule.duration,
+            delivery_times={a.packet.packet_id: a.delivery_time for a in arrivals},
+            creation_times={p.packet_id: p.creation_time for p in packets},
+        )

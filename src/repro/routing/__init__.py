@@ -1,0 +1,28 @@
+"""Routing protocols: the RAPID baselines and the protocol registry."""
+
+from .base import ProtocolContext, ProtocolFactory, RoutingProtocol, TransferBudget
+from .direct import DirectDeliveryProtocol
+from .epidemic import EpidemicProtocol, EpidemicWithAcksProtocol
+from .maxprop import MaxPropProtocol
+from .prophet import ProphetProtocol
+from .random_routing import RandomProtocol, RandomWithAcksProtocol
+from .registry import available_protocols, create_factory, register_protocol
+from .spray_and_wait import SprayAndWaitProtocol
+
+__all__ = [
+    "RoutingProtocol",
+    "ProtocolFactory",
+    "ProtocolContext",
+    "TransferBudget",
+    "RandomProtocol",
+    "RandomWithAcksProtocol",
+    "EpidemicProtocol",
+    "EpidemicWithAcksProtocol",
+    "DirectDeliveryProtocol",
+    "SprayAndWaitProtocol",
+    "ProphetProtocol",
+    "MaxPropProtocol",
+    "available_protocols",
+    "create_factory",
+    "register_protocol",
+]

@@ -1,0 +1,286 @@
+"""Routing protocol interface.
+
+The simulator is protocol-agnostic: at every meeting it asks the two
+participating protocol instances (one per node) for
+
+1. a **control exchange** (acknowledgments and protocol metadata, which may
+   consume transfer-opportunity bytes — RAPID's in-band control channel
+   does, Section 4.2);
+2. a **direct-delivery order** for packets destined to the peer (Protocol
+   RAPID, step 2);
+3. a stream of **replication candidates** in priority order (step 3); and
+4. storage decisions via :meth:`RoutingProtocol.accept_replica` and
+   :meth:`RoutingProtocol.choose_eviction_victim`.
+
+All baselines (MaxProp, Spray and Wait, PRoPHET, Random, Epidemic, Direct)
+and RAPID itself implement this interface, so every protocol is evaluated
+under exactly the same bandwidth and storage constraints.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, TYPE_CHECKING
+
+import numpy as np
+
+from .. import constants
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..dtn.node import Node
+    from ..dtn.packet import Packet
+
+
+@dataclass
+class TransferBudget:
+    """Byte accounting for one transfer opportunity.
+
+    The total of data and metadata bytes never exceeds the opportunity's
+    capacity; metadata is tracked separately so experiments can report the
+    control-channel overhead (Figures 8 and 9).
+    """
+
+    capacity: float
+    data_bytes: float = 0.0
+    metadata_bytes: float = 0.0
+
+    @property
+    def used(self) -> float:
+        return self.data_bytes + self.metadata_bytes
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.capacity - self.used)
+
+    def can_send(self, num_bytes: float) -> bool:
+        """Return True when *num_bytes* more bytes fit in the opportunity."""
+        return num_bytes <= self.remaining
+
+    def charge_data(self, num_bytes: float) -> None:
+        if num_bytes > self.remaining + 1e-9:
+            raise ValueError("data transfer exceeds the remaining opportunity")
+        self.data_bytes += num_bytes
+
+    def charge_metadata(self, num_bytes: float) -> float:
+        """Charge up to *num_bytes* of metadata; return the bytes charged.
+
+        Metadata is clipped to the remaining budget rather than rejected —
+        a node sends whatever metadata fits at the start of the opportunity.
+        """
+        charged = min(num_bytes, self.remaining)
+        self.metadata_bytes += charged
+        return charged
+
+
+@dataclass
+class ProtocolContext:
+    """Per-simulation shared state handed to every protocol instance."""
+
+    nodes: Dict[int, Node]
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    options: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.nodes)
+
+
+class RoutingProtocol(abc.ABC):
+    """Per-node routing protocol instance.
+
+    Subclasses override the candidate-selection hooks; the base class
+    provides buffer insertion with eviction, acknowledgment bookkeeping and
+    hop-count tracking shared by every protocol.
+    """
+
+    #: Human-readable protocol name (overridden by subclasses).
+    name: str = "base"
+    #: Whether delivered-packet acknowledgments are flooded at meetings.
+    uses_acks: bool = False
+    #: Whether control metadata is charged against the transfer opportunity.
+    counts_control_bytes: bool = False
+
+    def __init__(self, node: Node, context: ProtocolContext) -> None:
+        self.node = node
+        self.context = context
+        #: Packet ids this node knows to have been delivered.
+        self.acked: Set[int] = set()
+        #: Hops traversed by the local replica of each buffered packet.
+        self.hop_counts: Dict[int, int] = {}
+        #: Drops due to storage pressure (reported per node).
+        self.storage_drops: int = 0
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def buffer(self):
+        return self.node.buffer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(node={self.node_id})"
+
+    # ------------------------------------------------------------------
+    # Packet lifecycle
+    # ------------------------------------------------------------------
+    def on_packet_created(self, packet: Packet, now: float) -> bool:
+        """Buffer a packet generated at this node; return True on success."""
+        inserted = self.insert_packet(packet, now, hop_count=0)
+        return inserted
+
+    def on_meeting_start(self, peer: "RoutingProtocol", now: float) -> None:
+        """Called when a meeting with *peer* begins (before any exchange)."""
+
+    def exchange_control(self, peer: "RoutingProtocol", now: float, budget: TransferBudget) -> None:
+        """Send control information (acks, metadata) from *self* to *peer*."""
+        if self.uses_acks:
+            self.send_acks(peer, budget)
+
+    def send_acks(self, peer: "RoutingProtocol", budget: TransferBudget) -> None:
+        """Flood delivered-packet acknowledgments to the peer."""
+        new_acks = self.acked - peer.acked
+        if not new_acks:
+            return
+        if self.counts_control_bytes:
+            budget.charge_metadata(len(new_acks) * constants.RAPID_ACK_ENTRY_BYTES)
+        for packet_id in new_acks:
+            peer.learn_ack(packet_id, now=None)
+
+    def learn_ack(self, packet_id: int, now: Optional[float]) -> None:
+        """Record that *packet_id* was delivered; purge the local replica."""
+        self.acked.add(packet_id)
+        self.node.buffer.discard(packet_id)
+        self.hop_counts.pop(packet_id, None)
+
+    def direct_delivery_order(self, peer_id: int, now: float) -> List[Packet]:
+        """Packets destined to *peer_id*, in the order they should be sent."""
+        packets = self.buffer.packets_for(peer_id)
+        packets.sort(key=lambda p: p.creation_time)
+        return packets
+
+    @abc.abstractmethod
+    def replication_candidates(self, peer: "RoutingProtocol", now: float) -> Iterator[Packet]:
+        """Yield buffered packets to replicate to *peer*, best first.
+
+        The simulator stops pulling candidates when the transfer opportunity
+        is exhausted; implementations therefore need not track bandwidth.
+        Packets already present at the peer are filtered by the simulator,
+        but implementations may skip them proactively for efficiency.
+        """
+
+    def accept_replica(self, packet: Packet, sender: "RoutingProtocol", now: float) -> bool:
+        """Decide whether to accept (and store) an incoming replica."""
+        if packet.packet_id in self.acked:
+            return False
+        if packet.packet_id in self.buffer:
+            return False
+        hop_count = sender.hop_counts.get(packet.packet_id, 0) + 1
+        return self.insert_packet(packet, now, hop_count=hop_count)
+
+    def on_replica_sent(self, packet: Packet, peer: "RoutingProtocol", now: float) -> None:
+        """Called after the simulator copies *packet* to *peer*."""
+
+    def on_delivery(self, packet: Packet, now: float) -> None:
+        """Called on both meeting participants when *packet* reaches its destination."""
+        self.learn_ack(packet.packet_id, now)
+
+    # ------------------------------------------------------------------
+    # Storage management
+    # ------------------------------------------------------------------
+    def insert_packet(self, packet: Packet, now: float, hop_count: int = 0) -> bool:
+        """Insert a replica, evicting lower-priority packets if needed."""
+        if packet.packet_id in self.buffer:
+            return False
+        if not self.buffer.fits(packet) and not self.make_room(packet, now):
+            self.storage_drops += 1
+            self.node.counters.packets_dropped += 1
+            return False
+        self.buffer.add(packet, now)
+        self.hop_counts[packet.packet_id] = hop_count
+        return True
+
+    def make_room(self, incoming: Packet, now: float) -> bool:
+        """Evict packets until *incoming* fits; return False when impossible."""
+        while not self.buffer.fits(incoming):
+            victim = self.choose_eviction_victim(incoming, now)
+            if victim is None:
+                return False
+            self.buffer.remove(victim)
+            self.hop_counts.pop(victim, None)
+            self.storage_drops += 1
+            self.node.counters.packets_dropped += 1
+        return True
+
+    def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
+        """Return the packet id to evict, or ``None`` to refuse *incoming*.
+
+        The default policy drops a uniformly random relayed packet, never a
+        packet sourced at this node (a source keeps its own packet until it
+        is acknowledged, Section 3.4).  The one exception is when the
+        incoming packet is itself sourced here and only own packets remain:
+        refusing every new local packet would deadlock the source, so the
+        oldest own packet is displaced instead.
+        """
+        relayed = [
+            p.packet_id
+            for p in self.buffer
+            if p.source != self.node_id and p.packet_id != incoming.packet_id
+        ]
+        if relayed:
+            index = int(self.context.rng.integers(len(relayed)))
+            return relayed[index]
+        if incoming.source != self.node_id:
+            return None
+        own = [
+            p for p in self.buffer
+            if p.packet_id != incoming.packet_id
+        ]
+        if not own:
+            return None
+        oldest = min(own, key=lambda p: p.creation_time)
+        return oldest.packet_id
+
+    # ------------------------------------------------------------------
+    # Utilities shared by subclasses
+    # ------------------------------------------------------------------
+    def unacked_packets(self) -> List[Packet]:
+        """Buffered packets that are not known to be delivered."""
+        return [p for p in self.buffer if p.packet_id not in self.acked]
+
+    def transferable_packets(self, peer: "RoutingProtocol") -> List[Packet]:
+        """Buffered packets that the peer does not already hold."""
+        return [
+            p
+            for p in self.unacked_packets()
+            if p.packet_id not in peer.buffer and p.destination != peer.node_id
+        ]
+
+
+class ProtocolFactory:
+    """Creates one protocol instance per node, with fixed keyword options."""
+
+    def __init__(self, protocol_cls: type, name: Optional[str] = None, **kwargs) -> None:
+        if not issubclass(protocol_cls, RoutingProtocol):
+            raise TypeError("protocol_cls must derive from RoutingProtocol")
+        self.protocol_cls = protocol_cls
+        self.kwargs = kwargs
+        self._name = name or protocol_cls.name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def create(self, node: Node, context: ProtocolContext) -> RoutingProtocol:
+        """Instantiate the protocol for *node*."""
+        return self.protocol_cls(node, context, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProtocolFactory({self._name})"

@@ -1,0 +1,23 @@
+"""Direct-delivery baseline.
+
+The degenerate single-copy protocol: a packet is held by its source until
+the source meets the destination.  Useful as a lower bound in tests and as
+the simplest member of the forwarding (non-replicating) family.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dtn.packet import Packet
+from .base import RoutingProtocol
+
+
+class DirectDeliveryProtocol(RoutingProtocol):
+    """Never replicate; deliver only on meeting the destination directly."""
+
+    name = "direct"
+    uses_acks = False
+
+    def replication_candidates(self, peer: RoutingProtocol, now: float) -> Iterator[Packet]:
+        return iter(())

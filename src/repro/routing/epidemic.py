@@ -1,0 +1,35 @@
+"""Epidemic routing baseline.
+
+Classic epidemic routing replicates every packet to every encountered node
+that does not already hold a copy.  Packets are offered oldest-first so
+that, under bandwidth pressure, long-waiting packets are not starved by
+fresh ones.  Epidemic routing is the canonical member of problem class P1
+(unlimited resources); under the constrained settings of the paper it
+wastes resources, which is exactly why the intentional approach helps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dtn.packet import Packet
+from .base import RoutingProtocol
+
+
+class EpidemicProtocol(RoutingProtocol):
+    """Flood every packet to every encountered node, oldest packets first."""
+
+    name = "epidemic"
+    uses_acks = False
+
+    def replication_candidates(self, peer: RoutingProtocol, now: float) -> Iterator[Packet]:
+        candidates = self.transferable_packets(peer)
+        candidates.sort(key=lambda p: p.creation_time)
+        yield from candidates
+
+
+class EpidemicWithAcksProtocol(EpidemicProtocol):
+    """Epidemic flooding plus acknowledgment-based purging (VACCINE-style)."""
+
+    name = "epidemic-acks"
+    uses_acks = True

@@ -1,0 +1,144 @@
+"""MaxProp (Burgess et al., INFOCOM 2006).
+
+MaxProp is the closest prior protocol to RAPID's operating point: it
+assumes finite storage *and* bandwidth, replicates packets, floods
+delivery acknowledgments, and ranks packets by an estimated delivery
+likelihood.  The paper classifies it as *incidental* because the ranking
+is not derived from any specific routing metric.
+
+The implementation follows the MaxProp design:
+
+* each node maintains incrementally averaged meeting probabilities to its
+  peers, exchanged at every meeting;
+* the cost of a path is the sum of ``1 - p`` over its hops; destination
+  cost is the cheapest such path over the learned probability graph;
+* packets that have travelled fewer than ``hopcount_threshold`` hops are
+  transmitted first (lowest hop count first) — the "head start" for new
+  packets — and the remainder are ordered by increasing destination cost;
+* buffer eviction removes packets from the tail of the same ordering
+  (highest cost / most-travelled first);
+* delivery acknowledgments are flooded and purge delivered packets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .. import constants
+from ..dtn.node import Node
+from ..dtn.packet import Packet
+from .base import ProtocolContext, RoutingProtocol, TransferBudget
+
+
+class MaxPropProtocol(RoutingProtocol):
+    """MaxProp with ack flooding and likelihood-ranked replication."""
+
+    name = "maxprop"
+    uses_acks = True
+
+    def __init__(
+        self,
+        node: Node,
+        context: ProtocolContext,
+        hopcount_threshold: int = constants.MAXPROP_HOPCOUNT_THRESHOLD,
+    ) -> None:
+        super().__init__(node, context)
+        if hopcount_threshold < 0:
+            raise ValueError("hopcount_threshold must be non-negative")
+        self.hopcount_threshold = hopcount_threshold
+        #: Own incremental meeting probabilities, ``peer -> probability``.
+        self.meeting_probs: Dict[int, float] = {}
+        #: Meeting-probability vectors learned from peers, ``node -> vector``.
+        self.known_vectors: Dict[int, Dict[int, float]] = {}
+        self._meetings_seen = 0
+
+    # ------------------------------------------------------------------
+    # Meeting probability maintenance
+    # ------------------------------------------------------------------
+    def on_meeting_start(self, peer: RoutingProtocol, now: float) -> None:
+        """Incremental averaging of meeting probabilities (MaxProp Section 4)."""
+        self._meetings_seen += 1
+        peer_id = peer.node_id
+        self.meeting_probs[peer_id] = self.meeting_probs.get(peer_id, 0.0) + 1.0
+        total = sum(self.meeting_probs.values())
+        if total > 0:
+            self.meeting_probs = {k: v / total for k, v in self.meeting_probs.items()}
+        self.known_vectors[self.node_id] = dict(self.meeting_probs)
+
+    def exchange_control(self, peer: RoutingProtocol, now: float, budget: TransferBudget) -> None:
+        super().exchange_control(peer, now, budget)
+        if isinstance(peer, MaxPropProtocol):
+            # The peer learns this node's vectors (and everything it relayed).
+            for owner, vector in self.known_vectors.items():
+                peer.known_vectors[owner] = dict(vector)
+            peer.known_vectors[self.node_id] = dict(self.meeting_probs)
+
+    # ------------------------------------------------------------------
+    # Path cost estimation
+    # ------------------------------------------------------------------
+    def destination_cost(self, destination: int) -> float:
+        """Cheapest known path cost to *destination* (sum of ``1 - p``)."""
+        if destination == self.node_id:
+            return 0.0
+        graph = dict(self.known_vectors)
+        graph[self.node_id] = dict(self.meeting_probs)
+        distances: Dict[int, float] = {self.node_id: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, self.node_id)]
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if node == destination:
+                return cost
+            if cost > distances.get(node, float("inf")):
+                continue
+            for neighbor, prob in graph.get(node, {}).items():
+                edge_cost = 1.0 - min(max(prob, 0.0), 1.0)
+                new_cost = cost + edge_cost
+                if new_cost < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = new_cost
+                    heapq.heappush(heap, (new_cost, neighbor))
+        return distances.get(destination, float("inf"))
+
+    # ------------------------------------------------------------------
+    # Packet ordering
+    # ------------------------------------------------------------------
+    def _priority_order(self, packets: List[Packet]) -> List[Packet]:
+        """MaxProp transmission order: new packets first, then by cost."""
+        fresh: List[Tuple[int, float, Packet]] = []
+        ranked: List[Tuple[float, float, Packet]] = []
+        for packet in packets:
+            hops = self.hop_counts.get(packet.packet_id, 0)
+            cost = self.destination_cost(packet.destination)
+            if hops < self.hopcount_threshold:
+                fresh.append((hops, cost, packet))
+            else:
+                ranked.append((cost, -packet.age(0.0), packet))
+        fresh.sort(key=lambda item: (item[0], item[1]))
+        ranked.sort(key=lambda item: item[0])
+        return [item[2] for item in fresh] + [item[2] for item in ranked]
+
+    def replication_candidates(self, peer: RoutingProtocol, now: float) -> Iterator[Packet]:
+        candidates = self.transferable_packets(peer)
+        yield from self._priority_order(candidates)
+
+    def direct_delivery_order(self, peer_id: int, now: float) -> List[Packet]:
+        packets = self.buffer.packets_for(peer_id)
+        return self._priority_order(packets)
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
+        """Drop from the tail of the priority order (worst likelihood first)."""
+        candidates = [
+            p for p in self.buffer
+            if p.packet_id != incoming.packet_id and p.source != self.node_id
+        ]
+        if not candidates:
+            if incoming.source != self.node_id:
+                return None
+            candidates = [p for p in self.buffer if p.packet_id != incoming.packet_id]
+            if not candidates:
+                return None
+        ordered = self._priority_order(candidates)
+        return ordered[-1].packet_id

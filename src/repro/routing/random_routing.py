@@ -1,0 +1,47 @@
+"""Random replication baselines.
+
+``Random`` replicates uniformly random packets for the duration of the
+transfer opportunity (Section 6.1).  ``Random with acks`` additionally
+floods delivery acknowledgments, the first component in the RAPID
+component-value study (Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..dtn.node import Node
+from ..dtn.packet import Packet
+from .base import ProtocolContext, RoutingProtocol
+
+
+class RandomProtocol(RoutingProtocol):
+    """Replicate uniformly random packets until the opportunity is exhausted."""
+
+    name = "random"
+    uses_acks = False
+
+    def replication_candidates(self, peer: RoutingProtocol, now: float) -> Iterator[Packet]:
+        candidates: List[Packet] = self.transferable_packets(peer)
+        if not candidates:
+            return
+        order = self.context.rng.permutation(len(candidates))
+        for index in order:
+            yield candidates[int(index)]
+
+    def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
+        """Random drops anywhere in the buffer, including own packets."""
+        candidates = [p.packet_id for p in self.buffer if p.packet_id != incoming.packet_id]
+        if not candidates:
+            return None
+        return candidates[int(self.context.rng.integers(len(candidates)))]
+
+
+class RandomWithAcksProtocol(RandomProtocol):
+    """Random replication plus flooding of delivery acknowledgments."""
+
+    name = "random-acks"
+    uses_acks = True
+
+    def __init__(self, node: Node, context: ProtocolContext) -> None:
+        super().__init__(node, context)

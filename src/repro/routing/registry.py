@@ -1,0 +1,98 @@
+"""Protocol registry: build protocol factories by name.
+
+The experiment harness, CLI and benchmarks refer to protocols by short
+names ("rapid", "maxprop", "spray-and-wait", ...).  The registry maps those
+names to :class:`~repro.routing.base.ProtocolFactory` builders, passing
+through keyword options such as the RAPID routing metric or the Spray and
+Wait copy budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import UnknownProtocolError
+from .base import ProtocolFactory
+from .direct import DirectDeliveryProtocol
+from .epidemic import EpidemicProtocol, EpidemicWithAcksProtocol
+from .maxprop import MaxPropProtocol
+from .prophet import ProphetProtocol
+from .random_routing import RandomProtocol, RandomWithAcksProtocol
+from .spray_and_wait import SprayAndWaitProtocol
+
+FactoryBuilder = Callable[..., ProtocolFactory]
+
+_REGISTRY: Dict[str, FactoryBuilder] = {}
+
+
+def register_protocol(name: str, builder: FactoryBuilder) -> None:
+    """Register (or replace) a protocol factory builder under *name*."""
+    _REGISTRY[name] = builder
+
+
+def available_protocols() -> List[str]:
+    """Names of all registered protocols, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_factory(name: str, **kwargs) -> ProtocolFactory:
+    """Build a protocol factory by registry name.
+
+    Keyword arguments are forwarded to the protocol constructor (for
+    example ``create_factory("rapid", metric="max_delay")`` or
+    ``create_factory("spray-and-wait", copies=8)``).
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError as exc:
+        raise UnknownProtocolError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        ) from exc
+    return builder(**kwargs)
+
+
+def _simple(protocol_cls: type, name: str) -> FactoryBuilder:
+    def builder(**kwargs) -> ProtocolFactory:
+        return ProtocolFactory(protocol_cls, name=name, **kwargs)
+
+    return builder
+
+
+register_protocol("random", _simple(RandomProtocol, "random"))
+register_protocol("random-acks", _simple(RandomWithAcksProtocol, "random-acks"))
+register_protocol("epidemic", _simple(EpidemicProtocol, "epidemic"))
+register_protocol("epidemic-acks", _simple(EpidemicWithAcksProtocol, "epidemic-acks"))
+register_protocol("direct", _simple(DirectDeliveryProtocol, "direct"))
+register_protocol("spray-and-wait", _simple(SprayAndWaitProtocol, "spray-and-wait"))
+register_protocol("prophet", _simple(ProphetProtocol, "prophet"))
+register_protocol("maxprop", _simple(MaxPropProtocol, "maxprop"))
+
+
+def _register_rapid_variants() -> None:
+    """RAPID registration is lazy to avoid an import cycle at module load."""
+
+    def rapid_builder(**kwargs) -> ProtocolFactory:
+        from ..core.rapid import RapidProtocol
+
+        metric = kwargs.get("metric", "average_delay")
+        channel = kwargs.get("control_channel", "in-band")
+        label = kwargs.pop("label", None) or f"rapid[{metric},{channel}]"
+        return ProtocolFactory(RapidProtocol, name=label, **kwargs)
+
+    register_protocol("rapid", rapid_builder)
+
+    def rapid_local_builder(**kwargs) -> ProtocolFactory:
+        kwargs.setdefault("control_channel", "local")
+        kwargs.setdefault("label", "rapid-local")
+        return rapid_builder(**kwargs)
+
+    def rapid_global_builder(**kwargs) -> ProtocolFactory:
+        kwargs.setdefault("control_channel", "global")
+        kwargs.setdefault("label", "rapid-global")
+        return rapid_builder(**kwargs)
+
+    register_protocol("rapid-local", rapid_local_builder)
+    register_protocol("rapid-global", rapid_global_builder)
+
+
+_register_rapid_variants()

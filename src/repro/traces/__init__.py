@@ -1,0 +1,20 @@
+"""Trace generation and trace file handling."""
+
+from .dieselnet import (
+    DayTrace,
+    DieselNetParameters,
+    DieselNetTraceGenerator,
+    summarize_days,
+)
+from .io import read_schedule, schedule_from_string, schedule_to_string, write_schedule
+
+__all__ = [
+    "DayTrace",
+    "DieselNetParameters",
+    "DieselNetTraceGenerator",
+    "summarize_days",
+    "read_schedule",
+    "write_schedule",
+    "schedule_to_string",
+    "schedule_from_string",
+]

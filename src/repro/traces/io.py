@@ -1,0 +1,105 @@
+"""Reading and writing meeting traces.
+
+The on-disk format is a simple, diff-friendly text format with one meeting
+per line::
+
+    # repro-dtn-trace v1
+    # duration: 68400.0
+    <time> <node_a> <node_b> <capacity_bytes> [duration_seconds]
+
+Lines beginning with ``#`` are comments; the ``duration`` header is
+optional (the latest meeting time is used when absent).  The same format
+can represent real DieselNet traces converted from the published logs, so
+users with access to the original data can drop them in directly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Optional, TextIO, Union
+
+from ..exceptions import TraceFormatError
+from ..mobility.schedule import Meeting, MeetingSchedule
+
+HEADER = "# repro-dtn-trace v1"
+
+
+def write_schedule(schedule: MeetingSchedule, destination: Union[str, Path, TextIO]) -> None:
+    """Write *schedule* in the trace text format."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(schedule, handle)
+    else:
+        _write(schedule, destination)
+
+
+def _write(schedule: MeetingSchedule, handle: TextIO) -> None:
+    handle.write(HEADER + "\n")
+    handle.write(f"# duration: {schedule.duration}\n")
+    for meeting in schedule:
+        handle.write(
+            f"{meeting.time:.6f} {meeting.node_a} {meeting.node_b} "
+            f"{meeting.capacity:.1f} {meeting.duration:.3f}\n"
+        )
+
+
+def read_schedule(source: Union[str, Path, TextIO]) -> MeetingSchedule:
+    """Parse a meeting schedule from a trace file or file-like object."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def _read(handle: TextIO) -> MeetingSchedule:
+    duration: Optional[float] = None
+    meetings: List[Meeting] = []
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if "duration:" in line:
+                try:
+                    duration = float(line.split("duration:", 1)[1].strip())
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"line {line_number}: malformed duration header"
+                    ) from exc
+            continue
+        parts = line.split()
+        if len(parts) not in (4, 5):
+            raise TraceFormatError(
+                f"line {line_number}: expected 4 or 5 fields, got {len(parts)}"
+            )
+        try:
+            time = float(parts[0])
+            node_a = int(parts[1])
+            node_b = int(parts[2])
+            capacity = float(parts[3])
+            meet_duration = float(parts[4]) if len(parts) == 5 else 0.0
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_number}: malformed field") from exc
+        meetings.append(
+            Meeting(
+                time=time,
+                node_a=node_a,
+                node_b=node_b,
+                capacity=capacity,
+                duration=meet_duration,
+            )
+        )
+    return MeetingSchedule(meetings, duration=duration)
+
+
+def schedule_to_string(schedule: MeetingSchedule) -> str:
+    """Render the schedule in the trace format and return it as a string."""
+    buffer = io.StringIO()
+    _write(schedule, buffer)
+    return buffer.getvalue()
+
+
+def schedule_from_string(text: str) -> MeetingSchedule:
+    """Parse a schedule from a string in the trace format."""
+    return _read(io.StringIO(text))

@@ -1,0 +1,87 @@
+"""Small unit helpers used throughout the library.
+
+Time is represented as seconds (floats) and data sizes as bytes (ints).
+These helpers exist so that experiment configuration reads like the paper
+("19-hour day", "100 KB buffer", "2.7 hour deadline") instead of raw magic
+numbers.
+"""
+
+from __future__ import annotations
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+BYTE = 1
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def minutes(value: float) -> float:
+    """Return *value* minutes expressed in seconds."""
+    return value * MINUTE
+
+
+def hours(value: float) -> float:
+    """Return *value* hours expressed in seconds."""
+    return value * HOUR
+
+
+def seconds_to_minutes(value: float) -> float:
+    """Convert seconds to minutes (for reporting, mirrors the paper's axes)."""
+    return value / MINUTE
+
+
+def kilobytes(value: float) -> int:
+    """Return *value* kibibytes expressed in bytes (rounded)."""
+    return int(round(value * KB))
+
+
+def megabytes(value: float) -> int:
+    """Return *value* mebibytes expressed in bytes (rounded)."""
+    return int(round(value * MB))
+
+
+def bytes_to_megabytes(value: float) -> float:
+    """Convert a byte count to MB for reporting."""
+    return value / MB
+
+
+def per_hour(count: float) -> float:
+    """Convert an hourly rate into a per-second rate."""
+    return count / HOUR
+
+
+def format_duration(seconds_value: float) -> str:
+    """Render a duration in a compact human readable form.
+
+    >>> format_duration(5460)
+    '1h31m'
+    >>> format_duration(42)
+    '42s'
+    """
+    if seconds_value < MINUTE:
+        return f"{seconds_value:.0f}s"
+    if seconds_value < HOUR:
+        whole_minutes = int(seconds_value // MINUTE)
+        rem = int(seconds_value - whole_minutes * MINUTE)
+        return f"{whole_minutes}m{rem:02d}s" if rem else f"{whole_minutes}m"
+    whole_hours = int(seconds_value // HOUR)
+    rem_minutes = int((seconds_value - whole_hours * HOUR) // MINUTE)
+    return f"{whole_hours}h{rem_minutes:02d}m" if rem_minutes else f"{whole_hours}h"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count in a compact human readable form.
+
+    >>> format_bytes(2048)
+    '2.0 KB'
+    """
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")

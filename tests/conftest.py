@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately tiny: the unit tests exercise behaviour and
+invariants, not paper-scale performance (the benchmark harness does that).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtn.packet import Packet, PacketFactory
+from repro.dtn.workload import PoissonWorkload
+from repro.mobility.exponential import ExponentialMobility
+from repro.mobility.schedule import Meeting, MeetingSchedule
+
+
+@pytest.fixture
+def packet_factory() -> PacketFactory:
+    return PacketFactory()
+
+
+@pytest.fixture
+def small_packet(packet_factory) -> Packet:
+    return packet_factory.create(source=0, destination=1, size=1024, creation_time=0.0)
+
+
+@pytest.fixture
+def tiny_schedule() -> MeetingSchedule:
+    """A hand-written 4-node schedule with a relay path 0 -> 1 -> 2."""
+    meetings = [
+        Meeting(time=10.0, node_a=0, node_b=1, capacity=10 * 1024),
+        Meeting(time=20.0, node_a=1, node_b=2, capacity=10 * 1024),
+        Meeting(time=30.0, node_a=0, node_b=3, capacity=10 * 1024),
+        Meeting(time=40.0, node_a=3, node_b=2, capacity=10 * 1024),
+        Meeting(time=50.0, node_a=0, node_b=1, capacity=10 * 1024),
+    ]
+    return MeetingSchedule(meetings, nodes=range(4), duration=60.0)
+
+
+@pytest.fixture
+def exponential_schedule() -> MeetingSchedule:
+    """A small random schedule: 8 nodes, 10 minutes."""
+    mobility = ExponentialMobility(
+        num_nodes=8, mean_inter_meeting=60.0, transfer_opportunity=50 * 1024, seed=42
+    )
+    return mobility.generate(600.0)
+
+
+@pytest.fixture
+def small_workload(exponential_schedule) -> list:
+    """A workload matched to the exponential_schedule fixture."""
+    workload = PoissonWorkload(packets_per_hour=20.0, seed=7, deadline=120.0)
+    return workload.generate(range(8), 600.0)

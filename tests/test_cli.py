@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure4" in output and "table3" in output
+
+    def test_protocols(self, capsys):
+        assert main(["protocols"]) == 0
+        output = capsys.readouterr().out
+        assert "rapid" in output and "maxprop" in output
+
+    def test_quicksim(self, capsys):
+        code = main([
+            "quicksim", "--protocol", "random", "--nodes", "5",
+            "--duration", "120", "--mean-meeting", "30", "--load", "30",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "delivery_rate" in output
+
+    def test_quicksim_rapid(self, capsys):
+        assert main(["quicksim", "--protocol", "rapid", "--nodes", "4", "--duration", "60"]) == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure99"])

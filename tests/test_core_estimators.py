@@ -1,0 +1,201 @@
+"""Tests for the meeting-time estimator, transfer-size estimator and metadata store."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.core.meeting_estimator import MeetingTimeEstimator
+from repro.core.metadata import MetadataStore, PacketMetadata, ReplicaInfo
+from repro.core.transfer_estimator import TransferSizeEstimator
+from repro.dtn.packet import Packet, PacketFactory
+
+
+class TestMeetingTimeEstimator:
+    def test_first_meeting_uses_elapsed_time(self):
+        estimator = MeetingTimeEstimator(node_id=0)
+        estimator.record_meeting(1, now=120.0)
+        assert estimator.direct_mean(1) == pytest.approx(120.0)
+
+    def test_average_of_gaps(self):
+        estimator = MeetingTimeEstimator(node_id=0)
+        estimator.record_meeting(1, now=100.0)
+        estimator.record_meeting(1, now=200.0)
+        estimator.record_meeting(1, now=260.0)
+        # Gaps of 100 and 60 averaged with the initial estimate of 100.
+        assert estimator.direct_mean(1) == pytest.approx((100.0 + 100.0 + 60.0) / 3)
+
+    def test_expected_meeting_time_direct(self):
+        estimator = MeetingTimeEstimator(node_id=0)
+        estimator.record_meeting(1, now=50.0)
+        assert estimator.expected_meeting_time(1) == pytest.approx(50.0)
+        assert estimator.expected_meeting_time(0) == 0.0
+
+    def test_unknown_destination_is_never_met(self):
+        estimator = MeetingTimeEstimator(node_id=0)
+        assert estimator.expected_meeting_time(9) == constants.NEVER_MEET
+
+    def test_multi_hop_path(self):
+        estimator = MeetingTimeEstimator(node_id=0, max_hops=3)
+        estimator.record_meeting(1, now=100.0)
+        estimator.merge_table(1, {2: 40.0})
+        # 0 -> 1 (100) -> 2 (40).
+        assert estimator.expected_meeting_time(2) == pytest.approx(140.0)
+
+    def test_hop_limit_enforced(self):
+        estimator = MeetingTimeEstimator(node_id=0, max_hops=2)
+        estimator.record_meeting(1, now=10.0)
+        estimator.merge_table(1, {2: 10.0})
+        estimator.merge_table(2, {3: 10.0})
+        estimator.merge_table(3, {4: 10.0})
+        assert not math.isinf(estimator.expected_meeting_time(2))
+        # Node 4 needs 4 hops (0-1-2-3-4) which exceeds max_hops=2... node 3
+        # needs 3 hops and must already be unreachable.
+        assert math.isinf(estimator.expected_meeting_time(4))
+        assert math.isinf(estimator.expected_meeting_time(3))
+
+    def test_merge_from_peer(self):
+        a = MeetingTimeEstimator(node_id=0)
+        b = MeetingTimeEstimator(node_id=1)
+        a.record_meeting(1, now=30.0)
+        b.record_meeting(5, now=20.0)
+        a.merge_from(b)
+        assert a.expected_meeting_time(5) == pytest.approx(50.0)
+
+    def test_version_bumps_on_change(self):
+        estimator = MeetingTimeEstimator(node_id=0)
+        v0 = estimator.version
+        estimator.record_meeting(1, now=10.0)
+        assert estimator.version > v0
+        v1 = estimator.version
+        estimator.merge_table(1, {2: 5.0})
+        assert estimator.version > v1
+        # Merging an identical table does not bump the version.
+        v2 = estimator.version
+        estimator.merge_table(1, {2: 5.0})
+        assert estimator.version == v2
+
+    def test_own_table_copy(self):
+        estimator = MeetingTimeEstimator(node_id=0)
+        estimator.record_meeting(1, now=10.0)
+        table = estimator.own_table()
+        table[1] = 999.0
+        assert estimator.direct_mean(1) != 999.0
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            MeetingTimeEstimator(node_id=0, max_hops=0)
+
+
+class TestTransferSizeEstimator:
+    def test_first_observation(self):
+        estimator = TransferSizeEstimator()
+        estimator.record(1, 1000.0)
+        assert estimator.expected_bytes(1) == pytest.approx(1000.0)
+        assert estimator.observations == 1
+
+    def test_moving_average(self):
+        estimator = TransferSizeEstimator(smoothing=0.5)
+        estimator.record(1, 1000.0)
+        estimator.record(1, 2000.0)
+        assert estimator.expected_bytes(1) == pytest.approx(1500.0)
+
+    def test_global_fallback(self):
+        estimator = TransferSizeEstimator()
+        estimator.record(1, 800.0)
+        assert estimator.expected_bytes(7) == pytest.approx(800.0)
+
+    def test_default_when_empty(self):
+        estimator = TransferSizeEstimator()
+        assert estimator.expected_bytes(3, default=123.0) == 123.0
+
+    def test_ignores_non_positive_sizes(self):
+        estimator = TransferSizeEstimator()
+        estimator.record(1, 0.0)
+        assert estimator.observations == 0
+
+    def test_merge_snapshot_only_fills_gaps(self):
+        a = TransferSizeEstimator()
+        a.record(1, 500.0)
+        b = TransferSizeEstimator()
+        b.record(1, 9999.0)
+        b.record(2, 700.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.expected_bytes(1) == pytest.approx(500.0)
+        assert a.expected_bytes(2) == pytest.approx(700.0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            TransferSizeEstimator(smoothing=0.0)
+
+
+class TestMetadataStore:
+    def _packet(self, pid=1):
+        return Packet(packet_id=pid, source=0, destination=9, size=1000)
+
+    def test_update_and_query(self):
+        store = MetadataStore()
+        packet = self._packet()
+        assert store.update_replica(packet, holder_id=3, delay_estimate=100.0, now=10.0)
+        entry = store.get(packet.packet_id)
+        assert entry.replica_count() == 1
+        assert entry.holders() == [3]
+        assert entry.delay_estimates() == [100.0]
+        assert packet.packet_id in store
+        assert len(store) == 1
+
+    def test_small_drift_is_not_a_change(self):
+        store = MetadataStore()
+        packet = self._packet()
+        store.update_replica(packet, 3, 100.0, now=10.0)
+        assert not store.update_replica(packet, 3, 101.0, now=20.0, tolerance=0.25)
+        # The stored value is still refreshed.
+        assert store.get(packet.packet_id).replicas[3].delay_estimate == 101.0
+
+    def test_large_drift_is_a_change(self):
+        store = MetadataStore()
+        packet = self._packet()
+        store.update_replica(packet, 3, 100.0, now=10.0)
+        assert store.update_replica(packet, 3, 300.0, now=20.0, tolerance=0.25)
+
+    def test_stale_information_rejected(self):
+        store = MetadataStore()
+        packet = self._packet()
+        store.update_replica(packet, 3, 100.0, now=50.0)
+        assert not store.update_replica(packet, 3, 999.0, now=10.0)
+        assert store.get(packet.packet_id).replicas[3].delay_estimate == 100.0
+
+    def test_entries_changed_since(self):
+        store = MetadataStore()
+        early, late = self._packet(1), self._packet(2)
+        store.update_replica(early, 3, 100.0, now=10.0)
+        store.update_replica(late, 4, 100.0, now=50.0)
+        changed = store.entries_changed_since(20.0)
+        assert [entry.packet_id for entry in changed] == [2]
+
+    def test_remove_replica_and_packet(self):
+        store = MetadataStore()
+        packet = self._packet()
+        store.update_replica(packet, 3, 100.0, now=10.0)
+        store.update_replica(packet, 4, 200.0, now=10.0)
+        store.remove_replica(packet.packet_id, 3, now=20.0)
+        assert store.get(packet.packet_id).holders() == [4]
+        store.remove_packet(packet.packet_id)
+        assert store.get(packet.packet_id) is None
+
+    def test_merge_entry_learned_at(self):
+        store = MetadataStore()
+        packet = self._packet()
+        remote = PacketMetadata(packet=packet)
+        remote.replicas[7] = ReplicaInfo(node_id=7, delay_estimate=42.0, updated_at=5.0, changed_at=5.0)
+        assert store.merge_entry(remote, now=30.0)
+        info = store.get(packet.packet_id).replicas[7]
+        assert info.updated_at == 5.0
+        assert info.changed_at == 30.0  # local learning time drives re-flooding
+
+    def test_total_replica_entries(self):
+        store = MetadataStore()
+        store.update_replica(self._packet(1), 3, 1.0, now=1.0)
+        store.update_replica(self._packet(1), 4, 1.0, now=1.0)
+        store.update_replica(self._packet(2), 3, 1.0, now=1.0)
+        assert store.total_replica_entries() == 3

@@ -1,0 +1,124 @@
+"""Tests for the storage-constrained node buffer."""
+
+import pytest
+
+from repro.dtn.buffer import NodeBuffer
+from repro.dtn.packet import PacketFactory
+from repro.exceptions import BufferError_
+
+
+@pytest.fixture
+def factory():
+    return PacketFactory()
+
+
+class TestCapacity:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            NodeBuffer(capacity=0)
+
+    def test_add_and_occupancy(self, factory):
+        buffer = NodeBuffer(capacity=4096)
+        p1 = factory.create(source=0, destination=1, size=1024)
+        p2 = factory.create(source=0, destination=2, size=2048)
+        buffer.add(p1, now=1.0)
+        buffer.add(p2, now=2.0)
+        assert buffer.used_bytes == 3072
+        assert buffer.free_bytes == 1024
+        assert buffer.occupancy() == pytest.approx(0.75)
+        assert len(buffer) == 2
+
+    def test_unlimited_capacity_occupancy_is_zero(self, factory):
+        buffer = NodeBuffer()
+        buffer.add(factory.create(source=0, destination=1, size=1024))
+        assert buffer.occupancy() == 0.0
+
+    def test_overflow_raises(self, factory):
+        buffer = NodeBuffer(capacity=1024)
+        buffer.add(factory.create(source=0, destination=1, size=1024))
+        with pytest.raises(BufferError_):
+            buffer.add(factory.create(source=0, destination=2, size=1))
+
+    def test_duplicate_raises(self, factory):
+        buffer = NodeBuffer(capacity=4096)
+        packet = factory.create(source=0, destination=1, size=1024)
+        buffer.add(packet)
+        with pytest.raises(BufferError_):
+            buffer.add(packet)
+
+    def test_fits(self, factory):
+        buffer = NodeBuffer(capacity=2048)
+        small = factory.create(source=0, destination=1, size=1024)
+        big = factory.create(source=0, destination=1, size=4096)
+        assert buffer.fits(small)
+        assert not buffer.fits(big)
+
+
+class TestRemoval:
+    def test_remove_returns_packet(self, factory):
+        buffer = NodeBuffer(capacity=4096)
+        packet = factory.create(source=0, destination=1, size=1024)
+        buffer.add(packet, now=3.0)
+        removed = buffer.remove(packet.packet_id)
+        assert removed is packet
+        assert packet.packet_id not in buffer
+        assert buffer.used_bytes == 0
+
+    def test_remove_missing_raises(self):
+        buffer = NodeBuffer(capacity=1024)
+        with pytest.raises(BufferError_):
+            buffer.remove(999)
+
+    def test_discard_is_silent_on_missing(self):
+        buffer = NodeBuffer(capacity=1024)
+        assert buffer.discard(999) is None
+
+    def test_clear(self, factory):
+        buffer = NodeBuffer(capacity=4096)
+        for _ in range(3):
+            buffer.add(factory.create(source=0, destination=1, size=1024))
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.used_bytes == 0
+
+
+class TestQueries:
+    def test_packets_for_destination(self, factory):
+        buffer = NodeBuffer()
+        to_one = [factory.create(source=0, destination=1, size=10) for _ in range(3)]
+        to_two = [factory.create(source=0, destination=2, size=10) for _ in range(2)]
+        for packet in to_one + to_two:
+            buffer.add(packet)
+        assert len(buffer.packets_for(1)) == 3
+        assert len(buffer.packets_for(2)) == 2
+        assert set(buffer.destinations()) == {1, 2}
+
+    def test_arrival_time(self, factory):
+        buffer = NodeBuffer()
+        packet = factory.create(source=0, destination=1)
+        buffer.add(packet, now=12.0)
+        assert buffer.arrival_time(packet.packet_id) == 12.0
+        assert buffer.arrival_time(999) is None
+
+    def test_bytes_ahead_of_orders_oldest_first(self, factory):
+        buffer = NodeBuffer()
+        older = factory.create(source=0, destination=5, size=100, creation_time=0.0)
+        newer = factory.create(source=0, destination=5, size=200, creation_time=50.0)
+        other_dest = factory.create(source=0, destination=6, size=400, creation_time=0.0)
+        for packet in (older, newer, other_dest):
+            buffer.add(packet)
+        now = 100.0
+        # The oldest packet is served first, so nothing is ahead of it.
+        assert buffer.bytes_ahead_of(older, now) == 0
+        # The newer packet waits behind the older one (same destination only).
+        assert buffer.bytes_ahead_of(newer, now) == 100
+
+    def test_bytes_ahead_ties_broken_by_packet_id(self, factory):
+        buffer = NodeBuffer()
+        first = factory.create(source=0, destination=5, size=100, creation_time=0.0)
+        second = factory.create(source=0, destination=5, size=100, creation_time=0.0)
+        buffer.add(first)
+        buffer.add(second)
+        ahead_first = buffer.bytes_ahead_of(first, 10.0)
+        ahead_second = buffer.bytes_ahead_of(second, 10.0)
+        assert sorted([ahead_first, ahead_second]) == [0, 100]

@@ -1,0 +1,106 @@
+"""Tests for packets, acks and per-packet records."""
+
+import pytest
+
+from repro.dtn.packet import Ack, Packet, PacketFactory, PacketRecord
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        packet = Packet(packet_id=1, source=0, destination=2, size=512, creation_time=5.0)
+        assert packet.size == 512
+        assert packet.age(15.0) == 10.0
+        assert packet.age(2.0) == 0.0  # never negative
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Packet(packet_id=1, source=0, destination=2, size=0)
+
+    def test_rejects_same_source_and_destination(self):
+        with pytest.raises(ValueError):
+            Packet(packet_id=1, source=3, destination=3)
+
+    def test_rejects_negative_creation_time(self):
+        with pytest.raises(ValueError):
+            Packet(packet_id=1, source=0, destination=1, creation_time=-1.0)
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError):
+            Packet(packet_id=1, source=0, destination=1, deadline=0.0)
+
+    def test_deadline_helpers(self):
+        packet = Packet(packet_id=1, source=0, destination=1, creation_time=10.0, deadline=20.0)
+        assert packet.absolute_deadline() == 30.0
+        assert packet.remaining_lifetime(15.0) == 15.0
+        assert not packet.has_expired(29.0)
+        assert packet.has_expired(30.5)
+
+    def test_no_deadline(self):
+        packet = Packet(packet_id=1, source=0, destination=1)
+        assert packet.absolute_deadline() is None
+        assert packet.remaining_lifetime(100.0) is None
+        assert not packet.has_expired(1e9)
+
+
+class TestPacketFactory:
+    def test_ids_are_unique_and_increasing(self):
+        factory = PacketFactory()
+        packets = [factory.create(source=0, destination=1) for _ in range(10)]
+        ids = [p.packet_id for p in packets]
+        assert ids == sorted(set(ids))
+        assert factory.next_id == 10
+
+    def test_start_id(self):
+        factory = PacketFactory(start_id=100)
+        packet = factory.create(source=0, destination=1)
+        assert packet.packet_id == 100
+
+
+class TestPacketRecord:
+    def test_delay_when_delivered(self):
+        packet = Packet(packet_id=1, source=0, destination=1, creation_time=10.0)
+        record = PacketRecord(packet)
+        record.mark_delivered(70.0, node_id=1, hop_count=2)
+        assert record.delivered
+        assert record.delay() == 60.0
+        assert record.hop_count == 2
+
+    def test_delay_undelivered_requires_horizon(self):
+        packet = Packet(packet_id=1, source=0, destination=1, creation_time=10.0)
+        record = PacketRecord(packet)
+        assert record.delay() is None
+        assert record.delay(horizon=100.0) == 90.0
+
+    def test_first_delivery_wins(self):
+        packet = Packet(packet_id=1, source=0, destination=1)
+        record = PacketRecord(packet)
+        record.mark_delivered(50.0, node_id=1, hop_count=1)
+        record.mark_delivered(20.0, node_id=1, hop_count=3)
+        assert record.delivery_time == 50.0
+        assert record.hop_count == 1
+
+    def test_met_deadline(self):
+        packet = Packet(packet_id=1, source=0, destination=1, creation_time=0.0, deadline=30.0)
+        record = PacketRecord(packet)
+        assert not record.met_deadline()
+        record.mark_delivered(25.0, node_id=1, hop_count=1)
+        assert record.met_deadline()
+
+    def test_missed_deadline(self):
+        packet = Packet(packet_id=1, source=0, destination=1, creation_time=0.0, deadline=30.0)
+        record = PacketRecord(packet)
+        record.mark_delivered(45.0, node_id=1, hop_count=1)
+        assert not record.met_deadline()
+
+    def test_no_deadline_counts_as_met_when_delivered(self):
+        packet = Packet(packet_id=1, source=0, destination=1)
+        record = PacketRecord(packet)
+        record.mark_delivered(45.0, node_id=1, hop_count=1)
+        assert record.met_deadline()
+
+
+class TestAck:
+    def test_fields(self):
+        ack = Ack(packet_id=7, delivered_at=12.5)
+        assert ack.packet_id == 7
+        assert ack.delivered_at == 12.5

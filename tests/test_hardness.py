@@ -1,0 +1,175 @@
+"""Tests for the Appendix hardness constructions."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardness.edp_reduction import (
+    max_edge_disjoint_paths,
+    max_packets_deliverable,
+    paths_to_transfer_schedule,
+    reduce_edp_to_dtn,
+    topological_edge_labels,
+)
+from repro.hardness.gadget import (
+    BasicGadget,
+    delivery_rate_bound,
+    left_first_choice,
+    packets_introduced,
+    play_basic_gadget,
+    play_composed_gadget,
+    replicate_first_choice,
+)
+from repro.hardness.online_adversary import (
+    OnlineAdversary,
+    broadcast_first_strategy,
+    evaluate_online_algorithm,
+    one_to_one_strategy,
+    reversed_strategy,
+)
+
+
+class TestOnlineAdversary:
+    @pytest.mark.parametrize("strategy", [one_to_one_strategy, reversed_strategy, broadcast_first_strategy])
+    @pytest.mark.parametrize("n", [3, 6, 10])
+    def test_algorithm_delivers_at_most_one(self, strategy, n):
+        outcome = evaluate_online_algorithm(strategy, num_packets=n)
+        assert outcome.algorithm_deliverable <= 1
+        assert outcome.adversary_deliverable == n
+        assert outcome.competitive_ratio >= n
+
+    def test_assignment_is_a_bijection(self):
+        adversary = OnlineAdversary(num_packets=5)
+        transfers = {i: {adversary.intermediates[i]} for i in range(5)}
+        assignment = adversary.generate_assignment(transfers)
+        assert sorted(assignment.keys()) == adversary.intermediates
+        assert sorted(assignment.values()) == adversary.destinations
+
+    def test_schedule_structure(self):
+        adversary = OnlineAdversary(num_packets=4, phase_gap=5.0)
+        transfers = {i: {adversary.intermediates[i]} for i in range(4)}
+        assignment = adversary.generate_assignment(transfers)
+        schedule = adversary.full_schedule(assignment)
+        times = {m.time for m in schedule}
+        assert times == {0.0, 5.0}
+        assert len(schedule) == 8
+
+    def test_workload_destinations(self):
+        adversary = OnlineAdversary(num_packets=3)
+        packets = adversary.workload()
+        assert [p.destination for p in packets] == adversary.destinations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineAdversary(num_packets=0)
+
+
+class TestGadget:
+    def test_delivery_rate_bound_decreases_to_one_third(self):
+        values = [delivery_rate_bound(i) for i in range(1, 30)]
+        assert values[0] == pytest.approx(0.5)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1 / 3, abs=0.01)
+
+    def test_packets_introduced(self):
+        assert packets_introduced(1) == 4
+        assert packets_introduced(3) == 10
+        with pytest.raises(ValueError):
+            packets_introduced(0)
+
+    def test_basic_gadget_schedule(self):
+        gadget = BasicGadget()
+        schedule = gadget.schedule()
+        assert len(schedule) == 6
+        packets = gadget.initial_packets()
+        assert len(packets) == 2
+        assert packets[0].destination == gadget.dest_1
+
+    def test_basic_gadget_split_choice(self):
+        delivered, adv, total, history = play_basic_gadget(left_first_choice)
+        assert (delivered, adv, total) == (2, 4, 4)
+        assert history
+
+    def test_basic_gadget_replicate_choice(self):
+        delivered, adv, total, _ = play_basic_gadget(replicate_first_choice)
+        assert (delivered, adv, total) == (1, 2, 2)
+
+    def test_composed_gadget_rate_approaches_one_third(self):
+        shallow = play_composed_gadget(1, left_first_choice)
+        deep = play_composed_gadget(10, left_first_choice)
+        assert shallow.algorithm_rate == pytest.approx(0.5)
+        assert deep.algorithm_rate < shallow.algorithm_rate
+        assert deep.algorithm_rate == pytest.approx(1 / 3, abs=0.05)
+        assert deep.adversary_rate == 1.0
+
+    def test_composed_gadget_validation(self):
+        with pytest.raises(ValueError):
+            play_composed_gadget(0, left_first_choice)
+
+
+class TestEDPReduction:
+    def _diamond(self):
+        graph = nx.DiGraph()
+        graph.add_edges_from([("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")])
+        return graph
+
+    def test_labels_increase_along_paths(self):
+        graph = self._diamond()
+        labels = topological_edge_labels(graph)
+        for path in nx.all_simple_paths(graph, "s", "t"):
+            edge_labels = [labels[(path[i], path[i + 1])] for i in range(len(path) - 1)]
+            assert edge_labels == sorted(edge_labels)
+
+    def test_rejects_cycles(self):
+        graph = nx.DiGraph([(0, 1), (1, 0)])
+        with pytest.raises(ConfigurationError):
+            topological_edge_labels(graph)
+
+    def test_reduction_structure(self):
+        graph = self._diamond()
+        instance = reduce_edp_to_dtn(graph, [("s", "t")])
+        assert len(instance.schedule) == graph.number_of_edges()
+        assert all(m.capacity == 1.0 for m in instance.schedule)
+        assert len(instance.packets) == 1
+
+    def test_optima_match_on_diamond(self):
+        graph = self._diamond()
+        pairs = [("s", "t"), ("s", "t")]
+        instance = reduce_edp_to_dtn(graph, pairs)
+        assert max_edge_disjoint_paths(graph, pairs) == 2
+        assert max_packets_deliverable(instance) == 2
+
+    def test_optima_match_when_paths_conflict(self):
+        # A single shared edge limits both pairs to one disjoint path.
+        graph = nx.DiGraph([("s1", "m"), ("s2", "m"), ("m", "t1"), ("m", "t2")])
+        pairs = [("s1", "t1"), ("s2", "t2")]
+        # Both paths must use distinct edges through m, which they can:
+        assert max_edge_disjoint_paths(graph, pairs) == 2
+        # Now make them collide on one edge.
+        graph2 = nx.DiGraph([("s1", "m"), ("s2", "m"), ("m", "t")])
+        pairs2 = [("s1", "t"), ("s2", "t")]
+        instance2 = reduce_edp_to_dtn(graph2, pairs2)
+        assert max_edge_disjoint_paths(graph2, pairs2) == 1
+        assert max_packets_deliverable(instance2) == 1
+
+    def test_paths_to_transfer_schedule_valid(self):
+        graph = self._diamond()
+        instance = reduce_edp_to_dtn(graph, [("s", "t"), ("s", "t")])
+        paths = {
+            instance.packets[0].packet_id: [("s", "a"), ("a", "t")],
+            instance.packets[1].packet_id: [("s", "b"), ("b", "t")],
+        }
+        transfers = paths_to_transfer_schedule(instance, paths)
+        for packet_id, hops in transfers.items():
+            times = [t for t, _, _ in hops]
+            assert times == sorted(times)
+
+    def test_paths_to_transfer_schedule_rejects_shared_edges(self):
+        graph = self._diamond()
+        instance = reduce_edp_to_dtn(graph, [("s", "t"), ("s", "t")])
+        paths = {
+            instance.packets[0].packet_id: [("s", "a"), ("a", "t")],
+            instance.packets[1].packet_id: [("s", "a"), ("a", "t")],
+        }
+        with pytest.raises(ConfigurationError):
+            paths_to_transfer_schedule(instance, paths)

@@ -1,0 +1,136 @@
+"""Integration tests: whole-system invariants across protocols.
+
+These tests run every registered protocol through the same small scenario
+and check cross-cutting invariants the paper's evaluation relies on:
+conservation of packets, bandwidth accounting, the benefit of replication
+over direct delivery, and the benefit of acknowledgment flooding.
+"""
+
+import pytest
+
+from repro.dtn.simulator import run_simulation
+from repro.dtn.workload import PoissonWorkload
+from repro.mobility.exponential import ExponentialMobility
+from repro.mobility.powerlaw import PowerLawMobility
+from repro.routing.registry import available_protocols, create_factory
+
+ALL_PROTOCOLS = [
+    "rapid", "rapid-local", "rapid-global", "maxprop", "spray-and-wait",
+    "prophet", "random", "random-acks", "epidemic", "epidemic-acks", "direct",
+]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    mobility = ExponentialMobility(
+        num_nodes=8, mean_inter_meeting=60.0, transfer_opportunity=40 * 1024, seed=21
+    )
+    schedule = mobility.generate(500.0)
+    packets = PoissonWorkload(packets_per_hour=40.0, seed=22, deadline=90.0).generate(range(8), 500.0)
+    return schedule, packets
+
+
+@pytest.fixture(scope="module")
+def results(scenario):
+    schedule, packets = scenario
+    outcomes = {}
+    for name in ALL_PROTOCOLS:
+        outcomes[name] = run_simulation(
+            schedule, packets, create_factory(name), buffer_capacity=30 * 1024, seed=5
+        )
+    return outcomes
+
+
+class TestCrossProtocolInvariants:
+    def test_registry_covers_tested_protocols(self):
+        assert set(ALL_PROTOCOLS) <= set(available_protocols())
+
+    def test_delivery_rate_in_unit_interval(self, results):
+        for name, result in results.items():
+            assert 0.0 <= result.delivery_rate() <= 1.0, name
+
+    def test_packet_conservation(self, scenario, results):
+        _, packets = scenario
+        for name, result in results.items():
+            assert result.num_packets == len(packets), name
+            assert result.num_delivered <= result.num_packets, name
+
+    def test_bandwidth_never_exceeds_capacity(self, results):
+        for name, result in results.items():
+            assert result.data_bytes + result.metadata_bytes <= result.total_capacity_bytes + 1e-6, name
+
+    def test_delays_are_non_negative_and_bounded_by_duration(self, results):
+        for name, result in results.items():
+            for record in result.delivered_records():
+                delay = record.delay()
+                assert delay is not None and 0.0 <= delay <= result.duration + 10.0, name
+
+    def test_deadline_success_never_exceeds_delivery_rate(self, results):
+        for name, result in results.items():
+            assert result.deadline_success_rate() <= result.delivery_rate() + 1e-9, name
+
+    def test_replication_beats_direct_delivery(self, results):
+        direct = results["direct"].delivery_rate()
+        for name in ("rapid", "maxprop", "epidemic", "spray-and-wait"):
+            assert results[name].delivery_rate() >= direct, name
+
+    def test_acks_do_not_hurt_random(self, results):
+        assert results["random-acks"].delivery_rate() >= results["random"].delivery_rate() - 0.05
+
+    def test_only_rapid_variants_charge_metadata(self, results):
+        for name, result in results.items():
+            if name in ("rapid", "rapid-local"):
+                assert result.metadata_bytes > 0, name
+            else:
+                assert result.metadata_bytes == 0, name
+
+    def test_direct_protocol_never_replicates(self, results):
+        assert results["direct"].replications == 0
+
+    def test_spray_and_wait_replicates_less_than_epidemic(self, results):
+        assert results["spray-and-wait"].replications <= results["epidemic"].replications
+
+
+class TestRapidMetricsShapeEachOther:
+    """RAPID instantiated with a metric should do best on that metric
+    (compared with the other RAPID instantiations on the same scenario)."""
+
+    @pytest.fixture(scope="class")
+    def rapid_by_metric(self, scenario):
+        schedule, packets = scenario
+        outcomes = {}
+        for metric in ("average_delay", "max_delay", "deadline"):
+            outcomes[metric] = run_simulation(
+                schedule,
+                packets,
+                create_factory("rapid", metric=metric),
+                buffer_capacity=30 * 1024,
+                seed=5,
+            )
+        return outcomes
+
+    def test_deadline_metric_best_at_deadlines(self, rapid_by_metric):
+        deadline_rate = rapid_by_metric["deadline"].deadline_success_rate()
+        assert deadline_rate >= rapid_by_metric["max_delay"].deadline_success_rate() - 0.02
+
+    def test_all_metrics_deliver_reasonably(self, rapid_by_metric):
+        for metric, result in rapid_by_metric.items():
+            assert result.delivery_rate() > 0.4, metric
+
+
+class TestMobilityModelsIntegrate:
+    def test_powerlaw_scenario_runs_all_protocols(self):
+        mobility = PowerLawMobility(num_nodes=6, mean_inter_meeting=50.0, seed=9)
+        schedule = mobility.generate(240.0)
+        packets = PoissonWorkload(packets_per_hour=60.0, seed=10, deadline=40.0).generate(range(6), 240.0)
+        for name in ("rapid", "maxprop", "spray-and-wait", "random"):
+            result = run_simulation(schedule, packets, create_factory(name), buffer_capacity=20 * 1024)
+            assert result.num_packets == len(packets)
+
+    def test_same_workload_same_schedule_is_deterministic(self, scenario):
+        schedule, packets = scenario
+        a = run_simulation(schedule, packets, create_factory("rapid"), buffer_capacity=30 * 1024, seed=77)
+        b = run_simulation(schedule, packets, create_factory("rapid"), buffer_capacity=30 * 1024, seed=77)
+        assert a.delivery_rate() == b.delivery_rate()
+        assert a.average_delay() == pytest.approx(b.average_delay())
+        assert a.replications == b.replications

@@ -1,0 +1,178 @@
+"""Tests for meeting schedules and mobility models."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.mobility.exponential import ExponentialMobility
+from repro.mobility.powerlaw import PowerLawMobility
+from repro.mobility.schedule import Meeting, MeetingSchedule, ScheduleStatistics
+from repro.mobility.trace import TraceMobility
+
+
+class TestMeeting:
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            Meeting(time=-1.0, node_a=0, node_b=1)
+        with pytest.raises(ScheduleError):
+            Meeting(time=1.0, node_a=2, node_b=2)
+        with pytest.raises(ScheduleError):
+            Meeting(time=1.0, node_a=0, node_b=1, capacity=-5)
+
+    def test_peer_of(self):
+        meeting = Meeting(time=1.0, node_a=3, node_b=7)
+        assert meeting.peer_of(3) == 7
+        assert meeting.peer_of(7) == 3
+        with pytest.raises(ScheduleError):
+            meeting.peer_of(9)
+
+    def test_pair_is_sorted(self):
+        assert Meeting(time=0.0, node_a=9, node_b=2).pair() == (2, 9)
+
+
+class TestMeetingSchedule:
+    def test_sorted_by_time(self):
+        meetings = [
+            Meeting(time=30.0, node_a=0, node_b=1),
+            Meeting(time=10.0, node_a=1, node_b=2),
+        ]
+        schedule = MeetingSchedule(meetings)
+        assert [m.time for m in schedule] == [10.0, 30.0]
+
+    def test_nodes_include_explicit_and_meeting_nodes(self):
+        schedule = MeetingSchedule([Meeting(time=1.0, node_a=0, node_b=1)], nodes=[5])
+        assert schedule.nodes == [0, 1, 5]
+
+    def test_duration_defaults_to_last_meeting(self):
+        schedule = MeetingSchedule([Meeting(time=42.0, node_a=0, node_b=1)])
+        assert schedule.duration == 42.0
+
+    def test_duration_shorter_than_meetings_rejected(self):
+        with pytest.raises(ScheduleError):
+            MeetingSchedule([Meeting(time=42.0, node_a=0, node_b=1)], duration=10.0)
+
+    def test_meetings_between(self, tiny_schedule):
+        window = tiny_schedule.meetings_between(15.0, 45.0)
+        assert [m.time for m in window] == [20.0, 30.0, 40.0]
+
+    def test_meetings_of_node_and_pair(self, tiny_schedule):
+        assert len(tiny_schedule.meetings_of(0)) == 3
+        assert len(tiny_schedule.meetings_of_pair(0, 1)) == 2
+        assert len(tiny_schedule.meetings_of_pair(1, 0)) == 2
+
+    def test_capacity_statistics(self, tiny_schedule):
+        assert tiny_schedule.total_capacity() == 5 * 10 * 1024
+        assert tiny_schedule.mean_capacity() == 10 * 1024
+
+    def test_mean_inter_meeting_times(self, tiny_schedule):
+        means = tiny_schedule.mean_inter_meeting_times()
+        assert means[(0, 1)] == 40.0
+        assert (1, 2) not in means  # only one meeting, no interval
+
+    def test_restricted_and_truncated(self, tiny_schedule):
+        restricted = tiny_schedule.restricted_to([0, 1])
+        assert all(m.pair() == (0, 1) for m in restricted)
+        truncated = tiny_schedule.truncated(25.0)
+        assert len(truncated) == 2
+        assert truncated.duration == 25.0
+
+    def test_merged_with(self, tiny_schedule):
+        other = MeetingSchedule([Meeting(time=5.0, node_a=7, node_b=8)], duration=100.0)
+        merged = tiny_schedule.merged_with(other)
+        assert len(merged) == len(tiny_schedule) + 1
+        assert merged.duration == 100.0
+        assert 7 in merged.nodes
+
+    def test_from_tuples(self):
+        schedule = MeetingSchedule.from_tuples([(1.0, 0, 1, 500.0), (2.0, 1, 2, 600.0)])
+        assert len(schedule) == 2
+        assert schedule[0].capacity == 500.0
+
+    def test_statistics(self, tiny_schedule):
+        stats = ScheduleStatistics.of(tiny_schedule)
+        assert stats.num_nodes == 4
+        assert stats.num_meetings == 5
+        assert stats.meetings_per_node == pytest.approx(2.5)
+
+
+class TestExponentialMobility:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialMobility(num_nodes=1)
+        with pytest.raises(ValueError):
+            ExponentialMobility(num_nodes=5, mean_inter_meeting=0)
+        with pytest.raises(ValueError):
+            ExponentialMobility(num_nodes=5, capacity_jitter=1.5)
+
+    def test_generation_is_reproducible(self):
+        a = ExponentialMobility(num_nodes=6, mean_inter_meeting=30.0, seed=3).generate(300.0)
+        b = ExponentialMobility(num_nodes=6, mean_inter_meeting=30.0, seed=3).generate(300.0)
+        assert len(a) == len(b)
+        assert [m.time for m in a] == [m.time for m in b]
+
+    def test_meeting_count_matches_rate(self):
+        mean = 50.0
+        duration = 5000.0
+        model = ExponentialMobility(num_nodes=6, mean_inter_meeting=mean, seed=1)
+        schedule = model.generate(duration)
+        pairs = 6 * 5 / 2
+        expected = pairs * duration / mean
+        assert expected * 0.7 < len(schedule) < expected * 1.3
+
+    def test_expected_pair_rate(self):
+        model = ExponentialMobility(num_nodes=4, mean_inter_meeting=25.0)
+        assert model.expected_pair_rate(0, 1) == pytest.approx(1 / 25.0)
+
+    def test_capacity_jitter_bounds(self):
+        model = ExponentialMobility(
+            num_nodes=4, mean_inter_meeting=10.0, transfer_opportunity=1000, capacity_jitter=0.2, seed=9
+        )
+        schedule = model.generate(200.0)
+        assert all(800 <= m.capacity <= 1200 for m in schedule)
+
+
+class TestPowerLawMobility:
+    def test_popularity_permutation_required(self):
+        with pytest.raises(ValueError):
+            PowerLawMobility(num_nodes=4, popularity=[1, 1, 2, 3])
+
+    def test_popular_pairs_meet_more_often(self):
+        popularity = list(range(1, 11))
+        model = PowerLawMobility(
+            num_nodes=10, mean_inter_meeting=60.0, exponent=1.0, popularity=popularity, seed=2
+        )
+        # Node 0 has rank 1 (most popular), node 9 has rank 10 (least).
+        assert model.pair_mean(0, 1) < model.pair_mean(8, 9)
+
+    def test_mean_is_normalised(self):
+        model = PowerLawMobility(num_nodes=8, mean_inter_meeting=100.0, seed=4)
+        means = [
+            model.pair_mean(a, b)
+            for a in range(8)
+            for b in range(a + 1, 8)
+        ]
+        assert sum(means) / len(means) == pytest.approx(100.0, rel=1e-6)
+
+    def test_generation_runs(self):
+        model = PowerLawMobility(num_nodes=6, mean_inter_meeting=40.0, seed=5)
+        schedule = model.generate(300.0)
+        assert len(schedule) > 0
+
+
+class TestTraceMobility:
+    def test_wraps_schedule(self, tiny_schedule):
+        mobility = TraceMobility(tiny_schedule)
+        assert mobility.generate(60.0) is tiny_schedule
+        shorter = mobility.generate(25.0)
+        assert len(shorter) == 2
+
+    def test_expected_pair_rate(self, tiny_schedule):
+        mobility = TraceMobility(tiny_schedule)
+        rate = mobility.expected_pair_rate(0, 1)
+        assert rate == pytest.approx(2 / 60.0)
+        assert mobility.expected_pair_rate(0, 2) == 0.0
+
+    def test_rejects_bad_duration(self, tiny_schedule):
+        with pytest.raises(ValueError):
+            TraceMobility(tiny_schedule).generate(0)

@@ -1,0 +1,155 @@
+"""Tests for the offline optimal router (ILP and earliest-arrival)."""
+
+import pytest
+
+from repro.dtn.packet import PacketFactory
+from repro.dtn.workload import single_packet_workload
+from repro.exceptions import ConfigurationError, OptimizationError
+from repro.mobility.schedule import Meeting, MeetingSchedule
+from repro.optimal.ilp import build_ilp, interpret_solution
+from repro.optimal.router import OptimalRouter
+from repro.optimal.solver import solve_ilp
+from repro.optimal.time_expanded import (
+    build_time_expanded_graph,
+    earliest_arrival,
+    earliest_arrival_all,
+)
+
+
+@pytest.fixture
+def relay_schedule():
+    """0 meets 1 at t=10, 1 meets 2 at t=20, 0 meets 2 at t=50."""
+    meetings = [
+        Meeting(time=10.0, node_a=0, node_b=1, capacity=1024),
+        Meeting(time=20.0, node_a=1, node_b=2, capacity=1024),
+        Meeting(time=50.0, node_a=0, node_b=2, capacity=1024),
+    ]
+    return MeetingSchedule(meetings, duration=60.0)
+
+
+class TestEarliestArrival:
+    def test_relay_path_found(self, relay_schedule):
+        packet = single_packet_workload(source=0, destination=2, creation_time=0.0)[0]
+        arrival = earliest_arrival(relay_schedule, packet)
+        assert arrival.delivered
+        assert arrival.delivery_time == 20.0
+        assert arrival.delay(horizon=60.0) == 20.0
+
+    def test_creation_time_respected(self, relay_schedule):
+        packet = single_packet_workload(source=0, destination=2, creation_time=15.0)[0]
+        arrival = earliest_arrival(relay_schedule, packet)
+        # The 0-1 meeting at t=10 is too early; direct meeting at t=50 wins.
+        assert arrival.delivery_time == 50.0
+
+    def test_unreachable(self, relay_schedule):
+        packet = single_packet_workload(source=2, destination=0, creation_time=30.0)[0]
+        arrival = earliest_arrival(relay_schedule, packet)
+        assert arrival.delivery_time == 50.0
+        missing = single_packet_workload(source=0, destination=9, creation_time=0.0)[0]
+        assert not earliest_arrival(relay_schedule, missing).delivered
+
+    def test_all(self, relay_schedule):
+        factory = PacketFactory()
+        packets = [
+            factory.create(source=0, destination=2),
+            factory.create(source=1, destination=0),
+        ]
+        arrivals = earliest_arrival_all(relay_schedule, packets)
+        assert len(arrivals) == 2
+
+    def test_time_expanded_graph(self, relay_schedule):
+        graph = build_time_expanded_graph(relay_schedule)
+        assert (0, 10.0) in graph.graph
+        path = graph.earliest_path(0, 2, start_time=0.0)
+        assert path is not None
+        assert path[0][0] == 0 and path[-1][0] == 2
+
+
+class TestILP:
+    def test_single_packet_relay(self, relay_schedule):
+        packets = single_packet_workload(source=0, destination=2, creation_time=0.0)
+        problem = build_ilp(relay_schedule, packets)
+        solution = solve_ilp(problem)
+        delivery = interpret_solution(problem, solution.variable_values)
+        assert delivery[packets[0].packet_id] == 20.0
+        # Objective equals the delay of the delivered packet.
+        assert solution.objective_value == pytest.approx(20.0)
+
+    def test_bandwidth_contention_forces_choice(self):
+        # One meeting that fits a single packet; two packets want it.
+        schedule = MeetingSchedule(
+            [Meeting(time=10.0, node_a=0, node_b=1, capacity=1024)], duration=30.0
+        )
+        factory = PacketFactory()
+        packets = [
+            factory.create(source=0, destination=1, size=1024, creation_time=0.0),
+            factory.create(source=0, destination=1, size=1024, creation_time=0.0),
+        ]
+        problem = build_ilp(schedule, packets)
+        solution = solve_ilp(problem)
+        delivery = interpret_solution(problem, solution.variable_values)
+        delivered = [pid for pid, t in delivery.items() if t is not None]
+        assert len(delivered) == 1
+        # Total delay: 10 for the delivered packet + 30 for the undelivered.
+        assert solution.objective_value == pytest.approx(40.0)
+
+    def test_requires_packets(self, relay_schedule):
+        with pytest.raises(OptimizationError):
+            build_ilp(relay_schedule, [])
+
+    def test_no_forwarding_out_of_destination(self, relay_schedule):
+        packets = single_packet_workload(source=0, destination=1, creation_time=0.0)
+        problem = build_ilp(relay_schedule, packets)
+        for (packet_index, edge_index) in problem.variable_index:
+            _, tail, _, _, _ = problem.edges[edge_index]
+            assert tail != packets[packet_index].destination
+
+
+class TestOptimalRouter:
+    def test_auto_small_uses_ilp(self, relay_schedule):
+        packets = single_packet_workload(source=0, destination=2, creation_time=0.0)
+        router = OptimalRouter(method="auto")
+        outcome = router.solve(relay_schedule, packets)
+        assert outcome.method.startswith("ilp")
+        assert outcome.delivery_rate() == 1.0
+        assert outcome.average_delay() == pytest.approx(20.0)
+
+    def test_earliest_arrival_method(self, relay_schedule):
+        packets = single_packet_workload(source=0, destination=2, creation_time=0.0)
+        router = OptimalRouter(method="earliest-arrival")
+        outcome = router.solve(relay_schedule, packets)
+        assert outcome.method == "earliest-arrival"
+        assert outcome.max_delay() == pytest.approx(20.0)
+
+    def test_auto_large_falls_back(self, relay_schedule):
+        factory = PacketFactory()
+        packets = [factory.create(source=0, destination=2) for _ in range(5)]
+        router = OptimalRouter(method="auto", max_ilp_packets=2)
+        outcome = router.solve(relay_schedule, packets)
+        assert outcome.method == "earliest-arrival"
+
+    def test_undelivered_counted_with_horizon(self, relay_schedule):
+        packets = single_packet_workload(source=0, destination=9, creation_time=0.0)
+        outcome = OptimalRouter(method="earliest-arrival").solve(relay_schedule, packets)
+        assert outcome.delivery_rate() == 0.0
+        assert outcome.average_delay(include_undelivered=True) == pytest.approx(60.0)
+        assert outcome.average_delay(include_undelivered=False) == 0.0
+
+    def test_validation(self, relay_schedule):
+        with pytest.raises(ConfigurationError):
+            OptimalRouter(method="magic")
+        with pytest.raises(ConfigurationError):
+            OptimalRouter().solve(relay_schedule, [])
+
+    def test_optimal_lower_bounds_protocols(self, exponential_schedule, small_workload):
+        from repro.dtn.simulator import run_simulation
+        from repro.routing.registry import create_factory
+
+        subset = small_workload[:40]
+        outcome = OptimalRouter(method="earliest-arrival").solve(exponential_schedule, subset)
+        simulated = run_simulation(exponential_schedule, subset, create_factory("epidemic"), seed=1)
+        # The contention-free earliest arrival can never be beaten.
+        assert outcome.average_delay(include_undelivered=True) <= (
+            simulated.average_delay(include_undelivered=True) + 1e-6
+        )
+        assert outcome.delivery_rate() >= simulated.delivery_rate() - 1e-9

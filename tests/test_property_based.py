@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import jain_fairness_index
+from repro.core import delay as delay_module
+from repro.core.meeting_estimator import MeetingTimeEstimator
+from repro.dtn.buffer import NodeBuffer
+from repro.dtn.packet import Packet, PacketFactory
+from repro.dtn.scheduler import EventQueue
+from repro.dtn.events import EndOfSimulationEvent
+from repro.mobility.schedule import Meeting, MeetingSchedule
+
+# ----------------------------------------------------------------------
+# Buffer invariants
+# ----------------------------------------------------------------------
+packet_sizes = st.lists(st.integers(min_value=1, max_value=5000), min_size=0, max_size=30)
+
+
+@given(sizes=packet_sizes, capacity=st.integers(min_value=1, max_value=20_000))
+def test_buffer_never_exceeds_capacity(sizes, capacity):
+    buffer = NodeBuffer(capacity=capacity)
+    factory = PacketFactory()
+    for size in sizes:
+        packet = factory.create(source=0, destination=1, size=size)
+        if buffer.fits(packet):
+            buffer.add(packet)
+        assert buffer.used_bytes <= capacity
+    assert buffer.used_bytes == sum(p.size for p in buffer)
+
+
+@given(sizes=packet_sizes)
+def test_buffer_add_remove_roundtrip(sizes):
+    buffer = NodeBuffer()
+    factory = PacketFactory()
+    packets = [factory.create(source=0, destination=1, size=size) for size in sizes]
+    for packet in packets:
+        buffer.add(packet)
+    for packet in packets:
+        buffer.remove(packet.packet_id)
+    assert len(buffer) == 0 and buffer.used_bytes == 0
+
+
+@given(
+    ages=st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=1, max_size=20)
+)
+def test_bytes_ahead_is_consistent_total(ages):
+    """Summing bytes_ahead over all same-destination packets counts each pair once."""
+    buffer = NodeBuffer()
+    factory = PacketFactory()
+    packets = [
+        factory.create(source=0, destination=9, size=100, creation_time=age) for age in ages
+    ]
+    for packet in packets:
+        buffer.add(packet)
+    now = 2000.0
+    total_ahead = sum(buffer.bytes_ahead_of(p, now) for p in packets)
+    n = len(packets)
+    assert total_ahead == 100 * n * (n - 1) // 2
+
+
+# ----------------------------------------------------------------------
+# Delay estimation invariants
+# ----------------------------------------------------------------------
+delay_lists = st.lists(
+    st.one_of(st.floats(min_value=0.1, max_value=1e6), st.just(float("inf"))),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(delays=delay_lists)
+def test_combined_delay_never_exceeds_best_replica(delays):
+    combined = delay_module.combined_remaining_delay(delays)
+    assert combined <= min(delays) + 1e-9
+
+
+@given(delays=delay_lists, extra=st.floats(min_value=0.1, max_value=1e6))
+def test_adding_a_replica_never_hurts(delays, extra):
+    before = delay_module.combined_remaining_delay(delays)
+    after = delay_module.expected_delay_with_extra_replica(delays, extra)
+    assert after <= before + 1e-9
+
+
+@given(delays=delay_lists, window=st.floats(min_value=0.1, max_value=1e5))
+def test_delivery_probability_in_unit_interval(delays, window):
+    p = delay_module.delivery_probability_within(delays, window)
+    assert 0.0 <= p <= 1.0
+
+
+@given(
+    delays=delay_lists,
+    w1=st.floats(min_value=0.1, max_value=1e4),
+    w2=st.floats(min_value=0.1, max_value=1e4),
+)
+def test_delivery_probability_monotone_in_window(delays, w1, w2):
+    low, high = min(w1, w2), max(w1, w2)
+    p_low = delay_module.delivery_probability_within(delays, low)
+    p_high = delay_module.delivery_probability_within(delays, high)
+    assert p_high >= p_low - 1e-12
+
+
+@given(
+    bytes_ahead=st.floats(min_value=0, max_value=1e7),
+    packet_size=st.integers(min_value=1, max_value=100_000),
+    transfer=st.floats(min_value=1, max_value=1e7),
+)
+def test_meetings_needed_at_least_one_and_monotone(bytes_ahead, packet_size, transfer):
+    base = delay_module.meetings_needed(bytes_ahead, packet_size, transfer)
+    more_queued = delay_module.meetings_needed(bytes_ahead * 2 + 1, packet_size, transfer)
+    assert base >= 1
+    assert more_queued >= base
+
+
+# ----------------------------------------------------------------------
+# Fairness index invariants
+# ----------------------------------------------------------------------
+@given(values=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=40))
+def test_jain_index_bounds(values):
+    index = jain_fairness_index(values)
+    assert 0.0 <= index <= 1.0 + 1e-12
+    if len(set(values)) == 1 and values[0] > 0:
+        assert index == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Meeting schedule and event queue invariants
+# ----------------------------------------------------------------------
+meeting_rows = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+        st.floats(min_value=1, max_value=1e6),
+    ).filter(lambda row: row[1] != row[2]),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(rows=meeting_rows)
+def test_schedule_is_time_ordered_and_complete(rows):
+    schedule = MeetingSchedule.from_tuples(rows)
+    times = [m.time for m in schedule]
+    assert times == sorted(times)
+    assert len(schedule) == len(rows)
+    assert schedule.total_capacity() == pytest.approx(sum(r[3] for r in rows))
+
+
+@given(times=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=50))
+def test_event_queue_pops_in_order(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(EndOfSimulationEvent(time=t))
+    popped = [event.time for event in queue.drain()]
+    assert popped == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# Meeting-time estimator invariants
+# ----------------------------------------------------------------------
+@given(
+    meeting_times=st.lists(
+        st.floats(min_value=1.0, max_value=1e5, allow_nan=False), min_size=1, max_size=30
+    )
+)
+def test_meeting_estimator_mean_positive_and_bounded(meeting_times):
+    estimator = MeetingTimeEstimator(node_id=0)
+    now = 0.0
+    for gap in meeting_times:
+        now += gap
+        estimator.record_meeting(1, now=now)
+    mean = estimator.direct_mean(1)
+    assert mean is not None and mean > 0
+    assert mean <= max(max(meeting_times), meeting_times[0] + 1e-6) + 1e-6
+    assert estimator.expected_meeting_time(1) == mean

@@ -1,0 +1,154 @@
+"""Tests for the synthetic DieselNet trace generator and trace I/O."""
+
+import io
+
+import pytest
+
+from repro import units
+from repro.exceptions import TraceFormatError
+from repro.mobility.schedule import Meeting, MeetingSchedule
+from repro.traces.dieselnet import DieselNetParameters, DieselNetTraceGenerator, summarize_days
+from repro.traces.io import read_schedule, schedule_from_string, schedule_to_string, write_schedule
+
+
+@pytest.fixture
+def small_parameters():
+    return DieselNetParameters(
+        num_buses=10,
+        avg_buses_per_day=6,
+        day_duration=2 * units.HOUR,
+        avg_meetings_per_day=40,
+        avg_bytes_per_day=40 * 200 * units.KB,
+        num_routes=3,
+    )
+
+
+class TestDieselNetParameters:
+    def test_defaults_match_paper_calibration(self):
+        params = DieselNetParameters()
+        assert params.num_buses == 40
+        assert params.avg_buses_per_day == 19
+        assert params.day_duration == 19 * units.HOUR
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DieselNetParameters(num_buses=1)
+        with pytest.raises(ValueError):
+            DieselNetParameters(avg_buses_per_day=100)
+        with pytest.raises(ValueError):
+            DieselNetParameters(num_routes=0)
+
+    def test_mean_capacity(self):
+        params = DieselNetParameters(avg_meetings_per_day=100, avg_bytes_per_day=100e6)
+        assert params.mean_capacity == pytest.approx(1e6)
+
+    def test_scaled_preserves_bounds(self):
+        scaled = DieselNetParameters().scaled(0.25)
+        assert 4 <= scaled.num_buses <= 40
+        assert scaled.avg_buses_per_day <= scaled.num_buses
+        with pytest.raises(ValueError):
+            DieselNetParameters().scaled(0)
+
+
+class TestDieselNetTraceGenerator:
+    def test_day_structure(self, small_parameters):
+        generator = DieselNetTraceGenerator(small_parameters, seed=1)
+        day = generator.generate_day(day_index=3)
+        assert day.day_index == 3
+        assert len(day.buses_on_road) >= 2
+        assert day.schedule.duration == small_parameters.day_duration
+        # Meetings only involve buses on the road.
+        on_road = set(day.buses_on_road)
+        for meeting in day.schedule:
+            assert meeting.node_a in on_road and meeting.node_b in on_road
+
+    def test_reproducible(self, small_parameters):
+        a = DieselNetTraceGenerator(small_parameters, seed=5).generate_days(2)
+        b = DieselNetTraceGenerator(small_parameters, seed=5).generate_days(2)
+        assert [d.num_meetings for d in a] == [d.num_meetings for d in b]
+        assert [d.buses_on_road for d in a] == [d.buses_on_road for d in b]
+
+    def test_calibration_is_roughly_matched(self, small_parameters):
+        generator = DieselNetTraceGenerator(small_parameters, seed=11)
+        days = generator.generate_days(15)
+        summary = summarize_days(days)
+        assert summary["avg_buses_per_day"] == pytest.approx(
+            small_parameters.avg_buses_per_day, rel=0.35
+        )
+        assert summary["avg_meetings_per_day"] == pytest.approx(
+            small_parameters.avg_meetings_per_day, rel=0.5
+        )
+        assert summary["avg_bytes_per_day"] == pytest.approx(
+            small_parameters.avg_bytes_per_day, rel=0.6
+        )
+
+    def test_route_structure_skews_meetings(self, small_parameters):
+        generator = DieselNetTraceGenerator(small_parameters, seed=3)
+        routes = generator.routes
+        days = generator.generate_days(10)
+        same_route, cross_route = 0, 0
+        for day in days:
+            for meeting in day.schedule:
+                if routes[meeting.node_a] == routes[meeting.node_b]:
+                    same_route += 1
+                else:
+                    cross_route += 1
+        pairs_same = sum(
+            1
+            for a in range(small_parameters.num_buses)
+            for b in range(a + 1, small_parameters.num_buses)
+            if routes[a] == routes[b]
+        )
+        pairs_cross = (
+            small_parameters.num_buses * (small_parameters.num_buses - 1) // 2 - pairs_same
+        )
+        # Per-pair meeting frequency should be clearly higher on shared routes.
+        assert same_route / max(pairs_same, 1) > cross_route / max(pairs_cross, 1)
+
+    def test_explicit_bus_list(self, small_parameters):
+        generator = DieselNetTraceGenerator(small_parameters, seed=2)
+        day = generator.generate_day(buses=[0, 1, 2])
+        assert day.buses_on_road == [0, 1, 2]
+
+    def test_summarize_requires_days(self):
+        with pytest.raises(ValueError):
+            summarize_days([])
+
+
+class TestTraceIO:
+    def test_roundtrip_string(self, tiny_schedule):
+        text = schedule_to_string(tiny_schedule)
+        parsed = schedule_from_string(text)
+        assert len(parsed) == len(tiny_schedule)
+        assert parsed.duration == tiny_schedule.duration
+        assert [m.pair() for m in parsed] == [m.pair() for m in tiny_schedule]
+
+    def test_roundtrip_file(self, tmp_path, tiny_schedule):
+        path = tmp_path / "trace.txt"
+        write_schedule(tiny_schedule, path)
+        parsed = read_schedule(path)
+        assert len(parsed) == len(tiny_schedule)
+
+    def test_roundtrip_stream(self, tiny_schedule):
+        buffer = io.StringIO()
+        write_schedule(tiny_schedule, buffer)
+        buffer.seek(0)
+        parsed = read_schedule(buffer)
+        assert parsed.total_capacity() == pytest.approx(tiny_schedule.total_capacity())
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\n1.0 0 1 500.0\n"
+        parsed = schedule_from_string(text)
+        assert len(parsed) == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(TraceFormatError):
+            schedule_from_string("1.0 0 1\n")
+        with pytest.raises(TraceFormatError):
+            schedule_from_string("abc 0 1 500\n")
+        with pytest.raises(TraceFormatError):
+            schedule_from_string("# duration: abc\n1.0 0 1 500\n")
+
+    def test_duration_header_respected(self):
+        parsed = schedule_from_string("# duration: 99.0\n1.0 0 1 500.0\n")
+        assert parsed.duration == 99.0

@@ -1,0 +1,61 @@
+"""Tests for unit helpers and package-level exports."""
+
+import pytest
+
+import repro
+from repro import constants, units
+
+
+class TestUnits:
+    def test_time_helpers(self):
+        assert units.minutes(2) == 120.0
+        assert units.hours(1.5) == 5400.0
+        assert units.seconds_to_minutes(90) == 1.5
+        assert units.per_hour(3600) == 1.0
+
+    def test_size_helpers(self):
+        assert units.kilobytes(2) == 2048
+        assert units.megabytes(1) == 1024 * 1024
+        assert units.bytes_to_megabytes(1024 * 1024) == 1.0
+
+    def test_format_duration(self):
+        assert units.format_duration(42) == "42s"
+        assert units.format_duration(90) == "1m30s"
+        assert units.format_duration(3600) == "1h"
+        assert units.format_duration(5460) == "1h31m"
+
+    def test_format_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+        assert units.format_bytes(2048) == "2.0 KB"
+        assert units.format_bytes(3 * 1024 * 1024) == "3.0 MB"
+
+
+class TestConstants:
+    def test_paper_parameters(self):
+        assert constants.SPRAY_AND_WAIT_COPIES == 12
+        assert constants.PROPHET_P_INIT == 0.75
+        assert constants.PROPHET_BETA == 0.25
+        assert constants.PROPHET_GAMMA == 0.98
+        assert constants.RAPID_MEETING_HOPS == 3
+        assert constants.TRACE_NUM_DAYS == 58
+        assert constants.SYNTHETIC_NUM_NODES == 20
+
+    def test_never_meet_is_infinite(self):
+        assert constants.NEVER_MEET == float("inf")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_runs(self):
+        mobility = repro.ExponentialMobility(num_nodes=6, mean_inter_meeting=60.0, seed=1)
+        schedule = mobility.generate(duration=300.0)
+        packets = repro.PoissonWorkload(packets_per_hour=20, seed=2).generate(range(6), 300.0)
+        result = repro.run_simulation(schedule, packets, repro.create_factory("rapid"))
+        summary = result.summary()
+        assert 0.0 <= summary["delivery_rate"] <= 1.0
