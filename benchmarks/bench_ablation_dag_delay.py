@@ -12,6 +12,8 @@ import numpy as np
 
 from repro.core.dag_delay import dag_delay_estimates, estimate_delay_baseline
 
+from bench_config import run_bench_callable
+
 
 def _random_configuration(rng, num_nodes=4, num_packets=6):
     """Random queues of replicated packets destined to one common node."""
@@ -39,7 +41,7 @@ def _estimation_study(num_configurations=8, seed=3):
 
 
 def test_estimate_delay_vs_dag_delay(benchmark):
-    ratios = benchmark.pedantic(_estimation_study, rounds=1, iterations=1)
+    ratios = run_bench_callable(benchmark, _estimation_study, "ablation_dag_delay")
     ratios = np.asarray(ratios)
     within_25_percent = float(np.mean(np.abs(ratios - 1.0) <= 0.25))
     print()

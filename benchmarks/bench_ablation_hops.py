@@ -12,7 +12,7 @@ from repro.analysis.metrics import mean_metric
 from repro.experiments.config import ProtocolSpec
 from repro.experiments.runner import TraceRunner
 
-from bench_config import bench_trace_config
+from bench_config import bench_trace_config, run_bench_callable
 
 
 def _hop_sweep(hops_values=(1, 2, 3), load=6.0):
@@ -29,7 +29,7 @@ def _hop_sweep(hops_values=(1, 2, 3), load=6.0):
 
 
 def test_meeting_horizon_ablation(benchmark):
-    rows = benchmark.pedantic(_hop_sweep, rounds=1, iterations=1)
+    rows = run_bench_callable(benchmark, _hop_sweep, "ablation_hops")
     print()
     print("Ablation: meeting-time estimation horizon h")
     for hops, metrics in rows.items():

@@ -6,15 +6,32 @@ resulting rows/series so the output can be compared against the paper's
 exhibits.  `pytest-benchmark` records the wall-clock cost of regenerating
 each exhibit; each exhibit is run once (``rounds=1``) because a single run
 already averages over days/seeds internally.
+
+Exhibits are executed through a fresh
+:class:`~repro.engine.ExperimentEngine` per benchmark, and every run also
+emits a machine-readable ``BENCH_<name>.json`` (wall time, cells
+executed, cache hits, worker count) into ``benchmarks/results/`` — or
+``$BENCH_RESULTS_DIR`` — so the performance trajectory of the repo can be
+tracked across commits.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Optional, Sequence
 
 from repro import units
+from repro.engine import ExperimentEngine, use_engine
 from repro.experiments.config import SyntheticExperimentConfig, TraceExperimentConfig
 from repro.traces.dieselnet import DieselNetParameters
+
+#: Where the machine-readable benchmark records land.
+RESULTS_DIR = Path(os.environ.get("BENCH_RESULTS_DIR", Path(__file__).parent / "results"))
 
 #: Load sweep (packets per hour per destination) for trace-driven figures.
 TRACE_LOADS: Sequence[float] = (2.0, 6.0, 12.0)
@@ -67,9 +84,79 @@ def bench_synthetic_config(mobility: str = "powerlaw", seed: int = 11) -> Synthe
     )
 
 
-def run_exhibit(benchmark, runner: Callable, **kwargs):
-    """Run one exhibit exactly once under pytest-benchmark and print it."""
-    result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write one ``BENCH_<name>.json`` performance record and return its path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    record = {
+        "bench": name,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        **payload,
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def _timed_bench(benchmark, fn: Callable, engine: ExperimentEngine, kwargs: dict):
+    """Run *fn* once under pytest-benchmark through *engine*.
+
+    Returns ``(value, payload)`` where *payload* holds the wall time and
+    engine counters every ``BENCH_*.json`` record shares.
+    """
+    timing = {}
+
+    def call():
+        started = time.perf_counter()
+        with engine, use_engine(engine):
+            outcome = fn(**kwargs)
+        timing["wall_time_s"] = time.perf_counter() - started
+        return outcome
+
+    value = benchmark.pedantic(call, rounds=1, iterations=1)
+    payload = {
+        "wall_time_s": round(timing["wall_time_s"], 6),
+        "workers": engine.workers,
+        "cells_total": engine.stats.cells_total,
+        "cells_executed": engine.stats.cells_executed,
+        "cache_hits": engine.stats.cache_hits,
+    }
+    return value, payload
+
+
+def run_bench_callable(benchmark, fn: Callable, bench_name: str, **kwargs):
+    """Time *fn* under pytest-benchmark and emit its ``BENCH_*.json`` record.
+
+    The generic variant of :func:`run_exhibit` for benches whose callable
+    does not return a printable exhibit (e.g. the ablation sweeps).
+    """
+    value, payload = _timed_bench(benchmark, fn, ExperimentEngine(), kwargs)
+    emit_bench_json(bench_name, payload)
+    return value
+
+
+def run_exhibit(
+    benchmark,
+    runner: Callable,
+    bench_name: Optional[str] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    **kwargs,
+):
+    """Run one exhibit exactly once under pytest-benchmark and print it.
+
+    The exhibit executes through a fresh engine (``workers``/``cache_dir``
+    configurable per bench) and a ``BENCH_<name>.json`` record with the
+    wall time and engine counters is emitted alongside the printed series.
+    """
+    engine = ExperimentEngine(workers=workers, cache_dir=cache_dir)
+    result, payload = _timed_bench(benchmark, runner, engine, kwargs)
     print()
     print(result.to_text())
+    name = bench_name or runner.__name__
+    if name.startswith("run_"):
+        name = name[len("run_"):]
+    payload["exhibit"] = getattr(result, "figure_id", None) or getattr(result, "table_id", name)
+    emit_bench_json(name, payload)
     return result

@@ -1,0 +1,109 @@
+"""Benchmark: multiprocess fan-out and result-cache speedup of the engine.
+
+Runs a paper-style sweep grid — every standard protocol at several loads
+over several DieselNet day traces — three ways:
+
+1. serially (``workers=1``),
+2. fanned out over four worker processes (``workers=4``),
+3. serially again against a warm on-disk result cache.
+
+The wall-clock times and speedups land in ``BENCH_engine_parallel.json``.
+The >= 2x parallel-speedup assertion only applies on hosts with at least
+four CPU cores; single-core CI containers still execute the benchmark
+(verifying the backends agree) and record their numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine import ExperimentEngine, ScenarioGrid
+from repro.engine import worker as cell_worker
+from repro.experiments.config import TraceExperimentConfig, standard_protocols
+
+from bench_config import emit_bench_json
+
+GRID_LOADS = (2.0, 6.0, 12.0)
+NUM_DAYS = 2
+PARALLEL_WORKERS = 4
+
+
+def _timed_run(engine: ExperimentEngine, grid: ScenarioGrid, warmup: bool = False):
+    with engine:
+        if warmup:
+            # Untimed pass: starts the worker pool and fills every worker's
+            # input memo, so the timed pass measures simulation throughput
+            # on both backends alike (under the spawn start method a cold
+            # pool would otherwise pay imports + regeneration inside the
+            # timed window).
+            engine.sweep_series(grid, "average_delay")
+        started = time.perf_counter()
+        series = engine.sweep_series(grid, "average_delay")
+        return series, time.perf_counter() - started
+
+
+def test_engine_parallel_speedup(tmp_path):
+    config = TraceExperimentConfig.ci_scale(num_days=NUM_DAYS)
+    grid = ScenarioGrid(
+        config=config, protocols=standard_protocols(), loads=GRID_LOADS
+    )
+
+    # Warm the per-process input memos first so every timed run measures
+    # simulation, not trace/workload generation (forked workers inherit
+    # the parent's warm memo; spawn-based workers regenerate once each).
+    for day_index in range(NUM_DAYS):
+        for load in GRID_LOADS:
+            cell_worker.trace_workload(config, day_index, load)
+
+    serial_series, serial_s = _timed_run(ExperimentEngine(workers=1), grid, warmup=True)
+    parallel_series, parallel_s = _timed_run(
+        ExperimentEngine(workers=PARALLEL_WORKERS), grid, warmup=True
+    )
+    assert parallel_series == serial_series, "backends must agree exactly"
+
+    cache_dir = tmp_path / "cache"
+    cold_engine = ExperimentEngine(workers=1, cache_dir=cache_dir)
+    cold_series, _ = _timed_run(cold_engine, grid)
+    warm_engine = ExperimentEngine(workers=1, cache_dir=cache_dir)
+    warm_series, warm_s = _timed_run(warm_engine, grid)
+    assert warm_series == serial_series
+    assert warm_engine.stats.cells_executed == 0, "warm cache must serve every cell"
+    assert warm_engine.stats.cache_hits == len(grid)
+
+    parallel_speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    cache_speedup = serial_s / warm_s if warm_s > 0 else 0.0
+    emit_bench_json(
+        "engine_parallel",
+        {
+            "cells": len(grid),
+            "num_days": NUM_DAYS,
+            "loads": list(GRID_LOADS),
+            "workers": PARALLEL_WORKERS,
+            "serial_wall_time_s": round(serial_s, 6),
+            "parallel_wall_time_s": round(parallel_s, 6),
+            "warm_cache_wall_time_s": round(warm_s, 6),
+            "parallel_speedup": round(parallel_speedup, 3),
+            "warm_cache_speedup": round(cache_speedup, 3),
+            "cells_executed": {
+                "serial": len(grid),
+                "parallel": len(grid),
+                "warm_cache": warm_engine.stats.cells_executed,
+            },
+            "cache_hits": warm_engine.stats.cache_hits,
+        },
+    )
+
+    assert cache_speedup >= 2.0, "warm result cache should be far faster than simulating"
+    if (os.cpu_count() or 1) >= PARALLEL_WORKERS:
+        assert parallel_speedup >= 2.0, (
+            f"expected >= 2x speedup with {PARALLEL_WORKERS} workers on "
+            f"{os.cpu_count()} cores, measured {parallel_speedup:.2f}x"
+        )
+    else:
+        pytest.skip(
+            f"only {os.cpu_count()} CPU core(s): recorded "
+            f"{parallel_speedup:.2f}x without asserting the multi-core target"
+        )

@@ -5,15 +5,13 @@ Average daily statistics of the (emulated) RAPID deployment.
 
 from repro.experiments.deployment import run_table3
 
-from bench_config import bench_trace_config
+from bench_config import bench_trace_config, run_exhibit
 
 
 def test_run_table3(benchmark):
-    table = benchmark.pedantic(
-        lambda: run_table3(config=bench_trace_config(num_days=2)), rounds=1, iterations=1
+    table = run_exhibit(
+        benchmark, run_table3, config=bench_trace_config(num_days=2)
     )
-    print()
-    print(table.to_text())
     assert 0.0 <= table.get("percentage_delivered_per_day") <= 100.0
     assert table.get("avg_meetings_per_day") > 0
     # Metadata overhead should be a small fraction of bandwidth, as in

@@ -4,7 +4,12 @@
 
 * ``repro-dtn list`` — list reproducible exhibits (tables/figures);
 * ``repro-dtn run figure4 --scale ci`` — run one exhibit and print its
-  rows/series;
+  rows/series; ``--workers 4`` fans the simulation cells out over worker
+  processes, ``--cache-dir .repro-cache`` serves repeat cells from the
+  on-disk result cache (``--no-cache`` bypasses it);
+* ``repro-dtn sweep --family trace --protocols rapid,random --loads 2,6``
+  — run an ad-hoc protocol/load grid through the engine and print the
+  metric series;
 * ``repro-dtn protocols`` — list registered routing protocols;
 * ``repro-dtn quicksim --protocol rapid --nodes 10`` — run a single ad-hoc
   simulation under exponential mobility and print the summary.
@@ -18,8 +23,19 @@ from typing import List, Optional
 
 from . import units
 from .dtn.simulator import run_simulation
+from .exceptions import ReproError
 from .dtn.workload import PoissonWorkload
-from .experiments import EXPERIMENT_INDEX, SyntheticExperimentConfig, TraceExperimentConfig
+from .engine import ExperimentEngine, use_engine
+from .experiments import (
+    EXPERIMENT_INDEX,
+    FigureResult,
+    ProtocolSpec,
+    SyntheticExperimentConfig,
+    SyntheticRunner,
+    TraceExperimentConfig,
+    TraceRunner,
+    sweep,
+)
 from .mobility.exponential import ExponentialMobility
 from .routing.registry import available_protocols, create_factory
 
@@ -28,6 +44,25 @@ _TRACE_EXHIBITS = {
     "figure8", "figure9", "figure10", "figure11", "figure12", "figure13",
     "figure14", "figure15",
 }
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for simulation cells (1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk result cache (enables caching)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even when --cache-dir is set",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,6 +84,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ci = reduced scale (fast); paper = full Table 4 scale (slow)",
     )
     run_parser.add_argument("--seed", type=int, default=7, help="random seed")
+    _add_engine_arguments(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run an ad-hoc protocol/load grid through the engine"
+    )
+    sweep_parser.add_argument(
+        "--family",
+        choices=("trace", "synthetic"),
+        default="trace",
+        help="experiment family: DieselNet day traces or synthetic mobility",
+    )
+    sweep_parser.add_argument(
+        "--protocols",
+        default="rapid,maxprop,spray-and-wait,random",
+        help="comma-separated protocol registry names",
+    )
+    sweep_parser.add_argument(
+        "--loads",
+        default="2,4,8",
+        help="comma-separated loads (packets/hour/destination for trace; "
+        "packets/interval/destination for synthetic)",
+    )
+    sweep_parser.add_argument(
+        "--metric",
+        default="average_delay",
+        help="metric to average per sweep point (see repro.analysis.metrics)",
+    )
+    sweep_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="ci = reduced scale (fast); paper = full Table 4 scale (slow)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=7, help="random seed")
+    _add_engine_arguments(sweep_parser)
 
     sim_parser = subparsers.add_parser("quicksim", help="run one ad-hoc simulation")
     sim_parser.add_argument("--protocol", default="rapid", help="protocol registry name")
@@ -60,6 +130,32 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=1, help="random seed")
 
     return parser
+
+
+def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+    return ExperimentEngine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _config_from_args(family: str, scale: str, seed: int):
+    """Resolve the experiment configuration for a family at a scale."""
+    config_cls = TraceExperimentConfig if family == "trace" else SyntheticExperimentConfig
+    if scale == "paper":
+        return config_cls.paper_scale(seed=seed)
+    return config_cls.ci_scale(seed=seed)
+
+
+def _print_engine_stats(engine: ExperimentEngine) -> None:
+    stats = engine.stats
+    print(
+        f"[engine] cells: {stats.cells_total} "
+        f"(executed: {stats.cells_executed}, cache hits: {stats.cache_hits}) "
+        f"workers: {engine.workers} wall: {stats.wall_time_s:.2f}s",
+        file=sys.stderr,
+    )
 
 
 def _command_list() -> int:
@@ -76,25 +172,66 @@ def _command_protocols() -> int:
     return 0
 
 
-def _command_run(exhibit: str, scale: str, seed: int) -> int:
-    runner_fn = EXPERIMENT_INDEX[exhibit]
-    kwargs = {}
-    if exhibit in _TRACE_EXHIBITS:
-        config = (
-            TraceExperimentConfig.paper_scale(seed=seed)
-            if scale == "paper"
-            else TraceExperimentConfig.ci_scale(seed=seed)
-        )
-        kwargs["config"] = config
-    else:
-        config = (
-            SyntheticExperimentConfig.paper_scale(seed=seed)
-            if scale == "paper"
-            else SyntheticExperimentConfig.ci_scale(seed=seed)
-        )
-        kwargs["config"] = config
-    result = runner_fn(**kwargs)
+def _command_run(args: argparse.Namespace) -> int:
+    runner_fn = EXPERIMENT_INDEX[args.exhibit]
+    family = "trace" if args.exhibit in _TRACE_EXHIBITS else "synthetic"
+    kwargs = {"config": _config_from_args(family, args.scale, args.seed)}
+    engine = _engine_from_args(args)
+    with engine, use_engine(engine):
+        result = runner_fn(**kwargs)
     print(result.to_text())
+    _print_engine_stats(engine)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .analysis.metrics import METRICS
+
+    protocol_names = [name.strip() for name in args.protocols.split(",") if name.strip()]
+    try:
+        loads = [float(value) for value in args.loads.split(",") if value.strip()]
+    except ValueError:
+        print(f"error: --loads must be comma-separated numbers, got {args.loads!r}", file=sys.stderr)
+        return 2
+    if not protocol_names or not loads:
+        print("error: sweep needs at least one protocol and one load", file=sys.stderr)
+        return 2
+    if args.metric not in METRICS:
+        print(
+            f"error: unknown metric {args.metric!r}; available: {', '.join(sorted(METRICS))}",
+            file=sys.stderr,
+        )
+        return 2
+    # RAPID routes by one of three utility metrics; when the swept metric
+    # is one of them the curves use it (as the paper's figures do), any
+    # other measured metric falls back to delay-routed RAPID.
+    rapid_metric = args.metric if args.metric in ("average_delay", "max_delay", "deadline") else "average_delay"
+    specs = []
+    for name in protocol_names:
+        options = {"metric": rapid_metric} if name.startswith("rapid") else {}
+        specs.append(ProtocolSpec(label=name, registry_name=name, options=options))
+
+    engine = _engine_from_args(args)
+    config = _config_from_args(args.family, args.scale, args.seed)
+    if args.family == "trace":
+        runner = TraceRunner(config, engine=engine)
+        x_label = "Packets generated per hour per destination"
+    else:
+        runner = SyntheticRunner(config, engine=engine)
+        x_label = f"Packets per {config.packet_interval:g}s per destination"
+
+    with engine:
+        series = sweep(runner, specs, loads, args.metric)
+    figure = FigureResult(
+        figure_id="Sweep",
+        title=f"{args.family} sweep: {args.metric}",
+        x_label=x_label,
+        y_label=args.metric,
+    )
+    for spec in specs:
+        figure.add_series(spec.label, loads, series[spec.label])
+    print(figure.to_text())
+    _print_engine_stats(engine)
     return 0
 
 
@@ -123,14 +260,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "protocols":
-        return _command_protocols()
-    if args.command == "run":
-        return _command_run(args.exhibit, args.scale, args.seed)
-    if args.command == "quicksim":
-        return _command_quicksim(args)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "protocols":
+            return _command_protocols()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "quicksim":
+            return _command_quicksim(args)
+    except ReproError as exc:
+        # Bad user input (unknown protocol, workers < 1, ...) — report
+        # the message, not a traceback.  Internal invariant failures are
+        # not ReproError and still surface as tracebacks.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

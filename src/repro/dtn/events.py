@@ -34,6 +34,13 @@ class Event:
     kind: EventKind = field(default=EventKind.MEETING)
 
     def sort_key(self) -> tuple:
+        """Primary ordering key: ``(time, kind priority)``.
+
+        At equal times, creations (0) precede meetings (1) precede the
+        end-of-simulation marker (2); :class:`~repro.dtn.scheduler.EventQueue`
+        appends a FIFO sequence number to break the remaining ties, making
+        the simulation event order a documented total order.
+        """
         return (self.time, int(self.kind))
 
 

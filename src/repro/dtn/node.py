@@ -77,3 +77,16 @@ class DeploymentNoise:
             raise ValueError("meeting_miss_probability must be in [0, 1)")
         if self.processing_delay < 0:
             raise ValueError("processing_delay must be non-negative")
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (used by the experiment engine)."""
+        return {
+            "capacity_jitter": self.capacity_jitter,
+            "meeting_miss_probability": self.meeting_miss_probability,
+            "processing_delay": self.processing_delay,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentNoise":
+        return cls(**data)

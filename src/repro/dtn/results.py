@@ -10,11 +10,16 @@ lives in :mod:`repro.analysis`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from .node import NodeCounters
 from .packet import Packet, PacketRecord
+
+#: Version of the :meth:`SimulationResult.to_dict` wire format.  Bump it
+#: whenever the serialized shape (or the semantics of a field) changes so
+#: that on-disk caches keyed on it are invalidated rather than misread.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -141,6 +146,104 @@ class SimulationResult:
             "replications": float(self.replications),
             "meetings": float(self.meetings_processed),
         }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a JSON-compatible dictionary.
+
+        The representation is complete: every metric of this class can be
+        recomputed from the round-tripped result.  It is the transport
+        format between worker processes and the on-disk result cache
+        (:mod:`repro.engine`).
+        """
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "protocol_name": self.protocol_name,
+            "duration": self.duration,
+            "meetings_processed": self.meetings_processed,
+            "meetings_missed": self.meetings_missed,
+            "total_capacity_bytes": self.total_capacity_bytes,
+            "data_bytes": self.data_bytes,
+            "metadata_bytes": self.metadata_bytes,
+            "replications": self.replications,
+            "deliveries": self.deliveries,
+            "records": [
+                {
+                    "packet": {
+                        "packet_id": r.packet.packet_id,
+                        "source": r.packet.source,
+                        "destination": r.packet.destination,
+                        "size": r.packet.size,
+                        "creation_time": r.packet.creation_time,
+                        "deadline": r.packet.deadline,
+                    },
+                    "delivered": r.delivered,
+                    "delivery_time": r.delivery_time,
+                    "delivering_node": r.delivering_node,
+                    "hop_count": r.hop_count,
+                    "replicas_created": r.replicas_created,
+                    "drops": r.drops,
+                    "extra": dict(r.extra),
+                }
+                for r in self.records.values()
+            ],
+            "node_counters": {
+                str(node_id): asdict(counters)
+                for node_id, counters in self.node_counters.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result serialized by :meth:`to_dict`.
+
+        Raises:
+            ValueError: when the payload was written by an incompatible
+                schema version.
+            KeyError/TypeError: when the payload is structurally corrupt.
+        """
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"incompatible result schema {schema!r} (expected {RESULT_SCHEMA_VERSION})"
+            )
+        result = cls(
+            protocol_name=str(data["protocol_name"]),
+            duration=float(data["duration"]),
+            meetings_processed=int(data["meetings_processed"]),
+            meetings_missed=int(data["meetings_missed"]),
+            total_capacity_bytes=float(data["total_capacity_bytes"]),
+            data_bytes=float(data["data_bytes"]),
+            metadata_bytes=float(data["metadata_bytes"]),
+            replications=int(data["replications"]),
+            deliveries=int(data["deliveries"]),
+        )
+        for entry in data["records"]:
+            packet_data = entry["packet"]
+            packet = Packet(
+                packet_id=int(packet_data["packet_id"]),
+                source=int(packet_data["source"]),
+                destination=int(packet_data["destination"]),
+                size=int(packet_data["size"]),
+                creation_time=float(packet_data["creation_time"]),
+                deadline=packet_data["deadline"],
+            )
+            record = PacketRecord(
+                packet=packet,
+                delivered=bool(entry["delivered"]),
+                delivery_time=entry["delivery_time"],
+                delivering_node=entry["delivering_node"],
+                hop_count=entry["hop_count"],
+                replicas_created=int(entry["replicas_created"]),
+                drops=int(entry["drops"]),
+                extra=dict(entry.get("extra", {})),
+            )
+            result.records[packet.packet_id] = record
+        for node_id, counters in data.get("node_counters", {}).items():
+            result.node_counters[int(node_id)] = NodeCounters(**counters)
+        return result
 
     @staticmethod
     def merge(results: Iterable["SimulationResult"], protocol_name: Optional[str] = None) -> "SimulationResult":

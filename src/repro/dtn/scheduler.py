@@ -1,9 +1,27 @@
 """Event queue used by the simulator.
 
-A thin wrapper around :mod:`heapq` providing stable FIFO ordering for
-events with identical timestamps and kinds.  Keeping the queue behind a
-small class makes the simulator loop easy to read and lets tests exercise
-ordering guarantees in isolation.
+A thin wrapper around :mod:`heapq` providing a *documented total order*
+over events, so that every run of a schedule — serial or executed on any
+worker process of the parallel experiment engine — pops events in exactly
+the same sequence and produces bit-identical results.
+
+Events at equal timestamps are ordered by kind, then by insertion order:
+
+1. ``PACKET_CREATION`` — a packet generated at time *t* is visible to a
+   meeting at the same instant (a bus that creates a packet right as it
+   meets another bus may transfer it in that meeting, as in the
+   deployment);
+2. ``MEETING`` — meetings inserted earlier (i.e. earlier in the meeting
+   schedule, which sorts by ``(time, node_a, node_b)``) are processed
+   first;
+3. ``END_OF_SIMULATION`` — the horizon fires only after every same-time
+   creation and meeting has been handled.
+
+Within one ``(time, kind)`` class, FIFO insertion order breaks the final
+ties via a monotonic sequence number; :class:`~repro.dtn.events.Event`
+objects are never compared directly, so no event type needs to define an
+ordering.  Keeping the queue behind a small class makes the simulator
+loop easy to read and lets tests exercise these guarantees in isolation.
 """
 
 from __future__ import annotations
@@ -16,7 +34,11 @@ from .events import Event
 
 
 class EventQueue:
-    """A time-ordered priority queue of :class:`Event` objects."""
+    """A time-ordered priority queue of :class:`Event` objects.
+
+    The pop order is the deterministic total order documented in the
+    module docstring: ``(time, kind priority, insertion order)``.
+    """
 
     def __init__(self, events: Optional[Iterable[Event]] = None) -> None:
         self._counter = itertools.count()
@@ -32,13 +54,12 @@ class EventQueue:
         return bool(self._heap)
 
     def push(self, event: Event) -> None:
-        """Insert an event."""
-        heapq.heappush(
-            self._heap, (event.time, int(event.kind), next(self._counter), event)
-        )
+        """Insert an event at its ``(time, kind, insertion order)`` slot."""
+        time_key, kind_key = event.sort_key()
+        heapq.heappush(self._heap, (time_key, kind_key, next(self._counter), event))
 
     def push_all(self, events: Iterable[Event]) -> None:
-        """Insert several events."""
+        """Insert several events (preserving their relative FIFO order)."""
         for event in events:
             self.push(event)
 

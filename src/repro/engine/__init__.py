@@ -1,0 +1,227 @@
+"""The parallel experiment engine.
+
+The paper's evaluation is a large grid of (protocol x load x day/seed)
+simulation cells.  This package turns that grid into infrastructure:
+
+* :mod:`~repro.engine.spec` — :class:`ScenarioSpec` names one cell as
+  plain data; :class:`ScenarioGrid` expands protocols x loads x runs;
+* :mod:`~repro.engine.executor` — :class:`Executor` runs cells serially
+  or fanned out over worker processes, in deterministic order;
+* :mod:`~repro.engine.cache` — :class:`ResultCache` persists per-cell
+  results under a content address so re-runs are free;
+* :mod:`~repro.engine.aggregator` — :class:`Aggregator` reduces cell
+  results back into the metric series the figures plot.
+
+:class:`ExperimentEngine` composes cache and executor: look up every
+cell, execute only the misses, fill the cache, return results in cell
+order.  The experiment runners (:mod:`repro.experiments.runner`), the CLI
+and the benchmark harness all submit their cells through an engine; a
+module-level default engine (serial, uncached) keeps the zero-config
+path identical to the pre-engine behaviour.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..dtn.results import SimulationResult
+from .aggregator import Aggregator, group_results
+from .cache import CacheStats, ResultCache
+from .executor import Executor, ProgressCallback, default_workers
+from .spec import ScenarioGrid, ScenarioSpec, canonical_json, config_key
+
+__all__ = [
+    "Aggregator",
+    "CacheStats",
+    "EngineStats",
+    "ExperimentEngine",
+    "Executor",
+    "ProgressCallback",
+    "ResultCache",
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "canonical_json",
+    "config_key",
+    "default_workers",
+    "get_default_engine",
+    "group_results",
+    "set_default_engine",
+    "use_engine",
+]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative accounting of one engine instance."""
+
+    cells_total: int = 0
+    cells_executed: int = 0
+    cache_hits: int = 0
+    wall_time_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "cells_total": self.cells_total,
+            "cells_executed": self.cells_executed,
+            "cache_hits": self.cache_hits,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def snapshot(self) -> "EngineStats":
+        return EngineStats(
+            cells_total=self.cells_total,
+            cells_executed=self.cells_executed,
+            cache_hits=self.cache_hits,
+            wall_time_s=self.wall_time_s,
+        )
+
+    def since(self, earlier: "EngineStats") -> "EngineStats":
+        """The delta between this snapshot and an *earlier* one."""
+        return EngineStats(
+            cells_total=self.cells_total - earlier.cells_total,
+            cells_executed=self.cells_executed - earlier.cells_executed,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            wall_time_s=self.wall_time_s - earlier.wall_time_s,
+        )
+
+
+class ExperimentEngine:
+    """Cache-aware cell execution: the front door of the engine package.
+
+    Args:
+        workers: Worker processes for cache misses (``1`` = serial).
+        cache_dir: Directory of the on-disk result cache; ``None``
+            disables caching.
+        use_cache: Master switch; with ``False`` the cache is neither
+            read nor written even when *cache_dir* is set.
+        progress: Optional callback invoked after every finished cell
+            with ``(completed, total, spec)`` (cache hits included).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+        progress: Optional[ProgressCallback] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        self.executor = executor or Executor(workers=workers)
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if (cache_dir is not None and use_cache) else None
+        )
+        self.progress = progress
+        self.stats = EngineStats()
+
+    @property
+    def workers(self) -> int:
+        return self.executor.workers
+
+    def close(self) -> None:
+        """Release the executor's worker pool (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[ScenarioSpec]) -> List[SimulationResult]:
+        """Run *cells* (serving cache hits) and return ordered results."""
+        cells = list(cells)
+        started = time.perf_counter()
+        self.stats.cells_total += len(cells)
+
+        results: List[Optional[SimulationResult]] = [None] * len(cells)
+        miss_indices: List[int] = []
+        done = 0
+        if self.cache is not None:
+            for index, spec in enumerate(cells):
+                cached = self.cache.get(spec)
+                if cached is not None:
+                    results[index] = cached
+                    self.stats.cache_hits += 1
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, len(cells), spec)
+                else:
+                    miss_indices.append(index)
+        else:
+            miss_indices = list(range(len(cells)))
+
+        if miss_indices:
+            missed_cells = [cells[i] for i in miss_indices]
+
+            def _on_progress(completed: int, total: int, spec: ScenarioSpec) -> None:
+                if self.progress is not None:
+                    self.progress(done + completed, len(cells), spec)
+
+            executed = self.executor.run(
+                missed_cells, progress=_on_progress if self.progress else None
+            )
+            self.stats.cells_executed += len(executed)
+            for index, result in zip(miss_indices, executed):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(cells[index], result)
+
+        self.stats.wall_time_s += time.perf_counter() - started
+        return [r for r in results if r is not None]
+
+    def run_grid(self, grid: ScenarioGrid) -> List[SimulationResult]:
+        """Expand *grid* and run its cells."""
+        return self.run_cells(grid.cells())
+
+    def sweep_series(self, grid: ScenarioGrid, metric_name: str) -> dict:
+        """Run *grid* and reduce it to ``{label: [metric at each load]}``."""
+        cells = grid.cells()
+        results = self.run_cells(cells)
+        return Aggregator(metric_name).series(
+            cells,
+            results,
+            labels=[p.label for p in grid.protocols],
+            x_values=list(grid.loads),
+        )
+
+
+# ----------------------------------------------------------------------
+# Default engine
+# ----------------------------------------------------------------------
+_default_engine: Optional[ExperimentEngine] = None
+
+
+def get_default_engine() -> ExperimentEngine:
+    """The engine used when a runner is not given one explicitly.
+
+    Defaults to a serial, uncached engine, which reproduces the
+    pre-engine execution behaviour exactly.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExperimentEngine(workers=1)
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[ExperimentEngine]) -> None:
+    """Replace the process-wide default engine (``None`` resets it)."""
+    global _default_engine
+    _default_engine = engine
+
+
+@contextlib.contextmanager
+def use_engine(engine: ExperimentEngine) -> Iterator[ExperimentEngine]:
+    """Temporarily install *engine* as the default (restores on exit)."""
+    previous = _default_engine
+    set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)

@@ -1,0 +1,86 @@
+"""Reduction of per-cell results into the series the figures plot.
+
+A figure is a set of labelled curves over a shared x axis; a grid run is
+a flat, ordered list of (cell, result) pairs.  The aggregator groups the
+flat list back by (protocol label, x value) and averages one metric over
+the run indices — exactly the reduction the serial ``sweep`` loop used to
+perform inline, now factored out so any executor backend feeds the same
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import mean_metric
+from ..dtn.results import SimulationResult
+from .spec import ScenarioSpec
+
+GroupKey = Tuple[str, float]
+
+
+def group_results(
+    cells: Sequence[ScenarioSpec],
+    results: Sequence[SimulationResult],
+) -> Dict[GroupKey, List[SimulationResult]]:
+    """Group ordered results by ``(protocol label, load)``.
+
+    Within a group the results keep cell submission order, i.e. ascending
+    run index for grids, so callers that care about per-day alignment
+    (e.g. pairing against per-day optimal runs) can rely on it.
+    """
+    if len(cells) != len(results):
+        raise ValueError(
+            f"{len(cells)} cells but {len(results)} results; the executor "
+            "must return exactly one result per cell, in order"
+        )
+    grouped: Dict[GroupKey, List[SimulationResult]] = {}
+    for spec, result in zip(cells, results):
+        grouped.setdefault((spec.label, spec.load), []).append(result)
+    return grouped
+
+
+@dataclass(frozen=True)
+class Aggregator:
+    """Reduces grid results to per-protocol metric series."""
+
+    metric_name: str
+
+    def series(
+        self,
+        cells: Sequence[ScenarioSpec],
+        results: Sequence[SimulationResult],
+        labels: Optional[Sequence[str]] = None,
+        x_values: Optional[Sequence[float]] = None,
+    ) -> Dict[str, List[float]]:
+        """Return ``{label: [metric mean at each x]}``.
+
+        *labels* and *x_values* fix the output ordering (and demand that
+        every named group exists); when omitted they default to first-seen
+        order in *cells*.
+        """
+        grouped = group_results(cells, results)
+        if labels is None:
+            labels = _unique(spec.label for spec in cells)
+        if x_values is None:
+            x_values = _unique(spec.load for spec in cells)
+        series: Dict[str, List[float]] = {}
+        for label in labels:
+            values: List[float] = []
+            for x in x_values:
+                try:
+                    group = grouped[(label, float(x))]
+                except KeyError as exc:
+                    raise KeyError(
+                        f"no cells for protocol {label!r} at x={x}; "
+                        "grid and aggregation request disagree"
+                    ) from exc
+                values.append(mean_metric(group, self.metric_name))
+            series[label] = values
+        return series
+
+
+def _unique(items) -> list:
+    seen = dict.fromkeys(items)
+    return list(seen)

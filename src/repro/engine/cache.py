@@ -1,0 +1,121 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Every cache entry is one JSON file named by the cell's content address
+(:meth:`ScenarioSpec.cache_key` — a SHA-256 over the canonical spec plus
+the spec/result schema versions).  Changing anything about a cell — the
+configuration, the protocol options, the load, a schema bump — changes
+the address, so stale entries are never *served*; they are simply never
+looked up again.
+
+The cache is defensive about its own storage: a corrupted, truncated or
+incompatibly-versioned entry is treated as a miss, deleted, and recomputed
+— a cache must never turn disk rot into wrong science.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..dtn.results import SimulationResult
+from .spec import ScenarioSpec
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt_entries: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+
+class ResultCache:
+    """Persists per-cell :class:`SimulationResult` summaries as JSON."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def entry_path(self, spec: ScenarioSpec) -> Path:
+        """The on-disk location of *spec*'s entry (sharded by key prefix)."""
+        key = spec.cache_key()
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, spec: ScenarioSpec) -> Optional[SimulationResult]:
+        """Return the cached result of *spec*, or ``None`` on a miss.
+
+        Unreadable entries (corrupt JSON, missing fields, incompatible
+        schema) count as misses and are removed so the slot heals itself.
+        """
+        path = self.entry_path(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = SimulationResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.stats.corrupt_entries += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: ScenarioSpec, result: SimulationResult) -> Path:
+        """Store *result* under *spec*'s content address (atomically)."""
+        path = self.entry_path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"spec": spec.to_dict(), "result": result.to_dict()}
+        # Write-then-rename so concurrent readers never observe a torn file.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; return how many were removed."""
+        removed = 0
+        for entry in self.cache_dir.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed

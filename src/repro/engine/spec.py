@@ -1,0 +1,261 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names one simulation *cell* — everything needed to
+run a single ``run_simulation`` call — as plain, JSON-compatible data:
+the experiment family and configuration, the protocol, the load, the
+run/day index and the optional overrides (buffer capacity, metadata cap,
+deployment noise).  Because a spec is pure data it can be
+
+* shipped to a worker process without pickling live simulator objects,
+* hashed into a stable content address for the on-disk result cache, and
+* expanded from a :class:`ScenarioGrid` (protocols x loads x runs)
+  without touching the simulator.
+
+The heavy inputs (meeting schedules, packet workloads) are **not** part of
+the spec; they are rebuilt deterministically from the configuration seeds
+by :mod:`repro.engine.worker`, which is what makes process fan-out cheap
+and serial/parallel runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from ..dtn.node import DeploymentNoise
+from ..dtn.results import RESULT_SCHEMA_VERSION
+from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from ..experiments.config import (
+        ProtocolSpec,
+        SyntheticExperimentConfig,
+        TraceExperimentConfig,
+    )
+
+#: Version of the cell-spec wire format.  It is mixed into every cache key
+#: (together with :data:`~repro.dtn.results.RESULT_SCHEMA_VERSION`) so that
+#: cached entries written by an incompatible engine are never served.
+SPEC_SCHEMA_VERSION = 1
+
+ExperimentConfig = Union["TraceExperimentConfig", "SyntheticExperimentConfig"]
+
+FAMILY_TRACE = "trace"
+FAMILY_SYNTHETIC = "synthetic"
+
+
+def canonical_json(data: object) -> str:
+    """Render *data* as canonical (sorted-key, compact) JSON."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def config_key(config: ExperimentConfig) -> str:
+    """A canonical string identity for an experiment configuration."""
+    return canonical_json(config.to_dict())
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One simulation cell, described as plain data.
+
+    Attributes:
+        family: ``"trace"`` or ``"synthetic"``.
+        config: The experiment configuration as its ``to_dict()`` form.
+        protocol: The protocol as its ``to_dict()`` form.
+        load: The resolved load for this cell — packets per hour per
+            destination for trace cells, packets per ``packet_interval``
+            per destination for synthetic cells.  Always concrete: grid
+            expansion resolves config defaults before building specs so
+            that equal cells always hash equally.
+        run_index: Day index (trace) or random-run index (synthetic).
+        buffer_capacity: Optional override of the config's buffer size.
+        metadata_fraction_cap: Optional RAPID control-channel cap.
+        noise: Optional :class:`DeploymentNoise` as its ``to_dict()`` form.
+    """
+
+    family: str
+    config: Dict[str, object]
+    protocol: Dict[str, object]
+    load: float
+    run_index: int
+    buffer_capacity: Optional[float] = None
+    metadata_fraction_cap: Optional[float] = None
+    noise: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.family not in (FAMILY_TRACE, FAMILY_SYNTHETIC):
+            raise ConfigurationError(
+                f"unknown scenario family {self.family!r}; "
+                f"expected {FAMILY_TRACE!r} or {FAMILY_SYNTHETIC!r}"
+            )
+        if self.load <= 0:
+            raise ConfigurationError("scenario load must be positive")
+        if self.run_index < 0:
+            raise ConfigurationError("run_index must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_cell(
+        cls,
+        config: ExperimentConfig,
+        protocol: "ProtocolSpec",
+        load: float,
+        run_index: int,
+        buffer_capacity: Optional[float] = None,
+        metadata_fraction_cap: Optional[float] = None,
+        noise: Optional[DeploymentNoise] = None,
+    ) -> "ScenarioSpec":
+        """Build a spec from live configuration objects."""
+        from ..experiments.config import TraceExperimentConfig
+
+        family = (
+            FAMILY_TRACE if isinstance(config, TraceExperimentConfig) else FAMILY_SYNTHETIC
+        )
+        return cls(
+            family=family,
+            config=config.to_dict(),
+            protocol=protocol.to_dict(),
+            load=float(load),
+            run_index=int(run_index),
+            buffer_capacity=buffer_capacity,
+            metadata_fraction_cap=metadata_fraction_cap,
+            noise=noise.to_dict() if noise is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Rehydration
+    # ------------------------------------------------------------------
+    def experiment_config(self) -> ExperimentConfig:
+        """Rebuild the live experiment configuration object."""
+        from ..experiments.config import SyntheticExperimentConfig, TraceExperimentConfig
+
+        if self.family == FAMILY_TRACE:
+            return TraceExperimentConfig.from_dict(self.config)
+        return SyntheticExperimentConfig.from_dict(self.config)
+
+    def protocol_spec(self) -> "ProtocolSpec":
+        """Rebuild the live :class:`ProtocolSpec`."""
+        from ..experiments.config import ProtocolSpec
+
+        return ProtocolSpec.from_dict(self.protocol)
+
+    def deployment_noise(self) -> Optional[DeploymentNoise]:
+        """Rebuild the optional :class:`DeploymentNoise`."""
+        if self.noise is None:
+            return None
+        return DeploymentNoise.from_dict(self.noise)
+
+    @property
+    def label(self) -> str:
+        """The protocol label of this cell (a figure's series name)."""
+        return str(self.protocol["label"])
+
+    # ------------------------------------------------------------------
+    # Wire format and content address
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "config": dict(self.config),
+            "protocol": dict(self.protocol),
+            "load": self.load,
+            "run_index": self.run_index,
+            "buffer_capacity": self.buffer_capacity,
+            "metadata_fraction_cap": self.metadata_fraction_cap,
+            "noise": dict(self.noise) if self.noise is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        return cls(
+            family=str(data["family"]),
+            config=dict(data["config"]),
+            protocol=dict(data["protocol"]),
+            load=float(data["load"]),
+            run_index=int(data["run_index"]),
+            buffer_capacity=data.get("buffer_capacity"),
+            metadata_fraction_cap=data.get("metadata_fraction_cap"),
+            noise=data.get("noise"),
+        )
+
+    def cache_key(self) -> str:
+        """A stable content address of this cell.
+
+        The key covers the canonical spec plus the spec and result schema
+        versions, so any change to the cell *or* to the serialized result
+        format yields a different address.
+        """
+        payload = canonical_json(
+            {
+                "spec_schema": SPEC_SCHEMA_VERSION,
+                "result_schema": RESULT_SCHEMA_VERSION,
+                "spec": self.to_dict(),
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A declarative grid of cells: protocols x loads x run indices.
+
+    ``run_indices`` defaults to every day of a trace configuration or
+    every random run of a synthetic configuration, which is what the
+    paper's figures sweep over.
+    """
+
+    config: ExperimentConfig
+    protocols: Sequence["ProtocolSpec"]
+    loads: Sequence[float]
+    run_indices: Optional[Sequence[int]] = None
+    buffer_capacity: Optional[float] = None
+    metadata_fraction_cap: Optional[float] = None
+    noise: Optional[DeploymentNoise] = None
+
+    def __post_init__(self) -> None:
+        if not self.protocols:
+            raise ConfigurationError("grid needs at least one protocol")
+        if not self.loads:
+            raise ConfigurationError("grid needs at least one load")
+
+    def default_run_indices(self) -> List[int]:
+        if self.run_indices is not None:
+            return [int(i) for i in self.run_indices]
+        from ..experiments.config import TraceExperimentConfig
+
+        if isinstance(self.config, TraceExperimentConfig):
+            return list(range(self.config.num_days))
+        return list(range(self.config.num_runs))
+
+    def cells(self) -> List[ScenarioSpec]:
+        """Expand the grid into its cells.
+
+        The expansion order is loads (outer) then protocols then run
+        indices — the same nesting the serial ``sweep`` loop used, so
+        progress reporting advances the way a reader of the figures
+        expects.
+        """
+        run_indices = self.default_run_indices()
+        out: List[ScenarioSpec] = []
+        for load in self.loads:
+            for protocol in self.protocols:
+                for run_index in run_indices:
+                    out.append(
+                        ScenarioSpec.for_cell(
+                            config=self.config,
+                            protocol=protocol,
+                            load=load,
+                            run_index=run_index,
+                            buffer_capacity=self.buffer_capacity,
+                            metadata_fraction_cap=self.metadata_fraction_cap,
+                            noise=self.noise,
+                        )
+                    )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.protocols) * len(self.loads) * len(self.default_run_indices())

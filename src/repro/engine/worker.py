@@ -1,0 +1,209 @@
+"""Cell execution: rebuild inputs from a spec and run the simulator.
+
+This module is the *only* place that turns a :class:`ScenarioSpec` into
+simulator inputs.  Both execution backends go through it — the serial
+backend calls :func:`run_cell` in-process, the multiprocessing backend
+ships spec dictionaries to :func:`execute_cell` (a top-level function, so
+it is importable by worker processes under any start method).
+
+Schedules and workloads are derived purely from the configuration seeds,
+which gives two properties the engine depends on:
+
+* **fair comparison** — every protocol cell at the same (config, load,
+  run index) rebuilds the *same* meetings and the *same* packets, the
+  paper's methodology (Section 6.1), without sharing live objects;
+* **reproducibility** — a cell produces bit-identical results no matter
+  which process (or how many workers) executes it.
+
+Rebuilt inputs are memoized per process keyed by the canonical
+configuration, so a worker that executes many cells of one grid pays
+generation cost once per (config, load) — the same economy the in-process
+runners had before the engine existed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..dtn.packet import Packet
+from ..dtn.results import SimulationResult
+from ..dtn.simulator import run_simulation
+from ..dtn.workload import PoissonWorkload
+from ..mobility.exponential import ExponentialMobility
+from ..mobility.powerlaw import PowerLawMobility
+from ..mobility.schedule import MeetingSchedule
+from ..traces.dieselnet import DayTrace, DieselNetTraceGenerator
+from .spec import FAMILY_TRACE, ScenarioSpec, config_key
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from ..experiments.config import SyntheticExperimentConfig, TraceExperimentConfig
+
+#: How many distinct configurations to memoize per process before the
+#: input caches are reset.  Grids use one configuration, so this only
+#: guards long-lived workers that serve many unrelated grids.
+_MAX_CACHED_CONFIGS = 8
+#: Upper bound on memoized workloads per process; one entry holds the
+#: packet list of one (config, run/day, load) cell.
+_MAX_WORKLOAD_ENTRIES = 4096
+
+_DAY_CACHE: Dict[str, List[DayTrace]] = {}
+_TRACE_WORKLOAD_CACHE: Dict[Tuple[str, int, float], List[Packet]] = {}
+_SCHEDULE_CACHE: Dict[Tuple[str, int], MeetingSchedule] = {}
+_SYNTH_WORKLOAD_CACHE: Dict[Tuple[str, int, float], List[Packet]] = {}
+
+
+def clear_input_caches() -> None:
+    """Drop all per-process memoized inputs (mainly for tests)."""
+    _DAY_CACHE.clear()
+    _TRACE_WORKLOAD_CACHE.clear()
+    _SCHEDULE_CACHE.clear()
+    _SYNTH_WORKLOAD_CACHE.clear()
+
+
+def _trim_caches() -> None:
+    if (
+        len(_DAY_CACHE) > _MAX_CACHED_CONFIGS
+        or len(_SCHEDULE_CACHE) > _MAX_CACHED_CONFIGS * 64
+        or len(_TRACE_WORKLOAD_CACHE) > _MAX_WORKLOAD_ENTRIES
+        or len(_SYNTH_WORKLOAD_CACHE) > _MAX_WORKLOAD_ENTRIES
+    ):
+        clear_input_caches()
+
+
+# ----------------------------------------------------------------------
+# Trace-driven inputs (DieselNet day traces)
+# ----------------------------------------------------------------------
+def day_traces(config: TraceExperimentConfig) -> List[DayTrace]:
+    """All day traces of *config*, memoized per process.
+
+    Days are generated together because the trace generator consumes one
+    RNG stream across days: day *k* is only reproducible after days
+    ``0..k-1`` have been drawn.
+    """
+    key = config_key(config)
+    if key not in _DAY_CACHE:
+        _trim_caches()
+        generator = DieselNetTraceGenerator(
+            parameters=config.trace_parameters, seed=config.seed
+        )
+        _DAY_CACHE[key] = generator.generate_days(config.num_days)
+    return _DAY_CACHE[key]
+
+
+def trace_workload(
+    config: TraceExperimentConfig, day_index: int, load_packets_per_hour: float
+) -> List[Packet]:
+    """The packet workload of one day at one load (same for every protocol)."""
+    key = (config_key(config), day_index, load_packets_per_hour)
+    if key not in _TRACE_WORKLOAD_CACHE:
+        _trim_caches()
+        day = day_traces(config)[day_index]
+        workload = PoissonWorkload(
+            packets_per_hour=load_packets_per_hour,
+            packet_size=config.packet_size,
+            deadline=config.deadline,
+            seed=config.seed * 1000 + day_index,
+        )
+        nodes = day.buses_on_road if len(day.buses_on_road) >= 2 else day.schedule.nodes
+        _TRACE_WORKLOAD_CACHE[key] = workload.generate(nodes, day.schedule.duration)
+    return _TRACE_WORKLOAD_CACHE[key]
+
+
+# ----------------------------------------------------------------------
+# Synthetic-mobility inputs (exponential / power-law)
+# ----------------------------------------------------------------------
+def synthetic_schedule(config: SyntheticExperimentConfig, run_index: int) -> MeetingSchedule:
+    """The meeting schedule of one random run, memoized per process."""
+    key = (config_key(config), run_index)
+    if key not in _SCHEDULE_CACHE:
+        _trim_caches()
+        seed = config.seed * 100 + run_index
+        if config.mobility == "powerlaw":
+            mobility = PowerLawMobility(
+                num_nodes=config.num_nodes,
+                mean_inter_meeting=config.mean_inter_meeting,
+                transfer_opportunity=config.transfer_opportunity,
+                seed=seed,
+            )
+        else:
+            mobility = ExponentialMobility(
+                num_nodes=config.num_nodes,
+                mean_inter_meeting=config.mean_inter_meeting,
+                transfer_opportunity=config.transfer_opportunity,
+                seed=seed,
+            )
+        _SCHEDULE_CACHE[key] = mobility.generate(config.duration)
+    return _SCHEDULE_CACHE[key]
+
+
+def synthetic_workload(
+    config: SyntheticExperimentConfig, run_index: int, packets_per_interval: float
+) -> List[Packet]:
+    """The packet workload of one random run at one load."""
+    key = (config_key(config), run_index, packets_per_interval)
+    if key not in _SYNTH_WORKLOAD_CACHE:
+        _trim_caches()
+        generator = PoissonWorkload(
+            packets_per_hour=config.load_to_packets_per_hour(packets_per_interval),
+            packet_size=config.packet_size,
+            deadline=config.deadline,
+            seed=config.seed * 977 + run_index * 31 + int(packets_per_interval * 101),
+        )
+        _SYNTH_WORKLOAD_CACHE[key] = generator.generate(
+            list(range(config.num_nodes)), config.duration
+        )
+    return _SYNTH_WORKLOAD_CACHE[key]
+
+
+# ----------------------------------------------------------------------
+# Cell execution
+# ----------------------------------------------------------------------
+def run_cell(spec: ScenarioSpec) -> SimulationResult:
+    """Run one cell in the current process and return the live result."""
+    config = spec.experiment_config()
+    protocol = spec.protocol_spec()
+    is_rapid = protocol.registry_name.startswith("rapid")
+
+    extra: Dict[str, object] = {}
+    if spec.metadata_fraction_cap is not None:
+        extra["metadata_fraction_cap"] = spec.metadata_fraction_cap
+
+    if spec.family == FAMILY_TRACE:
+        day = day_traces(config)[spec.run_index]
+        schedule = day.schedule
+        packets = trace_workload(config, spec.run_index, spec.load)
+        if is_rapid:
+            # RAPID plans against the end of the operating day: expected
+            # delay reductions beyond it cannot materialise (each day is
+            # a separate experiment in the evaluation).
+            extra["planning_horizon"] = day.schedule.duration
+            extra["metadata_byte_scale"] = config.metadata_byte_scale
+    else:
+        schedule = synthetic_schedule(config, spec.run_index)
+        packets = synthetic_workload(config, spec.run_index, spec.load)
+        if is_rapid:
+            extra["planning_horizon"] = config.duration
+
+    factory = protocol.factory(**extra)
+    buffer_capacity = (
+        config.buffer_capacity if spec.buffer_capacity is None else spec.buffer_capacity
+    )
+    return run_simulation(
+        schedule=schedule,
+        packets=packets,
+        protocol_factory=factory,
+        buffer_capacity=buffer_capacity,
+        seed=config.seed + spec.run_index,
+        noise=spec.deployment_noise(),
+    )
+
+
+def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker-process entry point: spec dict in, result dict out.
+
+    Dictionaries rather than live objects cross the process boundary, so
+    the transport exercises the same round-trip serialization the result
+    cache relies on.
+    """
+    spec = ScenarioSpec.from_dict(payload)
+    return run_cell(spec).to_dict()

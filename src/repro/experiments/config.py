@@ -10,7 +10,7 @@ results matters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
 from .. import constants, units
@@ -34,6 +34,22 @@ class ProtocolSpec:
 
     def with_options(self, **extra) -> "ProtocolSpec":
         return ProtocolSpec(self.label, self.registry_name, {**self.options, **extra})
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (used by the experiment engine)."""
+        return {
+            "label": self.label,
+            "registry_name": self.registry_name,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProtocolSpec":
+        return cls(
+            label=str(data["label"]),
+            registry_name=str(data["registry_name"]),
+            options=dict(data.get("options", {})),
+        )
 
 
 def standard_protocols(metric: str = "average_delay") -> List[ProtocolSpec]:
@@ -93,6 +109,18 @@ class TraceExperimentConfig:
 
     def with_load(self, load_packets_per_hour: float) -> "TraceExperimentConfig":
         return replace(self, load_packets_per_hour=load_packets_per_hour)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (used by the experiment engine)."""
+        data = asdict(self)
+        data["family"] = "trace"
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceExperimentConfig":
+        kwargs = {k: v for k, v in data.items() if k != "family"}
+        kwargs["trace_parameters"] = DieselNetParameters(**kwargs["trace_parameters"])
+        return cls(**kwargs)
 
     @classmethod
     def paper_scale(cls, seed: int = 7) -> "TraceExperimentConfig":
@@ -162,6 +190,16 @@ class SyntheticExperimentConfig:
 
     def with_mobility(self, mobility: str) -> "SyntheticExperimentConfig":
         return replace(self, mobility=mobility)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (used by the experiment engine)."""
+        data = asdict(self)
+        data["family"] = "synthetic"
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SyntheticExperimentConfig":
+        return cls(**{k: v for k, v in data.items() if k != "family"})
 
     def with_buffer(self, buffer_capacity: float) -> "SyntheticExperimentConfig":
         return replace(self, buffer_capacity=buffer_capacity)

@@ -3,27 +3,36 @@
 A runner owns the meeting schedules and workloads of one experiment family
 and runs any protocol over them, guaranteeing that every protocol sees the
 *same* meetings and the *same* packets — the paper's methodology for fair
-comparison (Section 6.1).  Schedules and workloads are cached, so a figure
-that sweeps several protocols over several loads only pays generation cost
-once per load.
+comparison (Section 6.1).  Inputs are derived deterministically from the
+configuration seeds and memoized (per process) by
+:mod:`repro.engine.worker`, so a figure that sweeps several protocols over
+several loads only pays generation cost once per load.
+
+Since the engine subsystem exists, runners no longer call the simulator
+directly: they declare :class:`~repro.engine.ScenarioSpec` cells and
+submit them through an :class:`~repro.engine.ExperimentEngine`, which may
+execute them serially, fan them out over worker processes, or serve them
+from the on-disk result cache.  Both runners expose the same uniform
+interface — ``family``, ``load_keyword``, ``cells()``, ``run_cells()`` —
+so grid-level code such as :func:`sweep` never dispatches on the runner
+type.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.metrics import mean_metric
 from ..dtn.node import DeploymentNoise
 from ..dtn.packet import Packet
 from ..dtn.results import SimulationResult
-from ..dtn.simulator import run_simulation
-from ..dtn.workload import PoissonWorkload
-from ..mobility.exponential import ExponentialMobility
-from ..mobility.powerlaw import PowerLawMobility
+from ..engine import Aggregator, ExperimentEngine, ScenarioSpec, get_default_engine
+from ..engine import worker as cell_worker
+from ..exceptions import ConfigurationError
 from ..mobility.schedule import MeetingSchedule
 from ..optimal.router import OptimalResult, OptimalRouter
-from ..traces.dieselnet import DayTrace, DieselNetTraceGenerator
+from ..traces.dieselnet import DayTrace
 from .config import ProtocolSpec, SyntheticExperimentConfig, TraceExperimentConfig
 
 
@@ -42,38 +51,72 @@ class RunRecord:
 class TraceRunner:
     """Runs protocols over the (synthetic) DieselNet day traces."""
 
-    def __init__(self, config: Optional[TraceExperimentConfig] = None) -> None:
+    family = "trace"
+    #: Name of the load keyword accepted by :meth:`run_protocol`.
+    load_keyword = "load_packets_per_hour"
+
+    def __init__(
+        self,
+        config: Optional[TraceExperimentConfig] = None,
+        engine: Optional[ExperimentEngine] = None,
+    ) -> None:
         self.config = config or TraceExperimentConfig.ci_scale()
-        self._generator = DieselNetTraceGenerator(
-            parameters=self.config.trace_parameters, seed=self.config.seed
-        )
-        self._days: Optional[List[DayTrace]] = None
+        self.engine = engine
         self._workloads: Dict[float, List[List[Packet]]] = {}
 
+    def _engine(self) -> ExperimentEngine:
+        return self.engine or get_default_engine()
+
     # ------------------------------------------------------------------
-    # Inputs (cached)
+    # Inputs (memoized per process by the engine worker)
     # ------------------------------------------------------------------
     def day_traces(self) -> List[DayTrace]:
-        if self._days is None:
-            self._days = self._generator.generate_days(self.config.num_days)
-        return self._days
+        return cell_worker.day_traces(self.config)
 
     def workloads(self, load_packets_per_hour: Optional[float] = None) -> List[List[Packet]]:
         """Per-day packet workloads at the given load (same for every protocol)."""
-        load = load_packets_per_hour or self.config.load_packets_per_hour
+        load = (
+            self.config.load_packets_per_hour
+            if load_packets_per_hour is None
+            else load_packets_per_hour
+        )
         if load not in self._workloads:
-            per_day: List[List[Packet]] = []
-            for index, day in enumerate(self.day_traces()):
-                workload = PoissonWorkload(
-                    packets_per_hour=load,
-                    packet_size=self.config.packet_size,
-                    deadline=self.config.deadline,
-                    seed=self.config.seed * 1000 + index,
-                )
-                nodes = day.buses_on_road if len(day.buses_on_road) >= 2 else day.schedule.nodes
-                per_day.append(workload.generate(nodes, day.schedule.duration))
-            self._workloads[load] = per_day
+            self._workloads[load] = [
+                cell_worker.trace_workload(self.config, index, load)
+                for index in range(self.config.num_days)
+            ]
         return self._workloads[load]
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def cells(
+        self,
+        spec: ProtocolSpec,
+        load: Optional[float] = None,
+        noise: Optional[DeploymentNoise] = None,
+        buffer_capacity: Optional[float] = None,
+        metadata_fraction_cap: Optional[float] = None,
+    ) -> List[ScenarioSpec]:
+        """One cell per day for *spec* at the (resolved) load."""
+        if load is None:
+            load = self.config.load_packets_per_hour
+        return [
+            ScenarioSpec.for_cell(
+                config=self.config,
+                protocol=spec,
+                load=load,
+                run_index=index,
+                buffer_capacity=buffer_capacity,
+                metadata_fraction_cap=metadata_fraction_cap,
+                noise=noise,
+            )
+            for index in range(self.config.num_days)
+        ]
+
+    def run_cells(self, cells: Sequence[ScenarioSpec]) -> List[SimulationResult]:
+        """Submit prepared cells through the engine (ordered results)."""
+        return self._engine().run_cells(cells)
 
     # ------------------------------------------------------------------
     # Runs
@@ -87,31 +130,15 @@ class TraceRunner:
         metadata_fraction_cap: Optional[float] = None,
     ) -> List[SimulationResult]:
         """Run *spec* over every day trace; one result per day."""
-        is_rapid = spec.registry_name.startswith("rapid")
-        extra: Dict[str, object] = {}
-        if metadata_fraction_cap is not None:
-            extra["metadata_fraction_cap"] = metadata_fraction_cap
-        results: List[SimulationResult] = []
-        days = self.day_traces()
-        packets_per_day = self.workloads(load_packets_per_hour)
-        for index, (day, packets) in enumerate(zip(days, packets_per_day)):
-            if is_rapid:
-                # RAPID plans against the end of the operating day: expected
-                # delay reductions beyond it cannot materialise (each day is
-                # a separate experiment in the evaluation).
-                extra["planning_horizon"] = day.schedule.duration
-                extra["metadata_byte_scale"] = self.config.metadata_byte_scale
-            factory = spec.factory(**extra)
-            result = run_simulation(
-                schedule=day.schedule,
-                packets=packets,
-                protocol_factory=factory,
-                buffer_capacity=buffer_capacity or self.config.buffer_capacity,
-                seed=self.config.seed + index,
+        return self.run_cells(
+            self.cells(
+                spec,
+                load=load_packets_per_hour,
                 noise=noise,
+                buffer_capacity=buffer_capacity,
+                metadata_fraction_cap=metadata_fraction_cap,
             )
-            results.append(result)
-        return results
+        )
 
     def run_optimal(self, load_packets_per_hour: Optional[float] = None) -> List[OptimalResult]:
         """Offline-optimal outcomes for the same day traces and workloads."""
@@ -127,48 +154,58 @@ class TraceRunner:
 class SyntheticRunner:
     """Runs protocols under the exponential / power-law mobility models."""
 
-    def __init__(self, config: Optional[SyntheticExperimentConfig] = None) -> None:
+    family = "synthetic"
+    #: Name of the load keyword accepted by :meth:`run_protocol`.
+    load_keyword = "packets_per_interval"
+
+    def __init__(
+        self,
+        config: Optional[SyntheticExperimentConfig] = None,
+        engine: Optional[ExperimentEngine] = None,
+    ) -> None:
         self.config = config or SyntheticExperimentConfig.ci_scale()
-        self._schedules: Dict[int, MeetingSchedule] = {}
-        self._workloads: Dict[Tuple[int, float], List[Packet]] = {}
+        self.engine = engine
+
+    def _engine(self) -> ExperimentEngine:
+        return self.engine or get_default_engine()
 
     # ------------------------------------------------------------------
-    # Inputs (cached)
+    # Inputs (memoized per process by the engine worker)
     # ------------------------------------------------------------------
-    def _mobility(self, run_index: int):
-        seed = self.config.seed * 100 + run_index
-        if self.config.mobility == "powerlaw":
-            return PowerLawMobility(
-                num_nodes=self.config.num_nodes,
-                mean_inter_meeting=self.config.mean_inter_meeting,
-                transfer_opportunity=self.config.transfer_opportunity,
-                seed=seed,
-            )
-        return ExponentialMobility(
-            num_nodes=self.config.num_nodes,
-            mean_inter_meeting=self.config.mean_inter_meeting,
-            transfer_opportunity=self.config.transfer_opportunity,
-            seed=seed,
-        )
-
     def schedule(self, run_index: int) -> MeetingSchedule:
-        if run_index not in self._schedules:
-            self._schedules[run_index] = self._mobility(run_index).generate(self.config.duration)
-        return self._schedules[run_index]
+        return cell_worker.synthetic_schedule(self.config, run_index)
 
     def workload(self, run_index: int, packets_per_interval: float) -> List[Packet]:
-        key = (run_index, packets_per_interval)
-        if key not in self._workloads:
-            generator = PoissonWorkload(
-                packets_per_hour=self.config.load_to_packets_per_hour(packets_per_interval),
-                packet_size=self.config.packet_size,
-                deadline=self.config.deadline,
-                seed=self.config.seed * 977 + run_index * 31 + int(packets_per_interval * 101),
+        return cell_worker.synthetic_workload(self.config, run_index, packets_per_interval)
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def cells(
+        self,
+        spec: ProtocolSpec,
+        load: Optional[float] = None,
+        buffer_capacity: Optional[float] = None,
+    ) -> List[ScenarioSpec]:
+        """One cell per random run for *spec* at the given load."""
+        if load is None:
+            raise ConfigurationError(
+                "synthetic experiments have no default load; pass load="
             )
-            self._workloads[key] = generator.generate(
-                list(range(self.config.num_nodes)), self.config.duration
+        return [
+            ScenarioSpec.for_cell(
+                config=self.config,
+                protocol=spec,
+                load=load,
+                run_index=run_index,
+                buffer_capacity=buffer_capacity,
             )
-        return self._workloads[key]
+            for run_index in range(self.config.num_runs)
+        ]
+
+    def run_cells(self, cells: Sequence[ScenarioSpec]) -> List[SimulationResult]:
+        """Submit prepared cells through the engine (ordered results)."""
+        return self._engine().run_cells(cells)
 
     # ------------------------------------------------------------------
     # Runs
@@ -180,22 +217,9 @@ class SyntheticRunner:
         buffer_capacity: Optional[float] = None,
     ) -> List[SimulationResult]:
         """Run *spec* for every random run at the given load."""
-        is_rapid = spec.registry_name.startswith("rapid")
-        results: List[SimulationResult] = []
-        for run_index in range(self.config.num_runs):
-            extra: Dict[str, object] = {}
-            if is_rapid:
-                extra["planning_horizon"] = self.config.duration
-            factory = spec.factory(**extra)
-            result = run_simulation(
-                schedule=self.schedule(run_index),
-                packets=self.workload(run_index, packets_per_interval),
-                protocol_factory=factory,
-                buffer_capacity=buffer_capacity or self.config.buffer_capacity,
-                seed=self.config.seed + run_index,
-            )
-            results.append(result)
-        return results
+        return self.run_cells(
+            self.cells(spec, load=packets_per_interval, buffer_capacity=buffer_capacity)
+        )
 
 
 def sweep(
@@ -203,20 +227,24 @@ def sweep(
     specs: Sequence[ProtocolSpec],
     x_values: Sequence[float],
     metric_name: str,
+    engine: Optional[ExperimentEngine] = None,
     **run_kwargs,
 ) -> Dict[str, List[float]]:
     """Run every protocol at every sweep point and average one metric.
 
-    Works with both runner types: the x value is passed as the load
-    argument (``load_packets_per_hour`` for :class:`TraceRunner`,
-    ``packets_per_interval`` for :class:`SyntheticRunner`).
+    Works with both runner types through their uniform ``cells`` interface
+    (the x value is the runner's load, whatever its family calls it).  The
+    whole grid is submitted to the engine in one batch, so a multi-worker
+    engine parallelises across protocols, loads and days/runs at once.
     """
-    series: Dict[str, List[float]] = {spec.label: [] for spec in specs}
+    cells: List[ScenarioSpec] = []
     for x in x_values:
         for spec in specs:
-            if isinstance(runner, TraceRunner):
-                results = runner.run_protocol(spec, load_packets_per_hour=x, **run_kwargs)
-            else:
-                results = runner.run_protocol(spec, packets_per_interval=x, **run_kwargs)
-            series[spec.label].append(mean_metric(results, metric_name))
-    return series
+            cells.extend(runner.cells(spec, load=x, **run_kwargs))
+    results = (engine or runner._engine()).run_cells(cells)
+    return Aggregator(metric_name).series(
+        cells,
+        results,
+        labels=[spec.label for spec in specs],
+        x_values=list(x_values),
+    )
