@@ -1,0 +1,214 @@
+"""Benchmark gate: the incremental RAPID delay-estimation fast path.
+
+Runs one buffer-constrained synthetic RAPID cell (several thousand 1 KB
+packets against small node buffers, so eviction cascades and per-meeting
+candidate ranking dominate) twice:
+
+1. the incremental fast path — per-destination serve-order index,
+   per-meeting :class:`~repro.core.meeting_estimator.EstimateScratch`,
+   vectorised delay math, lazy-heap candidate ranking and cascade-scoped
+   eviction-score caching;
+2. the reference path (``REPRO_SLOW_ESTIMATES=1``) — the original
+   O(buffer) scans, eager full sort and per-step eviction rescoring.
+
+Both must produce **byte-identical** ``SimulationResult.to_dict()``
+output, and the fast path must be at least ``3x`` faster (``1.5x`` in
+``--quick`` mode, whose cell is small enough for CI smoke runs).  A
+second stage re-runs a small rapid/maxprop/prophet grid through the
+experiment engine serially, fanned out over worker processes and against
+a cold-then-warm result cache, asserting all three backends emit
+byte-identical results.  Everything lands in
+``benchmarks/results/BENCH_rapid_hotpath.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rapid_hotpath.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_rapid_hotpath.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import units
+from repro.dtn.simulator import run_simulation
+from repro.dtn.workload import PoissonWorkload
+from repro.engine import ExperimentEngine, ScenarioGrid
+from repro.experiments.config import ProtocolSpec, SyntheticExperimentConfig
+from repro.mobility.exponential import ExponentialMobility
+from repro.profiling import ENV_SLOW_ESTIMATES
+from repro.routing.registry import create_factory
+
+from bench_config import emit_bench_json
+
+#: Minimum fast-vs-reference wall-time speedup the gate enforces.
+FULL_SPEEDUP_FLOOR = 3.0
+QUICK_SPEEDUP_FLOOR = 1.5
+#: The hot-path cell must be a real load: at least this many packets.
+MIN_PACKETS = 2000
+
+#: Protocols whose serial / parallel / cached outputs must agree.
+IDENTITY_PROTOCOLS = ("rapid", "maxprop", "prophet")
+
+
+def _hotpath_inputs(quick: bool):
+    """The buffer-constrained synthetic RAPID cell the gate times.
+
+    600 KB buffers (~600 packets deep) against a multi-megabyte offered
+    load keep every node under storage pressure, which is where the
+    reference path's O(buffer) scans and per-step eviction rescoring
+    hurt the most.
+    """
+    duration = 600.0 if quick else 1200.0
+    mobility = ExponentialMobility(
+        num_nodes=6,
+        mean_inter_meeting=100.0,
+        transfer_opportunity=60 * units.KB,
+        seed=3,
+    )
+    schedule = mobility.generate(duration)
+    workload = PoissonWorkload(packets_per_hour=700.0, seed=4)
+    packets = workload.generate(list(range(6)), duration)
+    return schedule, packets, 600 * units.KB
+
+
+def _run_hotpath_cell(quick: bool, slow: bool) -> Tuple[Dict[str, object], float, int]:
+    """Run the cell on one path; return (to_dict payload, wall seconds, #packets)."""
+    previous = os.environ.pop(ENV_SLOW_ESTIMATES, None)
+    if slow:
+        os.environ[ENV_SLOW_ESTIMATES] = "1"
+    try:
+        schedule, packets, capacity = _hotpath_inputs(quick)
+        started = time.perf_counter()
+        result = run_simulation(
+            schedule,
+            packets,
+            create_factory("rapid"),
+            buffer_capacity=capacity,
+            seed=5,
+        )
+        elapsed = time.perf_counter() - started
+        return result.to_dict(), elapsed, len(packets)
+    finally:
+        os.environ.pop(ENV_SLOW_ESTIMATES, None)
+        if previous is not None:
+            os.environ[ENV_SLOW_ESTIMATES] = previous
+
+
+def _canonical(payloads: List[Dict[str, object]]) -> str:
+    return json.dumps(payloads, sort_keys=True, separators=(",", ":"))
+
+
+def _identity_grid() -> ScenarioGrid:
+    config = SyntheticExperimentConfig(
+        num_nodes=8,
+        mean_inter_meeting=70.0,
+        transfer_opportunity=100 * units.KB,
+        duration=4 * units.MINUTE,
+        buffer_capacity=40 * units.KB,
+        deadline=25.0,
+        packet_interval=50.0,
+        mobility="exponential",
+        num_runs=1,
+        seed=11,
+    )
+    protocols = [ProtocolSpec(label=name, registry_name=name) for name in IDENTITY_PROTOCOLS]
+    return ScenarioGrid(config=config, protocols=protocols, loads=(6.0,))
+
+
+def _backend_identity_check(tmp_cache_dir: Path) -> Dict[str, object]:
+    """Run the identity grid serial / parallel / cached; assert equal output."""
+    grid = _identity_grid()
+
+    with ExperimentEngine(workers=1) as engine:
+        serial = _canonical([r.to_dict() for r in engine.run_grid(grid)])
+    with ExperimentEngine(workers=2) as engine:
+        parallel = _canonical([r.to_dict() for r in engine.run_grid(grid)])
+    with ExperimentEngine(workers=1, cache_dir=tmp_cache_dir) as engine:
+        cold = _canonical([r.to_dict() for r in engine.run_grid(grid)])
+    with ExperimentEngine(workers=1, cache_dir=tmp_cache_dir) as engine:
+        warm = _canonical([r.to_dict() for r in engine.run_grid(grid)])
+        warm_hits = engine.stats.cache_hits
+
+    assert parallel == serial, "parallel backend output differs from serial"
+    assert cold == serial, "cache-filling run output differs from serial"
+    assert warm == serial, "warm-cache output differs from serial"
+    assert warm_hits == len(grid), "warm cache did not serve every cell"
+    return {
+        "protocols": list(IDENTITY_PROTOCOLS),
+        "cells": len(grid),
+        "backends_identical": True,
+    }
+
+
+def run_gate(quick: bool, cache_dir: Optional[Path] = None) -> Dict[str, object]:
+    """Run the full gate; return the BENCH payload (raises on regression)."""
+    fast_payload, fast_s, num_packets = _run_hotpath_cell(quick, slow=False)
+    slow_payload, slow_s, _ = _run_hotpath_cell(quick, slow=True)
+
+    assert num_packets >= MIN_PACKETS, (
+        f"hot-path cell too small: {num_packets} packets < {MIN_PACKETS}"
+    )
+    assert _canonical([fast_payload]) == _canonical([slow_payload]), (
+        "fast path output differs from the REPRO_SLOW_ESTIMATES reference"
+    )
+    speedup = slow_s / fast_s if fast_s > 0 else float("inf")
+
+    if cache_dir is None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-hotpath-") as tmp:
+            identity = _backend_identity_check(Path(tmp) / "cache")
+    else:
+        identity = _backend_identity_check(cache_dir)
+
+    floor = QUICK_SPEEDUP_FLOOR if quick else FULL_SPEEDUP_FLOOR
+    payload = {
+        "mode": "quick" if quick else "full",
+        "packets": num_packets,
+        "buffer_kb": 600,
+        "fast_wall_time_s": round(fast_s, 6),
+        "reference_wall_time_s": round(slow_s, 6),
+        "speedup": round(speedup, 3),
+        "speedup_floor": floor,
+        "bit_identical_to_reference": True,
+        "identity_check": identity,
+    }
+    emit_bench_json("rapid_hotpath", payload)
+    assert speedup >= floor, (
+        f"hot-path regression: fast path only {speedup:.2f}x faster than the "
+        f"reference (floor {floor}x); fast={fast_s:.2f}s reference={slow_s:.2f}s"
+    )
+    return payload
+
+
+def test_rapid_hotpath_gate(tmp_path):
+    """Pytest entry point (quick mode keeps bench suites fast)."""
+    payload = run_gate(quick=True, cache_dir=tmp_path / "cache")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller cell and a 1.5x floor (CI smoke); default is the "
+        "full >= 2k-packet cell with the 3x floor",
+    )
+    args = parser.parse_args(argv)
+    payload = run_gate(quick=args.quick)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,13 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
 from . import units
+from .profiling import ENV_PROFILE
 from .dtn.simulator import run_simulation
 from .exceptions import ReproError
 from .dtn.workload import PoissonWorkload
@@ -62,6 +65,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="bypass the result cache even when --cache-dir is set",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase wall times and call counters in every "
+        "freshly executed simulation cell (SimulationResult.timings; "
+        "never persisted to the result cache)",
     )
 
 
@@ -128,8 +138,37 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--load", type=float, default=30.0, help="packets per hour per destination")
     sim_parser.add_argument("--buffer-kb", type=float, default=100.0, help="buffer capacity in KB")
     sim_parser.add_argument("--seed", type=int, default=1, help="random seed")
+    sim_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-time and call-count breakdown",
+    )
 
     return parser
+
+
+@contextlib.contextmanager
+def _profile_scope(enabled: bool):
+    """Set ``REPRO_PROFILE`` for the duration of one command.
+
+    The environment variable (not a live object) carries the request so
+    multiprocessing workers inherit it; every freshly executed cell then
+    records its per-phase timings into ``SimulationResult.timings``.
+    Scoping the mutation keeps library callers that invoke :func:`main`
+    repeatedly from leaking profiling into later, unflagged invocations.
+    """
+    if not enabled:
+        yield
+        return
+    previous = os.environ.get(ENV_PROFILE)
+    os.environ[ENV_PROFILE] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_PROFILE, None)
+        else:
+            os.environ[ENV_PROFILE] = previous
 
 
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
@@ -177,7 +216,7 @@ def _command_run(args: argparse.Namespace) -> int:
     family = "trace" if args.exhibit in _TRACE_EXHIBITS else "synthetic"
     kwargs = {"config": _config_from_args(family, args.scale, args.seed)}
     engine = _engine_from_args(args)
-    with engine, use_engine(engine):
+    with _profile_scope(args.profile), engine, use_engine(engine):
         result = runner_fn(**kwargs)
     print(result.to_text())
     _print_engine_stats(engine)
@@ -220,7 +259,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         runner = SyntheticRunner(config, engine=engine)
         x_label = f"Packets per {config.packet_interval:g}s per destination"
 
-    with engine:
+    with _profile_scope(args.profile), engine:
         series = sweep(runner, specs, loads, args.metric)
     figure = FigureResult(
         figure_id="Sweep",
@@ -249,10 +288,16 @@ def _command_quicksim(args: argparse.Namespace) -> int:
         factory,
         buffer_capacity=args.buffer_kb * units.KB,
         seed=args.seed,
+        options={"profile": True} if args.profile else None,
     )
     print(f"protocol:          {result.protocol_name}")
     for key, value in result.summary().items():
         print(f"{key:35s} {value:.4f}")
+    if args.profile and result.timings:
+        print()
+        print("profile (per-phase wall time and call counts):")
+        for key, value in sorted(result.timings.items()):
+            print(f"  {key:32s} {value:.6f}")
     return 0
 
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from .. import constants
 
 
@@ -67,6 +69,26 @@ def direct_delivery_delay(
         return constants.NEVER_MEET
     n = meetings_needed(bytes_ahead, packet_size, expected_transfer_bytes)
     return expected_meeting_time * n
+
+
+def direct_delivery_delay_array(
+    expected_meeting_times: np.ndarray,
+    bytes_ahead: np.ndarray,
+    packet_sizes: np.ndarray,
+    expected_transfer_bytes: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :func:`direct_delivery_delay` over packed candidate arrays.
+
+    Element ``k`` equals ``direct_delivery_delay(E[k], b[k], s[k], B[k])``
+    bit-for-bit: the quotient, ceil and product are the same IEEE-754
+    double operations the scalar path performs, and an infinite expected
+    meeting time multiplies through to :data:`~repro.constants.NEVER_MEET`
+    exactly as the scalar early-return does.
+    """
+    safe_transfer = np.where(expected_transfer_bytes > 0, expected_transfer_bytes, 1.0)
+    meetings = np.maximum(np.ceil((bytes_ahead + packet_sizes) / safe_transfer), 1.0)
+    meetings = np.where(expected_transfer_bytes > 0, meetings, 1.0)
+    return expected_meeting_times * meetings
 
 
 def delivery_rate(delays: Iterable[float]) -> float:

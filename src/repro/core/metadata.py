@@ -129,7 +129,6 @@ class MetadataStore:
         if existing is not None and existing.updated_at > now:
             return False
         learned_at = now if learned_at is None else learned_at
-        previous_changed_at = existing.changed_at if existing is not None else 0.0
         meaningful = True
         if existing is not None:
             previous = existing.delay_estimate
@@ -138,12 +137,20 @@ class MetadataStore:
             elif previous > 0 and previous != float("inf") and delay_estimate != float("inf"):
                 if abs(delay_estimate - previous) <= tolerance * previous:
                     meaningful = False
-        entry.replicas[holder_id] = ReplicaInfo(
-            node_id=holder_id,
-            delay_estimate=delay_estimate,
-            updated_at=now,
-            changed_at=learned_at if meaningful else previous_changed_at,
-        )
+            # Update the record in place: this method runs millions of
+            # times per simulation and the fresh-dataclass allocation was
+            # measurable in the meeting hot path.
+            existing.delay_estimate = delay_estimate
+            existing.updated_at = now
+            if meaningful:
+                existing.changed_at = learned_at
+        else:
+            entry.replicas[holder_id] = ReplicaInfo(
+                node_id=holder_id,
+                delay_estimate=delay_estimate,
+                updated_at=now,
+                changed_at=learned_at,
+            )
         if not meaningful:
             return False
         entry.last_change = max(entry.last_change, learned_at)

@@ -17,16 +17,20 @@ implemented here or in sibling modules:
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from .. import constants
 from ..dtn.node import Node
 from ..dtn.packet import Packet
+from ..profiling import slow_reference_mode
 from ..routing.base import ProtocolContext, RoutingProtocol, TransferBudget
 from . import delay as delay_module
 from .control import ControlChannel, GlobalControlChannel, make_channel
-from .meeting_estimator import MeetingTimeEstimator
+from .meeting_estimator import EstimateScratch, MeetingTimeEstimator
 from .metadata import MetadataStore
 from .transfer_estimator import TransferSizeEstimator
 from .utility import DeadlineMetric, MaximumDelayMetric, UtilityMetric, make_metric
@@ -95,6 +99,13 @@ class RapidProtocol(RoutingProtocol):
         self.sent_table_versions: Dict[int, int] = {}
 
         self._use_oracle = isinstance(self.channel, GlobalControlChannel)
+        #: ``REPRO_SLOW_ESTIMATES=1`` selects the reference (pre-incremental)
+        #: ranking and eviction paths; output must match the fast path bit
+        #: for bit, which the golden tests assert.
+        self._slow_reference = slow_reference_mode()
+        #: Per-packet ``(eviction_score, destination)`` memo, alive only
+        #: inside one ``make_room`` eviction cascade.
+        self._eviction_scores: Optional[Dict[int, Tuple[float, int]]] = None
         registry: Dict[int, "RapidProtocol"] = context.options.setdefault(_REGISTRY_KEY, {})
         registry[self.node_id] = self
         self._registry = registry
@@ -226,14 +237,29 @@ class RapidProtocol(RoutingProtocol):
         if self._use_oracle:
             self._purge_globally_acked(now)
 
-        ranked = self._ranked_candidates(peer, now)
-        for _, packet in ranked:
-            yield packet
+        if self._slow_reference:
+            for _, packet in self._ranked_candidates(peer, now):
+                yield packet
+            return
+
+        # Lazy heap: scoring every candidate is unavoidable (the rank is a
+        # total order over all of them), but the full O(n log n) sort is
+        # not — the simulator usually pulls only the few candidates that
+        # fit the transfer opportunity.  The heap key reproduces the eager
+        # sort's exact total order: descending (improves, key), ties by
+        # candidate position (= the stable sort's insertion order).
+        heap = [
+            (-rank[0], -rank[1], index, packet)
+            for rank, index, packet in self._candidate_scores(peer, now)
+        ]
+        heapq.heapify(heap)
+        while heap:
+            yield heapq.heappop(heap)[3]
 
     def _ranked_candidates(
         self, peer: "RapidProtocol", now: float
     ) -> List[Tuple[Tuple[int, float], Packet]]:
-        """Candidates ranked for replication.
+        """Candidates eagerly ranked for replication (reference path).
 
         Packets are ordered by decreasing marginal utility per byte (the
         selection algorithm of Section 3.4).  Packets whose replication
@@ -243,28 +269,112 @@ class RapidProtocol(RoutingProtocol):
         the paper describes emerges from the limited transfer opportunity,
         not from an explicit filter.
         """
-        candidates = self.transferable_packets(peer)
-        ranked: List[Tuple[Tuple[int, float], Packet]] = []
-        use_max_delay = isinstance(self.metric, MaximumDelayMetric)
-        for packet in candidates:
-            delays_before = self.replica_delays(packet, now)
-            extra = self.peer_delay_estimate(packet, peer, now)
-            marginal = self.metric.marginal_utility(packet, delays_before, extra, now)
-            improves = 1 if marginal > _MIN_MARGINAL_UTILITY else 0
-            if use_max_delay:
-                # Work-conserving max-delay ordering: the packet whose
-                # expected delay is currently largest goes first.
-                before = delay_module.combined_remaining_delay(delays_before)
-                key = packet.age(now) + (before if not math.isinf(before) else self._horizon_delay(now))
-            else:
-                key = self.metric.replication_priority(packet, marginal, now)
-                if improves == 0:
-                    # Order the "cannot help" tail by age so older packets
-                    # still get the spare bandwidth first.
-                    key = packet.age(now)
-            ranked.append(((improves, key), packet))
+        ranked = [(rank, packet) for rank, _, packet in self._candidate_scores(peer, now)]
         ranked.sort(key=lambda item: item[0], reverse=True)
         return ranked
+
+    def _candidate_scores(
+        self, peer: "RapidProtocol", now: float
+    ) -> List[Tuple[Tuple[int, float], int, Packet]]:
+        """Score every transferable candidate: ``((improves, key), index, packet)``.
+
+        Both ranking paths share this scoring; they differ only in how the
+        order is materialised (eager sort vs. lazy heap).  The fast path
+        batches the per-candidate direct-delivery delays through numpy and
+        an :class:`EstimateScratch` per participant; the reference path
+        (``REPRO_SLOW_ESTIMATES=1``) and the global-channel oracle — whose
+        per-replica estimates depend on every holder's live buffer — use
+        the original per-packet scalar calls.
+        """
+        candidates = self.transferable_packets(peer)
+        use_max_delay = isinstance(self.metric, MaximumDelayMetric)
+        scored: List[Tuple[Tuple[int, float], int, Packet]] = []
+        if self._slow_reference or self._use_oracle or not candidates:
+            for index, packet in enumerate(candidates):
+                delays_before = self.replica_delays(packet, now)
+                extra = self.peer_delay_estimate(packet, peer, now)
+                rank = self._rank_key(packet, delays_before, extra, now, use_max_delay)
+                scored.append((rank, index, packet))
+            return scored
+
+        own_delays, peer_delays = self._vectorized_direct_delays(candidates, peer, now)
+        for index, packet in enumerate(candidates):
+            delays_before: List[float] = [float(own_delays[index])]
+            entry = self.metadata.get(packet.packet_id)
+            if entry is not None:
+                delays_before.extend(
+                    info.delay_estimate
+                    for holder_id, info in entry.replicas.items()
+                    if holder_id != self.node_id
+                )
+            extra = float(peer_delays[index])
+            rank = self._rank_key(packet, delays_before, extra, now, use_max_delay)
+            scored.append((rank, index, packet))
+        return scored
+
+    def _vectorized_direct_delays(
+        self, candidates: Sequence[Packet], peer: "RapidProtocol", now: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Own and would-be-peer direct-delivery delays for all candidates.
+
+        Packs sizes, queue positions (one O(log n) index lookup each) and
+        the per-destination meeting/transfer estimates — memoized once per
+        distinct destination in an :class:`EstimateScratch` per participant
+        — into arrays, then evaluates ``d = E(M) * n`` for every candidate
+        in two numpy passes.
+        """
+        count = len(candidates)
+        sizes = np.empty(count)
+        own_ahead = np.empty(count)
+        peer_ahead = np.empty(count)
+        own_meeting = np.empty(count)
+        peer_meeting = np.empty(count)
+        own_transfer = np.empty(count)
+        peer_transfer = np.empty(count)
+        own_scratch = EstimateScratch(self.meetings, self.transfer_sizes)
+        peer_scratch = EstimateScratch(peer.meetings, peer.transfer_sizes)
+        for i, packet in enumerate(candidates):
+            destination = packet.destination
+            sizes[i] = packet.size
+            own_ahead[i] = self.buffer.bytes_ahead_of(packet, now)
+            peer_ahead[i] = peer.buffer.bytes_ahead_of(packet, now)
+            own_meeting[i] = own_scratch.expected_meeting_time(destination)
+            peer_meeting[i] = peer_scratch.expected_meeting_time(destination)
+            own_bytes = own_scratch.expected_transfer_bytes(destination)
+            peer_bytes = peer_scratch.expected_transfer_bytes(destination)
+            own_transfer[i] = packet.size if own_bytes is None else own_bytes
+            peer_transfer[i] = packet.size if peer_bytes is None else peer_bytes
+        own_delays = delay_module.direct_delivery_delay_array(
+            own_meeting, own_ahead, sizes, own_transfer
+        )
+        peer_delays = delay_module.direct_delivery_delay_array(
+            peer_meeting, peer_ahead, sizes, peer_transfer
+        )
+        return own_delays, peer_delays
+
+    def _rank_key(
+        self,
+        packet: Packet,
+        delays_before: Sequence[float],
+        extra: float,
+        now: float,
+        use_max_delay: bool,
+    ) -> Tuple[int, float]:
+        """The ``(improves, key)`` replication rank of one candidate."""
+        marginal = self.metric.marginal_utility(packet, delays_before, extra, now)
+        improves = 1 if marginal > _MIN_MARGINAL_UTILITY else 0
+        if use_max_delay:
+            # Work-conserving max-delay ordering: the packet whose
+            # expected delay is currently largest goes first.
+            before = delay_module.combined_remaining_delay(delays_before)
+            key = packet.age(now) + (before if not math.isinf(before) else self._horizon_delay(now))
+        else:
+            key = self.metric.replication_priority(packet, marginal, now)
+            if improves == 0:
+                # Order the "cannot help" tail by age so older packets
+                # still get the spare bandwidth first.
+                key = packet.age(now)
+        return (improves, key)
 
     def _horizon_delay(self, now: float) -> float:
         """Finite stand-in for an infinite expected delay when ranking."""
@@ -309,6 +419,36 @@ class RapidProtocol(RoutingProtocol):
     # ------------------------------------------------------------------
     # Storage management (Section 3.4: lowest utility evicted first)
     # ------------------------------------------------------------------
+    def begin_eviction_cascade(self, incoming: Packet, now: float) -> None:
+        """Open the per-cascade eviction-score memo (see ``make_room``)."""
+        if not self._slow_reference:
+            self._eviction_scores = {}
+
+    def end_eviction_cascade(self) -> None:
+        self._eviction_scores = None
+
+    def on_replica_evicted(self, packet: Packet, now: float) -> None:
+        """Keep metadata and the cascade memo consistent with the buffer.
+
+        Called by ``make_room`` right after the victim left the buffer (and
+        its hop count was dropped), so buffer, hop counts and metadata can
+        never disagree.  Evicting a packet changes the serve-queue position
+        — and hence the remaining-delay score — of exactly the packets
+        bound for the same destination, so only those memo entries are
+        invalidated.
+        """
+        self.metadata.remove_replica(packet.packet_id, self.node_id, now)
+        scores = self._eviction_scores
+        if scores is not None:
+            scores.pop(packet.packet_id, None)
+            stale = [
+                packet_id
+                for packet_id, (_, destination) in scores.items()
+                if destination == packet.destination
+            ]
+            for packet_id in stale:
+                del scores[packet_id]
+
     def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
         candidates = [
             p
@@ -326,13 +466,21 @@ class RapidProtocol(RoutingProtocol):
             candidates = [p for p in self.buffer if p.packet_id != incoming.packet_id]
             if not candidates:
                 return None
-        scored = []
+        scores = self._eviction_scores
+        best_score: Optional[float] = None
+        victim_id: Optional[int] = None
         for packet in candidates:
-            remaining = self.expected_remaining_delay(packet, now)
-            scored.append((self.metric.eviction_score(packet, remaining, now), packet.packet_id))
-        scored.sort(key=lambda item: item[0])
-        victim_id = scored[0][1]
-        self.metadata.remove_replica(victim_id, self.node_id, now)
+            cached = scores.get(packet.packet_id) if scores is not None else None
+            if cached is not None:
+                score = cached[0]
+            else:
+                remaining = self.expected_remaining_delay(packet, now)
+                score = self.metric.eviction_score(packet, remaining, now)
+                if scores is not None:
+                    scores[packet.packet_id] = (score, packet.destination)
+            if best_score is None or score < best_score:
+                best_score = score
+                victim_id = packet.packet_id
         return victim_id
 
     # ------------------------------------------------------------------

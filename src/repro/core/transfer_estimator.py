@@ -51,6 +51,18 @@ class TransferSizeEstimator:
             return self._global
         return float(default)
 
+    def expected_bytes_or_none(self, peer_id: Optional[int] = None) -> Optional[float]:
+        """Like :meth:`expected_bytes` but ``None`` before any observation.
+
+        Lets callers that batch estimates per destination (the per-meeting
+        :class:`~repro.core.meeting_estimator.EstimateScratch`) distinguish
+        "no information, fall back to the packet's own size" from an actual
+        estimate without threading per-packet defaults through the memo.
+        """
+        if peer_id is not None and peer_id in self._per_peer:
+            return self._per_peer[peer_id]
+        return self._global
+
     @property
     def observations(self) -> int:
         """Total number of recorded transfer opportunities."""

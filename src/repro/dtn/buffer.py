@@ -5,14 +5,76 @@ paper: finite storage *and* finite bandwidth).  The buffer enforces the
 capacity invariant; *which* packet to evict under pressure is a routing
 decision and therefore belongs to the protocols, which call
 :meth:`NodeBuffer.remove` before inserting.
+
+Because RAPID's delay estimator asks ``bytes_ahead_of`` for every
+candidate packet at every transfer opportunity, the buffer maintains a
+per-destination *serve-order index*: the same-destination packets sorted
+by ``(creation_time, packet_id)`` — the static serve order of Algorithm 2
+(oldest first, ties by id) — together with lazily rebuilt prefix sums of
+their sizes.  ``bytes_ahead_of`` is then one binary search instead of a
+scan over the whole buffer.  Setting ``REPRO_SLOW_ESTIMATES=1`` restores
+the original O(buffer) reference scan; both paths return identical
+values (the golden tests assert bit-identical simulation output).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from bisect import bisect_left
+from itertools import accumulate
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..exceptions import BufferError_
+from ..profiling import slow_reference_mode
 from .packet import Packet
+
+
+class _DestinationQueue:
+    """Serve-order index of one destination's packets.
+
+    ``keys`` holds ``(creation_time, packet_id)`` sorted ascending — the
+    exact order in which same-destination packets are served (descending
+    time-in-system, ties broken by smaller packet id).  ``sizes`` is
+    parallel to ``keys``; prefix sums over it are rebuilt lazily on the
+    first query after a mutation, so a burst of queries between meetings
+    pays O(log n) each while adds/removes stay O(n) list surgery at worst.
+    """
+
+    __slots__ = ("keys", "sizes", "_prefix", "_dirty")
+
+    def __init__(self) -> None:
+        self.keys: List[Tuple[float, int]] = []
+        self.sizes: List[int] = []
+        self._prefix: List[int] = [0]
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def add(self, key: Tuple[float, int], size: int) -> None:
+        index = bisect_left(self.keys, key)
+        self.keys.insert(index, key)
+        self.sizes.insert(index, size)
+        self._dirty = True
+
+    def remove(self, key: Tuple[float, int]) -> None:
+        index = bisect_left(self.keys, key)
+        if index >= len(self.keys) or self.keys[index] != key:  # pragma: no cover
+            raise BufferError_(f"destination index out of sync for key {key}")
+        del self.keys[index]
+        del self.sizes[index]
+        self._dirty = True
+
+    def bytes_before(self, key: Tuple[float, int]) -> int:
+        """Total size of entries served strictly before *key*."""
+        if self._dirty:
+            self._prefix = [0]
+            self._prefix.extend(accumulate(self.sizes))
+            self._dirty = False
+        return self._prefix[bisect_left(self.keys, key)]
+
+    @property
+    def max_creation_time(self) -> float:
+        return self.keys[-1][0] if self.keys else float("-inf")
 
 
 class NodeBuffer:
@@ -30,6 +92,8 @@ class NodeBuffer:
         self._packets: Dict[int, Packet] = {}
         self._arrival_times: Dict[int, float] = {}
         self._used = 0
+        self._by_destination: Dict[int, _DestinationQueue] = {}
+        self._slow_reference = slow_reference_mode()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -102,6 +166,10 @@ class NodeBuffer:
         self._packets[packet.packet_id] = packet
         self._arrival_times[packet.packet_id] = now
         self._used += packet.size
+        queue = self._by_destination.get(packet.destination)
+        if queue is None:
+            queue = self._by_destination[packet.destination] = _DestinationQueue()
+        queue.add((packet.creation_time, packet.packet_id), packet.size)
 
     def remove(self, packet_id: int) -> Packet:
         """Remove and return the packet with *packet_id*.
@@ -114,6 +182,11 @@ class NodeBuffer:
         packet = self._packets.pop(packet_id)
         self._arrival_times.pop(packet_id, None)
         self._used -= packet.size
+        queue = self._by_destination.get(packet.destination)
+        if queue is not None:
+            queue.remove((packet.creation_time, packet.packet_id))
+            if not queue.keys:
+                del self._by_destination[packet.destination]
         return packet
 
     def discard(self, packet_id: int) -> Optional[Packet]:
@@ -126,6 +199,7 @@ class NodeBuffer:
         """Remove every packet."""
         self._packets.clear()
         self._arrival_times.clear()
+        self._by_destination.clear()
         self._used = 0
 
     # ------------------------------------------------------------------
@@ -151,7 +225,24 @@ class NodeBuffer:
         precede *packet* in that order, used to compute how many meetings
         with the destination are needed before *packet* can be delivered
         directly.
+
+        The fast path answers from the per-destination serve-order index
+        in O(log n); the reference scan remains for
+        ``REPRO_SLOW_ESTIMATES=1`` and for the degenerate case where
+        ``now`` precedes a stored packet's creation time (age clamping can
+        then reorder the queue, which the static index cannot represent).
         """
+        if self._slow_reference:
+            return self._bytes_ahead_scan(packet, now)
+        queue = self._by_destination.get(packet.destination)
+        if queue is None or not queue.keys:
+            return 0
+        if packet.creation_time > now or queue.max_creation_time > now:
+            return self._bytes_ahead_scan(packet, now)
+        return queue.bytes_before((packet.creation_time, packet.packet_id))
+
+    def _bytes_ahead_scan(self, packet: Packet, now: float) -> int:
+        """Reference O(buffer) implementation of :meth:`bytes_ahead_of`."""
         ahead = 0
         packet_age = packet.age(now)
         for other in self._packets.values():
@@ -165,3 +256,38 @@ class NodeBuffer:
             ):
                 ahead += other.size
         return ahead
+
+    # ------------------------------------------------------------------
+    # Invariant checking (tests and debugging)
+    # ------------------------------------------------------------------
+    def check_integrity(self) -> None:
+        """Verify occupancy and index invariants; raise ``BufferError_`` if broken."""
+        expected_used = sum(p.size for p in self._packets.values())
+        if expected_used != self._used:
+            raise BufferError_(
+                f"used-bytes drift: tracked {self._used}, actual {expected_used}"
+            )
+        if self._used > self.capacity:
+            raise BufferError_("capacity invariant violated")
+        indexed = {
+            packet_id: destination
+            for destination, queue in self._by_destination.items()
+            for (_, packet_id) in queue.keys
+        }
+        stored = {p.packet_id: p.destination for p in self._packets.values()}
+        if indexed != stored:
+            missing = set(stored) - set(indexed)
+            extra = set(indexed) - set(stored)
+            raise BufferError_(
+                f"destination index drift: missing {sorted(missing)}, stale {sorted(extra)}"
+            )
+        for destination, queue in self._by_destination.items():
+            if sorted(queue.keys) != queue.keys:
+                raise BufferError_(f"destination {destination} index is unsorted")
+            for (creation_time, packet_id), size in zip(queue.keys, queue.sizes):
+                packet = self._packets.get(packet_id)
+                if packet is None or packet.size != size or packet.creation_time != creation_time:
+                    raise BufferError_(
+                        f"destination {destination} index entry for packet "
+                        f"{packet_id} disagrees with the stored packet"
+                    )

@@ -37,6 +37,11 @@ class SimulationResult:
     metadata_bytes: float = 0.0
     replications: int = 0
     deliveries: int = 0
+    #: Per-phase wall times and call counters recorded when the simulation
+    #: ran with profiling enabled (``--profile`` / ``REPRO_PROFILE=1``);
+    #: empty — and absent from :meth:`to_dict` — otherwise, so profiling
+    #: never perturbs byte-identity of unprofiled results.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Record access
@@ -156,9 +161,11 @@ class SimulationResult:
         The representation is complete: every metric of this class can be
         recomputed from the round-tripped result.  It is the transport
         format between worker processes and the on-disk result cache
-        (:mod:`repro.engine`).
+        (:mod:`repro.engine`).  Profiling timings are included only when
+        present, keeping unprofiled payloads byte-identical to schema
+        version 1 as written before timings existed.
         """
-        return {
+        payload: Dict[str, object] = {
             "schema": RESULT_SCHEMA_VERSION,
             "protocol_name": self.protocol_name,
             "duration": self.duration,
@@ -194,6 +201,9 @@ class SimulationResult:
                 for node_id, counters in self.node_counters.items()
             },
         }
+        if self.timings:
+            payload["timings"] = {key: float(value) for key, value in self.timings.items()}
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
@@ -243,6 +253,9 @@ class SimulationResult:
             result.records[packet.packet_id] = record
         for node_id, counters in data.get("node_counters", {}).items():
             result.node_counters[int(node_id)] = NodeCounters(**counters)
+        result.timings = {
+            str(key): float(value) for key, value in data.get("timings", {}).items()
+        }
         return result
 
     @staticmethod

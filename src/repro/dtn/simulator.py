@@ -23,6 +23,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, SimulationError
 from ..mobility.schedule import Meeting, MeetingSchedule
+from ..profiling import Profiler, profiling_requested
 from ..routing.base import ProtocolContext, ProtocolFactory, RoutingProtocol, TransferBudget
 from .events import EndOfSimulationEvent, MeetingEvent, PacketCreationEvent
 from .node import DeploymentNoise, Node
@@ -59,6 +60,13 @@ class Simulator:
         self.nodes: Dict[int, Node] = {}
         self.protocols: Dict[int, RoutingProtocol] = {}
         self.result: Optional[SimulationResult] = None
+        #: Phase timers and call counters; ``None`` (zero overhead) unless
+        #: profiling was requested via the ``profile`` option or
+        #: ``REPRO_PROFILE=1`` (set by the CLI ``--profile`` flag and
+        #: inherited by engine worker processes).
+        self.profiler: Optional[Profiler] = (
+            Profiler() if profiling_requested(self.options) else None
+        )
 
     # ------------------------------------------------------------------
     # Setup
@@ -109,16 +117,32 @@ class Simulator:
         self.result = result
 
         queue = self._build_events()
-        while queue:
-            event = queue.pop()
-            if isinstance(event, PacketCreationEvent):
-                self._handle_creation(event.packet, event.time)
-            elif isinstance(event, MeetingEvent):
-                self._handle_meeting(event.meeting, event.time)
-            elif isinstance(event, EndOfSimulationEvent):
-                break
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event type: {type(event)!r}")
+        profiler = self.profiler
+        if profiler is None:
+            while queue:
+                event = queue.pop()
+                if isinstance(event, PacketCreationEvent):
+                    self._handle_creation(event.packet, event.time)
+                elif isinstance(event, MeetingEvent):
+                    self._handle_meeting(event.meeting, event.time)
+                elif isinstance(event, EndOfSimulationEvent):
+                    break
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown event type: {type(event)!r}")
+        else:
+            with profiler.phase("total"):
+                while queue:
+                    event = queue.pop()
+                    if isinstance(event, PacketCreationEvent):
+                        with profiler.phase("packet_creation"):
+                            self._handle_creation(event.packet, event.time)
+                    elif isinstance(event, MeetingEvent):
+                        self._handle_meeting(event.meeting, event.time)
+                    elif isinstance(event, EndOfSimulationEvent):
+                        break
+                    else:  # pragma: no cover - defensive
+                        raise SimulationError(f"unknown event type: {type(event)!r}")
+            result.timings = profiler.timings()
 
         for node_id, node in self.nodes.items():
             result.node_counters[node_id] = node.counters
@@ -171,16 +195,27 @@ class Simulator:
 
         budget = TransferBudget(capacity=capacity)
 
-        # Step 1: control exchange (acks + protocol metadata), both ways.
-        x.exchange_control(y, now, budget)
-        y.exchange_control(x, now, budget)
+        profiler = self.profiler
+        if profiler is None:
+            # Step 1: control exchange (acks + protocol metadata), both ways.
+            x.exchange_control(y, now, budget)
+            y.exchange_control(x, now, budget)
 
-        # Step 2: direct delivery, both ways.
-        self._direct_delivery(x, y, now, budget)
-        self._direct_delivery(y, x, now, budget)
+            # Step 2: direct delivery, both ways.
+            self._direct_delivery(x, y, now, budget)
+            self._direct_delivery(y, x, now, budget)
 
-        # Step 3: replication, alternating directions.
-        self._replicate(x, y, now, budget)
+            # Step 3: replication, alternating directions.
+            self._replicate(x, y, now, budget)
+        else:
+            with profiler.phase("control_exchange"):
+                x.exchange_control(y, now, budget)
+                y.exchange_control(x, now, budget)
+            with profiler.phase("direct_delivery"):
+                self._direct_delivery(x, y, now, budget)
+                self._direct_delivery(y, x, now, budget)
+            with profiler.phase("replication"):
+                self._replicate(x, y, now, budget)
 
         result.data_bytes += budget.data_bytes
         result.metadata_bytes += budget.metadata_bytes
@@ -256,7 +291,10 @@ class Simulator:
         turn: int,
     ) -> bool:
         """Pull candidates until one replica is transferred; return success."""
+        profiler = self.profiler
         for packet in generator:
+            if profiler is not None:
+                profiler.count("candidates_pulled")
             if packet.packet_id not in sender.buffer:
                 continue
             if packet.packet_id in receiver.buffer:

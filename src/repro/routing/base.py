@@ -20,6 +20,7 @@ under exactly the same bandwidth and storage constraints.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, TYPE_CHECKING
 
@@ -145,13 +146,30 @@ class RoutingProtocol(abc.ABC):
             self.send_acks(peer, budget)
 
     def send_acks(self, peer: "RoutingProtocol", budget: TransferBudget) -> None:
-        """Flood delivered-packet acknowledgments to the peer."""
+        """Flood delivered-packet acknowledgments to the peer.
+
+        When acknowledgments are charged against the transfer opportunity,
+        only whole ack entries that actually fit the remaining budget are
+        transferred (and learned by the peer) — an exhausted opportunity
+        carries no acks.  Acks are sent in packet-id order so the subset
+        that fits is deterministic.
+        """
         new_acks = self.acked - peer.acked
         if not new_acks:
             return
         if self.counts_control_bytes:
-            budget.charge_metadata(len(new_acks) * constants.RAPID_ACK_ENTRY_BYTES)
-        for packet_id in new_acks:
+            entry_bytes = constants.RAPID_ACK_ENTRY_BYTES
+            remaining = budget.remaining
+            if math.isinf(remaining):
+                sendable = len(new_acks)
+            else:
+                sendable = min(len(new_acks), int(remaining // entry_bytes))
+            if sendable <= 0:
+                return
+            budget.charge_metadata(sendable * entry_bytes)
+        else:
+            sendable = len(new_acks)
+        for packet_id in sorted(new_acks)[:sendable]:
             peer.learn_ack(packet_id, now=None)
 
     def learn_ack(self, packet_id: int, now: Optional[float]) -> None:
@@ -208,16 +226,42 @@ class RoutingProtocol(abc.ABC):
         return True
 
     def make_room(self, incoming: Packet, now: float) -> bool:
-        """Evict packets until *incoming* fits; return False when impossible."""
-        while not self.buffer.fits(incoming):
-            victim = self.choose_eviction_victim(incoming, now)
-            if victim is None:
-                return False
-            self.buffer.remove(victim)
-            self.hop_counts.pop(victim, None)
-            self.storage_drops += 1
-            self.node.counters.packets_dropped += 1
-        return True
+        """Evict packets until *incoming* fits; return False when impossible.
+
+        One call is one *eviction cascade*: victim selection may be asked
+        many times under storage pressure, so protocols that score victims
+        expensively get ``begin_eviction_cascade``/``end_eviction_cascade``
+        brackets to keep a score memo across the cascade.  All bookkeeping
+        for an evicted replica happens here, in one place — buffer entry,
+        hop count, then the ``on_replica_evicted`` hook for protocol-side
+        state (e.g. RAPID's replica metadata) — so the three can never
+        disagree.
+        """
+        if self.buffer.fits(incoming):
+            return True
+        self.begin_eviction_cascade(incoming, now)
+        try:
+            while not self.buffer.fits(incoming):
+                victim = self.choose_eviction_victim(incoming, now)
+                if victim is None:
+                    return False
+                packet = self.buffer.remove(victim)
+                self.hop_counts.pop(victim, None)
+                self.storage_drops += 1
+                self.node.counters.packets_dropped += 1
+                self.on_replica_evicted(packet, now)
+            return True
+        finally:
+            self.end_eviction_cascade()
+
+    def begin_eviction_cascade(self, incoming: Packet, now: float) -> None:
+        """Called before the first victim selection of a ``make_room`` call."""
+
+    def end_eviction_cascade(self) -> None:
+        """Called when a ``make_room`` eviction cascade finishes (either way)."""
+
+    def on_replica_evicted(self, packet: Packet, now: float) -> None:
+        """Called after *packet* was evicted (buffer and hop count dropped)."""
 
     def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
         """Return the packet id to evict, or ``None`` to refuse *incoming*.

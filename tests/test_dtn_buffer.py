@@ -122,3 +122,69 @@ class TestQueries:
         ahead_first = buffer.bytes_ahead_of(first, 10.0)
         ahead_second = buffer.bytes_ahead_of(second, 10.0)
         assert sorted([ahead_first, ahead_second]) == [0, 100]
+
+
+class TestDestinationIndex:
+    """The per-destination serve-order index behind ``bytes_ahead_of``."""
+
+    def test_index_matches_reference_scan_under_churn(self, factory):
+        import random
+
+        rng = random.Random(7)
+        buffer = NodeBuffer()
+        alive = []
+        for step in range(300):
+            if alive and rng.random() < 0.4:
+                victim = alive.pop(rng.randrange(len(alive)))
+                buffer.remove(victim.packet_id)
+            else:
+                packet = factory.create(
+                    source=0,
+                    destination=1 + rng.randrange(3),
+                    size=rng.randrange(1, 500),
+                    creation_time=float(rng.randrange(0, 50)),
+                )
+                buffer.add(packet, now=float(step))
+                alive.append(packet)
+            buffer.check_integrity()
+        now = 100.0
+        for packet in alive:
+            assert buffer.bytes_ahead_of(packet, now) == buffer._bytes_ahead_scan(packet, now)
+
+    def test_query_packet_not_in_buffer(self, factory):
+        buffer = NodeBuffer()
+        stored = factory.create(source=0, destination=5, size=100, creation_time=10.0)
+        buffer.add(stored)
+        older_query = factory.create(source=1, destination=5, size=70, creation_time=5.0)
+        newer_query = factory.create(source=1, destination=5, size=70, creation_time=20.0)
+        assert buffer.bytes_ahead_of(older_query, now=50.0) == 0
+        assert buffer.bytes_ahead_of(newer_query, now=50.0) == 100
+
+    def test_age_clamping_falls_back_to_reference_scan(self, factory):
+        # When `now` precedes a creation time, ages clamp to zero and the
+        # serve order degenerates to packet-id ties; the index defers to the
+        # scan so both paths agree even in this degenerate case.
+        buffer = NodeBuffer()
+        a = factory.create(source=0, destination=5, size=100, creation_time=40.0)
+        b = factory.create(source=0, destination=5, size=200, creation_time=30.0)
+        buffer.add(a)
+        buffer.add(b)
+        now = 20.0  # earlier than both creation times
+        assert buffer.bytes_ahead_of(a, now) == buffer._bytes_ahead_scan(a, now)
+        assert buffer.bytes_ahead_of(b, now) == buffer._bytes_ahead_scan(b, now)
+
+    def test_clear_resets_index(self, factory):
+        buffer = NodeBuffer()
+        packet = factory.create(source=0, destination=5, size=100)
+        buffer.add(packet)
+        buffer.clear()
+        buffer.check_integrity()
+        assert buffer.bytes_ahead_of(packet, now=10.0) == 0
+
+    def test_check_integrity_detects_drift(self, factory):
+        buffer = NodeBuffer()
+        packet = factory.create(source=0, destination=5, size=100)
+        buffer.add(packet)
+        buffer._used += 1  # corrupt on purpose
+        with pytest.raises(BufferError_):
+            buffer.check_integrity()

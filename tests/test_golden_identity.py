@@ -1,0 +1,122 @@
+"""Golden bit-identity: the incremental fast path vs. the reference mode.
+
+The incremental delay-estimation engine (per-destination serve-order
+index, per-meeting estimate scratch, vectorised delay math, lazy-heap
+ranking, cascade-scoped eviction-score caching) is a pure optimisation:
+setting ``REPRO_SLOW_ESTIMATES=1`` selects the original O(buffer)
+reference computations, and both must produce **byte-identical**
+``SimulationResult.to_dict()`` output.  These tests pin that down for
+one RAPID trace cell and one buffer-constrained synthetic cell, exactly
+as ``benchmarks/bench_rapid_hotpath.py`` does at larger scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import units
+from repro.engine.spec import ScenarioSpec
+from repro.engine import worker as cell_worker
+from repro.experiments.config import (
+    ProtocolSpec,
+    SyntheticExperimentConfig,
+    TraceExperimentConfig,
+)
+from repro.profiling import ENV_SLOW_ESTIMATES
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture()
+def slow_mode_toggle():
+    """Yield a runner that executes a callable with/without the slow mode."""
+    previous = os.environ.pop(ENV_SLOW_ESTIMATES, None)
+
+    def run(fn, slow: bool):
+        os.environ.pop(ENV_SLOW_ESTIMATES, None)
+        if slow:
+            os.environ[ENV_SLOW_ESTIMATES] = "1"
+        try:
+            return fn()
+        finally:
+            os.environ.pop(ENV_SLOW_ESTIMATES, None)
+
+    yield run
+    if previous is not None:
+        os.environ[ENV_SLOW_ESTIMATES] = previous
+
+
+def _run_cell(spec: ScenarioSpec):
+    cell_worker.clear_input_caches()
+    return cell_worker.run_cell(spec).to_dict()
+
+
+def test_rapid_trace_cell_bit_identical(slow_mode_toggle):
+    config = TraceExperimentConfig.ci_scale(seed=7, num_days=1)
+    spec = ScenarioSpec.for_cell(
+        config=config,
+        protocol=ProtocolSpec(label="rapid", registry_name="rapid"),
+        load=4.0,
+        run_index=0,
+    )
+    fast = slow_mode_toggle(lambda: _run_cell(spec), slow=False)
+    slow = slow_mode_toggle(lambda: _run_cell(spec), slow=True)
+    assert _canonical(fast) == _canonical(slow)
+
+
+def test_rapid_synthetic_cell_bit_identical(slow_mode_toggle):
+    # Small buffers force eviction cascades, exercising the cascade-scoped
+    # eviction-score cache against the rescore-every-step reference.
+    config = SyntheticExperimentConfig(
+        num_nodes=8,
+        mean_inter_meeting=70.0,
+        transfer_opportunity=100 * units.KB,
+        duration=4 * units.MINUTE,
+        buffer_capacity=30 * units.KB,
+        deadline=25.0,
+        packet_interval=50.0,
+        mobility="exponential",
+        num_runs=1,
+        seed=11,
+    )
+    spec = ScenarioSpec.for_cell(
+        config=config,
+        protocol=ProtocolSpec(label="rapid", registry_name="rapid"),
+        load=8.0,
+        run_index=0,
+    )
+    fast = slow_mode_toggle(lambda: _run_cell(spec), slow=False)
+    slow = slow_mode_toggle(lambda: _run_cell(spec), slow=True)
+    assert _canonical(fast) == _canonical(slow)
+
+
+def test_max_delay_metric_ranking_bit_identical(slow_mode_toggle):
+    """The lazy heap must reproduce the eager order for every metric family."""
+    config = SyntheticExperimentConfig(
+        num_nodes=6,
+        mean_inter_meeting=60.0,
+        transfer_opportunity=60 * units.KB,
+        duration=3 * units.MINUTE,
+        buffer_capacity=25 * units.KB,
+        deadline=25.0,
+        packet_interval=50.0,
+        mobility="exponential",
+        num_runs=1,
+        seed=19,
+    )
+    spec = ScenarioSpec.for_cell(
+        config=config,
+        protocol=ProtocolSpec(
+            label="rapid", registry_name="rapid", options={"metric": "max_delay"}
+        ),
+        load=8.0,
+        run_index=0,
+    )
+    fast = slow_mode_toggle(lambda: _run_cell(spec), slow=False)
+    slow = slow_mode_toggle(lambda: _run_cell(spec), slow=True)
+    assert _canonical(fast) == _canonical(slow)
