@@ -53,7 +53,7 @@ def main() -> None:
     print(f"  packets generated              {clean.num_packets}")
     print(f"  percentage delivered           {clean.delivery_rate():.1%}")
     print(f"  average delivery delay         {units.format_duration(clean.average_delay())}")
-    print(f"  metadata / bandwidth           {clean.metadata_fraction_of_bandwidth():.4f}")
+    print(f"  metadata / bandwidth           {clean.summary()['metadata_fraction_of_bandwidth']:.4f}")
     print(f"  metadata / data                {clean.metadata_fraction_of_data():.3f}")
 
     gap = abs(clean.average_delay() - noisy.average_delay()) / max(clean.average_delay(), 1e-9)

@@ -54,7 +54,7 @@ def main() -> None:
             f"{label:<26} {result.delivery_rate():>9.2%} "
             f"{units.format_duration(result.average_delay()):>10} "
             f"{result.deadline_success_rate():>9.2%} "
-            f"{result.metadata_fraction_of_bandwidth():>8.4f}"
+            f"{result.summary()['metadata_fraction_of_bandwidth']:>8.4f}"
         )
     print("\nThe instant global channel is the upper bound on what richer control")
     print("information can buy (the paper reports ~20 min lower delay and ~12% more")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Duration sweep across contact models: interruption studies on DieselNet.
+
+The paper treats every transfer opportunity as a point event; the
+durational contact layer lets the same DieselNet day traces run with real
+contact windows.  This example declares one
+:class:`~repro.engine.ScenarioGrid` whose outermost axis sweeps the
+contact model — ``instantaneous`` vs ``durational`` vs ``interruptible``
+(with and without resume) — and compares what interruption does to
+delivery rate, delay and wasted capacity at increasing interruption
+pressure.
+
+Run with:  python examples/interrupted_contacts.py
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.engine import ExperimentEngine, ScenarioGrid
+from repro.experiments.config import ProtocolSpec, TraceExperimentConfig
+
+LOAD = 6.0  # packets per hour per destination
+PROTOCOL = ProtocolSpec("Rapid", "rapid", {"metric": "average_delay", "label": "Rapid"})
+
+
+def run_grid(engine: ExperimentEngine, contact_model, interrupt_probability=0.25, resume=False):
+    """Run every DieselNet day under one contact model; return its cells+results."""
+    grid = ScenarioGrid(
+        config=TraceExperimentConfig.ci_scale(),
+        protocols=[PROTOCOL],
+        loads=(LOAD,),
+        contact_models=(contact_model,),
+        contact_options=(
+            {
+                "contact_interrupt_probability": interrupt_probability,
+                "contact_resume": resume,
+            }
+            if contact_model == "interruptible"
+            else None
+        ),
+    )
+    return engine.run_grid(grid)
+
+
+def describe(label: str, results) -> None:
+    packets = sum(r.num_packets for r in results)
+    delivered = sum(r.num_delivered for r in results)
+    delay = sum(r.average_delay() * max(r.num_delivered, 1) for r in results) / max(delivered, 1)
+    print(
+        f"  {label:<34} delivery {delivered / max(packets, 1):6.1%}   "
+        f"avg delay {delay / units.MINUTE:6.2f} min   "
+        f"contacts cut {sum(r.contacts_interrupted for r in results):4d}   "
+        f"transfers cut {sum(r.transfers_interrupted for r in results):4d}   "
+        f"resumed {sum(r.transfers_resumed for r in results):3d}   "
+        f"wasted {sum(r.partial_bytes_wasted for r in results) / units.KB:7.1f} KB"
+    )
+
+
+def main() -> None:
+    print(f"RAPID over the DieselNet day traces at load {LOAD:g} pkt/h/destination\n")
+    with ExperimentEngine(workers=1) as engine:
+        print("Contact models:")
+        describe("instantaneous (paper default)", run_grid(engine, "instantaneous"))
+        describe("durational (real windows)", run_grid(engine, "durational"))
+        for probability in (0.25, 0.5, 0.75):
+            describe(
+                f"interruptible p={probability:.2f}",
+                run_grid(engine, "interruptible", probability),
+            )
+            describe(
+                f"interruptible p={probability:.2f} + resume",
+                run_grid(engine, "interruptible", probability, resume=True),
+            )
+    print(
+        "\nInterruption wastes partially transferred bytes; resume recovers"
+        "\nthem on the next contact of the same pair (wasted KB drops to 0)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,13 @@ def jain_fairness_index(values: Sequence[float]) -> float:
         return 1.0
     if np.any(data < 0):
         raise ValueError("Jain's index requires non-negative values")
+    peak = float(data.max())
+    if peak == 0.0:
+        return 1.0
+    # The index is scale-invariant; normalising by the maximum keeps the
+    # squares away from subnormal underflow (e.g. values around 1e-159
+    # square to ~1e-318, where float64 loses precision).
+    data = data / peak
     total = data.sum()
     squares = float((data ** 2).sum())
     if squares == 0.0:

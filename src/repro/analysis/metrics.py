@@ -20,16 +20,26 @@ from .stats import ConfidenceInterval, mean_confidence_interval
 MetricFunction = Callable[[SimulationResult], float]
 
 
+def _nan_if_none(value: Optional[float]) -> float:
+    """Undefined ratios (no finite-capacity contact observed) become nan."""
+    return float("nan") if value is None else float(value)
+
+
 METRICS: Dict[str, MetricFunction] = {
     "delivery_rate": lambda r: r.delivery_rate(),
     "average_delay": lambda r: r.average_delay(),
     "average_delay_with_undelivered": lambda r: r.average_delay(include_undelivered=True),
     "max_delay": lambda r: r.max_delay(),
     "deadline_success_rate": lambda r: r.deadline_success_rate(),
-    "channel_utilization": lambda r: r.channel_utilization(),
-    "metadata_fraction_of_bandwidth": lambda r: r.metadata_fraction_of_bandwidth(),
+    "channel_utilization": lambda r: _nan_if_none(r.channel_utilization()),
+    "metadata_fraction_of_bandwidth": lambda r: _nan_if_none(r.metadata_fraction_of_bandwidth()),
     "metadata_fraction_of_data": lambda r: r.metadata_fraction_of_data(),
     "replications": lambda r: float(r.replications),
+    # Contact-layer accounting (durational/interruptible contact models).
+    "contacts_interrupted": lambda r: float(r.contacts_interrupted),
+    "transfers_interrupted": lambda r: float(r.transfers_interrupted),
+    "transfers_resumed": lambda r: float(r.transfers_resumed),
+    "partial_bytes_wasted": lambda r: float(r.partial_bytes_wasted),
 }
 
 

@@ -49,6 +49,25 @@ _TRACE_EXHIBITS = {
 }
 
 
+def _add_contact_model_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--contact-model",
+        choices=("instantaneous", "durational", "interruptible"),
+        default=None,
+        help="contact model for every simulation cell: instantaneous "
+        "(paper default: all bytes at one instant), durational (bytes "
+        "stream across the contact window) or interruptible (windows may "
+        "be cut short; partial transfers are rolled back)",
+    )
+    parser.add_argument(
+        "--contact-resume",
+        action="store_true",
+        help="with --contact-model interruptible: resume cut transfers on "
+        "the next contact of the same pair instead of discarding the "
+        "partial bytes",
+    )
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -94,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ci = reduced scale (fast); paper = full Table 4 scale (slow)",
     )
     run_parser.add_argument("--seed", type=int, default=7, help="random seed")
+    _add_contact_model_argument(run_parser)
     _add_engine_arguments(run_parser)
 
     sweep_parser = subparsers.add_parser(
@@ -128,6 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ci = reduced scale (fast); paper = full Table 4 scale (slow)",
     )
     sweep_parser.add_argument("--seed", type=int, default=7, help="random seed")
+    _add_contact_model_argument(sweep_parser)
     _add_engine_arguments(sweep_parser)
 
     sim_parser = subparsers.add_parser("quicksim", help="run one ad-hoc simulation")
@@ -179,12 +200,23 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     )
 
 
-def _config_from_args(family: str, scale: str, seed: int):
+def _config_from_args(family: str, scale: str, seed: int, contact_model: Optional[str] = None):
     """Resolve the experiment configuration for a family at a scale."""
     config_cls = TraceExperimentConfig if family == "trace" else SyntheticExperimentConfig
-    if scale == "paper":
-        return config_cls.paper_scale(seed=seed)
-    return config_cls.ci_scale(seed=seed)
+    config = config_cls.paper_scale(seed=seed) if scale == "paper" else config_cls.ci_scale(seed=seed)
+    if contact_model is not None:
+        config = config.with_contact_model(contact_model)
+    return config
+
+
+def _resolve_config(args: argparse.Namespace, family: str):
+    """Build the experiment config from parsed CLI arguments."""
+    from dataclasses import replace
+
+    config = _config_from_args(family, args.scale, args.seed, args.contact_model)
+    if getattr(args, "contact_resume", False):
+        config = replace(config, contact_resume=True)
+    return config
 
 
 def _print_engine_stats(engine: ExperimentEngine) -> None:
@@ -214,7 +246,7 @@ def _command_protocols() -> int:
 def _command_run(args: argparse.Namespace) -> int:
     runner_fn = EXPERIMENT_INDEX[args.exhibit]
     family = "trace" if args.exhibit in _TRACE_EXHIBITS else "synthetic"
-    kwargs = {"config": _config_from_args(family, args.scale, args.seed)}
+    kwargs = {"config": _resolve_config(args, family)}
     engine = _engine_from_args(args)
     with _profile_scope(args.profile), engine, use_engine(engine):
         result = runner_fn(**kwargs)
@@ -251,7 +283,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         specs.append(ProtocolSpec(label=name, registry_name=name, options=options))
 
     engine = _engine_from_args(args)
-    config = _config_from_args(args.family, args.scale, args.seed)
+    config = _resolve_config(args, args.family)
     if args.family == "trace":
         runner = TraceRunner(config, engine=engine)
         x_label = "Packets generated per hour per destination"
@@ -260,7 +292,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         x_label = f"Packets per {config.packet_interval:g}s per destination"
 
     with _profile_scope(args.profile), engine:
-        series = sweep(runner, specs, loads, args.metric)
+        series, results = sweep(runner, specs, loads, args.metric, return_results=True)
     figure = FigureResult(
         figure_id="Sweep",
         title=f"{args.family} sweep: {args.metric}",
@@ -270,6 +302,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
     for spec in specs:
         figure.add_series(spec.label, loads, series[spec.label])
     print(figure.to_text())
+    if config.contact_model != "instantaneous":
+        # Interruption accounting summed over every cell of the sweep, so
+        # durational/interruptible runs surface their contact-layer cost.
+        print(
+            f"[contact] model: {config.contact_model} "
+            f"(resume: {'on' if config.contact_resume else 'off'}) "
+            f"contacts interrupted: {sum(r.contacts_interrupted for r in results)} "
+            f"transfers interrupted: {sum(r.transfers_interrupted for r in results)} "
+            f"transfers resumed: {sum(r.transfers_resumed for r in results)} "
+            f"partial bytes wasted: {sum(r.partial_bytes_wasted for r in results):.0f}",
+            file=sys.stderr,
+        )
     _print_engine_stats(engine)
     return 0
 

@@ -47,8 +47,13 @@ class _MetadataBudget:
             self._cap_remaining = max(0.0, fraction_cap) * budget.capacity
 
     def allowance(self) -> float:
-        """Bytes of metadata that may still be sent."""
-        return min(self._cap_remaining, self._budget.remaining)
+        """Bytes of metadata that may still be sent.
+
+        ``metadata_capacity`` equals ``remaining`` for plain budgets and
+        narrows to the contact window for time-metered link sessions, so
+        whole entries are only counted as sent when their bytes fit.
+        """
+        return min(self._cap_remaining, self._budget.metadata_capacity())
 
     def consume_entries(self, num_entries: int, bytes_per_entry: float) -> int:
         """Charge as many whole entries as fit; return how many were sent."""

@@ -4,7 +4,14 @@ from .buffer import NodeBuffer
 from .node import DeploymentNoise, Node, NodeCounters
 from .packet import Ack, Packet, PacketFactory, PacketRecord
 from .results import SimulationResult
-from .simulator import Simulator, run_simulation
+from .simulator import (
+    CONTACT_MODEL_DURATIONAL,
+    CONTACT_MODEL_INSTANTANEOUS,
+    CONTACT_MODEL_INTERRUPTIBLE,
+    CONTACT_MODELS,
+    Simulator,
+    run_simulation,
+)
 from .workload import ParallelWorkload, PoissonWorkload, single_packet_workload
 
 __all__ = [
@@ -19,6 +26,10 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "run_simulation",
+    "CONTACT_MODELS",
+    "CONTACT_MODEL_INSTANTANEOUS",
+    "CONTACT_MODEL_DURATIONAL",
+    "CONTACT_MODEL_INTERRUPTIBLE",
     "PoissonWorkload",
     "ParallelWorkload",
     "single_packet_workload",

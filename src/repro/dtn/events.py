@@ -1,11 +1,20 @@
 """Discrete-event types for the DTN simulator.
 
-The simulator is driven by two externally supplied event streams — packet
-creations (the workload) and node meetings (the mobility schedule) — plus a
-terminating end-of-simulation event.  Events are ordered by time; ties are
-broken so that packet creations at time *t* are visible to a meeting at the
-same time *t* (a bus that generates a packet right as it meets another bus
-may transfer it in that meeting, as in the deployment).
+The simulator is driven by externally supplied event streams — packet
+creations (the workload) and contacts (the mobility schedule) — plus a
+terminating end-of-simulation event.  Contacts appear in one of two
+shapes, depending on the simulator's contact model:
+
+* the default **instantaneous** mode uses one :class:`MeetingEvent` per
+  contact (the paper's Section 3.1 short-lived treatment: all bytes are
+  available at one instant);
+* the **durational** modes use a :class:`ContactStartEvent` /
+  :class:`ContactEndEvent` pair bracketing the contact window, so packet
+  creations landing *during* a contact become transferable mid-contact.
+
+Events are ordered by time; ties are broken by :class:`EventKind` so the
+simulation event order is a documented total order (see
+:mod:`repro.dtn.scheduler` for the FIFO tail of the tie-break).
 """
 
 from __future__ import annotations
@@ -14,16 +23,38 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..mobility.schedule import Meeting
+from ..mobility.schedule import Contact, Meeting
 from .packet import Packet
 
 
 class EventKind(enum.IntEnum):
-    """Tie-breaking priority of events occurring at the same instant."""
+    """Tie-breaking priority of events occurring at the same instant.
 
-    PACKET_CREATION = 0
-    MEETING = 1
-    END_OF_SIMULATION = 2
+    At equal timestamps:
+
+    1. ``CONTACT_START`` — a contact window opening at time *t* is open to
+       everything else happening at *t*;
+    2. ``PACKET_CREATION`` — a packet created at *t* is visible both to an
+       instantaneous meeting at *t* and to any contact window already open
+       at *t* (including one that opened at exactly *t*), matching the
+       deployment, where a bus that generates a packet right as it meets
+       another bus may transfer it in that meeting;
+    3. ``MEETING`` — the instantaneous whole-contact event;
+    4. ``CONTACT_END`` — a window closing at *t* still sees creations from
+       the same instant before it interrupts in-flight transfers;
+    5. ``END_OF_SIMULATION`` — the horizon fires only after every
+       same-time creation and contact event has been handled.
+
+    The relative order of ``PACKET_CREATION`` < ``MEETING`` <
+    ``END_OF_SIMULATION`` is exactly the pre-durational order, so the
+    default instantaneous mode pops events in the historic sequence.
+    """
+
+    CONTACT_START = 0
+    PACKET_CREATION = 1
+    MEETING = 2
+    CONTACT_END = 3
+    END_OF_SIMULATION = 4
 
 
 @dataclass(frozen=True)
@@ -36,10 +67,10 @@ class Event:
     def sort_key(self) -> tuple:
         """Primary ordering key: ``(time, kind priority)``.
 
-        At equal times, creations (0) precede meetings (1) precede the
-        end-of-simulation marker (2); :class:`~repro.dtn.scheduler.EventQueue`
-        appends a FIFO sequence number to break the remaining ties, making
-        the simulation event order a documented total order.
+        At equal times, kinds order as documented on :class:`EventKind`;
+        :class:`~repro.dtn.scheduler.EventQueue` appends a FIFO sequence
+        number to break the remaining ties, making the simulation event
+        order a documented total order.
         """
         return (self.time, int(self.kind))
 
@@ -58,7 +89,7 @@ class PacketCreationEvent(Event):
 
 @dataclass(frozen=True)
 class MeetingEvent(Event):
-    """Two nodes come within range and may transfer data."""
+    """Two nodes meet instantaneously and may transfer data (default mode)."""
 
     meeting: Optional[Meeting] = None
     kind: EventKind = field(default=EventKind.MEETING)
@@ -66,6 +97,39 @@ class MeetingEvent(Event):
     def __post_init__(self) -> None:
         if self.meeting is None:
             raise ValueError("MeetingEvent requires a meeting")
+
+
+@dataclass(frozen=True)
+class ContactStartEvent(Event):
+    """A contact window opens (durational modes).
+
+    ``contact_id`` is the simulator-assigned index pairing this event with
+    its :class:`ContactEndEvent` — two contacts of the same pair may share
+    identical scheduling fields, so identity cannot hang off the contact
+    value itself.
+    """
+
+    contact: Optional[Contact] = None
+    contact_id: int = -1
+    kind: EventKind = field(default=EventKind.CONTACT_START)
+
+    def __post_init__(self) -> None:
+        if self.contact is None:
+            raise ValueError("ContactStartEvent requires a contact")
+        if self.contact_id < 0:
+            raise ValueError("ContactStartEvent requires a non-negative contact_id")
+
+
+@dataclass(frozen=True)
+class ContactEndEvent(Event):
+    """A contact window closes; in-flight transfers are interrupted."""
+
+    contact_id: int = -1
+    kind: EventKind = field(default=EventKind.CONTACT_END)
+
+    def __post_init__(self) -> None:
+        if self.contact_id < 0:
+            raise ValueError("ContactEndEvent requires a non-negative contact_id")
 
 
 @dataclass(frozen=True)

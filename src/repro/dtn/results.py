@@ -32,11 +32,24 @@ class SimulationResult:
     node_counters: Dict[int, NodeCounters] = field(default_factory=dict)
     meetings_processed: int = 0
     meetings_missed: int = 0
+    #: Sum of *finite* transfer-opportunity sizes.  Infinite-capacity
+    #: contacts are counted separately (``infinite_capacity_contacts``)
+    #: so the channel-utilization denominator stays meaningful.
     total_capacity_bytes: float = 0.0
     data_bytes: float = 0.0
     metadata_bytes: float = 0.0
     replications: int = 0
     deliveries: int = 0
+    #: Contacts whose capacity was unbounded (excluded from utilization).
+    infinite_capacity_contacts: int = 0
+    #: Contact-layer accounting (durational/interruptible modes): contacts
+    #: cut short of their scheduled window, transfers cut mid-flight,
+    #: partially transferred bytes that carried no committed replica, and
+    #: transfers completed by resuming earlier partial progress.
+    contacts_interrupted: int = 0
+    transfers_interrupted: int = 0
+    transfers_resumed: int = 0
+    partial_bytes_wasted: float = 0.0
     #: Per-phase wall times and call counters recorded when the simulation
     #: ran with profiling enabled (``--profile`` / ``REPRO_PROFILE=1``);
     #: empty — and absent from :meth:`to_dict` — otherwise, so profiling
@@ -114,16 +127,27 @@ class SimulationResult:
     # ------------------------------------------------------------------
     # Channel / overhead metrics
     # ------------------------------------------------------------------
-    def channel_utilization(self) -> float:
-        """Fraction of total transfer-opportunity bytes actually used."""
+    def channel_utilization(self) -> Optional[float]:
+        """Fraction of finite transfer-opportunity bytes actually used.
+
+        Infinite-capacity contacts are excluded from the denominator —
+        an unbounded opportunity would silently drive the ratio to ``0.0``
+        and masquerade as an idle channel.  When *no* finite capacity was
+        observed at all the utilization is undefined and ``None`` is
+        returned.
+        """
         if self.total_capacity_bytes <= 0:
-            return 0.0
+            return None
         return (self.data_bytes + self.metadata_bytes) / self.total_capacity_bytes
 
-    def metadata_fraction_of_bandwidth(self) -> float:
-        """Metadata bytes as a fraction of total available bandwidth."""
+    def metadata_fraction_of_bandwidth(self) -> Optional[float]:
+        """Metadata bytes as a fraction of finite available bandwidth.
+
+        ``None`` when no finite-capacity contact was observed (see
+        :meth:`channel_utilization`).
+        """
         if self.total_capacity_bytes <= 0:
-            return 0.0
+            return None
         return self.metadata_bytes / self.total_capacity_bytes
 
     def metadata_fraction_of_data(self) -> float:
@@ -136,7 +160,13 @@ class SimulationResult:
     # Convenience
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, float]:
-        """A flat dictionary of the headline metrics (for reports/tests)."""
+        """A flat dictionary of the headline metrics (for reports/tests).
+
+        Undefined ratios (no finite-capacity contact observed) surface as
+        ``nan`` so the flat mapping stays numeric.
+        """
+        utilization = self.channel_utilization()
+        metadata_fraction = self.metadata_fraction_of_bandwidth()
         return {
             "packets": float(self.num_packets),
             "delivered": float(self.num_delivered),
@@ -145,11 +175,17 @@ class SimulationResult:
             "average_delay_with_undelivered": self.average_delay(include_undelivered=True),
             "max_delay": self.max_delay(),
             "deadline_success_rate": self.deadline_success_rate(),
-            "channel_utilization": self.channel_utilization(),
-            "metadata_fraction_of_bandwidth": self.metadata_fraction_of_bandwidth(),
+            "channel_utilization": float("nan") if utilization is None else utilization,
+            "metadata_fraction_of_bandwidth": (
+                float("nan") if metadata_fraction is None else metadata_fraction
+            ),
             "metadata_fraction_of_data": self.metadata_fraction_of_data(),
             "replications": float(self.replications),
             "meetings": float(self.meetings_processed),
+            "contacts_interrupted": float(self.contacts_interrupted),
+            "transfers_interrupted": float(self.transfers_interrupted),
+            "transfers_resumed": float(self.transfers_resumed),
+            "partial_bytes_wasted": float(self.partial_bytes_wasted),
         }
 
     # ------------------------------------------------------------------
@@ -203,7 +239,31 @@ class SimulationResult:
         }
         if self.timings:
             payload["timings"] = {key: float(value) for key, value in self.timings.items()}
+        contact = self._contact_accounting()
+        if contact is not None:
+            # Included only when some contact-layer counter is non-zero, so
+            # default instantaneous payloads stay byte-identical to the wire
+            # format as written before the durational contact layer existed.
+            payload["contact"] = contact
         return payload
+
+    def _contact_accounting(self) -> Optional[Dict[str, object]]:
+        """The contact-layer counter block, or ``None`` when all-zero."""
+        if not (
+            self.infinite_capacity_contacts
+            or self.contacts_interrupted
+            or self.transfers_interrupted
+            or self.transfers_resumed
+            or self.partial_bytes_wasted
+        ):
+            return None
+        return {
+            "infinite_capacity_contacts": self.infinite_capacity_contacts,
+            "contacts_interrupted": self.contacts_interrupted,
+            "transfers_interrupted": self.transfers_interrupted,
+            "transfers_resumed": self.transfers_resumed,
+            "partial_bytes_wasted": self.partial_bytes_wasted,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
@@ -256,6 +316,13 @@ class SimulationResult:
         result.timings = {
             str(key): float(value) for key, value in data.get("timings", {}).items()
         }
+        contact = data.get("contact")
+        if contact:
+            result.infinite_capacity_contacts = int(contact.get("infinite_capacity_contacts", 0))
+            result.contacts_interrupted = int(contact.get("contacts_interrupted", 0))
+            result.transfers_interrupted = int(contact.get("transfers_interrupted", 0))
+            result.transfers_resumed = int(contact.get("transfers_resumed", 0))
+            result.partial_bytes_wasted = float(contact.get("partial_bytes_wasted", 0.0))
         return result
 
     @staticmethod
@@ -284,4 +351,9 @@ class SimulationResult:
             merged.metadata_bytes += result.metadata_bytes
             merged.replications += result.replications
             merged.deliveries += result.deliveries
+            merged.infinite_capacity_contacts += result.infinite_capacity_contacts
+            merged.contacts_interrupted += result.contacts_interrupted
+            merged.transfers_interrupted += result.transfers_interrupted
+            merged.transfers_resumed += result.transfers_resumed
+            merged.partial_bytes_wasted += result.partial_bytes_wasted
         return merged

@@ -7,15 +7,19 @@ the same sequence and produces bit-identical results.
 
 Events at equal timestamps are ordered by kind, then by insertion order:
 
-1. ``PACKET_CREATION`` — a packet generated at time *t* is visible to a
-   meeting at the same instant (a bus that creates a packet right as it
-   meets another bus may transfer it in that meeting, as in the
-   deployment);
-2. ``MEETING`` — meetings inserted earlier (i.e. earlier in the meeting
-   schedule, which sorts by ``(time, node_a, node_b)``) are processed
-   first;
-3. ``END_OF_SIMULATION`` — the horizon fires only after every same-time
-   creation and meeting has been handled.
+1. ``CONTACT_START`` — a contact window opening at *t* is open to every
+   other event of the same instant;
+2. ``PACKET_CREATION`` — a packet generated at time *t* is visible to a
+   meeting at the same instant and to any contact window open at *t* (a
+   bus that creates a packet right as it meets another bus may transfer
+   it in that meeting, as in the deployment);
+3. ``MEETING`` — instantaneous-mode contacts; meetings inserted earlier
+   (i.e. earlier in the meeting schedule, which sorts by
+   ``(time, node_a, node_b)``) are processed first;
+4. ``CONTACT_END`` — a window closing at *t* sees same-instant creations
+   before it interrupts in-flight transfers;
+5. ``END_OF_SIMULATION`` — the horizon fires only after every same-time
+   creation and contact event has been handled.
 
 Within one ``(time, kind)`` class, FIFO insertion order breaks the final
 ties via a monotonic sequence number; :class:`~repro.dtn.events.Event`

@@ -2,34 +2,103 @@
 
 The simulator consumes a meeting schedule (from a mobility model or a
 trace), a packet workload, and a routing protocol factory.  At every
-meeting it enforces the two resource constraints of problem class P5:
+contact it enforces the two resource constraints of problem class P5:
 
 * **bandwidth** — the total of data plus (for protocols that count it)
-  control metadata transferred in a meeting never exceeds the transfer
+  control metadata transferred in a contact never exceeds the transfer
   opportunity's size in bytes;
 * **storage** — nodes only accept replicas their buffer can hold, possibly
   after protocol-chosen evictions.
 
+Contact models
+--------------
+
+How a contact's bytes are spread over time is selected by the
+``contact_model`` option:
+
+* ``instantaneous`` (default) — the paper's Section 3.1 treatment: every
+  byte of the opportunity is available at the contact's start instant.
+  This mode is byte-identical to the simulator as it existed before the
+  durational contact layer.
+* ``durational`` — the contact is a window ``[start, end]`` bracketed by
+  :class:`~repro.dtn.events.ContactStartEvent` /
+  :class:`~repro.dtn.events.ContactEndEvent`.  Bytes stream across the
+  window under the contact's :class:`~repro.mobility.schedule.LinkModel`;
+  transfers complete at their streaming finish time, packets created
+  *during* an open contact become transferable mid-contact, and a
+  transfer that cannot finish before the window closes is cut (partial
+  bytes are charged but the replica is rolled back).
+* ``interruptible`` — ``durational`` plus random early cut-offs: each
+  contact is interrupted at a uniform fraction of its window with
+  probability ``contact_interrupt_probability`` (default 0.25).  With
+  ``contact_resume`` set, partial progress carries over and the transfer
+  resumes on the next contact of the same directed pair.
+
 A :class:`~repro.dtn.node.DeploymentNoise` option reproduces the
 imperfections of the real deployment (jittered capacities, missed
 meetings, processing delay) used to validate the simulator in Figure 3.
+Noise is applied uniformly to every contact — including contacts between
+nodes that carry no traffic endpoints — *before* any capacity accounting.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError, SimulationError
-from ..mobility.schedule import Meeting, MeetingSchedule
+from ..mobility.schedule import Contact, Meeting, MeetingSchedule
 from ..profiling import Profiler, profiling_requested
-from ..routing.base import ProtocolContext, ProtocolFactory, RoutingProtocol, TransferBudget
-from .events import EndOfSimulationEvent, MeetingEvent, PacketCreationEvent
+from ..routing.base import (
+    LinkSession,
+    ProtocolContext,
+    ProtocolFactory,
+    RoutingProtocol,
+    TransferBudget,
+)
+from .events import (
+    ContactEndEvent,
+    ContactStartEvent,
+    EndOfSimulationEvent,
+    MeetingEvent,
+    PacketCreationEvent,
+)
 from .node import DeploymentNoise, Node
 from .packet import Packet, PacketRecord
 from .results import SimulationResult
 from .scheduler import EventQueue
+
+#: The three contact models (see the module docstring).
+CONTACT_MODEL_INSTANTANEOUS = "instantaneous"
+CONTACT_MODEL_DURATIONAL = "durational"
+CONTACT_MODEL_INTERRUPTIBLE = "interruptible"
+CONTACT_MODELS = (
+    CONTACT_MODEL_INSTANTANEOUS,
+    CONTACT_MODEL_DURATIONAL,
+    CONTACT_MODEL_INTERRUPTIBLE,
+)
+
+#: Default probability that an interruptible contact is cut short.
+DEFAULT_INTERRUPT_PROBABILITY = 0.25
+
+#: Tolerance for floating-point byte comparisons in the session pipeline.
+_EPS = 1e-9
+
+
+class _OpenContact:
+    """Live state of one open contact session (durational modes)."""
+
+    __slots__ = ("contact", "session", "x", "y")
+
+    def __init__(
+        self, contact: Contact, session: LinkSession, x: RoutingProtocol, y: RoutingProtocol
+    ) -> None:
+        self.contact = contact
+        self.session = session
+        self.x = x
+        self.y = y
 
 
 class Simulator:
@@ -55,11 +124,39 @@ class Simulator:
         self.noise = noise
         self.options = dict(options or {})
 
+        self.contact_model = str(
+            self.options.get("contact_model", CONTACT_MODEL_INSTANTANEOUS)
+        )
+        if self.contact_model not in CONTACT_MODELS:
+            raise ConfigurationError(
+                f"unknown contact_model {self.contact_model!r}; "
+                f"expected one of {', '.join(CONTACT_MODELS)}"
+            )
+        self.contact_resume = bool(self.options.get("contact_resume", False))
+        self.interrupt_probability = float(
+            self.options.get(
+                "contact_interrupt_probability", DEFAULT_INTERRUPT_PROBABILITY
+            )
+        )
+        if not 0.0 <= self.interrupt_probability <= 1.0:
+            raise ConfigurationError(
+                "contact_interrupt_probability must be in [0, 1]"
+            )
+
         self._rng = np.random.default_rng(seed)
         self._noise_rng = np.random.default_rng(noise.seed if noise and noise.seed is not None else seed)
+        #: Dedicated stream for interruption draws, so enabling the
+        #: interruptible model never perturbs the noise or protocol RNGs.
+        self._contact_rng = np.random.default_rng(None if seed is None else seed + 9173)
         self.nodes: Dict[int, Node] = {}
         self.protocols: Dict[int, RoutingProtocol] = {}
         self.result: Optional[SimulationResult] = None
+        #: Open contact sessions by contact id (durational modes only).
+        self._open_contacts: Dict[int, _OpenContact] = {}
+        #: Partial-transfer progress surviving across contacts when
+        #: ``contact_resume`` is set: ``(sender, receiver, packet) -> bytes``.
+        self._partial_progress: Dict[Tuple[int, int, int], float] = {}
+        self._horizon: float = 0.0
         #: Phase timers and call counters; ``None`` (zero overhead) unless
         #: profiling was requested via the ``profile`` option or
         #: ``REPRO_PROFILE=1`` (set by the CLI ``--profile`` flag and
@@ -94,12 +191,30 @@ class Simulator:
         queue = EventQueue()
         for packet in self.packets:
             queue.push(PacketCreationEvent(time=packet.creation_time, packet=packet))
-        for meeting in self.schedule:
-            queue.push(MeetingEvent(time=meeting.time, meeting=meeting))
         horizon = max(
             self.schedule.duration,
             max((p.creation_time for p in self.packets), default=0.0),
         )
+        self._horizon = horizon
+        if self.contact_model == CONTACT_MODEL_INSTANTANEOUS:
+            for meeting in self.schedule:
+                queue.push(MeetingEvent(time=meeting.time, meeting=meeting))
+        else:
+            # Durational modes bracket every contact window with a
+            # start/end pair; windows reaching past the horizon are closed
+            # at the horizon (CONTACT_END sorts before END_OF_SIMULATION
+            # at equal times, so every session closes before the run ends).
+            for contact_id, contact in enumerate(self.schedule):
+                queue.push(
+                    ContactStartEvent(
+                        time=contact.start, contact=contact, contact_id=contact_id
+                    )
+                )
+                queue.push(
+                    ContactEndEvent(
+                        time=min(contact.end, horizon), contact_id=contact_id
+                    )
+                )
         queue.push(EndOfSimulationEvent(time=horizon))
         return queue
 
@@ -125,6 +240,10 @@ class Simulator:
                     self._handle_creation(event.packet, event.time)
                 elif isinstance(event, MeetingEvent):
                     self._handle_meeting(event.meeting, event.time)
+                elif isinstance(event, ContactStartEvent):
+                    self._handle_contact_start(event.contact, event.contact_id, event.time)
+                elif isinstance(event, ContactEndEvent):
+                    self._handle_contact_end(event.contact_id, event.time)
                 elif isinstance(event, EndOfSimulationEvent):
                     break
                 else:  # pragma: no cover - defensive
@@ -138,15 +257,65 @@ class Simulator:
                             self._handle_creation(event.packet, event.time)
                     elif isinstance(event, MeetingEvent):
                         self._handle_meeting(event.meeting, event.time)
+                    elif isinstance(event, ContactStartEvent):
+                        with profiler.phase("contact_session"):
+                            self._handle_contact_start(
+                                event.contact, event.contact_id, event.time
+                            )
+                    elif isinstance(event, ContactEndEvent):
+                        with profiler.phase("contact_session"):
+                            self._handle_contact_end(event.contact_id, event.time)
                     elif isinstance(event, EndOfSimulationEvent):
                         break
                     else:  # pragma: no cover - defensive
                         raise SimulationError(f"unknown event type: {type(event)!r}")
             result.timings = profiler.timings()
 
+        # Defensive: close any session whose end event did not fire (all
+        # ends are clipped to the horizon, so this is normally a no-op).
+        for contact_id in sorted(self._open_contacts):
+            self._close_contact(self._open_contacts[contact_id], self._horizon)
+        self._open_contacts.clear()
+
         for node_id, node in self.nodes.items():
             result.node_counters[node_id] = node.counters
         return result
+
+    # ------------------------------------------------------------------
+    # Shared accounting
+    # ------------------------------------------------------------------
+    def _register_capacity(self, capacity: float) -> None:
+        """Count one contact's opportunity size (finite capacities only).
+
+        Infinite opportunities would drive the utilization denominator to
+        ``inf`` (reading as a silent ``0.0`` utilization); they are
+        tallied separately and excluded from the byte total.
+        """
+        result = self.result
+        if math.isinf(capacity):
+            result.infinite_capacity_contacts += 1
+        else:
+            result.total_capacity_bytes += capacity
+
+    def _apply_noise(self, capacity: float) -> Tuple[bool, float, float]:
+        """Apply deployment noise; return ``(missed, capacity, scale)``.
+
+        Called once per contact *before* the endpoint check and any
+        accounting, so endpoint-less contacts see exactly the same miss
+        probability and capacity jitter as protocol-bearing ones.
+        """
+        if self.noise is None:
+            return False, capacity, 1.0
+        if float(self._noise_rng.random()) < self.noise.meeting_miss_probability:
+            return True, capacity, 1.0
+        scale = 1.0
+        if self.noise.capacity_jitter > 0:
+            scale = float(
+                self._noise_rng.uniform(
+                    1.0 - self.noise.capacity_jitter, 1.0 + self.noise.capacity_jitter
+                )
+            )
+        return False, capacity * scale, scale
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -159,31 +328,32 @@ class Simulator:
         if not accepted:
             record = self.result.records[packet.packet_id]
             record.drops += 1
+            return
+        if self._open_contacts:
+            # A packet created during an open contact becomes transferable
+            # mid-contact: pump every open session its source participates
+            # in, in deterministic contact-id order.
+            for contact_id in sorted(self._open_contacts):
+                state = self._open_contacts.get(contact_id)
+                if state is not None and state.contact.involves(packet.source):
+                    self._pump_contact(state, now)
 
     def _handle_meeting(self, meeting: Meeting, now: float) -> None:
         result = self.result
+        missed, capacity, _ = self._apply_noise(meeting.capacity)
+        if missed:
+            result.meetings_missed += 1
+            return
+
         if meeting.node_a not in self.protocols or meeting.node_b not in self.protocols:
             # Meetings of buses that carry no traffic endpoints are still
             # part of the schedule; register capacity and move on.
-            result.total_capacity_bytes += meeting.capacity
+            self._register_capacity(capacity)
             result.meetings_processed += 1
             return
 
-        capacity = meeting.capacity
-        if self.noise is not None:
-            if float(self._noise_rng.random()) < self.noise.meeting_miss_probability:
-                result.meetings_missed += 1
-                return
-            if self.noise.capacity_jitter > 0:
-                factor = float(
-                    self._noise_rng.uniform(
-                        1.0 - self.noise.capacity_jitter, 1.0 + self.noise.capacity_jitter
-                    )
-                )
-                capacity *= factor
-
         result.meetings_processed += 1
-        result.total_capacity_bytes += capacity
+        self._register_capacity(capacity)
 
         x = self.protocols[meeting.node_a]
         y = self.protocols[meeting.node_b]
@@ -223,7 +393,257 @@ class Simulator:
         y.node.counters.metadata_bytes_sent += budget.metadata_bytes / 2.0
 
     # ------------------------------------------------------------------
-    # Meeting phases
+    # Contact-session pipeline (durational modes)
+    # ------------------------------------------------------------------
+    def _handle_contact_start(self, contact: Contact, contact_id: int, now: float) -> None:
+        """Open a contact session: noise, interruption draw, control, pump."""
+        result = self.result
+        missed, capacity, scale = self._apply_noise(contact.capacity)
+        if missed:
+            result.meetings_missed += 1
+            return
+
+        # Interruption draw (interruptible model): the contact dies at a
+        # uniform fraction of its window with the configured probability.
+        cutoff = contact.end
+        interrupted = False
+        if (
+            self.contact_model == CONTACT_MODEL_INTERRUPTIBLE
+            and self.interrupt_probability > 0.0
+            and contact.duration > 0.0
+            and float(self._contact_rng.random()) < self.interrupt_probability
+        ):
+            fraction = float(self._contact_rng.uniform(0.05, 0.95))
+            cutoff = contact.start + contact.duration * fraction
+            interrupted = True
+
+        result.meetings_processed += 1
+        # The utilization denominator counts the capacity the channel can
+        # actually offer: an interruption truncates the window, so only
+        # the bytes streamable before the cutoff are registered (the same
+        # denominator-honesty rule that excludes infinite capacities).
+        achievable = capacity
+        if interrupted and not math.isinf(capacity):
+            achievable = min(
+                capacity,
+                scale * contact.profile.bytes_within(contact, cutoff - contact.start),
+            )
+        self._register_capacity(achievable)
+
+        if contact.node_a not in self.protocols or contact.node_b not in self.protocols:
+            return
+
+        x = self.protocols[contact.node_a]
+        y = self.protocols[contact.node_b]
+        x.node.counters.meetings += 1
+        y.node.counters.meetings += 1
+
+        session = LinkSession(
+            capacity=capacity,
+            contact=contact,
+            opened_at=now,
+            cutoff=cutoff,
+            capacity_scale=scale,
+            stream_clock=now,
+            interrupted=interrupted,
+        )
+
+        x.on_session_open(y, session, now)
+        y.on_session_open(x, session, now)
+
+        x.exchange_control(y, now, session)
+        y.exchange_control(x, now, session)
+
+        state = _OpenContact(contact, session, x, y)
+        self._open_contacts[contact_id] = state
+        self._pump_contact(state, now)
+
+    def _handle_contact_end(self, contact_id: int, now: float) -> None:
+        state = self._open_contacts.pop(contact_id, None)
+        if state is None:
+            # Missed by noise, or never opened (no session to close).
+            return
+        self._close_contact(state, now)
+
+    def _close_contact(self, state: _OpenContact, now: float) -> None:
+        """Finalize a session: byte accounting, interruption tally, hooks."""
+        result = self.result
+        session = state.session
+        result.data_bytes += session.data_bytes
+        result.metadata_bytes += session.metadata_bytes
+        state.x.node.counters.metadata_bytes_sent += session.metadata_bytes / 2.0
+        state.y.node.counters.metadata_bytes_sent += session.metadata_bytes / 2.0
+        if session.interrupted:
+            result.contacts_interrupted += 1
+        state.x.on_session_close(state.y, session, now)
+        state.y.on_session_close(state.x, session, now)
+
+    def _pump_contact(self, state: _OpenContact, now: float) -> None:
+        """Run the data phases of an open session at event time *now*.
+
+        Called once when the session opens and again for every packet
+        created at a participant while the window is open.  The session's
+        stream clock serialises the transfers, so repeated pumping never
+        double-spends window time.
+        """
+        session = state.session
+        if session.transfer_cut:
+            return
+        x, y = state.x, state.y
+        self._direct_delivery_session(state, x, y, now)
+        self._direct_delivery_session(state, y, x, now)
+        self._replicate_session(state, now)
+
+    # ------------------------------------------------------------------
+    # Resume bookkeeping (interruptible model with contact_resume)
+    # ------------------------------------------------------------------
+    def _progress_key(
+        self, sender: RoutingProtocol, receiver: RoutingProtocol, packet: Packet
+    ) -> Tuple[int, int, int]:
+        return (sender.node_id, receiver.node_id, packet.packet_id)
+
+    def _remaining_size(
+        self, sender: RoutingProtocol, receiver: RoutingProtocol, packet: Packet
+    ) -> float:
+        """Bytes still to send, net of resumable partial progress."""
+        done = self._partial_progress.get(self._progress_key(sender, receiver, packet), 0.0)
+        return max(0.0, float(packet.size) - done)
+
+    def _finish_transfer(
+        self, sender: RoutingProtocol, receiver: RoutingProtocol, packet: Packet
+    ) -> bool:
+        """Clear resumable progress; return True when progress existed."""
+        return self._partial_progress.pop(self._progress_key(sender, receiver, packet), None) is not None
+
+    def _interrupt_transfer(
+        self,
+        state: _OpenContact,
+        sender: RoutingProtocol,
+        receiver: RoutingProtocol,
+        packet: Packet,
+        remaining_size: float,
+        now: float,
+    ) -> None:
+        """Cut a transfer mid-flight: charge partial bytes, roll back.
+
+        The partial bytes crossed the link but carry no committed replica.
+        With resume enabled the progress is remembered for the next
+        contact of the same directed pair; otherwise the bytes are wasted
+        capacity (the rollback of the aborted transfer).
+        """
+        session = state.session
+        sent, _, _ = session.transmit(remaining_size, now)
+        result = self.result
+        result.transfers_interrupted += 1
+        if self.contact_resume and sent > 0:
+            key = self._progress_key(sender, receiver, packet)
+            self._partial_progress[key] = self._partial_progress.get(key, 0.0) + sent
+        else:
+            result.partial_bytes_wasted += sent
+        sender.on_transfer_interrupted(packet, receiver, now, sent)
+
+    # ------------------------------------------------------------------
+    # Session data phases
+    # ------------------------------------------------------------------
+    def _direct_delivery_session(
+        self, state: _OpenContact, sender: RoutingProtocol, receiver: RoutingProtocol, now: float
+    ) -> None:
+        session = state.session
+        for packet in sender.direct_delivery_order(receiver.node_id, now):
+            if packet.packet_id not in sender.buffer:
+                continue
+            remaining_size = self._remaining_size(sender, receiver, packet)
+            if not session.can_complete(remaining_size, now):
+                if session.can_send(remaining_size) and session.sendable_bytes(now) > _EPS:
+                    # The byte budget would allow it but the window does
+                    # not: the transfer starts and is cut at the cutoff.
+                    self._interrupt_transfer(
+                        state, sender, receiver, packet, remaining_size, now
+                    )
+                break
+            sent, finish, _ = session.transmit(remaining_size, now)
+            if self._finish_transfer(sender, receiver, packet):
+                self.result.transfers_resumed += 1
+            self._record_delivery(packet, sender, receiver, finish)
+
+    def _replicate_session(self, state: _OpenContact, now: float) -> None:
+        x, y = state.x, state.y
+        directions: List[Tuple[RoutingProtocol, RoutingProtocol]] = [(x, y), (y, x)]
+        generators = [
+            x.replication_candidates(y, now),
+            y.replication_candidates(x, now),
+        ]
+        active = [True, True]
+        turn = 0
+        idle_turns = 0
+        while any(active) and idle_turns < 2 and not state.session.transfer_cut:
+            if not active[turn]:
+                turn = 1 - turn
+                idle_turns += 1
+                continue
+            sender, receiver = directions[turn]
+            sent = self._send_one_session(
+                state, sender, receiver, generators[turn], now, active, turn
+            )
+            idle_turns = 0 if sent else idle_turns + 1
+            turn = 1 - turn
+
+    def _send_one_session(
+        self,
+        state: _OpenContact,
+        sender: RoutingProtocol,
+        receiver: RoutingProtocol,
+        generator,
+        now: float,
+        active: List[bool],
+        turn: int,
+    ) -> bool:
+        """Pull candidates until one replica streams fully; return success."""
+        session = state.session
+        profiler = self.profiler
+        for packet in generator:
+            if profiler is not None:
+                profiler.count("candidates_pulled")
+            if packet.packet_id not in sender.buffer:
+                continue
+            if packet.packet_id in receiver.buffer:
+                continue
+            remaining_size = self._remaining_size(sender, receiver, packet)
+            fits_budget = session.can_send(remaining_size)
+            fits_window = session.can_complete(remaining_size, now)
+            if packet.destination == receiver.node_id:
+                # Destined to the peer: deliver it now rather than replicate.
+                if fits_window:
+                    sent, finish, _ = session.transmit(remaining_size, now)
+                    if self._finish_transfer(sender, receiver, packet):
+                        self.result.transfers_resumed += 1
+                    self._record_delivery(packet, sender, receiver, finish)
+                    return True
+                if fits_budget and session.sendable_bytes(now) > _EPS:
+                    self._interrupt_transfer(
+                        state, sender, receiver, packet, remaining_size, now
+                    )
+                active[turn] = False
+                return False
+            if not fits_window:
+                if fits_budget and session.sendable_bytes(now) > _EPS:
+                    self._interrupt_transfer(
+                        state, sender, receiver, packet, remaining_size, now
+                    )
+                active[turn] = False
+                return False
+            if receiver.accept_replica(packet, sender, now):
+                session.transmit(remaining_size, now)
+                if self._finish_transfer(sender, receiver, packet):
+                    self.result.transfers_resumed += 1
+                self._register_replication(packet, sender, receiver, now)
+                return True
+            # Storage refusal: try the next candidate.
+        active[turn] = False
+        return False
+
+    # ------------------------------------------------------------------
+    # Meeting phases (instantaneous model)
     # ------------------------------------------------------------------
     def _direct_delivery(
         self, sender: RoutingProtocol, receiver: RoutingProtocol, now: float, budget: TransferBudget
@@ -237,7 +657,11 @@ class Simulator:
             self._record_delivery(packet, sender, receiver, now)
 
     def _record_delivery(
-        self, packet: Packet, sender: RoutingProtocol, receiver: RoutingProtocol, now: float
+        self,
+        packet: Packet,
+        sender: RoutingProtocol,
+        receiver: RoutingProtocol,
+        now: float,
     ) -> None:
         result = self.result
         record = result.records.get(packet.packet_id)

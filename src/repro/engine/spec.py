@@ -38,7 +38,8 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 #: Version of the cell-spec wire format.  It is mixed into every cache key
 #: (together with :data:`~repro.dtn.results.RESULT_SCHEMA_VERSION`) so that
 #: cached entries written by an incompatible engine are never served.
-SPEC_SCHEMA_VERSION = 1
+#: Version 2 added the ``contact_model`` axis.
+SPEC_SCHEMA_VERSION = 2
 
 ExperimentConfig = Union["TraceExperimentConfig", "SyntheticExperimentConfig"]
 
@@ -73,6 +74,12 @@ class ScenarioSpec:
         buffer_capacity: Optional override of the config's buffer size.
         metadata_fraction_cap: Optional RAPID control-channel cap.
         noise: Optional :class:`DeploymentNoise` as its ``to_dict()`` form.
+        contact_model: Optional override of the config's contact model
+            (``instantaneous`` | ``durational`` | ``interruptible``);
+            ``None`` defers to the configuration.  This is the engine-level
+            handle that lets a grid sweep the contact-model axis.
+        contact_options: Optional extra simulator options for the contact
+            layer (``contact_resume``, ``contact_interrupt_probability``).
     """
 
     family: str
@@ -83,8 +90,12 @@ class ScenarioSpec:
     buffer_capacity: Optional[float] = None
     metadata_fraction_cap: Optional[float] = None
     noise: Optional[Dict[str, object]] = None
+    contact_model: Optional[str] = None
+    contact_options: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
+        from ..dtn.simulator import CONTACT_MODELS
+
         if self.family not in (FAMILY_TRACE, FAMILY_SYNTHETIC):
             raise ConfigurationError(
                 f"unknown scenario family {self.family!r}; "
@@ -94,6 +105,11 @@ class ScenarioSpec:
             raise ConfigurationError("scenario load must be positive")
         if self.run_index < 0:
             raise ConfigurationError("run_index must be non-negative")
+        if self.contact_model is not None and self.contact_model not in CONTACT_MODELS:
+            raise ConfigurationError(
+                f"unknown contact_model {self.contact_model!r}; "
+                f"expected one of {', '.join(CONTACT_MODELS)}"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -108,6 +124,8 @@ class ScenarioSpec:
         buffer_capacity: Optional[float] = None,
         metadata_fraction_cap: Optional[float] = None,
         noise: Optional[DeploymentNoise] = None,
+        contact_model: Optional[str] = None,
+        contact_options: Optional[Dict[str, object]] = None,
     ) -> "ScenarioSpec":
         """Build a spec from live configuration objects."""
         from ..experiments.config import TraceExperimentConfig
@@ -115,15 +133,28 @@ class ScenarioSpec:
         family = (
             FAMILY_TRACE if isinstance(config, TraceExperimentConfig) else FAMILY_SYNTHETIC
         )
+        config_dict = config.to_dict()
+        # Contact options only mean anything under a durational model;
+        # dropping them from instantaneous cells keeps such a cell's cache
+        # address identical to the plain instantaneous cell it is.
+        resolved_model = (
+            contact_model
+            if contact_model is not None
+            else str(config_dict.get("contact_model", "instantaneous"))
+        )
+        if resolved_model == "instantaneous":
+            contact_options = None
         return cls(
             family=family,
-            config=config.to_dict(),
+            config=config_dict,
             protocol=protocol.to_dict(),
             load=float(load),
             run_index=int(run_index),
             buffer_capacity=buffer_capacity,
             metadata_fraction_cap=metadata_fraction_cap,
             noise=noise.to_dict() if noise is not None else None,
+            contact_model=contact_model,
+            contact_options=dict(contact_options) if contact_options else None,
         )
 
     # ------------------------------------------------------------------
@@ -149,6 +180,12 @@ class ScenarioSpec:
             return None
         return DeploymentNoise.from_dict(self.noise)
 
+    def resolved_contact_model(self) -> str:
+        """The contact model in force: the cell's override or the config's."""
+        if self.contact_model is not None:
+            return self.contact_model
+        return str(self.config.get("contact_model", "instantaneous"))
+
     @property
     def label(self) -> str:
         """The protocol label of this cell (a figure's series name)."""
@@ -167,6 +204,10 @@ class ScenarioSpec:
             "buffer_capacity": self.buffer_capacity,
             "metadata_fraction_cap": self.metadata_fraction_cap,
             "noise": dict(self.noise) if self.noise is not None else None,
+            "contact_model": self.contact_model,
+            "contact_options": (
+                dict(self.contact_options) if self.contact_options is not None else None
+            ),
         }
 
     @classmethod
@@ -180,6 +221,8 @@ class ScenarioSpec:
             buffer_capacity=data.get("buffer_capacity"),
             metadata_fraction_cap=data.get("metadata_fraction_cap"),
             noise=data.get("noise"),
+            contact_model=data.get("contact_model"),
+            contact_options=data.get("contact_options"),
         )
 
     def cache_key(self) -> str:
@@ -201,11 +244,13 @@ class ScenarioSpec:
 
 @dataclass(frozen=True)
 class ScenarioGrid:
-    """A declarative grid of cells: protocols x loads x run indices.
+    """A declarative grid of cells: contact models x protocols x loads x runs.
 
     ``run_indices`` defaults to every day of a trace configuration or
     every random run of a synthetic configuration, which is what the
-    paper's figures sweep over.
+    paper's figures sweep over.  ``contact_models`` is an optional outer
+    axis (``None`` entries defer to the configuration's model); leaving it
+    unset yields the classic three-axis grid.
     """
 
     config: ExperimentConfig
@@ -215,12 +260,18 @@ class ScenarioGrid:
     buffer_capacity: Optional[float] = None
     metadata_fraction_cap: Optional[float] = None
     noise: Optional[DeploymentNoise] = None
+    contact_models: Optional[Sequence[Optional[str]]] = None
+    contact_options: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if not self.protocols:
             raise ConfigurationError("grid needs at least one protocol")
         if not self.loads:
             raise ConfigurationError("grid needs at least one load")
+        if self.contact_models is not None and not self.contact_models:
+            raise ConfigurationError(
+                "contact_models must be omitted or name at least one model"
+            )
 
     def default_run_indices(self) -> List[int]:
         if self.run_indices is not None:
@@ -231,31 +282,44 @@ class ScenarioGrid:
             return list(range(self.config.num_days))
         return list(range(self.config.num_runs))
 
+    def _contact_model_axis(self) -> List[Optional[str]]:
+        if self.contact_models is None:
+            return [None]
+        return list(self.contact_models)
+
     def cells(self) -> List[ScenarioSpec]:
         """Expand the grid into its cells.
 
-        The expansion order is loads (outer) then protocols then run
-        indices — the same nesting the serial ``sweep`` loop used, so
-        progress reporting advances the way a reader of the figures
-        expects.
+        The expansion order is contact models (outermost, when swept)
+        then loads then protocols then run indices — the inner nesting is
+        the same as the serial ``sweep`` loop used, so progress reporting
+        advances the way a reader of the figures expects.
         """
         run_indices = self.default_run_indices()
         out: List[ScenarioSpec] = []
-        for load in self.loads:
-            for protocol in self.protocols:
-                for run_index in run_indices:
-                    out.append(
-                        ScenarioSpec.for_cell(
-                            config=self.config,
-                            protocol=protocol,
-                            load=load,
-                            run_index=run_index,
-                            buffer_capacity=self.buffer_capacity,
-                            metadata_fraction_cap=self.metadata_fraction_cap,
-                            noise=self.noise,
+        for contact_model in self._contact_model_axis():
+            for load in self.loads:
+                for protocol in self.protocols:
+                    for run_index in run_indices:
+                        out.append(
+                            ScenarioSpec.for_cell(
+                                config=self.config,
+                                protocol=protocol,
+                                load=load,
+                                run_index=run_index,
+                                buffer_capacity=self.buffer_capacity,
+                                metadata_fraction_cap=self.metadata_fraction_cap,
+                                noise=self.noise,
+                                contact_model=contact_model,
+                                contact_options=self.contact_options,
+                            )
                         )
-                    )
         return out
 
     def __len__(self) -> int:
-        return len(self.protocols) * len(self.loads) * len(self.default_run_indices())
+        return (
+            len(self._contact_model_axis())
+            * len(self.protocols)
+            * len(self.loads)
+            * len(self.default_run_indices())
+        )

@@ -188,6 +188,17 @@ def run_cell(spec: ScenarioSpec) -> SimulationResult:
     buffer_capacity = (
         config.buffer_capacity if spec.buffer_capacity is None else spec.buffer_capacity
     )
+    # The default instantaneous model passes no options at all, keeping
+    # the zero-config simulator path (and its output) byte-identical to
+    # the pre-contact-layer engine.
+    contact_model = spec.resolved_contact_model()
+    options: Dict[str, object] = {}
+    if contact_model != "instantaneous":
+        options["contact_model"] = contact_model
+        if getattr(config, "contact_resume", False):
+            options["contact_resume"] = True
+        if spec.contact_options:
+            options.update(spec.contact_options)
     return run_simulation(
         schedule=schedule,
         packets=packets,
@@ -195,6 +206,7 @@ def run_cell(spec: ScenarioSpec) -> SimulationResult:
         buffer_capacity=buffer_capacity,
         seed=config.seed + spec.run_index,
         noise=spec.deployment_noise(),
+        options=options or None,
     )
 
 

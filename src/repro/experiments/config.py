@@ -14,9 +14,18 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
 from .. import constants, units
+from ..dtn.simulator import CONTACT_MODELS
 from ..exceptions import ConfigurationError
 from ..routing.registry import create_factory
 from ..traces.dieselnet import DieselNetParameters
+
+
+def _validate_contact_model(contact_model: str) -> None:
+    if contact_model not in CONTACT_MODELS:
+        raise ConfigurationError(
+            f"unknown contact_model {contact_model!r}; "
+            f"expected one of {', '.join(CONTACT_MODELS)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -100,15 +109,27 @@ class TraceExperimentConfig:
     #: configurations scale it together with the transfer-opportunity sizes
     #: so the metadata-to-opportunity ratio of the deployment is preserved.
     metadata_byte_scale: float = 1.0
+    #: Contact model for every cell of this experiment: ``instantaneous``
+    #: (the paper's Section 3.1 default), ``durational`` or
+    #: ``interruptible``.  Individual :class:`~repro.engine.ScenarioSpec`
+    #: cells may override it, which is how grids sweep the axis.
+    contact_model: str = "instantaneous"
+    #: With the interruptible model: resume cut transfers on the next
+    #: contact of the same pair instead of discarding the partial bytes.
+    contact_resume: bool = False
 
     def __post_init__(self) -> None:
         if self.num_days < 1:
             raise ConfigurationError("num_days must be at least 1")
         if self.load_packets_per_hour <= 0:
             raise ConfigurationError("load must be positive")
+        _validate_contact_model(self.contact_model)
 
     def with_load(self, load_packets_per_hour: float) -> "TraceExperimentConfig":
         return replace(self, load_packets_per_hour=load_packets_per_hour)
+
+    def with_contact_model(self, contact_model: str) -> "TraceExperimentConfig":
+        return replace(self, contact_model=contact_model)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible representation (used by the experiment engine)."""
@@ -176,12 +197,20 @@ class SyntheticExperimentConfig:
     mobility: str = "powerlaw"
     num_runs: int = 10
     seed: int = 11
+    #: Contact model for every cell (see :class:`TraceExperimentConfig`).
+    contact_model: str = "instantaneous"
+    #: Resume cut transfers across contacts (see :class:`TraceExperimentConfig`).
+    contact_resume: bool = False
 
     def __post_init__(self) -> None:
         if self.mobility not in ("powerlaw", "exponential"):
             raise ConfigurationError("mobility must be 'powerlaw' or 'exponential'")
         if self.num_runs < 1:
             raise ConfigurationError("num_runs must be at least 1")
+        _validate_contact_model(self.contact_model)
+
+    def with_contact_model(self, contact_model: str) -> "SyntheticExperimentConfig":
+        return replace(self, contact_model=contact_model)
 
     def load_to_packets_per_hour(self, packets_per_interval: float) -> float:
         """Convert the paper's load axis (packets per ``packet_interval`` per

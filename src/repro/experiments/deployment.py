@@ -65,7 +65,18 @@ def run_table3(
     )
     table.add_row(
         "metadata_size_over_bandwidth",
-        float(np.mean([r.metadata_fraction_of_bandwidth() for r in results])),
+        # None (no finite-capacity contact observed) cannot occur on the
+        # DieselNet traces, but keep the mean robust to it regardless.
+        float(
+            np.mean(
+                [
+                    fraction
+                    for r in results
+                    if (fraction := r.metadata_fraction_of_bandwidth()) is not None
+                ]
+                or [float("nan")]
+            )
+        ),
     )
     table.add_row(
         "metadata_size_over_data_size",

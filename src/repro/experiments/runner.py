@@ -228,23 +228,31 @@ def sweep(
     x_values: Sequence[float],
     metric_name: str,
     engine: Optional[ExperimentEngine] = None,
+    return_results: bool = False,
     **run_kwargs,
-) -> Dict[str, List[float]]:
+):
     """Run every protocol at every sweep point and average one metric.
 
     Works with both runner types through their uniform ``cells`` interface
     (the x value is the runner's load, whatever its family calls it).  The
     whole grid is submitted to the engine in one batch, so a multi-worker
     engine parallelises across protocols, loads and days/runs at once.
+
+    Returns the ``{label: [metric at each x]}`` series; with
+    ``return_results=True`` it returns ``(series, results)`` so callers
+    can also report per-cell accounting (e.g. interruption counts).
     """
     cells: List[ScenarioSpec] = []
     for x in x_values:
         for spec in specs:
             cells.extend(runner.cells(spec, load=x, **run_kwargs))
     results = (engine or runner._engine()).run_cells(cells)
-    return Aggregator(metric_name).series(
+    series = Aggregator(metric_name).series(
         cells,
         results,
         labels=[spec.label for spec in specs],
         x_values=list(x_values),
     )
+    if return_results:
+        return series, results
+    return series

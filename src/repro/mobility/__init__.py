@@ -3,7 +3,15 @@
 from .base import MobilityModel
 from .exponential import ExponentialMobility
 from .powerlaw import PowerLawMobility
-from .schedule import Meeting, MeetingSchedule, ScheduleStatistics
+from .schedule import (
+    CONSTANT_RATE,
+    ConstantRateLinkModel,
+    Contact,
+    LinkModel,
+    Meeting,
+    MeetingSchedule,
+    ScheduleStatistics,
+)
 from .trace import TraceMobility
 
 __all__ = [
@@ -11,6 +19,10 @@ __all__ = [
     "ExponentialMobility",
     "PowerLawMobility",
     "TraceMobility",
+    "CONSTANT_RATE",
+    "ConstantRateLinkModel",
+    "Contact",
+    "LinkModel",
     "Meeting",
     "MeetingSchedule",
     "ScheduleStatistics",

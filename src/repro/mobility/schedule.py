@@ -1,28 +1,97 @@
-"""Meeting schedules: the DTN node-meeting multigraph.
+"""Contact schedules: the DTN node-meeting multigraph.
 
 The paper models a DTN as a directed multigraph ``G = (V, E)`` where every
 edge is a meeting annotated with ``(t_e, s_e)`` — the meeting time and the
 size of the transfer opportunity in bytes.  :class:`MeetingSchedule` is the
 concrete container used by the simulator, mobility models and the offline
 optimal router.
+
+Since the durational contact layer, the edge type is :class:`Contact`: a
+transfer opportunity with a *window* (``start``/``end``) and a bandwidth
+profile described by a pluggable :class:`LinkModel`.  The paper's
+short-lived treatment (Section 3.1: all bytes available at one instant) is
+the default simulator mode, which reads only ``time`` and ``capacity``;
+the durational modes also honour ``duration`` and the link model.
+:data:`Meeting` remains as an alias for :class:`Contact` so the historic
+name keeps working everywhere.
 """
 
 from __future__ import annotations
 
+import abc
 import bisect
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import ScheduleError
 
 
+class LinkModel(abc.ABC):
+    """Bandwidth profile of a contact: cumulative bytes versus elapsed time.
+
+    A link model maps the elapsed time into a contact's window to the
+    cumulative number of bytes the link can have carried by then, plus the
+    inverse (how long carrying a cumulative byte count takes).  The
+    simulator uses it to timestamp when a transfer *completes* inside a
+    contact window and to decide which transfers a cut-short contact can
+    still finish.  Implementations must be monotone in both directions.
+    """
+
+    @abc.abstractmethod
+    def bytes_within(self, contact: "Contact", elapsed: float) -> float:
+        """Cumulative bytes the link carries in the first *elapsed* seconds."""
+
+    @abc.abstractmethod
+    def time_to_transfer(self, contact: "Contact", cumulative_bytes: float) -> float:
+        """Elapsed seconds until *cumulative_bytes* have been carried."""
+
+
+class ConstantRateLinkModel(LinkModel):
+    """The default profile: capacity spread uniformly over the window.
+
+    A zero-duration contact degenerates to the paper's short-lived model —
+    every byte is available instantly at ``start``.
+    """
+
+    def rate(self, contact: "Contact") -> float:
+        """Bytes per second (``inf`` for zero-duration contacts)."""
+        if contact.duration <= 0.0 or math.isinf(contact.capacity):
+            return float("inf")
+        return contact.capacity / contact.duration
+
+    def bytes_within(self, contact: "Contact", elapsed: float) -> float:
+        if elapsed <= 0.0:
+            return 0.0
+        rate = self.rate(contact)
+        if math.isinf(rate):
+            return contact.capacity
+        return min(contact.capacity, rate * elapsed)
+
+    def time_to_transfer(self, contact: "Contact", cumulative_bytes: float) -> float:
+        if cumulative_bytes <= 0.0:
+            return 0.0
+        rate = self.rate(contact)
+        if math.isinf(rate):
+            return 0.0
+        return cumulative_bytes / rate
+
+
+#: Shared default profile instance (the model is stateless).
+CONSTANT_RATE = ConstantRateLinkModel()
+
+
 @dataclass(frozen=True, order=True)
-class Meeting:
+class Contact:
     """A single transfer opportunity between two nodes.
 
-    Meetings are treated as short-lived (Section 3.1): all bytes of the
-    opportunity are available at time :attr:`time`, and ``duration`` is kept
-    only for reporting (the capacity already encodes bandwidth x duration).
+    A contact opens at :attr:`start` (= :attr:`time`, the historic field
+    name) and closes at :attr:`end` = ``start + duration``.  ``capacity``
+    is the total transfer-opportunity size in bytes; how those bytes are
+    spread over the window is described by :attr:`link_model`
+    (constant-rate when ``None``).  The default *instantaneous* simulator
+    mode reproduces the paper's short-lived treatment (Section 3.1) by
+    making all bytes available at ``start`` and ignoring the window.
     """
 
     time: float
@@ -30,6 +99,10 @@ class Meeting:
     node_b: int
     capacity: float = float("inf")
     duration: float = 0.0
+    #: Optional per-contact bandwidth profile; ``None`` selects the shared
+    #: :data:`CONSTANT_RATE` model.  Excluded from ordering/equality so
+    #: contacts stay comparable and hashable by their scheduling identity.
+    link_model: Optional[LinkModel] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -40,6 +113,28 @@ class Meeting:
             raise ScheduleError("meeting capacity must be non-negative")
         if self.duration < 0:
             raise ScheduleError("meeting duration must be non-negative")
+
+    # ------------------------------------------------------------------
+    # The contact window
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> float:
+        """When the contact window opens (alias of :attr:`time`)."""
+        return self.time
+
+    @property
+    def end(self) -> float:
+        """When the contact window closes (``start`` for point contacts)."""
+        return self.time + self.duration
+
+    @property
+    def profile(self) -> LinkModel:
+        """The bandwidth profile (the constant-rate default when unset)."""
+        return self.link_model if self.link_model is not None else CONSTANT_RATE
+
+    def nominal_rate(self) -> float:
+        """Bytes per second under the constant-rate reading of the window."""
+        return CONSTANT_RATE.rate(self)
 
     def involves(self, node_id: int) -> bool:
         """Return True when *node_id* participates in this meeting."""
@@ -56,6 +151,12 @@ class Meeting:
     def pair(self) -> Tuple[int, int]:
         """Return the unordered meeting pair as a sorted tuple."""
         return (self.node_a, self.node_b) if self.node_a < self.node_b else (self.node_b, self.node_a)
+
+
+#: Historic name: the paper calls contacts "meetings" and treats them as
+#: short-lived point events.  Everything that constructed a ``Meeting``
+#: keeps working; durational code reads the extra window attributes.
+Meeting = Contact
 
 
 class MeetingSchedule:

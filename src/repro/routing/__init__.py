@@ -1,6 +1,6 @@
 """Routing protocols: the RAPID baselines and the protocol registry."""
 
-from .base import ProtocolContext, ProtocolFactory, RoutingProtocol, TransferBudget
+from .base import LinkSession, ProtocolContext, ProtocolFactory, RoutingProtocol, TransferBudget
 from .direct import DirectDeliveryProtocol
 from .epidemic import EpidemicProtocol, EpidemicWithAcksProtocol
 from .maxprop import MaxPropProtocol
@@ -14,6 +14,7 @@ __all__ = [
     "ProtocolFactory",
     "ProtocolContext",
     "TransferBudget",
+    "LinkSession",
     "RandomProtocol",
     "RandomWithAcksProtocol",
     "EpidemicProtocol",

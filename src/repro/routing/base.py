@@ -22,7 +22,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, TYPE_CHECKING
+from typing import Dict, Iterator, List, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +31,10 @@ from .. import constants
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..dtn.node import Node
     from ..dtn.packet import Packet
+    from ..mobility.schedule import Contact
+
+#: Tolerance for floating-point byte/time comparisons in link sessions.
+_EPS = 1e-9
 
 
 @dataclass
@@ -58,6 +62,16 @@ class TransferBudget:
         """Return True when *num_bytes* more bytes fit in the opportunity."""
         return num_bytes <= self.remaining
 
+    def metadata_capacity(self) -> float:
+        """Bytes of metadata that can still be carried.
+
+        Equal to :attr:`remaining` for a plain byte budget; time-metered
+        sessions narrow it to what fits the remaining contact window, so
+        whole-entry clipping (acks, control records) agrees with what
+        :meth:`charge_metadata` will actually charge.
+        """
+        return self.remaining
+
     def charge_data(self, num_bytes: float) -> None:
         if num_bytes > self.remaining + 1e-9:
             raise ValueError("data transfer exceeds the remaining opportunity")
@@ -72,6 +86,153 @@ class TransferBudget:
         charged = min(num_bytes, self.remaining)
         self.metadata_bytes += charged
         return charged
+
+
+@dataclass
+class LinkSession(TransferBudget):
+    """Byte *and time* accounting for one durational contact session.
+
+    The generalisation of :class:`TransferBudget` used by the simulator's
+    contact pipeline: besides the byte budget it meters transfers against
+    the elapsed contact time through a shared serial stream whose
+    bandwidth profile is the contact's :class:`~repro.mobility.schedule.LinkModel`
+    (constant rate by default).  The stream opens at ``opened_at`` and
+    dies at ``cutoff`` — the contact's scheduled end, or earlier when the
+    contact is interrupted.  A transfer that cannot finish before the
+    cutoff is *cut*: the bytes that fit are charged (they really crossed
+    the link), the replica is **not** committed, and the simulator rolls
+    the transfer back — or resumes it on the next contact of the same
+    pair when resume is enabled.
+
+    Protocols keep talking to the :class:`TransferBudget` interface
+    (``remaining``, ``charge_metadata``); the session transparently makes
+    metadata consume stream time too.  A session without a contact (or a
+    zero-duration contact) degenerates to pure byte accounting, i.e.
+    classic :class:`TransferBudget` behaviour.
+    """
+
+    contact: Optional["Contact"] = None
+    opened_at: float = 0.0
+    #: When the link dies: scheduled contact end, or earlier on interruption.
+    cutoff: float = float("inf")
+    #: Factor applied to the profile's byte counts (deployment-noise
+    #: capacity jitter scales the whole bandwidth profile).
+    capacity_scale: float = 1.0
+    #: When the shared serial stream is next free (transfers queue on it).
+    stream_clock: float = 0.0
+    #: The contact was cut short of its scheduled window.
+    interrupted: bool = False
+    #: A transfer was cut mid-flight by the cutoff.
+    transfer_cut: bool = False
+
+    def __post_init__(self) -> None:
+        self.stream_clock = max(self.stream_clock, self.opened_at)
+
+    # ------------------------------------------------------------------
+    # Profile plumbing
+    # ------------------------------------------------------------------
+    def _timed(self) -> bool:
+        """Whether this session meters time at all (window with extent).
+
+        Zero-duration windows and unbounded capacities degenerate to pure
+        byte accounting — there is no finite rate to stream against.
+        """
+        return (
+            self.contact is not None
+            and self.contact.duration > 0.0
+            and not math.isinf(self.contact.capacity)
+        )
+
+    def _cumulative_bytes(self, at_time: float) -> float:
+        """Bytes the link can have carried from the window start to *at_time*."""
+        contact = self.contact
+        return self.capacity_scale * contact.profile.bytes_within(
+            contact, at_time - contact.start
+        )
+
+    def _time_for_cumulative(self, cumulative_bytes: float) -> float:
+        """Absolute time at which *cumulative_bytes* have been carried."""
+        contact = self.contact
+        return contact.start + contact.profile.time_to_transfer(
+            contact, cumulative_bytes / self.capacity_scale
+        )
+
+    # ------------------------------------------------------------------
+    # Time-aware metering
+    # ------------------------------------------------------------------
+    def sendable_bytes(self, now: float) -> float:
+        """Bytes that can still stream to completion starting at *now*."""
+        if self.transfer_cut:
+            return 0.0
+        if not self._timed():
+            return self.remaining
+        begin = max(now, self.stream_clock)
+        window_bytes = self._cumulative_bytes(self.cutoff) - self._cumulative_bytes(begin)
+        return min(self.remaining, max(0.0, window_bytes))
+
+    def can_send(self, num_bytes: float) -> bool:
+        """Byte-budget check only (the classic TransferBudget contract)."""
+        return super().can_send(num_bytes)
+
+    def can_complete(self, num_bytes: float, now: float) -> bool:
+        """Would a *num_bytes* transfer started at *now* finish in time?"""
+        return num_bytes <= self.sendable_bytes(now) + _EPS
+
+    def transmit(self, num_bytes: float, now: float) -> Tuple[float, float, bool]:
+        """Stream *num_bytes* starting at *now*.
+
+        Returns ``(bytes_sent, finish_time, completed)``.  A complete
+        transfer advances the stream clock to its finish time; a cut
+        transfer charges only the bytes that fit before the cutoff, marks
+        the session ``transfer_cut`` and exhausts the stream.  Charged
+        bytes count as data either way — partial bytes really crossed the
+        link, they just carried no committed replica.
+        """
+        begin = max(now, self.stream_clock)
+        if not self._timed():
+            self.charge_data(num_bytes)
+            self.stream_clock = begin
+            return num_bytes, begin, True
+        sendable = self.sendable_bytes(now)
+        if num_bytes <= sendable + _EPS:
+            sent = min(num_bytes, sendable)
+            finish = max(begin, self._time_for_cumulative(self._cumulative_bytes(begin) + sent))
+            self.stream_clock = finish
+            self.charge_data(sent)
+            return sent, finish, True
+        sent = max(0.0, sendable)
+        if sent > 0:
+            self.charge_data(sent)
+        self.stream_clock = self.cutoff
+        self.transfer_cut = True
+        return sent, self.cutoff, False
+
+    def metadata_capacity(self) -> float:
+        """Metadata bytes that both the byte budget and the window allow."""
+        if not self._timed():
+            return self.remaining
+        begin = max(self.stream_clock, self.opened_at)
+        window_bytes = self._cumulative_bytes(self.cutoff) - self._cumulative_bytes(begin)
+        return min(self.remaining, max(0.0, window_bytes))
+
+    def charge_metadata(self, num_bytes: float) -> float:
+        """Charge metadata against the byte budget *and* the stream time."""
+        if not self._timed():
+            return super().charge_metadata(num_bytes)
+        begin = max(self.stream_clock, self.opened_at)
+        charged = min(num_bytes, self.metadata_capacity())
+        if charged <= 0:
+            return 0.0
+        self.metadata_bytes += charged
+        self.stream_clock = max(
+            begin, self._time_for_cumulative(self._cumulative_bytes(begin) + charged)
+        )
+        return charged
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further transfer can complete on this session."""
+        return self.transfer_cut or self.sendable_bytes(self.stream_clock) <= _EPS
 
 
 @dataclass
@@ -140,6 +301,32 @@ class RoutingProtocol(abc.ABC):
     def on_meeting_start(self, peer: "RoutingProtocol", now: float) -> None:
         """Called when a meeting with *peer* begins (before any exchange)."""
 
+    # ------------------------------------------------------------------
+    # Contact-session hooks (durational modes)
+    # ------------------------------------------------------------------
+    # Every protocol adopts these; the defaults route session opening to
+    # the historic per-meeting hook so protocol state (meeting-time
+    # estimators, delivery predictabilities, ...) updates once per contact
+    # regardless of the contact model in force.
+
+    def on_session_open(self, peer: "RoutingProtocol", session: "LinkSession", now: float) -> None:
+        """A contact session with *peer* opened (before any exchange)."""
+        self.on_meeting_start(peer, now)
+
+    def on_session_close(self, peer: "RoutingProtocol", session: "LinkSession", now: float) -> None:
+        """The contact session closed; ``session.interrupted`` tells why."""
+
+    def on_transfer_interrupted(
+        self, packet: Packet, peer: "RoutingProtocol", now: float, bytes_sent: float
+    ) -> None:
+        """A transfer of *packet* to *peer* was cut after *bytes_sent* bytes.
+
+        The replica was never committed at the peer (the simulator rolls
+        partial transfers back, or resumes them on the next contact of the
+        same pair when resume is enabled), so default protocol state needs
+        no repair; protocols may track the event for their own estimators.
+        """
+
     def exchange_control(self, peer: "RoutingProtocol", now: float, budget: TransferBudget) -> None:
         """Send control information (acks, metadata) from *self* to *peer*."""
         if self.uses_acks:
@@ -159,7 +346,10 @@ class RoutingProtocol(abc.ABC):
             return
         if self.counts_control_bytes:
             entry_bytes = constants.RAPID_ACK_ENTRY_BYTES
-            remaining = budget.remaining
+            # metadata_capacity narrows to the contact window for
+            # time-metered sessions, so the peer only learns acks whose
+            # bytes actually fit before the cutoff.
+            remaining = budget.metadata_capacity()
             if math.isinf(remaining):
                 sendable = len(new_acks)
             else:

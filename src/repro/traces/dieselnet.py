@@ -17,7 +17,11 @@ builds a statistically matched substitute:
   calibration target;
 * transfer-opportunity sizes are drawn from a log-normal distribution
   (short, highly variable vehicular contacts) whose mean is set so that
-  total daily capacity matches the calibration target.
+  total daily capacity matches the calibration target;
+* every meeting is emitted as a real contact *window*: a 5-60 s duration
+  (clipped to the operating day) over which the durational simulator modes
+  stream the drawn capacity at constant rate.  The default instantaneous
+  mode ignores the window, exactly as the paper's Section 3.1 model does.
 
 Only the meeting schedule is visible to the routing layer, so matching
 these first-order statistics preserves the code paths and the qualitative
@@ -213,13 +217,23 @@ class DieselNetTraceGenerator:
                 continue
             t = float(self._rng.exponential(1.0 / rate))
             while t < params.day_duration:
+                # Contacts carry their real window: the drawn duration is
+                # clipped to the operating day so the window never extends
+                # past the end of the trace.  In the default instantaneous
+                # mode the window is ignored (capacity already encodes
+                # bandwidth x duration, as in Section 3.1); the durational
+                # modes stream the capacity across it at constant rate.
+                # The capacity draw precedes the duration draw — the RNG
+                # stream order is part of the trace's reproducibility.
+                capacity = self._draw_capacity()
+                drawn_duration = float(self._rng.uniform(5.0, 60.0))
                 meetings.append(
                     Meeting(
                         time=t,
                         node_a=a,
                         node_b=b,
-                        capacity=self._draw_capacity(),
-                        duration=float(self._rng.uniform(5.0, 60.0)),
+                        capacity=capacity,
+                        duration=min(drawn_duration, params.day_duration - t),
                     )
                 )
                 t += float(self._rng.exponential(1.0 / rate))

@@ -1,0 +1,522 @@
+"""The durational contact layer: windows, sessions, interruption, resume.
+
+Deterministic semantics tests for the contact-session pipeline:
+
+* :class:`~repro.mobility.schedule.Contact` windows and the pluggable
+  :class:`~repro.mobility.schedule.LinkModel`;
+* :class:`~repro.routing.base.LinkSession` time metering (streaming
+  finish times, metadata consuming stream time, partial cuts);
+* the simulator's ``contact_model`` semantics — creations landing during
+  an open contact become transferable mid-contact, deliveries are
+  timestamped at their streaming finish, interrupted transfers roll back
+  or resume — plus the utilization / noise satellite fixes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dtn.node import DeploymentNoise
+from repro.dtn.packet import Packet, PacketFactory
+from repro.dtn.results import SimulationResult
+from repro.dtn.simulator import Simulator, run_simulation
+from repro.engine.spec import ScenarioSpec
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import (
+    ProtocolSpec,
+    SyntheticExperimentConfig,
+    TraceExperimentConfig,
+)
+from repro.mobility.schedule import (
+    CONSTANT_RATE,
+    ConstantRateLinkModel,
+    Contact,
+    LinkModel,
+    Meeting,
+    MeetingSchedule,
+)
+from repro.routing.base import LinkSession
+from repro.routing.registry import create_factory
+
+
+# ----------------------------------------------------------------------
+# Contact windows and link models
+# ----------------------------------------------------------------------
+class TestContact:
+    def test_meeting_is_contact(self):
+        assert Meeting is Contact
+
+    def test_window_properties(self):
+        contact = Contact(time=10.0, node_a=0, node_b=1, capacity=6000.0, duration=30.0)
+        assert contact.start == 10.0
+        assert contact.end == 40.0
+        assert contact.nominal_rate() == pytest.approx(200.0)
+        assert contact.profile is CONSTANT_RATE
+
+    def test_zero_duration_contact_is_a_point(self):
+        contact = Contact(time=5.0, node_a=0, node_b=1, capacity=100.0)
+        assert contact.end == contact.start
+        assert math.isinf(contact.nominal_rate())
+
+    def test_constant_rate_model_inverts(self):
+        model = ConstantRateLinkModel()
+        contact = Contact(time=0.0, node_a=0, node_b=1, capacity=1000.0, duration=10.0)
+        assert model.bytes_within(contact, 4.0) == pytest.approx(400.0)
+        assert model.time_to_transfer(contact, 400.0) == pytest.approx(4.0)
+        assert model.bytes_within(contact, 100.0) == 1000.0  # clipped to capacity
+
+    def test_custom_link_model_is_pluggable(self):
+        class FrontLoaded(LinkModel):
+            """All capacity in the first half of the window."""
+
+            def bytes_within(self, contact, elapsed):
+                half = contact.duration / 2.0
+                return contact.capacity * min(1.0, max(0.0, elapsed) / half)
+
+            def time_to_transfer(self, contact, cumulative_bytes):
+                half = contact.duration / 2.0
+                return half * min(1.0, cumulative_bytes / contact.capacity)
+
+        contact = Contact(
+            time=0.0, node_a=0, node_b=1, capacity=1000.0, duration=10.0,
+            link_model=FrontLoaded(),
+        )
+        session = LinkSession(capacity=1000.0, contact=contact, opened_at=0.0, cutoff=10.0)
+        sent, finish, completed = session.transmit(500.0, 0.0)
+        assert completed and sent == 500.0
+        assert finish == pytest.approx(2.5)  # half the front-loaded half-window
+
+    def test_link_model_excluded_from_identity(self):
+        base = Contact(time=1.0, node_a=0, node_b=1, capacity=10.0, duration=2.0)
+        modelled = Contact(
+            time=1.0, node_a=0, node_b=1, capacity=10.0, duration=2.0,
+            link_model=ConstantRateLinkModel(),
+        )
+        assert base == modelled
+        assert hash(base) == hash(modelled)
+
+
+# ----------------------------------------------------------------------
+# Link sessions
+# ----------------------------------------------------------------------
+def make_session(capacity=1000.0, start=0.0, duration=10.0, cutoff=None):
+    contact = Contact(time=start, node_a=0, node_b=1, capacity=capacity, duration=duration)
+    return LinkSession(
+        capacity=capacity,
+        contact=contact,
+        opened_at=start,
+        cutoff=contact.end if cutoff is None else cutoff,
+        stream_clock=start,
+    )
+
+
+class TestLinkSession:
+    def test_transfers_queue_on_the_stream(self):
+        session = make_session()  # 100 B/s
+        _, first_finish, _ = session.transmit(300.0, 0.0)
+        _, second_finish, _ = session.transmit(200.0, 0.0)
+        assert first_finish == pytest.approx(3.0)
+        assert second_finish == pytest.approx(5.0)
+        assert session.data_bytes == 500.0
+
+    def test_idle_stream_starts_at_now(self):
+        session = make_session()
+        _, finish, _ = session.transmit(100.0, 4.0)
+        assert finish == pytest.approx(5.0)
+
+    def test_transfer_cut_at_cutoff_charges_partial(self):
+        session = make_session(cutoff=5.0)  # only 500 B fit
+        sent, finish, completed = session.transmit(800.0, 0.0)
+        assert not completed
+        assert sent == pytest.approx(500.0)
+        assert finish == 5.0
+        assert session.transfer_cut and session.exhausted
+        assert session.sendable_bytes(0.0) == 0.0
+
+    def test_metadata_consumes_stream_time(self):
+        session = make_session()
+        assert session.charge_metadata(200.0) == 200.0
+        _, finish, _ = session.transmit(100.0, 0.0)
+        assert finish == pytest.approx(3.0)  # 2 s metadata + 1 s data
+
+    def test_metadata_clipped_by_window(self):
+        session = make_session(cutoff=2.0)  # 200 B of window
+        assert session.charge_metadata(500.0) == pytest.approx(200.0)
+        assert session.charge_metadata(10.0) == 0.0
+
+    def test_degenerate_session_is_pure_byte_budget(self):
+        session = LinkSession(capacity=400.0)
+        assert session.can_complete(400.0, now=0.0)
+        assert not session.can_complete(401.0, now=0.0)
+        sent, finish, completed = session.transmit(400.0, 7.0)
+        assert completed and sent == 400.0 and finish == 7.0
+
+    def test_metadata_capacity_narrows_to_the_window(self):
+        """Whole-entry clipping (acks, control records) must agree with
+        what charge_metadata can actually charge before the cutoff."""
+        session = make_session(capacity=4_000.0, cutoff=0.4)  # 400 B/s, 160 B of window
+        assert session.remaining == 4_000.0
+        assert session.metadata_capacity() == pytest.approx(160.0)
+        # An ack flood sized by metadata_capacity charges exactly what fits.
+        assert session.charge_metadata(session.metadata_capacity()) == pytest.approx(160.0)
+        assert session.metadata_capacity() == 0.0
+
+    def test_acks_learned_only_when_their_bytes_fit_the_window(self):
+        from repro import constants
+        from repro.core.rapid import RapidProtocol
+        from repro.dtn.node import Node
+        from repro.routing.base import ProtocolContext
+
+        nodes = {0: Node.with_capacity(0, float("inf")), 1: Node.with_capacity(1, float("inf"))}
+        context = ProtocolContext(nodes=nodes)
+        x = RapidProtocol(nodes[0], context, control_channel="none")
+        y = RapidProtocol(nodes[1], context, control_channel="none")
+        x.counts_control_bytes = True
+        x.acked = set(range(50))
+        entry = constants.RAPID_ACK_ENTRY_BYTES
+        # Byte budget fits all 50 entries, the window only 3.
+        session = make_session(capacity=50.0 * entry, duration=10.0, cutoff=10.0 * (3.0 * entry) / (50.0 * entry))
+        x.send_acks(y, session)
+        assert len(y.acked) == 3
+        assert session.metadata_bytes == pytest.approx(3.0 * entry)
+
+
+# ----------------------------------------------------------------------
+# Simulator semantics per contact model
+# ----------------------------------------------------------------------
+def one_packet(source, destination, size, creation_time, factory=None):
+    factory = factory or PacketFactory()
+    return [factory.create(source=source, destination=destination, size=size, creation_time=creation_time)]
+
+
+class TestDurationalSemantics:
+    def test_creation_during_contact_transfers_mid_contact(self):
+        # Window [10, 110] at 100 B/s; the packet appears at t=50, well
+        # after the opening instant.
+        schedule = MeetingSchedule(
+            [Contact(time=10.0, node_a=0, node_b=1, capacity=10_000.0, duration=100.0)],
+            duration=200.0,
+        )
+        packets = one_packet(0, 1, 2_000, 50.0)
+        instantaneous = run_simulation(schedule, packets, create_factory("direct"))
+        durational = run_simulation(
+            schedule, packets, create_factory("direct"),
+            options={"contact_model": "durational"},
+        )
+        assert instantaneous.num_delivered == 0  # missed the point event
+        assert durational.num_delivered == 1
+        record = durational.record_for(packets[0].packet_id)
+        assert record.delivery_time == pytest.approx(70.0)  # 50 + 2000/100
+
+    def test_delivery_timestamped_at_streaming_finish(self):
+        schedule = MeetingSchedule(
+            [Contact(time=100.0, node_a=0, node_b=1, capacity=20_000.0, duration=100.0)],
+            duration=250.0,
+        )
+        packets = one_packet(0, 1, 2_000, 0.0)
+        result = run_simulation(
+            schedule, packets, create_factory("direct"),
+            options={"contact_model": "durational"},
+        )
+        # 200 B/s: finish at 100 + 2000/200 = 110 (instantaneous: exactly 100).
+        assert result.record_for(packets[0].packet_id).delivery_time == pytest.approx(110.0)
+
+    def test_window_cut_rolls_back_and_wastes_partial_bytes(self):
+        # Contact 1: [10, 20] at 300 B/s.  The packet appears at t=15, so
+        # only 1500 B of window remain for its 2000 B — the transfer is
+        # cut, rolled back, and completed from scratch at contact 2.
+        factory = PacketFactory()
+        schedule = MeetingSchedule(
+            [
+                Contact(time=10.0, node_a=0, node_b=1, capacity=3_000.0, duration=10.0),
+                Contact(time=100.0, node_a=0, node_b=1, capacity=20_000.0, duration=100.0),
+            ],
+            duration=300.0,
+        )
+        packets = one_packet(0, 1, 2_000, 15.0, factory)
+        result = run_simulation(
+            schedule, packets, create_factory("direct"),
+            options={"contact_model": "durational"},
+        )
+        assert result.transfers_interrupted == 1
+        assert result.partial_bytes_wasted == pytest.approx(1_500.0)
+        assert result.num_delivered == 1
+        record = result.record_for(packets[0].packet_id)
+        # Full 2000 B resent at 200 B/s from t=100.
+        assert record.delivery_time == pytest.approx(110.0)
+        assert result.data_bytes == pytest.approx(1_500.0 + 2_000.0)
+
+    def test_resume_carries_partial_progress_to_next_contact(self):
+        factory = PacketFactory()
+        schedule = MeetingSchedule(
+            [
+                Contact(time=10.0, node_a=0, node_b=1, capacity=3_000.0, duration=10.0),
+                Contact(time=100.0, node_a=0, node_b=1, capacity=20_000.0, duration=100.0),
+            ],
+            duration=300.0,
+        )
+        packets = one_packet(0, 1, 2_000, 15.0, factory)
+        result = run_simulation(
+            schedule, packets, create_factory("direct"),
+            options={"contact_model": "durational", "contact_resume": True},
+        )
+        assert result.transfers_interrupted == 1
+        assert result.transfers_resumed == 1
+        assert result.partial_bytes_wasted == 0.0
+        assert result.num_delivered == 1
+        record = result.record_for(packets[0].packet_id)
+        # Only the remaining 500 B stream at contact 2: 100 + 500/200.
+        assert record.delivery_time == pytest.approx(102.5)
+        assert result.data_bytes == pytest.approx(2_000.0)
+
+    def test_zero_duration_windows_degenerate_to_instantaneous_outcome(self):
+        # Synthetic mobility emits point contacts; the durational pipeline
+        # must reproduce the instantaneous delivery/replication outcome.
+        from repro.mobility.exponential import ExponentialMobility
+        from repro.dtn.workload import PoissonWorkload
+
+        schedule = ExponentialMobility(
+            num_nodes=6, mean_inter_meeting=50.0, transfer_opportunity=50 * 1024, seed=13
+        ).generate(400.0)
+        packets = PoissonWorkload(packets_per_hour=40.0, seed=3).generate(range(6), 400.0)
+        base = run_simulation(schedule, packets, create_factory("epidemic"), seed=1)
+        durational = run_simulation(
+            schedule, packets, create_factory("epidemic"), seed=1,
+            options={"contact_model": "durational"},
+        )
+        assert durational.num_delivered == base.num_delivered
+        assert durational.replications == base.replications
+        assert durational.data_bytes == pytest.approx(base.data_bytes)
+
+
+class TestInterruptibleSemantics:
+    def _schedule(self):
+        contacts = [
+            Contact(time=10.0 * (i + 1), node_a=i % 3, node_b=(i + 1) % 3,
+                    capacity=8_000.0, duration=8.0)
+            for i in range(12)
+        ]
+        return MeetingSchedule(contacts, nodes=range(3), duration=200.0)
+
+    def test_certain_interruption_cuts_every_contact(self):
+        from repro.dtn.workload import PoissonWorkload
+
+        packets = PoissonWorkload(packets_per_hour=100.0, seed=2).generate(range(3), 200.0)
+        result = run_simulation(
+            self._schedule(), packets, create_factory("epidemic"), seed=5,
+            options={"contact_model": "interruptible", "contact_interrupt_probability": 1.0},
+        )
+        assert result.contacts_interrupted == result.meetings_processed > 0
+
+    def test_zero_probability_matches_durational(self):
+        from repro.dtn.workload import PoissonWorkload
+
+        packets = PoissonWorkload(packets_per_hour=100.0, seed=2).generate(range(3), 200.0)
+        durational = run_simulation(
+            self._schedule(), packets, create_factory("epidemic"), seed=5,
+            options={"contact_model": "durational"},
+        )
+        no_cuts = run_simulation(
+            self._schedule(), packets, create_factory("epidemic"), seed=5,
+            options={"contact_model": "interruptible", "contact_interrupt_probability": 0.0},
+        )
+        assert no_cuts.contacts_interrupted == 0
+        assert no_cuts.num_delivered == durational.num_delivered
+        assert no_cuts.data_bytes == pytest.approx(durational.data_bytes)
+
+    def test_interruption_draws_are_reproducible(self):
+        from repro.dtn.workload import PoissonWorkload
+
+        packets = PoissonWorkload(packets_per_hour=100.0, seed=2).generate(range(3), 200.0)
+        options = {"contact_model": "interruptible", "contact_interrupt_probability": 0.6}
+        first = run_simulation(
+            self._schedule(), packets, create_factory("epidemic"), seed=5, options=dict(options)
+        )
+        second = run_simulation(
+            self._schedule(), packets, create_factory("epidemic"), seed=5, options=dict(options)
+        )
+        assert first.contacts_interrupted == second.contacts_interrupted
+        assert first.to_dict() == second.to_dict()
+
+    def test_unknown_contact_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Simulator(
+                MeetingSchedule([], nodes=[0, 1], duration=1.0),
+                [],
+                create_factory("direct"),
+                options={"contact_model": "bogus"},
+            )
+
+
+# ----------------------------------------------------------------------
+# Satellite fixes: utilization denominators and noise uniformity
+# ----------------------------------------------------------------------
+class TestUtilizationFix:
+    def test_infinite_capacity_excluded_from_denominator(self):
+        schedule = MeetingSchedule(
+            [
+                Meeting(time=10.0, node_a=0, node_b=1, capacity=float("inf")),
+                Meeting(time=20.0, node_a=0, node_b=1, capacity=10_000.0),
+            ],
+            duration=30.0,
+        )
+        packets = one_packet(0, 1, 1_000, 0.0)
+        result = run_simulation(schedule, packets, create_factory("direct"))
+        assert result.infinite_capacity_contacts == 1
+        assert result.total_capacity_bytes == 10_000.0
+        # Delivered at the first (infinite) meeting; the finite meeting
+        # carried nothing, so utilization is a true 10%-of-finite reading
+        # only if bytes moved there — here the division is well defined.
+        assert result.channel_utilization() is not None
+
+    def test_all_infinite_capacity_reads_none(self):
+        schedule = MeetingSchedule(
+            [Meeting(time=10.0, node_a=0, node_b=1)], duration=20.0
+        )
+        packets = one_packet(0, 1, 1_000, 0.0)
+        result = run_simulation(schedule, packets, create_factory("direct"))
+        assert result.num_delivered == 1
+        assert result.infinite_capacity_contacts == 1
+        assert result.channel_utilization() is None
+        assert result.metadata_fraction_of_bandwidth() is None
+        assert math.isnan(result.summary()["channel_utilization"])
+
+    def test_contact_counters_roundtrip_and_merge(self):
+        result = SimulationResult(protocol_name="t", duration=10.0)
+        result.infinite_capacity_contacts = 2
+        result.contacts_interrupted = 3
+        result.transfers_interrupted = 4
+        result.transfers_resumed = 1
+        result.partial_bytes_wasted = 123.5
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt.infinite_capacity_contacts == 2
+        assert rebuilt.contacts_interrupted == 3
+        assert rebuilt.transfers_interrupted == 4
+        assert rebuilt.transfers_resumed == 1
+        assert rebuilt.partial_bytes_wasted == 123.5
+        other = SimulationResult(protocol_name="t", duration=10.0)
+        merged = SimulationResult.merge([rebuilt, other])
+        assert merged.contacts_interrupted == 3
+        assert merged.partial_bytes_wasted == 123.5
+
+    def test_zero_counters_keep_wire_format_unchanged(self):
+        result = SimulationResult(protocol_name="t", duration=10.0)
+        assert "contact" not in result.to_dict()
+
+
+class TestNoiseUniformity:
+    def test_endpoint_less_meetings_see_miss_and_jitter(self):
+        """Endpoint-less meetings must be missed / jittered like any other."""
+        schedule = MeetingSchedule(
+            [Meeting(time=10.0, node_a=0, node_b=1, capacity=10_000.0)], duration=20.0
+        )
+        noise = DeploymentNoise(
+            capacity_jitter=0.0, meeting_miss_probability=0.999, processing_delay=0.0, seed=3
+        )
+        simulator = Simulator(
+            schedule, one_packet(0, 1, 1_000, 0.0), create_factory("direct"), noise=noise
+        )
+        simulator._build_nodes()
+        simulator.result = SimulationResult(protocol_name="t", duration=20.0)
+        # A meeting between buses outside the protocol set: the miss draw
+        # must apply before any capacity registration.
+        simulator._handle_meeting(
+            Meeting(time=5.0, node_a=7, node_b=8, capacity=10_000.0), now=5.0
+        )
+        assert simulator.result.meetings_missed == 1
+        assert simulator.result.total_capacity_bytes == 0.0
+
+    def test_endpoint_less_meetings_register_jittered_capacity(self):
+        schedule = MeetingSchedule(
+            [Meeting(time=10.0, node_a=0, node_b=1, capacity=10_000.0)], duration=20.0
+        )
+        noise = DeploymentNoise(
+            capacity_jitter=0.5, meeting_miss_probability=0.0, processing_delay=0.0, seed=3
+        )
+        simulator = Simulator(
+            schedule, one_packet(0, 1, 1_000, 0.0), create_factory("direct"), noise=noise
+        )
+        simulator._build_nodes()
+        simulator.result = SimulationResult(protocol_name="t", duration=20.0)
+        simulator._handle_meeting(
+            Meeting(time=5.0, node_a=7, node_b=8, capacity=10_000.0), now=5.0
+        )
+        registered = simulator.result.total_capacity_bytes
+        assert registered != 10_000.0  # jitter applied, not nominal capacity
+        assert 5_000.0 <= registered <= 15_000.0
+
+
+# ----------------------------------------------------------------------
+# The engine-level contact_model axis
+# ----------------------------------------------------------------------
+class TestContactModelAxis:
+    def test_spec_validates_contact_model(self):
+        config = SyntheticExperimentConfig.ci_scale()
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.for_cell(
+                config=config,
+                protocol=ProtocolSpec(label="rapid", registry_name="rapid"),
+                load=2.0,
+                run_index=0,
+                contact_model="sometimes",
+            )
+
+    def test_config_validates_contact_model(self):
+        with pytest.raises(ConfigurationError):
+            TraceExperimentConfig.ci_scale().with_contact_model("bogus")
+
+    def test_config_contact_model_roundtrips(self):
+        config = TraceExperimentConfig.ci_scale().with_contact_model("interruptible")
+        rebuilt = TraceExperimentConfig.from_dict(config.to_dict())
+        assert rebuilt.contact_model == "interruptible"
+
+    def test_grid_contact_model_axis_expands_outermost(self):
+        from repro.engine import ScenarioGrid
+
+        config = SyntheticExperimentConfig.ci_scale()
+        grid = ScenarioGrid(
+            config=config,
+            protocols=[ProtocolSpec(label="rapid", registry_name="rapid")],
+            loads=(2.0,),
+            run_indices=(0,),
+            contact_models=("instantaneous", "interruptible"),
+        )
+        cells = grid.cells()
+        assert len(grid) == len(cells) == 2
+        assert [c.contact_model for c in cells] == ["instantaneous", "interruptible"]
+        assert cells[0].cache_key() != cells[1].cache_key()
+
+    def test_interruptible_trace_cell_runs_through_engine(self):
+        from repro.engine import worker as cell_worker
+
+        config = TraceExperimentConfig.ci_scale(seed=7, num_days=1)
+        spec = ScenarioSpec.for_cell(
+            config=config,
+            protocol=ProtocolSpec(label="rapid", registry_name="rapid"),
+            load=4.0,
+            run_index=0,
+            contact_model="interruptible",
+            contact_options={"contact_interrupt_probability": 1.0, "contact_resume": True},
+        )
+        cell_worker.clear_input_caches()
+        result = cell_worker.run_cell(spec)
+        assert result.contacts_interrupted == result.meetings_processed > 0
+        assert result.partial_bytes_wasted == 0.0
+
+    def test_cli_sweep_interruptible_end_to_end(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "sweep",
+            "--family", "trace",
+            "--protocols", "rapid,random",
+            "--loads", "2",
+            "--contact-model", "interruptible",
+            "--metric", "contacts_interrupted",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "contacts interrupted" in captured.err
+        assert "rapid" in captured.out

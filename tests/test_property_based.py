@@ -12,8 +12,15 @@ from repro.core.meeting_estimator import MeetingTimeEstimator
 from repro.dtn.buffer import NodeBuffer
 from repro.dtn.packet import Packet, PacketFactory
 from repro.dtn.scheduler import EventQueue
-from repro.dtn.events import EndOfSimulationEvent
-from repro.mobility.schedule import Meeting, MeetingSchedule
+from repro.dtn.events import (
+    ContactEndEvent,
+    ContactStartEvent,
+    EndOfSimulationEvent,
+    EventKind,
+    MeetingEvent,
+    PacketCreationEvent,
+)
+from repro.mobility.schedule import Contact, Meeting, MeetingSchedule
 
 # ----------------------------------------------------------------------
 # Buffer invariants
@@ -158,6 +165,156 @@ def test_event_queue_pops_in_order(times):
         queue.push(EndOfSimulationEvent(time=t))
     popped = [event.time for event in queue.drain()]
     assert popped == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# Contact event total order
+# ----------------------------------------------------------------------
+def _make_event(time: float, kind: EventKind, index: int):
+    """Build a valid event of the requested kind for ordering tests."""
+    if kind == EventKind.CONTACT_START:
+        contact = Contact(time=time, node_a=0, node_b=1, capacity=1000.0, duration=5.0)
+        return ContactStartEvent(time=time, contact=contact, contact_id=index)
+    if kind == EventKind.PACKET_CREATION:
+        packet = Packet(packet_id=index, source=0, destination=1, size=100, creation_time=time)
+        return PacketCreationEvent(time=time, packet=packet)
+    if kind == EventKind.MEETING:
+        meeting = Meeting(time=time, node_a=0, node_b=1, capacity=1000.0)
+        return MeetingEvent(time=time, meeting=meeting)
+    if kind == EventKind.CONTACT_END:
+        return ContactEndEvent(time=time, contact_id=index)
+    return EndOfSimulationEvent(time=time)
+
+
+event_kinds = st.sampled_from(list(EventKind))
+event_entries = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1e4, allow_nan=False), event_kinds),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(entries=event_entries)
+def test_contact_event_total_order(entries):
+    """Pops follow (time, kind priority, FIFO) for any mix of event kinds.
+
+    In particular at equal timestamps: a contact start precedes a packet
+    creation from the same instant (the creation lands *inside* the open
+    window), which precedes the window's end — so creation-during-contact
+    is transferable before the contact closes.
+    """
+    queue = EventQueue()
+    for index, (time, kind) in enumerate(entries):
+        queue.push(_make_event(time, kind, index))
+    popped = queue.drain()
+    keys = [(event.time, int(event.kind)) for event in popped]
+    assert keys == sorted(keys)
+
+
+@given(
+    time=st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    order=st.permutations(list(EventKind)),
+)
+def test_same_instant_kind_order_is_insertion_independent(time, order):
+    """start < creation < meeting < end < end-of-sim at one instant,
+    whatever order the events were pushed in."""
+    queue = EventQueue()
+    for index, kind in enumerate(order):
+        queue.push(_make_event(time, kind, index))
+    popped = [event.kind for event in queue.drain()]
+    assert popped == sorted(EventKind)
+
+
+@given(
+    time=st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    kind=event_kinds,
+    count=st.integers(min_value=2, max_value=8),
+)
+def test_fifo_within_same_time_and_kind(time, kind, count):
+    """Equal (time, kind) events pop in exact insertion order."""
+    queue = EventQueue()
+    events = [_make_event(time, kind, index) for index in range(count)]
+    for event in events:
+        queue.push(event)
+    popped = queue.drain()
+    assert [id(e) for e in popped] == [id(e) for e in events]
+
+
+# ----------------------------------------------------------------------
+# Interrupted-transfer bookkeeping invariants
+# ----------------------------------------------------------------------
+def _assert_bookkeeping_consistent(protocol) -> None:
+    """Buffer, hop counts and (for RAPID) metadata must agree exactly."""
+    from repro.core.rapid import RapidProtocol
+
+    buffered = set(protocol.buffer.packet_ids)
+    assert set(protocol.hop_counts) == buffered
+    protocol.buffer.check_integrity()
+    if isinstance(protocol, RapidProtocol):
+        for packet_id in buffered:
+            entry = protocol.metadata.get(packet_id)
+            assert entry is not None and protocol.node_id in entry.replicas
+        for entry in protocol.metadata.entries():
+            if protocol.node_id in entry.replicas:
+                assert entry.packet_id in buffered
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    interrupt_probability=st.floats(min_value=0.3, max_value=1.0),
+    resume=st.booleans(),
+    protocol=st.sampled_from(["rapid", "epidemic"]),
+)
+def test_interrupted_transfers_never_corrupt_bookkeeping(
+    seed, interrupt_probability, resume, protocol
+):
+    """However contacts are cut, buffer / hop-count / metadata agree and
+    the byte accounting stays within the (finite) offered capacity."""
+    import numpy as np
+
+    from repro.dtn.simulator import Simulator
+    from repro.dtn.workload import PoissonWorkload
+    from repro.routing.registry import create_factory
+
+    rng = np.random.default_rng(seed)
+    contacts = []
+    for _ in range(25):
+        a, b = rng.choice(5, size=2, replace=False)
+        contacts.append(
+            Contact(
+                time=float(rng.uniform(0, 450)),
+                node_a=int(a),
+                node_b=int(b),
+                capacity=float(rng.uniform(2_000, 20_000)),
+                duration=float(rng.uniform(1.0, 25.0)),
+            )
+        )
+    schedule = MeetingSchedule(contacts, nodes=range(5), duration=500.0)
+    packets = PoissonWorkload(packets_per_hour=120.0, packet_size=1024, seed=seed + 1).generate(
+        range(5), 500.0
+    )
+    simulator = Simulator(
+        schedule,
+        packets,
+        create_factory(protocol),
+        buffer_capacity=10 * 1024,
+        seed=seed,
+        options={
+            "contact_model": "interruptible",
+            "contact_interrupt_probability": interrupt_probability,
+            "contact_resume": resume,
+        },
+    )
+    result = simulator.run()
+    for proto in simulator.protocols.values():
+        _assert_bookkeeping_consistent(proto)
+    assert result.data_bytes + result.metadata_bytes <= result.total_capacity_bytes + 1e-6
+    assert result.transfers_resumed <= result.transfers_interrupted
+    if resume:
+        assert result.partial_bytes_wasted == 0.0
+    else:
+        assert result.transfers_resumed == 0
 
 
 # ----------------------------------------------------------------------
