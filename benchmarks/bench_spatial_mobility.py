@@ -1,0 +1,170 @@
+"""Benchmark: spatial mobility contact-extraction throughput.
+
+Position-based mobility turns node kinematics into durational contact
+windows; the cost that matters is the sweep — stepping every node and
+extracting radio-range contacts from each snapshot.  This bench times
+one ``generate()`` per spatial model (waypoint, walk, grid, plus the
+distance-rate waypoint variant) and records the throughput in
+*node-steps per second* (nodes x snapshots / wall time) together with
+the contact counts, then runs one end-to-end waypoint simulation cell
+through the engine for scale.  Determinism is asserted along the way:
+every model must produce an identical schedule on a repeat run.
+
+Everything lands in ``benchmarks/results/BENCH_spatial_mobility.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_spatial_mobility.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_spatial_mobility.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import units
+from repro.engine import ExperimentEngine
+from repro.engine.spec import ScenarioSpec
+from repro.experiments.config import ProtocolSpec, SyntheticExperimentConfig
+from repro.mobility.spatial import (
+    SPATIAL_MODEL_NAMES,
+    SpatialParameters,
+    build_spatial_model,
+)
+
+from bench_config import emit_bench_json
+
+#: Wall times are the best of this many runs (denoising).
+REPEATS = 3
+
+
+def _bench_params(distance_rate: bool = False) -> SpatialParameters:
+    return SpatialParameters(
+        arena_width=1500.0,
+        arena_height=1500.0,
+        radio_range=100.0,
+        time_step=1.0,
+        distance_rate=distance_rate,
+    )
+
+
+def _schedule_signature(schedule) -> tuple:
+    return tuple(
+        (c.time, c.node_a, c.node_b, c.capacity, c.duration) for c in schedule
+    )
+
+
+def _time_generate(
+    name: str, num_nodes: int, duration: float, params: SpatialParameters
+) -> Dict[str, object]:
+    """Time one model's sweep; assert repeat-run determinism."""
+    best = float("inf")
+    signature = None
+    contacts = 0
+    for _ in range(REPEATS):
+        model = build_spatial_model(name, num_nodes=num_nodes, params=params, seed=42)
+        started = time.perf_counter()
+        schedule = model.generate(duration)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        current = _schedule_signature(schedule)
+        assert signature is None or current == signature, (
+            f"{name}: repeat generate() produced a different schedule"
+        )
+        signature = current
+        contacts = len(schedule)
+    snapshots = int(duration / params.time_step) + 1
+    node_steps = num_nodes * snapshots
+    return {
+        "contacts": contacts,
+        "wall_time_s": round(best, 6),
+        "node_steps": node_steps,
+        "node_steps_per_s": round(node_steps / best, 1),
+        "contacts_per_s": round(contacts / best, 1) if best > 0 else None,
+    }
+
+
+def _end_to_end_cell(quick: bool) -> Dict[str, object]:
+    """One waypoint RAPID cell through the engine, for whole-stack scale."""
+    config = SyntheticExperimentConfig(
+        num_nodes=12 if quick else 20,
+        mean_inter_meeting=70.0,
+        transfer_opportunity=100 * units.KB,
+        duration=(4 if quick else 10) * units.MINUTE,
+        buffer_capacity=60 * units.KB,
+        deadline=30.0,
+        packet_interval=50.0,
+        mobility="waypoint",
+        spatial=SpatialParameters(
+            arena_width=600.0, arena_height=600.0, radio_range=100.0
+        ),
+        num_runs=1,
+        seed=11,
+    )
+    spec = ScenarioSpec.for_cell(
+        config=config,
+        protocol=ProtocolSpec(label="rapid", registry_name="rapid"),
+        load=6.0,
+        run_index=0,
+    )
+    started = time.perf_counter()
+    with ExperimentEngine(workers=1) as engine:
+        result = engine.run_cells([spec])[0]
+    elapsed = time.perf_counter() - started
+    return {
+        "mobility": "waypoint",
+        "meetings_processed": result.meetings_processed,
+        "wall_time_s": round(elapsed, 6),
+    }
+
+
+def run_bench(quick: bool) -> Dict[str, object]:
+    """Run the throughput sweep; return (and emit) the BENCH payload."""
+    num_nodes = 20 if quick else 40
+    duration = 600.0 if quick else 1800.0
+    models: Dict[str, Dict[str, object]] = {}
+    for name in SPATIAL_MODEL_NAMES:
+        models[name] = _time_generate(name, num_nodes, duration, _bench_params())
+    models["waypoint_distance_rate"] = _time_generate(
+        "waypoint", num_nodes, duration, _bench_params(distance_rate=True)
+    )
+    payload = {
+        "mode": "quick" if quick else "full",
+        "num_nodes": num_nodes,
+        "duration_s": duration,
+        "time_step_s": 1.0,
+        "extraction": models,
+        "end_to_end_cell": _end_to_end_cell(quick),
+    }
+    emit_bench_json("spatial_mobility", payload)
+    return payload
+
+
+def test_spatial_mobility_bench():
+    """Pytest entry point (quick mode keeps bench suites fast)."""
+    payload = run_bench(quick=True)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller fleet and shorter sweep for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench(quick=args.quick)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

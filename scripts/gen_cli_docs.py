@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Generate the CLI reference page from the live argparse parsers.
+
+The page is rendered from :func:`repro.cli._build_parser` itself, so it
+cannot drift from the code: ``tests/test_docs.py`` regenerates it and
+fails when the committed ``docs/reference/cli.md`` differs.  Run this
+script after changing the CLI::
+
+    PYTHONPATH=src python scripts/gen_cli_docs.py
+
+Help text is formatted at a pinned width (argparse wraps to the
+terminal), so output is byte-stable across environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+#: Pinned help width; argparse otherwise wraps to the live terminal.
+HELP_COLUMNS = "79"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "docs" / "reference" / "cli.md"
+
+HEADER = """\
+# CLI reference
+
+<!-- GENERATED FILE — DO NOT EDIT.
+     Regenerate with: PYTHONPATH=src python scripts/gen_cli_docs.py -->
+
+The `repro-dtn` command (also reachable as `python -m repro`) exposes
+the experiment harness.  This page is generated from the live argparse
+parsers by `scripts/gen_cli_docs.py`; `tests/test_docs.py` fails when it
+drifts from the code.
+"""
+
+
+def _iter_subparsers(parser: argparse.ArgumentParser):
+    """Yield ``(command, subparser)`` for every registered subcommand."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                yield name, subparser
+
+
+def render_cli_reference() -> str:
+    """Render the full CLI reference page as markdown."""
+    os.environ["COLUMNS"] = HELP_COLUMNS
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    sections = [HEADER]
+    sections.append("## repro-dtn\n\n```text\n" + parser.format_help().rstrip() + "\n```\n")
+    for name, subparser in _iter_subparsers(parser):
+        sections.append(
+            f"## repro-dtn {name}\n\n```text\n"
+            + subparser.format_help().rstrip()
+            + "\n```\n"
+        )
+    return "\n".join(sections)
+
+
+def main() -> int:
+    OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_PATH.write_text(render_cli_reference(), encoding="utf-8")
+    print(f"wrote {OUTPUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main())

@@ -64,6 +64,7 @@ class EngineStats:
     wall_time_s: float = 0.0
 
     def as_dict(self) -> dict:
+        """JSON-compatible view of the counters (used by benchmarks)."""
         return {
             "cells_total": self.cells_total,
             "cells_executed": self.cells_executed,
@@ -72,6 +73,7 @@ class EngineStats:
         }
 
     def snapshot(self) -> "EngineStats":
+        """An immutable copy of the counters at this instant."""
         return EngineStats(
             cells_total=self.cells_total,
             cells_executed=self.cells_executed,
@@ -119,6 +121,7 @@ class ExperimentEngine:
 
     @property
     def workers(self) -> int:
+        """Worker-process count of the underlying executor."""
         return self.executor.workers
 
     def close(self) -> None:

@@ -73,6 +73,7 @@ class Executor:
         self._pool: Optional[multiprocessing.pool.Pool] = None
 
     def effective_backend(self) -> str:
+        """The backend in force (serial unless multiple workers)."""
         if self.backend is not None:
             return self.backend
         return BACKEND_PROCESS if self.workers > 1 else BACKEND_SERIAL

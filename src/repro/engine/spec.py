@@ -38,8 +38,9 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 #: Version of the cell-spec wire format.  It is mixed into every cache key
 #: (together with :data:`~repro.dtn.results.RESULT_SCHEMA_VERSION`) so that
 #: cached entries written by an incompatible engine are never served.
-#: Version 2 added the ``contact_model`` axis.
-SPEC_SCHEMA_VERSION = 2
+#: Version 2 added the ``contact_model`` axis; version 3 added the
+#: ``mobility`` axis and the spatial parameters of synthetic configs.
+SPEC_SCHEMA_VERSION = 3
 
 ExperimentConfig = Union["TraceExperimentConfig", "SyntheticExperimentConfig"]
 
@@ -80,6 +81,12 @@ class ScenarioSpec:
             handle that lets a grid sweep the contact-model axis.
         contact_options: Optional extra simulator options for the contact
             layer (``contact_resume``, ``contact_interrupt_probability``).
+        mobility: Optional override of a synthetic configuration's
+            mobility model (``powerlaw`` | ``exponential`` | ``waypoint``
+            | ``walk`` | ``grid``); ``None`` defers to the configuration.
+            This is the engine-level handle that lets a grid sweep the
+            mobility axis.  Trace cells replay fixed day traces and
+            reject the override.
     """
 
     family: str
@@ -92,9 +99,11 @@ class ScenarioSpec:
     noise: Optional[Dict[str, object]] = None
     contact_model: Optional[str] = None
     contact_options: Optional[Dict[str, object]] = None
+    mobility: Optional[str] = None
 
     def __post_init__(self) -> None:
         from ..dtn.simulator import CONTACT_MODELS
+        from ..mobility import MOBILITY_MODEL_NAMES
 
         if self.family not in (FAMILY_TRACE, FAMILY_SYNTHETIC):
             raise ConfigurationError(
@@ -110,6 +119,17 @@ class ScenarioSpec:
                 f"unknown contact_model {self.contact_model!r}; "
                 f"expected one of {', '.join(CONTACT_MODELS)}"
             )
+        if self.mobility is not None:
+            if self.family != FAMILY_SYNTHETIC:
+                raise ConfigurationError(
+                    "the mobility override applies only to synthetic cells; "
+                    "trace cells replay fixed day traces"
+                )
+            if self.mobility not in MOBILITY_MODEL_NAMES:
+                raise ConfigurationError(
+                    f"unknown mobility model {self.mobility!r}; "
+                    f"expected one of {', '.join(MOBILITY_MODEL_NAMES)}"
+                )
 
     # ------------------------------------------------------------------
     # Construction
@@ -126,6 +146,7 @@ class ScenarioSpec:
         noise: Optional[DeploymentNoise] = None,
         contact_model: Optional[str] = None,
         contact_options: Optional[Dict[str, object]] = None,
+        mobility: Optional[str] = None,
     ) -> "ScenarioSpec":
         """Build a spec from live configuration objects."""
         from ..experiments.config import TraceExperimentConfig
@@ -155,6 +176,7 @@ class ScenarioSpec:
             noise=noise.to_dict() if noise is not None else None,
             contact_model=contact_model,
             contact_options=dict(contact_options) if contact_options else None,
+            mobility=mobility,
         )
 
     # ------------------------------------------------------------------
@@ -186,6 +208,18 @@ class ScenarioSpec:
             return self.contact_model
         return str(self.config.get("contact_model", "instantaneous"))
 
+    def resolved_mobility(self) -> Optional[str]:
+        """The mobility model in force: the cell's override or the config's.
+
+        Returns ``None`` for trace cells, whose meetings come from day
+        traces rather than a mobility model.
+        """
+        if self.family != FAMILY_SYNTHETIC:
+            return None
+        if self.mobility is not None:
+            return self.mobility
+        return str(self.config.get("mobility", "powerlaw"))
+
     @property
     def label(self) -> str:
         """The protocol label of this cell (a figure's series name)."""
@@ -195,6 +229,7 @@ class ScenarioSpec:
     # Wire format and content address
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible wire form of the cell (cache/worker transport)."""
         return {
             "family": self.family,
             "config": dict(self.config),
@@ -208,10 +243,12 @@ class ScenarioSpec:
             "contact_options": (
                 dict(self.contact_options) if self.contact_options is not None else None
             ),
+            "mobility": self.mobility,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from its :meth:`to_dict` form."""
         return cls(
             family=str(data["family"]),
             config=dict(data["config"]),
@@ -223,6 +260,7 @@ class ScenarioSpec:
             noise=data.get("noise"),
             contact_model=data.get("contact_model"),
             contact_options=data.get("contact_options"),
+            mobility=data.get("mobility"),
         )
 
     def cache_key(self) -> str:
@@ -244,13 +282,14 @@ class ScenarioSpec:
 
 @dataclass(frozen=True)
 class ScenarioGrid:
-    """A declarative grid of cells: contact models x protocols x loads x runs.
+    """A declarative grid: contact models x mobilities x protocols x loads x runs.
 
     ``run_indices`` defaults to every day of a trace configuration or
     every random run of a synthetic configuration, which is what the
-    paper's figures sweep over.  ``contact_models`` is an optional outer
-    axis (``None`` entries defer to the configuration's model); leaving it
-    unset yields the classic three-axis grid.
+    paper's figures sweep over.  ``contact_models`` and ``mobilities``
+    are optional outer axes (``None`` entries defer to the
+    configuration); leaving both unset yields the classic three-axis
+    grid.  The mobility axis applies only to synthetic configurations.
     """
 
     config: ExperimentConfig
@@ -262,6 +301,7 @@ class ScenarioGrid:
     noise: Optional[DeploymentNoise] = None
     contact_models: Optional[Sequence[Optional[str]]] = None
     contact_options: Optional[Dict[str, object]] = None
+    mobilities: Optional[Sequence[Optional[str]]] = None
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -272,8 +312,13 @@ class ScenarioGrid:
             raise ConfigurationError(
                 "contact_models must be omitted or name at least one model"
             )
+        if self.mobilities is not None and not self.mobilities:
+            raise ConfigurationError(
+                "mobilities must be omitted or name at least one model"
+            )
 
     def default_run_indices(self) -> List[int]:
+        """The run indices swept: explicit ones, else every day/run."""
         if self.run_indices is not None:
             return [int(i) for i in self.run_indices]
         from ..experiments.config import TraceExperimentConfig
@@ -287,38 +332,47 @@ class ScenarioGrid:
             return [None]
         return list(self.contact_models)
 
+    def _mobility_axis(self) -> List[Optional[str]]:
+        if self.mobilities is None:
+            return [None]
+        return list(self.mobilities)
+
     def cells(self) -> List[ScenarioSpec]:
         """Expand the grid into its cells.
 
-        The expansion order is contact models (outermost, when swept)
-        then loads then protocols then run indices — the inner nesting is
-        the same as the serial ``sweep`` loop used, so progress reporting
-        advances the way a reader of the figures expects.
+        The expansion order is contact models, then mobilities (when
+        swept), then loads then protocols then run indices — the inner
+        nesting is the same as the serial ``sweep`` loop used, so
+        progress reporting advances the way a reader of the figures
+        expects.
         """
         run_indices = self.default_run_indices()
         out: List[ScenarioSpec] = []
         for contact_model in self._contact_model_axis():
-            for load in self.loads:
-                for protocol in self.protocols:
-                    for run_index in run_indices:
-                        out.append(
-                            ScenarioSpec.for_cell(
-                                config=self.config,
-                                protocol=protocol,
-                                load=load,
-                                run_index=run_index,
-                                buffer_capacity=self.buffer_capacity,
-                                metadata_fraction_cap=self.metadata_fraction_cap,
-                                noise=self.noise,
-                                contact_model=contact_model,
-                                contact_options=self.contact_options,
+            for mobility in self._mobility_axis():
+                for load in self.loads:
+                    for protocol in self.protocols:
+                        for run_index in run_indices:
+                            out.append(
+                                ScenarioSpec.for_cell(
+                                    config=self.config,
+                                    protocol=protocol,
+                                    load=load,
+                                    run_index=run_index,
+                                    buffer_capacity=self.buffer_capacity,
+                                    metadata_fraction_cap=self.metadata_fraction_cap,
+                                    noise=self.noise,
+                                    contact_model=contact_model,
+                                    contact_options=self.contact_options,
+                                    mobility=mobility,
+                                )
                             )
-                        )
         return out
 
     def __len__(self) -> int:
         return (
             len(self._contact_model_axis())
+            * len(self._mobility_axis())
             * len(self.protocols)
             * len(self.loads)
             * len(self.default_run_indices())

@@ -23,7 +23,7 @@ runners had before the engine existed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..dtn.packet import Packet
 from ..dtn.results import SimulationResult
@@ -32,6 +32,7 @@ from ..dtn.workload import PoissonWorkload
 from ..mobility.exponential import ExponentialMobility
 from ..mobility.powerlaw import PowerLawMobility
 from ..mobility.schedule import MeetingSchedule
+from ..mobility.spatial import SPATIAL_MODELS, build_spatial_model
 from ..traces.dieselnet import DayTrace, DieselNetTraceGenerator
 from .spec import FAMILY_TRACE, ScenarioSpec, config_key
 
@@ -48,7 +49,7 @@ _MAX_WORKLOAD_ENTRIES = 4096
 
 _DAY_CACHE: Dict[str, List[DayTrace]] = {}
 _TRACE_WORKLOAD_CACHE: Dict[Tuple[str, int, float], List[Packet]] = {}
-_SCHEDULE_CACHE: Dict[Tuple[str, int], MeetingSchedule] = {}
+_SCHEDULE_CACHE: Dict[Tuple[str, int, str], MeetingSchedule] = {}
 _SYNTH_WORKLOAD_CACHE: Dict[Tuple[str, int, float], List[Packet]] = {}
 
 
@@ -112,26 +113,49 @@ def trace_workload(
 # ----------------------------------------------------------------------
 # Synthetic-mobility inputs (exponential / power-law)
 # ----------------------------------------------------------------------
-def synthetic_schedule(config: SyntheticExperimentConfig, run_index: int) -> MeetingSchedule:
-    """The meeting schedule of one random run, memoized per process."""
-    key = (config_key(config), run_index)
+def synthetic_schedule(
+    config: SyntheticExperimentConfig,
+    run_index: int,
+    mobility_name: Optional[str] = None,
+) -> MeetingSchedule:
+    """The meeting schedule of one random run, memoized per process.
+
+    Args:
+        config: The synthetic experiment configuration.
+        run_index: The random-run index (offsets the schedule seed).
+        mobility_name: Optional override of ``config.mobility`` — the
+            engine-level handle behind the grid's mobility axis.  The
+            seed derivation is shared by all models, so the historic
+            exponential/power-law draw order is untouched.
+    """
+    resolved = mobility_name if mobility_name is not None else config.mobility
+    key = (config_key(config), run_index, resolved)
     if key not in _SCHEDULE_CACHE:
         _trim_caches()
         seed = config.seed * 100 + run_index
-        if config.mobility == "powerlaw":
+        if resolved == "powerlaw":
             mobility = PowerLawMobility(
                 num_nodes=config.num_nodes,
                 mean_inter_meeting=config.mean_inter_meeting,
                 transfer_opportunity=config.transfer_opportunity,
                 seed=seed,
             )
-        else:
+        elif resolved == "exponential":
             mobility = ExponentialMobility(
                 num_nodes=config.num_nodes,
                 mean_inter_meeting=config.mean_inter_meeting,
                 transfer_opportunity=config.transfer_opportunity,
                 seed=seed,
             )
+        elif resolved in SPATIAL_MODELS:
+            mobility = build_spatial_model(
+                resolved,
+                num_nodes=config.num_nodes,
+                params=config.spatial,
+                seed=seed,
+            )
+        else:
+            raise ValueError(f"unknown mobility model {resolved!r}")
         _SCHEDULE_CACHE[key] = mobility.generate(config.duration)
     return _SCHEDULE_CACHE[key]
 
@@ -179,7 +203,7 @@ def run_cell(spec: ScenarioSpec) -> SimulationResult:
             extra["planning_horizon"] = day.schedule.duration
             extra["metadata_byte_scale"] = config.metadata_byte_scale
     else:
-        schedule = synthetic_schedule(config, spec.run_index)
+        schedule = synthetic_schedule(config, spec.run_index, spec.mobility)
         packets = synthetic_workload(config, spec.run_index, spec.load)
         if is_rapid:
             extra["planning_horizon"] = config.duration

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional
 from .. import constants, units
 from ..dtn.simulator import CONTACT_MODELS
 from ..exceptions import ConfigurationError
+from ..mobility import MOBILITY_MODEL_NAMES
+from ..mobility.spatial import SpatialParameters
 from ..routing.registry import create_factory
 from ..traces.dieselnet import DieselNetParameters
 
@@ -25,6 +27,14 @@ def _validate_contact_model(contact_model: str) -> None:
         raise ConfigurationError(
             f"unknown contact_model {contact_model!r}; "
             f"expected one of {', '.join(CONTACT_MODELS)}"
+        )
+
+
+def _validate_mobility(mobility: str) -> None:
+    if mobility not in MOBILITY_MODEL_NAMES:
+        raise ConfigurationError(
+            f"unknown mobility model {mobility!r}; "
+            f"expected one of {', '.join(MOBILITY_MODEL_NAMES)}"
         )
 
 
@@ -42,6 +52,7 @@ class ProtocolSpec:
         return create_factory(self.registry_name, **merged)
 
     def with_options(self, **extra) -> "ProtocolSpec":
+        """Return a copy with *extra* merged into the factory options."""
         return ProtocolSpec(self.label, self.registry_name, {**self.options, **extra})
 
     def to_dict(self) -> Dict[str, object]:
@@ -54,6 +65,7 @@ class ProtocolSpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProtocolSpec":
+        """Rebuild a protocol spec from its :meth:`to_dict` form."""
         return cls(
             label=str(data["label"]),
             registry_name=str(data["registry_name"]),
@@ -126,9 +138,11 @@ class TraceExperimentConfig:
         _validate_contact_model(self.contact_model)
 
     def with_load(self, load_packets_per_hour: float) -> "TraceExperimentConfig":
+        """Return a copy at the given load (packets/hour/destination)."""
         return replace(self, load_packets_per_hour=load_packets_per_hour)
 
     def with_contact_model(self, contact_model: str) -> "TraceExperimentConfig":
+        """Return a copy using the named contact model."""
         return replace(self, contact_model=contact_model)
 
     def to_dict(self) -> Dict[str, object]:
@@ -139,6 +153,7 @@ class TraceExperimentConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TraceExperimentConfig":
+        """Rebuild a configuration from its :meth:`to_dict` form."""
         kwargs = {k: v for k, v in data.items() if k != "family"}
         kwargs["trace_parameters"] = DieselNetParameters(**kwargs["trace_parameters"])
         return cls(**kwargs)
@@ -194,7 +209,15 @@ class SyntheticExperimentConfig:
     packet_size: int = constants.DEFAULT_PACKET_SIZE
     deadline: float = constants.SYNTHETIC_DEADLINE
     packet_interval: float = constants.SYNTHETIC_PACKET_INTERVAL
+    #: Mobility model of every cell: an abstract inter-meeting sampler
+    #: (``powerlaw``, ``exponential``) or a position-based spatial model
+    #: (``waypoint``, ``walk``, ``grid`` — see :mod:`repro.mobility.spatial`).
+    #: Individual :class:`~repro.engine.ScenarioSpec` cells may override
+    #: it, which is how grids sweep the mobility axis.
     mobility: str = "powerlaw"
+    #: Arena geometry, radio range and kinematics of the spatial models;
+    #: ignored by the abstract samplers.
+    spatial: SpatialParameters = field(default_factory=SpatialParameters)
     num_runs: int = 10
     seed: int = 11
     #: Contact model for every cell (see :class:`TraceExperimentConfig`).
@@ -203,13 +226,13 @@ class SyntheticExperimentConfig:
     contact_resume: bool = False
 
     def __post_init__(self) -> None:
-        if self.mobility not in ("powerlaw", "exponential"):
-            raise ConfigurationError("mobility must be 'powerlaw' or 'exponential'")
+        _validate_mobility(self.mobility)
         if self.num_runs < 1:
             raise ConfigurationError("num_runs must be at least 1")
         _validate_contact_model(self.contact_model)
 
     def with_contact_model(self, contact_model: str) -> "SyntheticExperimentConfig":
+        """Return a copy using the named contact model."""
         return replace(self, contact_model=contact_model)
 
     def load_to_packets_per_hour(self, packets_per_interval: float) -> float:
@@ -218,7 +241,12 @@ class SyntheticExperimentConfig:
         return packets_per_interval * (units.HOUR / self.packet_interval)
 
     def with_mobility(self, mobility: str) -> "SyntheticExperimentConfig":
+        """Return a copy using the named mobility model."""
         return replace(self, mobility=mobility)
+
+    def with_spatial(self, spatial: SpatialParameters) -> "SyntheticExperimentConfig":
+        """Return a copy using the given spatial parameters."""
+        return replace(self, spatial=spatial)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible representation (used by the experiment engine)."""
@@ -228,9 +256,14 @@ class SyntheticExperimentConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SyntheticExperimentConfig":
-        return cls(**{k: v for k, v in data.items() if k != "family"})
+        """Rebuild a configuration from its :meth:`to_dict` form."""
+        kwargs = {k: v for k, v in data.items() if k != "family"}
+        if isinstance(kwargs.get("spatial"), dict):
+            kwargs["spatial"] = SpatialParameters.from_dict(kwargs["spatial"])
+        return cls(**kwargs)
 
     def with_buffer(self, buffer_capacity: float) -> "SyntheticExperimentConfig":
+        """Return a copy with the given per-node buffer capacity (bytes)."""
         return replace(self, buffer_capacity=buffer_capacity)
 
     @classmethod
@@ -240,7 +273,12 @@ class SyntheticExperimentConfig:
 
     @classmethod
     def ci_scale(cls, mobility: str = "powerlaw", seed: int = 11) -> "SyntheticExperimentConfig":
-        """Reduced synthetic configuration for tests and benchmarks."""
+        """Reduced synthetic configuration for tests and benchmarks.
+
+        The spatial arena is shrunk together with the node count so the
+        position-based models keep a comparable contact density at the
+        reduced scale.
+        """
         return cls(
             num_nodes=10,
             mean_inter_meeting=80.0,
@@ -249,6 +287,9 @@ class SyntheticExperimentConfig:
             deadline=30.0,
             packet_interval=50.0,
             mobility=mobility,
+            spatial=SpatialParameters(
+                arena_width=500.0, arena_height=500.0, radio_range=100.0
+            ),
             num_runs=2,
             seed=seed,
         )

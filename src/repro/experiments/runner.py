@@ -45,6 +45,7 @@ class RunRecord:
     results: List[SimulationResult] = field(default_factory=list)
 
     def mean(self, metric_name: str) -> float:
+        """Average of *metric_name* over this record's results."""
         return mean_metric(self.results, metric_name)
 
 
@@ -71,6 +72,7 @@ class TraceRunner:
     # Inputs (memoized per process by the engine worker)
     # ------------------------------------------------------------------
     def day_traces(self) -> List[DayTrace]:
+        """All day traces of the configuration (memoized per process)."""
         return cell_worker.day_traces(self.config)
 
     def workloads(self, load_packets_per_hour: Optional[float] = None) -> List[List[Packet]]:
@@ -172,10 +174,13 @@ class SyntheticRunner:
     # ------------------------------------------------------------------
     # Inputs (memoized per process by the engine worker)
     # ------------------------------------------------------------------
-    def schedule(self, run_index: int) -> MeetingSchedule:
-        return cell_worker.synthetic_schedule(self.config, run_index)
+    def schedule(self, run_index: int, mobility: Optional[str] = None) -> MeetingSchedule:
+        """The meeting schedule of one random run (optionally overriding
+        the configuration's mobility model)."""
+        return cell_worker.synthetic_schedule(self.config, run_index, mobility)
 
     def workload(self, run_index: int, packets_per_interval: float) -> List[Packet]:
+        """The packet workload of one random run at one load."""
         return cell_worker.synthetic_workload(self.config, run_index, packets_per_interval)
 
     # ------------------------------------------------------------------
@@ -186,8 +191,13 @@ class SyntheticRunner:
         spec: ProtocolSpec,
         load: Optional[float] = None,
         buffer_capacity: Optional[float] = None,
+        mobility: Optional[str] = None,
     ) -> List[ScenarioSpec]:
-        """One cell per random run for *spec* at the given load."""
+        """One cell per random run for *spec* at the given load.
+
+        ``mobility`` overrides the configuration's mobility model for
+        these cells (the per-sweep handle of the mobility axis).
+        """
         if load is None:
             raise ConfigurationError(
                 "synthetic experiments have no default load; pass load="
@@ -199,6 +209,7 @@ class SyntheticRunner:
                 load=load,
                 run_index=run_index,
                 buffer_capacity=buffer_capacity,
+                mobility=mobility,
             )
             for run_index in range(self.config.num_runs)
         ]

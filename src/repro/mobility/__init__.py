@@ -1,4 +1,12 @@
-"""Mobility models and meeting schedules."""
+"""Mobility models and meeting schedules.
+
+Two families produce :class:`MeetingSchedule` instances: the abstract
+samplers that draw inter-meeting times directly (exponential, power
+law, replayed traces) and the position-based models of
+:mod:`repro.mobility.spatial`, whose contacts emerge from node geometry.
+:data:`MOBILITY_MODEL_NAMES` enumerates every name the synthetic
+experiment configuration (and its engine/CLI axis) accepts.
+"""
 
 from .base import MobilityModel
 from .exponential import ExponentialMobility
@@ -12,7 +20,22 @@ from .schedule import (
     MeetingSchedule,
     ScheduleStatistics,
 )
+from .spatial import (
+    SPATIAL_MODEL_NAMES,
+    SPATIAL_MODELS,
+    GridRoutes,
+    RandomWalk,
+    RandomWaypoint,
+    SpatialModel,
+    SpatialParameters,
+    build_spatial_model,
+)
 from .trace import TraceMobility
+
+#: Every mobility model name accepted by the synthetic experiment
+#: configuration: the abstract inter-meeting samplers plus the spatial
+#: (position-based) models.
+MOBILITY_MODEL_NAMES = ("powerlaw", "exponential") + SPATIAL_MODEL_NAMES
 
 __all__ = [
     "MobilityModel",
@@ -26,4 +49,13 @@ __all__ = [
     "Meeting",
     "MeetingSchedule",
     "ScheduleStatistics",
+    "GridRoutes",
+    "RandomWalk",
+    "RandomWaypoint",
+    "SpatialModel",
+    "SpatialParameters",
+    "SPATIAL_MODELS",
+    "SPATIAL_MODEL_NAMES",
+    "MOBILITY_MODEL_NAMES",
+    "build_spatial_model",
 ]

@@ -3,7 +3,11 @@
 A mobility model is anything that can produce a :class:`MeetingSchedule`
 for a given duration.  The simulator never looks at positions or speeds —
 only at the resulting meeting schedule — which matches the paper's system
-model of discrete, short-lived transfer opportunities.
+model of discrete, short-lived transfer opportunities.  Models may still
+*derive* the schedule from positions internally: the spatial family
+(:mod:`repro.mobility.spatial`) steps nodes on an arena and extracts
+radio-range contact windows, but hands the simulator the same schedule
+abstraction as the inter-meeting-time samplers here.
 """
 
 from __future__ import annotations

@@ -61,6 +61,7 @@ class ConstantRateLinkModel(LinkModel):
         return contact.capacity / contact.duration
 
     def bytes_within(self, contact: "Contact", elapsed: float) -> float:
+        """Cumulative bytes carried in the first *elapsed* seconds."""
         if elapsed <= 0.0:
             return 0.0
         rate = self.rate(contact)
@@ -69,6 +70,7 @@ class ConstantRateLinkModel(LinkModel):
         return min(contact.capacity, rate * elapsed)
 
     def time_to_transfer(self, contact: "Contact", cumulative_bytes: float) -> float:
+        """Elapsed seconds until *cumulative_bytes* have been carried."""
         if cumulative_bytes <= 0.0:
             return 0.0
         rate = self.rate(contact)
@@ -303,6 +305,7 @@ class ScheduleStatistics:
 
     @classmethod
     def of(cls, schedule: MeetingSchedule) -> "ScheduleStatistics":
+        """Compute the summary statistics of *schedule*."""
         num_nodes = len(schedule.nodes)
         num_meetings = len(schedule)
         return cls(

@@ -1,0 +1,76 @@
+"""Position-based (spatial) mobility models.
+
+This package generates meeting schedules from *geometry*: nodes move on
+a bounded arena under a concrete :class:`SpatialModel`, and a
+radio-range :class:`ContactExtractor` sweeps the stepped positions into
+durational :class:`~repro.mobility.schedule.Contact` windows — entry and
+exit times, emergent durations, and (optionally) distance-dependent link
+rates — that feed the simulator's contact pipeline unchanged.
+
+The models are registered by name in :data:`SPATIAL_MODELS` and built
+through :func:`build_spatial_model`, which is how the experiment engine
+resolves the ``mobility`` axis of a synthetic configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from .base import SpatialModel
+from .contacts import ContactExtractor, SampledRateLinkModel
+from .grid import GridRoutes
+from .params import SpatialParameters
+from .walk import RandomWalk
+from .waypoint import RandomWaypoint
+
+#: Registry of spatial models by their configuration/CLI name.
+SPATIAL_MODELS: Dict[str, Type[SpatialModel]] = {
+    "waypoint": RandomWaypoint,
+    "walk": RandomWalk,
+    "grid": GridRoutes,
+}
+
+#: The spatial model names, in registry order (stable for CLI help).
+SPATIAL_MODEL_NAMES = tuple(SPATIAL_MODELS)
+
+
+def build_spatial_model(
+    name: str,
+    num_nodes: int,
+    params: Optional[SpatialParameters] = None,
+    seed: Optional[int] = None,
+) -> SpatialModel:
+    """Build the registered spatial model *name*.
+
+    Args:
+        name: A key of :data:`SPATIAL_MODELS` (``waypoint``, ``walk`` or
+            ``grid``).
+        num_nodes: Number of nodes to move.
+        params: Spatial parameters (arena, radio range, kinematics).
+        seed: Random seed of the position stream.
+
+    Raises:
+        KeyError: When *name* is not a registered spatial model.
+    """
+    try:
+        model_cls = SPATIAL_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown spatial mobility model {name!r}; "
+            f"expected one of {', '.join(SPATIAL_MODEL_NAMES)}"
+        ) from None
+    return model_cls(num_nodes=num_nodes, params=params, seed=seed)
+
+
+__all__ = [
+    "ContactExtractor",
+    "GridRoutes",
+    "RandomWalk",
+    "RandomWaypoint",
+    "SampledRateLinkModel",
+    "SpatialModel",
+    "SpatialParameters",
+    "SPATIAL_MODELS",
+    "SPATIAL_MODEL_NAMES",
+    "build_spatial_model",
+]

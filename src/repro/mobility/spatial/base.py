@@ -1,0 +1,119 @@
+"""Position-based mobility: the :class:`SpatialModel` base class.
+
+Unlike the abstract inter-meeting-time samplers (exponential, power law)
+and the DieselNet trace synthesizer, a spatial model moves nodes on a
+bounded arena and lets contacts *emerge from geometry*: two nodes are in
+contact while they are within radio range, so contact windows, their
+durations and (optionally) their distance-dependent bandwidth all come
+out of the kinematics instead of being postulated.
+
+A concrete model implements two small hooks — :meth:`initial_positions`
+and :meth:`advance` — and inherits the position sweep and the
+radio-range contact extraction that turn stepped positions into a
+durational :class:`~repro.mobility.schedule.MeetingSchedule`.
+
+Determinism contract
+--------------------
+
+All randomness flows through the single seeded generator of
+:class:`~repro.mobility.base.MobilityModel`, and hooks must draw from it
+in a fixed order (ascending node index).  A fixed seed therefore yields
+a byte-identical position stream, hence a byte-identical schedule, hence
+a byte-identical simulation — across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..base import MobilityModel
+from ..schedule import MeetingSchedule
+from .contacts import ContactExtractor
+from .params import SpatialParameters
+
+
+class SpatialModel(MobilityModel):
+    """Base class of mobility models that step node positions on an arena.
+
+    Args:
+        num_nodes: Number of DTN nodes moving on the arena.
+        params: Arena geometry, radio range and kinematics; defaults to
+            :class:`SpatialParameters`'s campus-scale arena.
+        seed: Random seed of the position stream.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        params: Optional[SpatialParameters] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_nodes=num_nodes, seed=seed)
+        self.params = params or SpatialParameters()
+
+    # ------------------------------------------------------------------
+    # Hooks for concrete models
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def initial_positions(self) -> np.ndarray:
+        """Draw the ``(num_nodes, 2)`` starting positions (and reset state)."""
+
+    @abc.abstractmethod
+    def advance(self, positions: np.ndarray, time: float, dt: float) -> np.ndarray:
+        """Advance all nodes by one step of *dt* seconds.
+
+        Args:
+            positions: The current ``(num_nodes, 2)`` positions; may be
+                mutated and returned.
+            time: Simulation time at the *start* of the step.
+            dt: Step length in seconds (always ``params.time_step``).
+
+        Returns:
+            The positions at ``time + dt``, inside the arena bounds.
+        """
+
+    # ------------------------------------------------------------------
+    # The position sweep
+    # ------------------------------------------------------------------
+    def iter_positions(self, duration: float) -> Iterator[Tuple[float, np.ndarray]]:
+        """Yield ``(time, positions)`` snapshots on the model's time grid.
+
+        Snapshots cover ``0, dt, 2*dt, ...`` up to and including the last
+        grid point at or before *duration*.  The yielded array is the
+        live state — callers that keep snapshots must copy them.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        dt = self.params.time_step
+        positions = self.initial_positions()
+        steps = int(np.floor(duration / dt + 1e-9))
+        yield 0.0, positions
+        for step in range(1, steps + 1):
+            positions = self.advance(positions, (step - 1) * dt, dt)
+            yield step * dt, positions
+
+    def sample_positions(self, duration: float) -> np.ndarray:
+        """Materialize the sweep as a ``(steps, num_nodes, 2)`` array."""
+        return np.array([snapshot.copy() for _, snapshot in self.iter_positions(duration)])
+
+    def generate(self, duration: float) -> MeetingSchedule:
+        """Sweep positions and extract the durational contact schedule."""
+        extractor = ContactExtractor(self.params)
+        contacts = extractor.extract(self.iter_positions(duration), duration)
+        return MeetingSchedule(contacts, nodes=self.node_ids, duration=duration)
+
+    # ------------------------------------------------------------------
+    # Shared kinematics helpers
+    # ------------------------------------------------------------------
+    def _draw_speeds(self, count: int) -> np.ndarray:
+        """Draw *count* leg speeds uniformly from the configured band."""
+        return self._rng.uniform(self.params.speed_min, self.params.speed_max, count)
+
+    def _clip_to_arena(self, positions: np.ndarray) -> np.ndarray:
+        """Clamp positions to the arena rectangle (numerical safety net)."""
+        np.clip(positions[:, 0], 0.0, self.params.arena_width, out=positions[:, 0])
+        np.clip(positions[:, 1], 0.0, self.params.arena_height, out=positions[:, 1])
+        return positions

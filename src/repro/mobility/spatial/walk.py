@@ -1,0 +1,85 @@
+"""The random-walk (random-direction) model.
+
+Every node follows a heading at a constant speed for an exponentially
+distributed epoch, then redraws heading, speed and epoch.  Arena
+boundaries reflect: a node that would leave the arena is mirrored back
+inside and its heading component flipped, so the spatial density stays
+uniform (no centre bias, unlike random waypoint).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import SpatialModel
+from .params import SpatialParameters
+
+
+class RandomWalk(SpatialModel):
+    """Reflective random walk with exponential heading epochs.
+
+    Args:
+        num_nodes: Number of nodes.
+        params: Spatial parameters; ``heading_epoch`` sets the mean
+            seconds between heading redraws.
+        seed: Random seed of the position stream.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        params: Optional[SpatialParameters] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_nodes=num_nodes, params=params, seed=seed)
+        self._velocities: Optional[np.ndarray] = None
+        self._epoch_ends: Optional[np.ndarray] = None
+
+    def _draw_velocities(self, count: int) -> np.ndarray:
+        """Draw *count* velocity vectors (uniform heading, banded speed)."""
+        headings = self._rng.uniform(0.0, 2.0 * np.pi, count)
+        speeds = self._draw_speeds(count)
+        return np.column_stack((np.cos(headings), np.sin(headings))) * speeds[:, None]
+
+    def initial_positions(self) -> np.ndarray:
+        """Place nodes uniformly and start everyone's first epoch."""
+        positions = self._rng.uniform(
+            (0.0, 0.0),
+            (self.params.arena_width, self.params.arena_height),
+            (self.num_nodes, 2),
+        )
+        self._velocities = self._draw_velocities(self.num_nodes)
+        self._epoch_ends = self._rng.exponential(
+            self.params.heading_epoch, self.num_nodes
+        )
+        return positions
+
+    def advance(self, positions: np.ndarray, time: float, dt: float) -> np.ndarray:
+        """Advance along headings, reflect at walls, roll over epochs."""
+        assert self._velocities is not None and self._epoch_ends is not None
+        positions += self._velocities * dt
+        self._reflect(positions)
+        expired = self._epoch_ends <= time + dt
+        if np.any(expired):
+            count = int(expired.sum())
+            self._velocities[expired] = self._draw_velocities(count)
+            self._epoch_ends[expired] = (
+                time + dt + self._rng.exponential(self.params.heading_epoch, count)
+            )
+        return positions
+
+    def _reflect(self, positions: np.ndarray) -> None:
+        """Mirror positions back into the arena and flip the heading axis."""
+        assert self._velocities is not None
+        for axis, limit in ((0, self.params.arena_width), (1, self.params.arena_height)):
+            below = positions[:, axis] < 0.0
+            positions[below, axis] = -positions[below, axis]
+            self._velocities[below, axis] = -self._velocities[below, axis]
+            above = positions[:, axis] > limit
+            positions[above, axis] = 2.0 * limit - positions[above, axis]
+            self._velocities[above, axis] = -self._velocities[above, axis]
+            # A step longer than the arena could overshoot the far wall
+            # after mirroring; clamp as a final safety net.
+            np.clip(positions[:, axis], 0.0, limit, out=positions[:, axis])

@@ -1,0 +1,81 @@
+"""The random-waypoint model.
+
+The classic DTN/MANET workhorse: every node picks a uniform destination
+in the arena and a uniform leg speed, travels there in a straight line,
+optionally pauses, then repeats.  Long legs across the arena produce the
+model's well-known centre-biased spatial density, which in turn yields
+bursty, heterogeneous contact patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import SpatialModel
+from .params import SpatialParameters
+
+
+class RandomWaypoint(SpatialModel):
+    """Uniform waypoint targets with per-leg speeds and optional pauses.
+
+    Args:
+        num_nodes: Number of nodes.
+        params: Spatial parameters; ``pause_max`` > 0 enables the pause
+            phase at each reached waypoint.
+        seed: Random seed of the position stream.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        params: Optional[SpatialParameters] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_nodes=num_nodes, params=params, seed=seed)
+        self._targets: Optional[np.ndarray] = None
+        self._speeds: Optional[np.ndarray] = None
+        self._pause_until: Optional[np.ndarray] = None
+
+    def _draw_targets(self, count: int) -> np.ndarray:
+        """Draw *count* uniform waypoints inside the arena."""
+        return self._rng.uniform(
+            (0.0, 0.0),
+            (self.params.arena_width, self.params.arena_height),
+            (count, 2),
+        )
+
+    def initial_positions(self) -> np.ndarray:
+        """Place nodes uniformly and assign everyone a first leg."""
+        positions = self._draw_targets(self.num_nodes)
+        self._targets = self._draw_targets(self.num_nodes)
+        self._speeds = self._draw_speeds(self.num_nodes)
+        self._pause_until = np.zeros(self.num_nodes)
+        return positions
+
+    def advance(self, positions: np.ndarray, time: float, dt: float) -> np.ndarray:
+        """Move every non-paused node toward its waypoint by one step."""
+        assert self._targets is not None and self._speeds is not None
+        moving = self._pause_until <= time
+        deltas = self._targets - positions
+        distances = np.hypot(deltas[:, 0], deltas[:, 1])
+        reach = self._speeds * dt
+        # Nodes that cannot reach their waypoint this step advance along
+        # the straight leg; arrivals snap to the waypoint exactly.
+        travelling = moving & (distances > reach)
+        arriving = moving & ~travelling
+        scale = np.zeros_like(distances)
+        np.divide(reach, distances, out=scale, where=travelling)
+        positions[travelling] += deltas[travelling] * scale[travelling, None]
+        if np.any(arriving):
+            positions[arriving] = self._targets[arriving]
+            count = int(arriving.sum())
+            # Redraw in ascending node order: targets, speeds, pauses —
+            # the fixed draw order is the determinism contract.
+            self._targets[arriving] = self._draw_targets(count)
+            self._speeds[arriving] = self._draw_speeds(count)
+            if self.params.pause_max > 0.0:
+                pauses = self._rng.uniform(0.0, self.params.pause_max, count)
+                self._pause_until[arriving] = time + dt + pauses
+        return self._clip_to_arena(positions)

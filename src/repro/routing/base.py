@@ -52,10 +52,12 @@ class TransferBudget:
 
     @property
     def used(self) -> float:
+        """Bytes consumed so far (data plus metadata)."""
         return self.data_bytes + self.metadata_bytes
 
     @property
     def remaining(self) -> float:
+        """Bytes of the opportunity still available."""
         return max(0.0, self.capacity - self.used)
 
     def can_send(self, num_bytes: float) -> bool:
@@ -73,6 +75,7 @@ class TransferBudget:
         return self.remaining
 
     def charge_data(self, num_bytes: float) -> None:
+        """Consume *num_bytes* of the opportunity for a data transfer."""
         if num_bytes > self.remaining + 1e-9:
             raise ValueError("data transfer exceeds the remaining opportunity")
         self.data_bytes += num_bytes
@@ -245,9 +248,11 @@ class ProtocolContext:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes participating in the simulation."""
         return len(self.nodes)
 
     def node_ids(self) -> List[int]:
+        """Sorted node identifiers of the simulation."""
         return sorted(self.nodes)
 
 
@@ -281,10 +286,12 @@ class RoutingProtocol(abc.ABC):
     # ------------------------------------------------------------------
     @property
     def node_id(self) -> int:
+        """Identifier of the node this protocol instance runs on."""
         return self.node.node_id
 
     @property
     def buffer(self):
+        """The node's packet buffer (:class:`~repro.dtn.buffer.NodeBuffer`)."""
         return self.node.buffer
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -510,6 +517,7 @@ class ProtocolFactory:
 
     @property
     def name(self) -> str:
+        """Registry name of the protocol this factory builds."""
         return self._name
 
     def create(self, node: Node, context: ProtocolContext) -> RoutingProtocol:
