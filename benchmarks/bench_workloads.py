@@ -1,0 +1,192 @@
+"""Benchmark: traffic workload generation throughput.
+
+The workload subsystem sits on the input path of every simulation cell,
+so the cost that matters is ``generate()`` — drawing arrivals,
+destinations and classes for a full node population over a horizon.
+This bench times one ``generate()`` per registered model (plus a
+multi-class uniform variant) and records throughput in *packets per
+second of wall time* together with the packet counts, then runs one
+end-to-end bursty RAPID cell through the engine for scale.  Determinism
+is asserted along the way: every model must produce an identical packet
+list on a repeat run, and the ``uniform`` model must stay byte-identical
+to the historic ``PoissonWorkload`` generator.
+
+Everything lands in ``benchmarks/results/BENCH_workloads.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_workloads.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_workloads.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import units
+from repro.dtn.workload import PoissonWorkload
+from repro.engine import ExperimentEngine
+from repro.engine.spec import ScenarioSpec
+from repro.experiments.config import ProtocolSpec, SyntheticExperimentConfig
+from repro.workloads import (
+    TrafficClass,
+    WORKLOAD_MODEL_NAMES,
+    WorkloadParameters,
+    build_traffic_model,
+)
+
+from bench_config import emit_bench_json
+
+#: Wall times are the best of this many runs (denoising).
+REPEATS = 3
+
+
+def _packet_signature(packets) -> tuple:
+    return tuple(
+        (p.packet_id, p.source, p.destination, p.size, p.creation_time, p.traffic_class)
+        for p in packets
+    )
+
+
+def _time_generate(
+    name: str,
+    params: WorkloadParameters,
+    num_nodes: int,
+    duration: float,
+    rate: float,
+) -> Dict[str, object]:
+    """Time one model's generation; assert repeat-run determinism."""
+    best = float("inf")
+    signature = None
+    count = 0
+    for _ in range(REPEATS):
+        model = build_traffic_model(
+            params,
+            packets_per_hour=rate,
+            packet_size=1024,
+            seed=42,
+            model=name,
+        )
+        started = time.perf_counter()
+        packets = model.generate(list(range(num_nodes)), duration)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        current = _packet_signature(packets)
+        assert signature is None or current == signature, (
+            f"{name}: repeat generate() produced a different workload"
+        )
+        signature = current
+        count = len(packets)
+    return {
+        "packets": count,
+        "wall_time_s": round(best, 6),
+        "packets_per_s": round(count / best, 1) if best > 0 else None,
+    }
+
+
+def _assert_default_identity(num_nodes: int, duration: float, rate: float) -> None:
+    """The uniform model must match the historic generator byte for byte."""
+    legacy = PoissonWorkload(packets_per_hour=rate, packet_size=1024, seed=42).generate(
+        list(range(num_nodes)), duration
+    )
+    modern = build_traffic_model(
+        WorkloadParameters(), packets_per_hour=rate, packet_size=1024, seed=42
+    ).generate(list(range(num_nodes)), duration)
+    assert modern == legacy, "uniform workload diverged from the historic generator"
+
+
+def _end_to_end_cell(quick: bool) -> Dict[str, object]:
+    """One bursty RAPID cell through the engine, for whole-stack scale."""
+    config = SyntheticExperimentConfig(
+        num_nodes=10 if quick else 20,
+        mean_inter_meeting=70.0,
+        transfer_opportunity=100 * units.KB,
+        duration=(4 if quick else 10) * units.MINUTE,
+        buffer_capacity=60 * units.KB,
+        deadline=30.0,
+        packet_interval=50.0,
+        mobility="exponential",
+        num_runs=1,
+        seed=11,
+        workload=WorkloadParameters(model="bursty", burst_cycle=60.0),
+    )
+    spec = ScenarioSpec.for_cell(
+        config=config,
+        protocol=ProtocolSpec(label="rapid", registry_name="rapid"),
+        load=6.0,
+        run_index=0,
+    )
+    started = time.perf_counter()
+    with ExperimentEngine(workers=1) as engine:
+        result = engine.run_cells([spec])[0]
+    elapsed = time.perf_counter() - started
+    return {
+        "workload": "bursty",
+        "packets": result.num_packets,
+        "wall_time_s": round(elapsed, 6),
+    }
+
+
+def run_bench(quick: bool) -> Dict[str, object]:
+    """Run the throughput sweep; return (and emit) the BENCH payload."""
+    num_nodes = 20 if quick else 40
+    duration = (2 if quick else 8) * units.HOUR
+    rate = 8.0  # packets per hour per destination
+    models: Dict[str, Dict[str, object]] = {}
+    for name in WORKLOAD_MODEL_NAMES:
+        models[name] = _time_generate(
+            name, WorkloadParameters(), num_nodes, duration, rate
+        )
+    models["uniform_multiclass"] = _time_generate(
+        "uniform",
+        WorkloadParameters(
+            classes=(
+                TrafficClass("news", weight=3.0, deadline=300.0, priority=1),
+                TrafficClass("bulk", weight=1.0, size=4096),
+            )
+        ),
+        num_nodes,
+        duration,
+        rate,
+    )
+    _assert_default_identity(num_nodes, duration, rate)
+    payload = {
+        "mode": "quick" if quick else "full",
+        "num_nodes": num_nodes,
+        "duration_s": duration,
+        "packets_per_hour_per_destination": rate,
+        "generation": models,
+        "end_to_end_cell": _end_to_end_cell(quick),
+    }
+    emit_bench_json("workloads", payload)
+    return payload
+
+
+def test_workloads_bench():
+    """Pytest entry point (quick mode keeps bench suites fast)."""
+    payload = run_bench(quick=True)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller population and shorter horizon for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench(quick=args.quick)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

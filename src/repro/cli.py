@@ -11,11 +11,15 @@
   — run an ad-hoc protocol/load grid through the engine and print the
   metric series; ``--mobility waypoint,grid`` additionally sweeps the
   synthetic mobility axis (``--arena``/``--radio-range`` tune the
-  spatial models' geometry);
+  spatial models' geometry) and ``--workload poisson,bursty,zipf``
+  sweeps the traffic workload axis (``--zipf-alpha``/``--burstiness``
+  tune the skew and burst shape);
 * ``repro-dtn protocols`` — list registered routing protocols;
 * ``repro-dtn quicksim --protocol rapid --nodes 10`` — run a single ad-hoc
   simulation (exponential mobility by default; ``--mobility`` selects
-  any model, including the spatial ones) and print the summary.
+  any model, including the spatial ones, ``--workload`` any traffic
+  model and ``--contact-model`` any contact semantics) and print the
+  summary.
 
 The full reference, generated from these parsers, lives in
 ``docs/reference/cli.md``.
@@ -29,11 +33,10 @@ import os
 import sys
 from typing import List, Optional
 
-from . import units
+from . import constants, units
 from .profiling import ENV_PROFILE
 from .dtn.simulator import run_simulation
 from .exceptions import ReproError
-from .dtn.workload import PoissonWorkload
 from .engine import ExperimentEngine, use_engine
 from .experiments import (
     EXPERIMENT_INDEX,
@@ -51,6 +54,7 @@ from .mobility.exponential import ExponentialMobility
 from .mobility.powerlaw import PowerLawMobility
 from .mobility.spatial import SPATIAL_MODELS, build_spatial_model
 from .routing.registry import available_protocols, create_factory
+from .workloads import WORKLOAD_MODEL_NAMES, build_traffic_model
 
 _TRACE_EXHIBITS = {
     "table3", "figure3", "figure4", "figure5", "figure6", "figure7",
@@ -114,6 +118,43 @@ def _add_mobility_arguments(parser: argparse.ArgumentParser, multi: bool = False
     )
 
 
+def _add_workload_arguments(parser: argparse.ArgumentParser, multi: bool = False) -> None:
+    """Add the traffic-workload axis flags (``--workload`` et al.)."""
+    if multi:
+        parser.add_argument(
+            "--workload",
+            default=None,
+            metavar="MODELS",
+            help="comma-separated traffic workload models "
+            f"({', '.join(WORKLOAD_MODEL_NAMES)}); more than one model "
+            "sweeps the workload axis",
+        )
+    else:
+        parser.add_argument(
+            "--workload",
+            choices=WORKLOAD_MODEL_NAMES,
+            default=None,
+            help="traffic workload model: uniform (paper default, per-pair "
+            "Poisson), poisson (aggregate per-source arrivals), bursty "
+            "(ON/OFF MMPP), zipf / hotspot (skewed destination popularity) "
+            "or diurnal (day/night rate profile)",
+        )
+    parser.add_argument(
+        "--zipf-alpha",
+        type=float,
+        default=None,
+        metavar="ALPHA",
+        help="skew exponent of the zipf destination popularity",
+    )
+    parser.add_argument(
+        "--burstiness",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="peak-to-mean rate ratio of the bursty workload model",
+    )
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -161,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=7, help="random seed")
     _add_contact_model_argument(run_parser)
     _add_mobility_arguments(run_parser)
+    _add_workload_arguments(run_parser)
     _add_engine_arguments(run_parser)
 
     sweep_parser = subparsers.add_parser(
@@ -197,6 +239,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=7, help="random seed")
     _add_contact_model_argument(sweep_parser)
     _add_mobility_arguments(sweep_parser, multi=True)
+    _add_workload_arguments(sweep_parser, multi=True)
     _add_engine_arguments(sweep_parser)
 
     sim_parser = subparsers.add_parser("quicksim", help="run one ad-hoc simulation")
@@ -211,6 +254,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "(exponential, powerlaw); default 60",
     )
     _add_mobility_arguments(sim_parser)
+    _add_workload_arguments(sim_parser)
+    _add_contact_model_argument(sim_parser)
     sim_parser.add_argument("--load", type=float, default=30.0, help="packets per hour per destination")
     sim_parser.add_argument("--buffer-kb", type=float, default=100.0, help="buffer capacity in KB")
     sim_parser.add_argument("--seed", type=int, default=1, help="random seed")
@@ -276,6 +321,54 @@ def _parse_mobilities(value: Optional[str]) -> List[str]:
     return names
 
 
+def _parse_workloads(value: Optional[str]) -> List[str]:
+    """Parse and validate a comma-separated ``--workload`` value."""
+    names = [name.strip() for name in (value or "").split(",") if name.strip()]
+    for name in names:
+        if name not in WORKLOAD_MODEL_NAMES:
+            raise ConfigurationError(
+                f"unknown workload model {name!r}; "
+                f"expected one of {', '.join(WORKLOAD_MODEL_NAMES)}"
+            )
+    return names
+
+
+def _workload_params_from_args(args: argparse.Namespace, base):
+    """Apply ``--zipf-alpha``/``--burstiness`` to *base* workload params.
+
+    The knobs only mean anything when the matching model is in play, so
+    misuse is rejected instead of silently ignored (mirroring the
+    spatial geometry flags).
+    """
+    from dataclasses import replace
+
+    zipf_alpha = getattr(args, "zipf_alpha", None)
+    burstiness = getattr(args, "burstiness", None)
+    if zipf_alpha is None and burstiness is None:
+        return base
+    effective = _parse_workloads(getattr(args, "workload", None)) or [base.model]
+    try:
+        if zipf_alpha is not None:
+            if "zipf" not in effective:
+                raise ConfigurationError(
+                    "--zipf-alpha applies only to the zipf workload model; "
+                    "select it with --workload zipf"
+                )
+            base = replace(base, zipf_alpha=zipf_alpha)
+        if burstiness is not None:
+            if "bursty" not in effective:
+                raise ConfigurationError(
+                    "--burstiness applies only to the bursty workload model; "
+                    "select it with --workload bursty"
+                )
+            base = replace(base, burstiness=burstiness)
+    except ValueError as exc:
+        # Out-of-range values (burstiness <= 1, negative alpha) are bad
+        # user input, not internal failures: report, don't traceback.
+        raise ConfigurationError(str(exc)) from exc
+    return base
+
+
 def _resolve_config(args: argparse.Namespace, family: str):
     """Build the experiment config from parsed CLI arguments."""
     from dataclasses import replace
@@ -283,6 +376,9 @@ def _resolve_config(args: argparse.Namespace, family: str):
     config = _config_from_args(family, args.scale, args.seed, args.contact_model)
     if getattr(args, "contact_resume", False):
         config = replace(config, contact_resume=True)
+    workload_params = _workload_params_from_args(args, config.workload)
+    if workload_params is not config.workload:
+        config = config.with_workload(workload_params)
     mobility = getattr(args, "mobility", None)
     arena = getattr(args, "arena", None)
     radio_range = getattr(args, "radio_range", None)
@@ -341,6 +437,10 @@ def _command_run(args: argparse.Namespace) -> int:
     runner_fn = EXPERIMENT_INDEX[args.exhibit]
     family = "trace" if args.exhibit in _TRACE_EXHIBITS else "synthetic"
     config = _resolve_config(args, family)
+    if args.workload:
+        # Exhibits pin the paper's uniform workload via the config;
+        # --workload genuinely replaces the arrival model for every cell.
+        config = config.with_workload(config.workload.with_model(args.workload))
     kwargs = {"config": config}
     if family == "synthetic" and args.mobility:
         # Synthetic exhibits pin the mobility the paper's figure used;
@@ -391,10 +491,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
         runner = SyntheticRunner(config, engine=engine)
         x_label = f"Packets per {config.packet_interval:g}s per destination"
 
-    # The mobility axis: each named model becomes one pass of the sweep,
-    # implemented as per-cell overrides so the engine caches every
-    # (mobility, protocol, load, run) cell independently.
+    # The mobility and workload axes: each named model becomes one pass
+    # of the sweep, implemented as per-cell overrides so the engine
+    # caches every (mobility, workload, protocol, load, run) cell
+    # independently.
     mobilities = _parse_mobilities(getattr(args, "mobility", None)) or [None]
+    workload_models = _parse_workloads(getattr(args, "workload", None)) or [None]
     figure = FigureResult(
         figure_id="Sweep",
         title=f"{args.family} sweep: {args.metric}",
@@ -404,14 +506,27 @@ def _command_sweep(args: argparse.Namespace) -> int:
     results = []
     with _profile_scope(args.profile), engine:
         for mobility in mobilities:
-            run_kwargs = {"mobility": mobility} if mobility is not None else {}
-            series, pass_results = sweep(
-                runner, specs, loads, args.metric, return_results=True, **run_kwargs
-            )
-            results.extend(pass_results)
-            suffix = f" [{mobility}]" if len(mobilities) > 1 else ""
-            for spec in specs:
-                figure.add_series(spec.label + suffix, loads, series[spec.label])
+            for workload in workload_models:
+                run_kwargs = {}
+                if mobility is not None:
+                    run_kwargs["mobility"] = mobility
+                if workload is not None:
+                    run_kwargs["workload"] = workload
+                series, pass_results = sweep(
+                    runner, specs, loads, args.metric, return_results=True, **run_kwargs
+                )
+                results.extend(pass_results)
+                tags = [
+                    tag
+                    for tag, swept in (
+                        (mobility, len(mobilities) > 1),
+                        (workload, len(workload_models) > 1),
+                    )
+                    if swept
+                ]
+                suffix = f" [{'/'.join(tags)}]" if tags else ""
+                for spec in specs:
+                    figure.add_series(spec.label + suffix, loads, series[spec.label])
     print(figure.to_text())
     if config.contact_model != "instantaneous":
         # Interruption accounting summed over every cell of the sweep, so
@@ -462,18 +577,36 @@ def _build_quicksim_mobility(args: argparse.Namespace):
 
 
 def _command_quicksim(args: argparse.Namespace) -> int:
+    from .workloads import WorkloadParameters
+
     mobility = _build_quicksim_mobility(args)
     schedule = mobility.generate(args.duration)
-    workload = PoissonWorkload(packets_per_hour=args.load, seed=args.seed + 1)
+    # The default uniform model reproduces the historic quicksim
+    # workload (PoissonWorkload at the same seed) byte for byte.
+    workload_params = _workload_params_from_args(args, WorkloadParameters())
+    workload = build_traffic_model(
+        workload_params,
+        packets_per_hour=args.load,
+        packet_size=constants.DEFAULT_PACKET_SIZE,
+        seed=args.seed + 1,
+        model=args.workload or None,
+    )
     packets = workload.generate(list(range(args.nodes)), args.duration)
     factory = create_factory(args.protocol)
+    options: dict = {}
+    if args.profile:
+        options["profile"] = True
+    if args.contact_model is not None and args.contact_model != "instantaneous":
+        options["contact_model"] = args.contact_model
+        if args.contact_resume:
+            options["contact_resume"] = True
     result = run_simulation(
         schedule,
         packets,
         factory,
         buffer_capacity=args.buffer_kb * units.KB,
         seed=args.seed,
-        options={"profile": True} if args.profile else None,
+        options=options or None,
     )
     print(f"protocol:          {result.protocol_name}")
     for key, value in result.summary().items():

@@ -13,6 +13,12 @@ from typing import Optional
 
 from .. import constants
 
+#: Class name of packets that belong to no explicit traffic class.  The
+#: traffic workload subsystem (:mod:`repro.workloads`) tags every packet
+#: of a multi-class mix with its class; single-class workloads leave the
+#: default so legacy packets and serialized payloads are unchanged.
+DEFAULT_TRAFFIC_CLASS = "default"
+
 
 @dataclass(frozen=True)
 class Packet:
@@ -28,6 +34,12 @@ class Packet:
         deadline: Optional relative lifetime ``L(i)`` in seconds.  A packet
             whose delivery time exceeds ``creation_time + deadline`` counts
             as a missed deadline for the deadline metric.
+        traffic_class: Name of the packet's traffic class (per-class
+            metric breakdowns key on it); :data:`DEFAULT_TRAFFIC_CLASS`
+            outside multi-class workloads.
+        priority: Informational class priority.  Buffers and eviction
+            treat all packets alike — the tag exists for per-class
+            analysis, not to change routing behaviour.
     """
 
     packet_id: int
@@ -36,6 +48,8 @@ class Packet:
     size: int = constants.DEFAULT_PACKET_SIZE
     creation_time: float = 0.0
     deadline: Optional[float] = None
+    traffic_class: str = DEFAULT_TRAFFIC_CLASS
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -46,6 +60,8 @@ class Packet:
             raise ValueError("packet source and destination must differ")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive when given")
+        if not self.traffic_class:
+            raise ValueError("traffic_class must be non-empty")
 
     def age(self, now: float) -> float:
         """Return ``T(i)``, the time since creation of the packet."""
@@ -155,6 +171,8 @@ class PacketFactory:
         size: int = constants.DEFAULT_PACKET_SIZE,
         creation_time: float = 0.0,
         deadline: Optional[float] = None,
+        traffic_class: str = DEFAULT_TRAFFIC_CLASS,
+        priority: int = 0,
     ) -> Packet:
         """Create a packet with the next free identifier."""
         packet = Packet(
@@ -164,6 +182,8 @@ class PacketFactory:
             size=size,
             creation_time=creation_time,
             deadline=deadline,
+            traffic_class=traffic_class,
+            priority=priority,
         )
         self._next_id += 1
         return packet

@@ -14,7 +14,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from .node import NodeCounters
-from .packet import Packet, PacketRecord
+from .packet import DEFAULT_TRAFFIC_CLASS, Packet, PacketRecord
 
 #: Version of the :meth:`SimulationResult.to_dict` wire format.  Bump it
 #: whenever the serialized shape (or the semantics of a field) changes so
@@ -125,6 +125,46 @@ class SimulationResult:
         return met / self.num_packets
 
     # ------------------------------------------------------------------
+    # Per-class metrics (multi-class traffic workloads)
+    # ------------------------------------------------------------------
+    def traffic_classes(self) -> List[str]:
+        """The traffic-class names present, sorted (``["default"]`` when
+        the workload never assigned classes)."""
+        if not self.records:
+            return []
+        return sorted({r.packet.traffic_class for r in self.records.values()})
+
+    def class_records(self, traffic_class: str) -> List[PacketRecord]:
+        """All records of packets belonging to *traffic_class*."""
+        return [
+            r for r in self.records.values() if r.packet.traffic_class == traffic_class
+        ]
+
+    def per_class_summary(self) -> Dict[str, Dict[str, float]]:
+        """Headline metrics broken down by traffic class.
+
+        Returns ``{class: {packets, delivered, delivery_rate,
+        average_delay, deadline_success_rate}}`` with one entry per
+        class present in the workload.  Counts conserve the totals: the
+        per-class ``packets`` and ``delivered`` sum to
+        :attr:`num_packets` and :attr:`num_delivered`.
+        """
+        breakdown: Dict[str, Dict[str, float]] = {}
+        for traffic_class in self.traffic_classes():
+            records = self.class_records(traffic_class)
+            delivered = [r for r in records if r.delivered]
+            delays = [r.delay() for r in delivered if r.delay() is not None]
+            met = sum(1 for r in records if r.met_deadline())
+            breakdown[traffic_class] = {
+                "packets": float(len(records)),
+                "delivered": float(len(delivered)),
+                "delivery_rate": len(delivered) / len(records) if records else 0.0,
+                "average_delay": sum(delays) / len(delays) if delays else 0.0,
+                "deadline_success_rate": met / len(records) if records else 0.0,
+            }
+        return breakdown
+
+    # ------------------------------------------------------------------
     # Channel / overhead metrics
     # ------------------------------------------------------------------
     def channel_utilization(self) -> Optional[float]:
@@ -214,14 +254,7 @@ class SimulationResult:
             "deliveries": self.deliveries,
             "records": [
                 {
-                    "packet": {
-                        "packet_id": r.packet.packet_id,
-                        "source": r.packet.source,
-                        "destination": r.packet.destination,
-                        "size": r.packet.size,
-                        "creation_time": r.packet.creation_time,
-                        "deadline": r.packet.deadline,
-                    },
+                    "packet": self._packet_payload(r.packet),
                     "delivered": r.delivered,
                     "delivery_time": r.delivery_time,
                     "delivering_node": r.delivering_node,
@@ -245,7 +278,42 @@ class SimulationResult:
             # default instantaneous payloads stay byte-identical to the wire
             # format as written before the durational contact layer existed.
             payload["contact"] = contact
+        classes = self._class_breakdown()
+        if classes is not None:
+            # Included only when a non-default traffic class exists, so
+            # single-class payloads stay byte-identical to the wire format
+            # as written before the workload subsystem existed.
+            payload["classes"] = classes
         return payload
+
+    @staticmethod
+    def _packet_payload(packet: Packet) -> Dict[str, object]:
+        """The serialized packet; class/priority only when non-default."""
+        payload: Dict[str, object] = {
+            "packet_id": packet.packet_id,
+            "source": packet.source,
+            "destination": packet.destination,
+            "size": packet.size,
+            "creation_time": packet.creation_time,
+            "deadline": packet.deadline,
+        }
+        if packet.traffic_class != DEFAULT_TRAFFIC_CLASS:
+            payload["traffic_class"] = packet.traffic_class
+        if packet.priority:
+            payload["priority"] = packet.priority
+        return payload
+
+    def _class_breakdown(self) -> Optional[Dict[str, Dict[str, float]]]:
+        """The per-class metric block, or ``None`` for single-class runs.
+
+        The block is derived entirely from the (class-tagged) records,
+        so :meth:`from_dict` recomputes rather than stores it — a
+        round-trip therefore reproduces it byte for byte.
+        """
+        classes = self.traffic_classes()
+        if classes in ([], [DEFAULT_TRAFFIC_CLASS]):
+            return None
+        return self.per_class_summary()
 
     def _contact_accounting(self) -> Optional[Dict[str, object]]:
         """The contact-layer counter block, or ``None`` when all-zero."""
@@ -299,6 +367,10 @@ class SimulationResult:
                 size=int(packet_data["size"]),
                 creation_time=float(packet_data["creation_time"]),
                 deadline=packet_data["deadline"],
+                traffic_class=str(
+                    packet_data.get("traffic_class", DEFAULT_TRAFFIC_CLASS)
+                ),
+                priority=int(packet_data.get("priority", 0)),
             )
             record = PacketRecord(
                 packet=packet,

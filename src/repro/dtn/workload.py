@@ -6,6 +6,12 @@ rate of 4 packets per hour per destination (Section 5.1).  The synthetic
 experiments use the same construction with different rates (Table 4).
 :class:`PoissonWorkload` reproduces that process; helper constructors cover
 the fairness experiment's "parallel packets" workload (Section 6.2.5).
+
+The pluggable traffic subsystem lives in :mod:`repro.workloads`; its
+default ``uniform`` model (:class:`~repro.workloads.UniformCBR`) is
+byte-identical to :class:`PoissonWorkload`, which therefore doubles as
+the frozen reference generator the identity tests and benchmarks pin
+against.
 """
 
 from __future__ import annotations

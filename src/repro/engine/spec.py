@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from ..dtn.node import DeploymentNoise
@@ -39,8 +39,10 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 #: (together with :data:`~repro.dtn.results.RESULT_SCHEMA_VERSION`) so that
 #: cached entries written by an incompatible engine are never served.
 #: Version 2 added the ``contact_model`` axis; version 3 added the
-#: ``mobility`` axis and the spatial parameters of synthetic configs.
-SPEC_SCHEMA_VERSION = 3
+#: ``mobility`` axis and the spatial parameters of synthetic configs;
+#: version 4 added the ``workload`` axis and the workload parameters of
+#: both config families.
+SPEC_SCHEMA_VERSION = 4
 
 ExperimentConfig = Union["TraceExperimentConfig", "SyntheticExperimentConfig"]
 
@@ -87,6 +89,11 @@ class ScenarioSpec:
             This is the engine-level handle that lets a grid sweep the
             mobility axis.  Trace cells replay fixed day traces and
             reject the override.
+        workload: Optional override of the configuration's traffic
+            workload model (a :data:`~repro.workloads.WORKLOAD_MODEL_NAMES`
+            entry); ``None`` defers to the configuration.  This is the
+            engine-level handle that lets a grid sweep the workload
+            axis; unlike mobility it applies to both families.
     """
 
     family: str
@@ -100,10 +107,12 @@ class ScenarioSpec:
     contact_model: Optional[str] = None
     contact_options: Optional[Dict[str, object]] = None
     mobility: Optional[str] = None
+    workload: Optional[str] = None
 
     def __post_init__(self) -> None:
         from ..dtn.simulator import CONTACT_MODELS
         from ..mobility import MOBILITY_MODEL_NAMES
+        from ..workloads import WORKLOAD_MODEL_NAMES
 
         if self.family not in (FAMILY_TRACE, FAMILY_SYNTHETIC):
             raise ConfigurationError(
@@ -130,6 +139,11 @@ class ScenarioSpec:
                     f"unknown mobility model {self.mobility!r}; "
                     f"expected one of {', '.join(MOBILITY_MODEL_NAMES)}"
                 )
+        if self.workload is not None and self.workload not in WORKLOAD_MODEL_NAMES:
+            raise ConfigurationError(
+                f"unknown workload model {self.workload!r}; "
+                f"expected one of {', '.join(WORKLOAD_MODEL_NAMES)}"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -147,6 +161,7 @@ class ScenarioSpec:
         contact_model: Optional[str] = None,
         contact_options: Optional[Dict[str, object]] = None,
         mobility: Optional[str] = None,
+        workload: Optional[str] = None,
     ) -> "ScenarioSpec":
         """Build a spec from live configuration objects."""
         from ..experiments.config import TraceExperimentConfig
@@ -177,6 +192,7 @@ class ScenarioSpec:
             contact_model=contact_model,
             contact_options=dict(contact_options) if contact_options else None,
             mobility=mobility,
+            workload=workload,
         )
 
     # ------------------------------------------------------------------
@@ -220,6 +236,15 @@ class ScenarioSpec:
             return self.mobility
         return str(self.config.get("mobility", "powerlaw"))
 
+    def resolved_workload(self) -> str:
+        """The workload model in force: the cell's override or the config's."""
+        if self.workload is not None:
+            return self.workload
+        workload_params = self.config.get("workload") or {}
+        if isinstance(workload_params, dict):
+            return str(workload_params.get("model", "uniform"))
+        return str(getattr(workload_params, "model", "uniform"))
+
     @property
     def label(self) -> str:
         """The protocol label of this cell (a figure's series name)."""
@@ -244,11 +269,24 @@ class ScenarioSpec:
                 dict(self.contact_options) if self.contact_options is not None else None
             ),
             "mobility": self.mobility,
+            "workload": self.workload,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
-        """Rebuild a spec from its :meth:`to_dict` form."""
+        """Rebuild a spec from its :meth:`to_dict` form.
+
+        Unknown keys are rejected rather than silently dropped: a
+        typoed override (``workloads`` for ``workload``, say) would
+        otherwise vanish and the cell would quietly run the default.
+        """
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ScenarioSpec field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(known))}"
+            )
         return cls(
             family=str(data["family"]),
             config=dict(data["config"]),
@@ -261,6 +299,7 @@ class ScenarioSpec:
             contact_model=data.get("contact_model"),
             contact_options=data.get("contact_options"),
             mobility=data.get("mobility"),
+            workload=data.get("workload"),
         )
 
     def cache_key(self) -> str:
@@ -282,14 +321,17 @@ class ScenarioSpec:
 
 @dataclass(frozen=True)
 class ScenarioGrid:
-    """A declarative grid: contact models x mobilities x protocols x loads x runs.
+    """A declarative grid over every experiment axis.
 
-    ``run_indices`` defaults to every day of a trace configuration or
-    every random run of a synthetic configuration, which is what the
-    paper's figures sweep over.  ``contact_models`` and ``mobilities``
-    are optional outer axes (``None`` entries defer to the
-    configuration); leaving both unset yields the classic three-axis
-    grid.  The mobility axis applies only to synthetic configurations.
+    The full expansion is contact models x mobilities x workloads x
+    loads x protocols x runs.  ``run_indices`` defaults to every day of
+    a trace configuration or every random run of a synthetic
+    configuration, which is what the paper's figures sweep over.
+    ``contact_models``, ``mobilities`` and ``workloads`` are optional
+    outer axes (``None`` entries defer to the configuration); leaving
+    them unset yields the classic three-axis grid.  The mobility axis
+    applies only to synthetic configurations; the workload axis applies
+    to both families.
     """
 
     config: ExperimentConfig
@@ -302,6 +344,7 @@ class ScenarioGrid:
     contact_models: Optional[Sequence[Optional[str]]] = None
     contact_options: Optional[Dict[str, object]] = None
     mobilities: Optional[Sequence[Optional[str]]] = None
+    workloads: Optional[Sequence[Optional[str]]] = None
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -315,6 +358,10 @@ class ScenarioGrid:
         if self.mobilities is not None and not self.mobilities:
             raise ConfigurationError(
                 "mobilities must be omitted or name at least one model"
+            )
+        if self.workloads is not None and not self.workloads:
+            raise ConfigurationError(
+                "workloads must be omitted or name at least one model"
             )
 
     def default_run_indices(self) -> List[int]:
@@ -337,42 +384,50 @@ class ScenarioGrid:
             return [None]
         return list(self.mobilities)
 
+    def _workload_axis(self) -> List[Optional[str]]:
+        if self.workloads is None:
+            return [None]
+        return list(self.workloads)
+
     def cells(self) -> List[ScenarioSpec]:
         """Expand the grid into its cells.
 
-        The expansion order is contact models, then mobilities (when
-        swept), then loads then protocols then run indices — the inner
-        nesting is the same as the serial ``sweep`` loop used, so
-        progress reporting advances the way a reader of the figures
-        expects.
+        The expansion order is contact models, then mobilities, then
+        workloads (when swept), then loads then protocols then run
+        indices — the inner nesting is the same as the serial ``sweep``
+        loop used, so progress reporting advances the way a reader of
+        the figures expects.
         """
         run_indices = self.default_run_indices()
         out: List[ScenarioSpec] = []
         for contact_model in self._contact_model_axis():
             for mobility in self._mobility_axis():
-                for load in self.loads:
-                    for protocol in self.protocols:
-                        for run_index in run_indices:
-                            out.append(
-                                ScenarioSpec.for_cell(
-                                    config=self.config,
-                                    protocol=protocol,
-                                    load=load,
-                                    run_index=run_index,
-                                    buffer_capacity=self.buffer_capacity,
-                                    metadata_fraction_cap=self.metadata_fraction_cap,
-                                    noise=self.noise,
-                                    contact_model=contact_model,
-                                    contact_options=self.contact_options,
-                                    mobility=mobility,
+                for workload in self._workload_axis():
+                    for load in self.loads:
+                        for protocol in self.protocols:
+                            for run_index in run_indices:
+                                out.append(
+                                    ScenarioSpec.for_cell(
+                                        config=self.config,
+                                        protocol=protocol,
+                                        load=load,
+                                        run_index=run_index,
+                                        buffer_capacity=self.buffer_capacity,
+                                        metadata_fraction_cap=self.metadata_fraction_cap,
+                                        noise=self.noise,
+                                        contact_model=contact_model,
+                                        contact_options=self.contact_options,
+                                        mobility=mobility,
+                                        workload=workload,
+                                    )
                                 )
-                            )
         return out
 
     def __len__(self) -> int:
         return (
             len(self._contact_model_axis())
             * len(self._mobility_axis())
+            * len(self._workload_axis())
             * len(self.protocols)
             * len(self.loads)
             * len(self.default_run_indices())

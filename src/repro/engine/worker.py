@@ -28,12 +28,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from ..dtn.packet import Packet
 from ..dtn.results import SimulationResult
 from ..dtn.simulator import run_simulation
-from ..dtn.workload import PoissonWorkload
 from ..mobility.exponential import ExponentialMobility
 from ..mobility.powerlaw import PowerLawMobility
 from ..mobility.schedule import MeetingSchedule
 from ..mobility.spatial import SPATIAL_MODELS, build_spatial_model
 from ..traces.dieselnet import DayTrace, DieselNetTraceGenerator
+from ..workloads import build_traffic_model
 from .spec import FAMILY_TRACE, ScenarioSpec, config_key
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
@@ -48,9 +48,9 @@ _MAX_CACHED_CONFIGS = 8
 _MAX_WORKLOAD_ENTRIES = 4096
 
 _DAY_CACHE: Dict[str, List[DayTrace]] = {}
-_TRACE_WORKLOAD_CACHE: Dict[Tuple[str, int, float], List[Packet]] = {}
+_TRACE_WORKLOAD_CACHE: Dict[Tuple[str, int, float, str], List[Packet]] = {}
 _SCHEDULE_CACHE: Dict[Tuple[str, int, str], MeetingSchedule] = {}
-_SYNTH_WORKLOAD_CACHE: Dict[Tuple[str, int, float], List[Packet]] = {}
+_SYNTH_WORKLOAD_CACHE: Dict[Tuple[str, int, float, str], List[Packet]] = {}
 
 
 def clear_input_caches() -> None:
@@ -92,18 +92,35 @@ def day_traces(config: TraceExperimentConfig) -> List[DayTrace]:
 
 
 def trace_workload(
-    config: TraceExperimentConfig, day_index: int, load_packets_per_hour: float
+    config: TraceExperimentConfig,
+    day_index: int,
+    load_packets_per_hour: float,
+    workload_name: Optional[str] = None,
 ) -> List[Packet]:
-    """The packet workload of one day at one load (same for every protocol)."""
-    key = (config_key(config), day_index, load_packets_per_hour)
+    """The packet workload of one day at one load (same for every protocol).
+
+    Args:
+        config: The trace experiment configuration.
+        day_index: Operating-day index (offsets the workload seed).
+        load_packets_per_hour: Mean per source-destination-pair rate.
+        workload_name: Optional override of ``config.workload.model`` —
+            the engine-level handle behind the grid's workload axis.
+            The seed derivation is shared by every model, and the
+            default ``uniform`` model reproduces the historic draw
+            order byte for byte.
+    """
+    resolved = workload_name if workload_name is not None else config.workload.model
+    key = (config_key(config), day_index, load_packets_per_hour, resolved)
     if key not in _TRACE_WORKLOAD_CACHE:
         _trim_caches()
         day = day_traces(config)[day_index]
-        workload = PoissonWorkload(
+        workload = build_traffic_model(
+            config.workload,
             packets_per_hour=load_packets_per_hour,
             packet_size=config.packet_size,
             deadline=config.deadline,
             seed=config.seed * 1000 + day_index,
+            model=resolved,
         )
         nodes = day.buses_on_road if len(day.buses_on_road) >= 2 else day.schedule.nodes
         _TRACE_WORKLOAD_CACHE[key] = workload.generate(nodes, day.schedule.duration)
@@ -161,17 +178,28 @@ def synthetic_schedule(
 
 
 def synthetic_workload(
-    config: SyntheticExperimentConfig, run_index: int, packets_per_interval: float
+    config: SyntheticExperimentConfig,
+    run_index: int,
+    packets_per_interval: float,
+    workload_name: Optional[str] = None,
 ) -> List[Packet]:
-    """The packet workload of one random run at one load."""
-    key = (config_key(config), run_index, packets_per_interval)
+    """The packet workload of one random run at one load.
+
+    ``workload_name`` overrides ``config.workload.model`` exactly as in
+    :func:`trace_workload`; the historic seed derivation is shared by
+    every model.
+    """
+    resolved = workload_name if workload_name is not None else config.workload.model
+    key = (config_key(config), run_index, packets_per_interval, resolved)
     if key not in _SYNTH_WORKLOAD_CACHE:
         _trim_caches()
-        generator = PoissonWorkload(
+        generator = build_traffic_model(
+            config.workload,
             packets_per_hour=config.load_to_packets_per_hour(packets_per_interval),
             packet_size=config.packet_size,
             deadline=config.deadline,
             seed=config.seed * 977 + run_index * 31 + int(packets_per_interval * 101),
+            model=resolved,
         )
         _SYNTH_WORKLOAD_CACHE[key] = generator.generate(
             list(range(config.num_nodes)), config.duration
@@ -195,7 +223,7 @@ def run_cell(spec: ScenarioSpec) -> SimulationResult:
     if spec.family == FAMILY_TRACE:
         day = day_traces(config)[spec.run_index]
         schedule = day.schedule
-        packets = trace_workload(config, spec.run_index, spec.load)
+        packets = trace_workload(config, spec.run_index, spec.load, spec.workload)
         if is_rapid:
             # RAPID plans against the end of the operating day: expected
             # delay reductions beyond it cannot materialise (each day is
@@ -204,7 +232,7 @@ def run_cell(spec: ScenarioSpec) -> SimulationResult:
             extra["metadata_byte_scale"] = config.metadata_byte_scale
     else:
         schedule = synthetic_schedule(config, spec.run_index, spec.mobility)
-        packets = synthetic_workload(config, spec.run_index, spec.load)
+        packets = synthetic_workload(config, spec.run_index, spec.load, spec.workload)
         if is_rapid:
             extra["planning_horizon"] = config.duration
 

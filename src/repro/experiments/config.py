@@ -20,6 +20,7 @@ from ..mobility import MOBILITY_MODEL_NAMES
 from ..mobility.spatial import SpatialParameters
 from ..routing.registry import create_factory
 from ..traces.dieselnet import DieselNetParameters
+from ..workloads import WORKLOAD_MODEL_NAMES, WorkloadParameters
 
 
 def _validate_contact_model(contact_model: str) -> None:
@@ -35,6 +36,14 @@ def _validate_mobility(mobility: str) -> None:
         raise ConfigurationError(
             f"unknown mobility model {mobility!r}; "
             f"expected one of {', '.join(MOBILITY_MODEL_NAMES)}"
+        )
+
+
+def _validate_workload(workload: WorkloadParameters) -> None:
+    if workload.model not in WORKLOAD_MODEL_NAMES:
+        raise ConfigurationError(
+            f"unknown workload model {workload.model!r}; "
+            f"expected one of {', '.join(WORKLOAD_MODEL_NAMES)}"
         )
 
 
@@ -129,6 +138,13 @@ class TraceExperimentConfig:
     #: With the interruptible model: resume cut transfers on the next
     #: contact of the same pair instead of discarding the partial bytes.
     contact_resume: bool = False
+    #: Traffic workload of every cell: arrival model, burstiness,
+    #: destination popularity and class mix (see :mod:`repro.workloads`).
+    #: The default generates the paper's uniform per-pair Poisson traffic
+    #: byte-identically to the pre-subsystem harness.  Individual
+    #: :class:`~repro.engine.ScenarioSpec` cells may override the model
+    #: name, which is how grids sweep the workload axis.
+    workload: WorkloadParameters = field(default_factory=WorkloadParameters)
 
     def __post_init__(self) -> None:
         if self.num_days < 1:
@@ -136,6 +152,7 @@ class TraceExperimentConfig:
         if self.load_packets_per_hour <= 0:
             raise ConfigurationError("load must be positive")
         _validate_contact_model(self.contact_model)
+        _validate_workload(self.workload)
 
     def with_load(self, load_packets_per_hour: float) -> "TraceExperimentConfig":
         """Return a copy at the given load (packets/hour/destination)."""
@@ -145,9 +162,14 @@ class TraceExperimentConfig:
         """Return a copy using the named contact model."""
         return replace(self, contact_model=contact_model)
 
+    def with_workload(self, workload: WorkloadParameters) -> "TraceExperimentConfig":
+        """Return a copy using the given workload parameters."""
+        return replace(self, workload=workload)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible representation (used by the experiment engine)."""
         data = asdict(self)
+        data["workload"] = self.workload.to_dict()
         data["family"] = "trace"
         return data
 
@@ -156,6 +178,8 @@ class TraceExperimentConfig:
         """Rebuild a configuration from its :meth:`to_dict` form."""
         kwargs = {k: v for k, v in data.items() if k != "family"}
         kwargs["trace_parameters"] = DieselNetParameters(**kwargs["trace_parameters"])
+        if isinstance(kwargs.get("workload"), dict):
+            kwargs["workload"] = WorkloadParameters.from_dict(kwargs["workload"])
         return cls(**kwargs)
 
     @classmethod
@@ -224,16 +248,23 @@ class SyntheticExperimentConfig:
     contact_model: str = "instantaneous"
     #: Resume cut transfers across contacts (see :class:`TraceExperimentConfig`).
     contact_resume: bool = False
+    #: Traffic workload of every cell (see :class:`TraceExperimentConfig`).
+    workload: WorkloadParameters = field(default_factory=WorkloadParameters)
 
     def __post_init__(self) -> None:
         _validate_mobility(self.mobility)
         if self.num_runs < 1:
             raise ConfigurationError("num_runs must be at least 1")
         _validate_contact_model(self.contact_model)
+        _validate_workload(self.workload)
 
     def with_contact_model(self, contact_model: str) -> "SyntheticExperimentConfig":
         """Return a copy using the named contact model."""
         return replace(self, contact_model=contact_model)
+
+    def with_workload(self, workload: WorkloadParameters) -> "SyntheticExperimentConfig":
+        """Return a copy using the given workload parameters."""
+        return replace(self, workload=workload)
 
     def load_to_packets_per_hour(self, packets_per_interval: float) -> float:
         """Convert the paper's load axis (packets per ``packet_interval`` per
@@ -251,6 +282,7 @@ class SyntheticExperimentConfig:
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible representation (used by the experiment engine)."""
         data = asdict(self)
+        data["workload"] = self.workload.to_dict()
         data["family"] = "synthetic"
         return data
 
@@ -260,6 +292,8 @@ class SyntheticExperimentConfig:
         kwargs = {k: v for k, v in data.items() if k != "family"}
         if isinstance(kwargs.get("spatial"), dict):
             kwargs["spatial"] = SpatialParameters.from_dict(kwargs["spatial"])
+        if isinstance(kwargs.get("workload"), dict):
+            kwargs["workload"] = WorkloadParameters.from_dict(kwargs["workload"])
         return cls(**kwargs)
 
     def with_buffer(self, buffer_capacity: float) -> "SyntheticExperimentConfig":

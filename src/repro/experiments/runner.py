@@ -99,8 +99,13 @@ class TraceRunner:
         noise: Optional[DeploymentNoise] = None,
         buffer_capacity: Optional[float] = None,
         metadata_fraction_cap: Optional[float] = None,
+        workload: Optional[str] = None,
     ) -> List[ScenarioSpec]:
-        """One cell per day for *spec* at the (resolved) load."""
+        """One cell per day for *spec* at the (resolved) load.
+
+        ``workload`` overrides the configuration's traffic model for
+        these cells (the per-sweep handle of the workload axis).
+        """
         if load is None:
             load = self.config.load_packets_per_hour
         return [
@@ -112,6 +117,7 @@ class TraceRunner:
                 buffer_capacity=buffer_capacity,
                 metadata_fraction_cap=metadata_fraction_cap,
                 noise=noise,
+                workload=workload,
             )
             for index in range(self.config.num_days)
         ]
@@ -192,11 +198,13 @@ class SyntheticRunner:
         load: Optional[float] = None,
         buffer_capacity: Optional[float] = None,
         mobility: Optional[str] = None,
+        workload: Optional[str] = None,
     ) -> List[ScenarioSpec]:
         """One cell per random run for *spec* at the given load.
 
-        ``mobility`` overrides the configuration's mobility model for
-        these cells (the per-sweep handle of the mobility axis).
+        ``mobility`` and ``workload`` override the configuration's
+        mobility and traffic models for these cells (the per-sweep
+        handles of those grid axes).
         """
         if load is None:
             raise ConfigurationError(
@@ -210,6 +218,7 @@ class SyntheticRunner:
                 run_index=run_index,
                 buffer_capacity=buffer_capacity,
                 mobility=mobility,
+                workload=workload,
             )
             for run_index in range(self.config.num_runs)
         ]

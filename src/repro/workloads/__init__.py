@@ -1,0 +1,155 @@
+"""Traffic workload subsystem: pluggable arrival/popularity/class models.
+
+The paper evaluates routing along one traffic knob — the mean load —
+but arrival burstiness, destination skew and packet-class mixes shape
+routing behaviour just as strongly.  This package makes traffic a
+first-class experiment axis, the way :mod:`repro.mobility` did for
+movement:
+
+* :class:`TrafficModel` (:mod:`~repro.workloads.base`) — the seeded
+  arrival-generator base with its fixed-draw-order contract;
+* :mod:`~repro.workloads.models` — :class:`UniformCBR` (the paper's
+  workload, byte-identical to the historic generator),
+  :class:`PoissonArrivals` and the ON/OFF :class:`MMPPBursty`;
+* :mod:`~repro.workloads.popularity` — uniform / Zipf / hotspot
+  destination popularity;
+* :mod:`~repro.workloads.profile` — the :class:`DiurnalProfile` rate
+  modulator;
+* :class:`WorkloadParameters` (:mod:`~repro.workloads.params`) — the
+  declarative knobs that serialize with the experiment configuration.
+
+Models are registered by name in :data:`WORKLOAD_MODELS` and built
+through :func:`build_traffic_model`, which is how the experiment engine
+resolves the ``workload`` axis of a configuration or scenario grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..dtn.packet import PacketFactory
+from .base import TrafficModel
+from .models import MMPPBursty, PoissonArrivals, UniformCBR
+from .params import DEFAULT_TRAFFIC_CLASS, TrafficClass, WorkloadParameters
+from .popularity import (
+    DestinationPopularity,
+    HotspotPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+)
+from .profile import DiurnalProfile
+
+#: A model builder maps (params, common TrafficModel kwargs) to a model.
+ModelBuilder = Callable[..., TrafficModel]
+
+
+def _build_uniform(params: WorkloadParameters, **common) -> TrafficModel:
+    return UniformCBR(**common)
+
+
+def _build_poisson(params: WorkloadParameters, **common) -> TrafficModel:
+    return PoissonArrivals(**common)
+
+
+def _build_bursty(params: WorkloadParameters, **common) -> TrafficModel:
+    return MMPPBursty(
+        burstiness=params.burstiness, burst_cycle=params.burst_cycle, **common
+    )
+
+
+def _build_zipf(params: WorkloadParameters, **common) -> TrafficModel:
+    return PoissonArrivals(popularity=ZipfPopularity(params.zipf_alpha), **common)
+
+
+def _build_hotspot(params: WorkloadParameters, **common) -> TrafficModel:
+    return PoissonArrivals(
+        popularity=HotspotPopularity(params.hotspot_fraction, params.hotspot_weight),
+        **common,
+    )
+
+
+def _build_diurnal(params: WorkloadParameters, **common) -> TrafficModel:
+    return PoissonArrivals(
+        profile=DiurnalProfile(
+            amplitude=params.diurnal_amplitude, period=params.diurnal_period
+        ),
+        **common,
+    )
+
+
+#: Registry of arrival models by their configuration/CLI name.
+WORKLOAD_MODELS: Dict[str, ModelBuilder] = {
+    "uniform": _build_uniform,
+    "poisson": _build_poisson,
+    "bursty": _build_bursty,
+    "zipf": _build_zipf,
+    "hotspot": _build_hotspot,
+    "diurnal": _build_diurnal,
+}
+
+#: The workload model names, in registry order (stable for CLI help).
+WORKLOAD_MODEL_NAMES = tuple(WORKLOAD_MODELS)
+
+
+def build_traffic_model(
+    params: WorkloadParameters,
+    packets_per_hour: float,
+    packet_size: int,
+    deadline: Optional[float] = None,
+    seed: Optional[int] = None,
+    model: Optional[str] = None,
+    factory: Optional[PacketFactory] = None,
+) -> TrafficModel:
+    """Build the arrival model *params* (or the *model* override) names.
+
+    Args:
+        params: The workload knobs (burstiness, popularity skew, class
+            mix); ``params.model`` names the arrival model unless
+            *model* overrides it — the engine-level handle behind the
+            grid's workload axis.
+        packets_per_hour: Mean per source-destination-pair rate.
+        packet_size: Default packet size in bytes.
+        deadline: Optional relative deadline applied to every packet.
+        seed: Random seed of the arrival stream.
+        model: Optional registry-name override of ``params.model``.
+        factory: Optional shared :class:`~repro.dtn.packet.PacketFactory`.
+
+    Raises:
+        KeyError: When the resolved name is not a registered model.
+    """
+    resolved = model if model is not None else params.model
+    try:
+        builder = WORKLOAD_MODELS[resolved]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload model {resolved!r}; "
+            f"expected one of {', '.join(WORKLOAD_MODEL_NAMES)}"
+        ) from None
+    return builder(
+        params,
+        packets_per_hour=packets_per_hour,
+        packet_size=packet_size,
+        deadline=deadline,
+        seed=seed,
+        factory=factory,
+        classes=params.classes,
+    )
+
+
+__all__ = [
+    "DEFAULT_TRAFFIC_CLASS",
+    "DestinationPopularity",
+    "DiurnalProfile",
+    "HotspotPopularity",
+    "MMPPBursty",
+    "PoissonArrivals",
+    "TrafficClass",
+    "TrafficModel",
+    "UniformCBR",
+    "UniformPopularity",
+    "WORKLOAD_MODELS",
+    "WORKLOAD_MODEL_NAMES",
+    "WorkloadParameters",
+    "ZipfPopularity",
+    "build_traffic_model",
+]

@@ -1,0 +1,206 @@
+"""The :class:`TrafficModel` base class.
+
+A traffic model turns a node population and a time horizon into a
+time-sorted list of :class:`~repro.dtn.packet.Packet`\\ s.  Concrete
+models implement one hook — :meth:`TrafficModel.arrivals`, yielding
+``(source, destination, creation_time)`` triples in **draw order** —
+and inherit packet materialisation (id assignment, class tagging) and
+the time sort.
+
+Determinism contract
+--------------------
+
+All arrival randomness flows through the single seeded generator
+``self._rng``, and models must draw from it in a fixed, documented
+order.  Class assignment draws come from an *independent* seeded stream
+(``self._class_rng``) that is consumed only when a multi-class mix is
+configured — so adding classes to a workload never shifts the arrival
+draws, and the default single-class configuration performs exactly the
+draws the historic generator performed.  A fixed seed therefore yields
+byte-identical packets across processes and engine backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import constants, units
+from ..dtn.packet import Packet, PacketFactory
+from .params import DEFAULT_TRAFFIC_CLASS, TrafficClass
+from .popularity import DestinationPopularity, UniformPopularity
+from .profile import DiurnalProfile
+
+#: An arrival is (source, destination, creation_time), in draw order.
+Arrival = Tuple[int, int, float]
+
+
+class TrafficModel(abc.ABC):
+    """Base class of seeded packet-arrival generators.
+
+    Args:
+        packets_per_hour: Mean rate at which each source generates
+            packets for each individual destination (the paper's load
+            axis).  Models that draw aggregate per-source processes
+            scale this by the destination count so the offered load
+            matches the per-pair models at every population size.
+        packet_size: Default packet size in bytes (classes may override).
+        deadline: Optional relative deadline applied to every packet
+            (classes may override).
+        seed: Random seed of the arrival stream.
+        factory: Optional shared :class:`~repro.dtn.packet.PacketFactory`
+            so several workloads (e.g. different trace days) produce
+            unique ids.
+        classes: Multi-class traffic mix; empty means the single
+            default class.
+        popularity: Destination-popularity distribution of the models
+            that draw destinations per arrival; ``None`` means uniform.
+        profile: Optional time-varying rate profile, applied by
+            thinning (see :mod:`repro.workloads.profile`).
+    """
+
+    #: Registry name of the model (set by concrete subclasses).
+    name: str = ""
+
+    def __init__(
+        self,
+        packets_per_hour: float,
+        packet_size: int = constants.DEFAULT_PACKET_SIZE,
+        deadline: Optional[float] = None,
+        seed: Optional[int] = None,
+        factory: Optional[PacketFactory] = None,
+        classes: Sequence[TrafficClass] = (),
+        popularity: Optional[DestinationPopularity] = None,
+        profile: Optional[DiurnalProfile] = None,
+    ) -> None:
+        if packets_per_hour <= 0:
+            raise ValueError("packets_per_hour must be positive")
+        self.packets_per_hour = float(packets_per_hour)
+        self.packet_size = int(packet_size)
+        self.deadline = deadline
+        self.classes = tuple(classes)
+        self.popularity = popularity or UniformPopularity()
+        self.profile = profile
+        self._rng = np.random.default_rng(seed)
+        # The class stream is seeded independently of the arrival stream
+        # (and never consumed for the default single-class mix), so class
+        # mixes compose with any model without perturbing its arrivals.
+        self._class_rng = np.random.default_rng(
+            None if seed is None else [int(seed), 0x5CA1AB1E]
+        )
+        self._factory = factory or PacketFactory()
+        # The class mix is fixed at construction; precompute its
+        # cumulative weights so tagging costs one uniform per packet.
+        if self.classes:
+            class_weights = np.array([cls.weight for cls in self.classes], dtype=float)
+            self._class_cumulative = np.cumsum(class_weights / class_weights.sum())
+        else:
+            self._class_cumulative = None
+        # Bound per generate() call (weights are invariant per node set).
+        self._prepared_popularity = None
+
+    @property
+    def rate_per_second(self) -> float:
+        """Per source-destination pair packet rate in packets/second."""
+        return self.packets_per_hour / units.HOUR
+
+    # ------------------------------------------------------------------
+    # Hook for concrete models
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def arrivals(
+        self, nodes: Sequence[int], duration: float, start_time: float
+    ) -> Iterable[Arrival]:
+        """Yield ``(source, destination, creation_time)`` in draw order.
+
+        Implementations draw exclusively from ``self._rng``, in the
+        order documented in their class docstring; packet ids are
+        assigned in yield order, which makes the order part of the
+        byte-identity contract.
+        """
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        nodes: Sequence[int],
+        duration: float,
+        start_time: float = 0.0,
+    ) -> List[Packet]:
+        """Generate the packets of ``[start_time, start_time + duration)``.
+
+        Returns the packets sorted by creation time (the stable sort
+        preserves draw order among simultaneous creations, exactly as
+        the historic generator did).
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if len(nodes) < 2:
+            raise ValueError("need at least two nodes to generate traffic")
+        self._prepared_popularity = self.popularity.prepare(list(nodes))
+        packets = [
+            self._materialise(source, destination, creation_time)
+            for source, destination, creation_time in self.arrivals(
+                list(nodes), duration, start_time
+            )
+        ]
+        packets.sort(key=lambda p: p.creation_time)
+        return packets
+
+    def _materialise(self, source: int, destination: int, creation_time: float) -> Packet:
+        """Create one packet, tagging it with its drawn traffic class."""
+        if not self.classes:
+            return self._factory.create(
+                source=source,
+                destination=destination,
+                size=self.packet_size,
+                creation_time=creation_time,
+                deadline=self.deadline,
+            )
+        traffic_class = self._draw_class()
+        return self._factory.create(
+            source=source,
+            destination=destination,
+            size=self.packet_size if traffic_class.size is None else traffic_class.size,
+            creation_time=creation_time,
+            deadline=self.deadline if traffic_class.deadline is None else traffic_class.deadline,
+            traffic_class=traffic_class.name,
+            priority=traffic_class.priority,
+        )
+
+    def _draw_class(self) -> TrafficClass:
+        """Draw one class from the mix (one uniform from the class stream)."""
+        draw = self._class_rng.random()
+        return self.classes[
+            int(np.searchsorted(self._class_cumulative, draw, side="right"))
+        ]
+
+    # ------------------------------------------------------------------
+    # Shared drawing helpers
+    # ------------------------------------------------------------------
+    def _draw_destination(self, nodes: Sequence[int], source_index: int) -> int:
+        """One popularity-weighted destination draw (one uniform variate)."""
+        if self._prepared_popularity is None:
+            self._prepared_popularity = self.popularity.prepare(list(nodes))
+        return self._prepared_popularity.sample(self._rng, source_index)
+
+    def _accepted(self, time: float) -> bool:
+        """Thinning accept/reject for *time* under the rate profile.
+
+        Without a profile no draw is consumed and every candidate is
+        accepted; with one, exactly one uniform variate is consumed.
+        """
+        if self.profile is None:
+            return True
+        return float(self._rng.random()) < self.profile.acceptance(time)
+
+    def _peak_multiplier(self) -> float:
+        """The profile's peak rate multiplier (1 without a profile)."""
+        return 1.0 if self.profile is None else self.profile.peak
+
+
+#: The default traffic-class name, re-exported for metric consumers.
+__all__ = ["Arrival", "TrafficModel", "DEFAULT_TRAFFIC_CLASS"]

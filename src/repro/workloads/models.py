@@ -1,0 +1,154 @@
+"""Concrete arrival models.
+
+Three arrival processes cover the workload space the routing literature
+cares about:
+
+* :class:`UniformCBR` — the paper's per-pair Poisson generator, byte-
+  identical to the historic ``repro.dtn.workload.PoissonWorkload``;
+* :class:`PoissonArrivals` — an aggregate per-source Poisson process
+  whose destinations come from a pluggable popularity distribution
+  (uniform, Zipf or hotspot) and whose rate can follow a diurnal
+  profile;
+* :class:`MMPPBursty` — an ON/OFF Markov-modulated Poisson process that
+  keeps the mean rate but concentrates arrivals into bursts.
+
+Every model documents its RNG draw order; that order is part of the
+repository-wide byte-identity contract (see ``docs/workloads.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from .base import Arrival, TrafficModel
+
+
+class UniformCBR(TrafficModel):
+    """Uniform per-pair Poisson traffic — the paper's workload.
+
+    Every node generates packets for every other node with exponential
+    inter-arrival times of mean ``1 / rate_per_second`` (Section 5.1 of
+    the paper; the synthetic experiments use the same construction at
+    Table 4's rates).
+
+    Draw order: for each ordered ``(source, destination)`` pair — outer
+    loop over sources, inner over destinations, both in sequence order —
+    one exponential gap per arrival until the horizon is passed.  This
+    is exactly the draw order of the historic ``PoissonWorkload``, which
+    makes the default workload byte-identical to the pre-subsystem
+    generator.  Destination popularity does not apply (every pair has
+    its own process) and a rate profile thins each pair's process
+    independently (one accept draw per candidate, after its gap draw).
+    """
+
+    name = "uniform"
+
+    def arrivals(
+        self, nodes: Sequence[int], duration: float, start_time: float
+    ) -> Iterator[Arrival]:
+        """Per-pair exponential-gap arrivals, pair by pair."""
+        mean_gap = 1.0 / (self.rate_per_second * self._peak_multiplier())
+        for source in nodes:
+            for destination in nodes:
+                if source == destination:
+                    continue
+                t = start_time + float(self._rng.exponential(mean_gap))
+                while t < start_time + duration:
+                    if self._accepted(t):
+                        yield source, destination, t
+                    t += float(self._rng.exponential(mean_gap))
+
+
+class PoissonArrivals(TrafficModel):
+    """Aggregate per-source Poisson arrivals with drawn destinations.
+
+    Each source emits one Poisson process at ``rate_per_second * (n-1)``
+    (so the offered load matches :class:`UniformCBR` at every population
+    size); each arrival's destination is drawn from the configured
+    :class:`~repro.workloads.popularity.DestinationPopularity`.  This is
+    the model behind the ``poisson``, ``zipf``, ``hotspot`` and
+    ``diurnal`` registry names — they differ only in popularity/profile.
+
+    Draw order: for each source in sequence order — one exponential gap
+    per candidate arrival; under a rate profile one accept draw follows
+    each gap; one destination draw (a single uniform) per *accepted*
+    arrival.
+    """
+
+    name = "poisson"
+
+    def arrivals(
+        self, nodes: Sequence[int], duration: float, start_time: float
+    ) -> Iterator[Arrival]:
+        """Per-source aggregate arrivals with popularity-drawn sinks."""
+        aggregate = self.rate_per_second * (len(nodes) - 1) * self._peak_multiplier()
+        mean_gap = 1.0 / aggregate
+        for source_index, source in enumerate(nodes):
+            t = start_time + float(self._rng.exponential(mean_gap))
+            while t < start_time + duration:
+                if self._accepted(t):
+                    destination = self._draw_destination(nodes, source_index)
+                    yield source, destination, t
+                t += float(self._rng.exponential(mean_gap))
+
+
+class MMPPBursty(TrafficModel):
+    """ON/OFF Markov-modulated Poisson arrivals (mean-preserving bursts).
+
+    Each source alternates between an ON state emitting at
+    ``burstiness`` times the mean aggregate rate and a silent OFF state.
+    Sojourn times are exponential with means ``burst_cycle / burstiness``
+    (ON) and ``burst_cycle * (1 - 1/burstiness)`` (OFF), so the duty
+    cycle is ``1 / burstiness`` and the long-run mean rate equals the
+    configured load exactly — burstiness reshapes *when* packets appear,
+    not how many.
+
+    Draw order: for each source in sequence order, starting in the ON
+    state — one exponential ON-sojourn draw; within the ON window one
+    exponential gap per candidate arrival (each followed by an accept
+    draw under a rate profile, and one destination draw per accepted
+    arrival); then one exponential OFF-sojourn draw; repeat until the
+    horizon is passed.
+
+    Args:
+        burstiness: Peak-to-mean rate ratio (> 1).
+        burst_cycle: Mean ON+OFF cycle length in seconds.
+        **kwargs: Forwarded to :class:`~repro.workloads.base.TrafficModel`.
+    """
+
+    name = "bursty"
+
+    def __init__(self, burstiness: float = 4.0, burst_cycle: float = 600.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if burstiness <= 1.0:
+            raise ValueError("burstiness must exceed 1 (1 = not bursty)")
+        if burst_cycle <= 0:
+            raise ValueError("burst_cycle must be positive")
+        self.burstiness = float(burstiness)
+        self.burst_cycle = float(burst_cycle)
+
+    def arrivals(
+        self, nodes: Sequence[int], duration: float, start_time: float
+    ) -> Iterator[Arrival]:
+        """Per-source ON/OFF bursts of aggregate Poisson arrivals."""
+        aggregate = self.rate_per_second * (len(nodes) - 1) * self._peak_multiplier()
+        on_rate = aggregate * self.burstiness
+        duty = 1.0 / self.burstiness
+        mean_on = self.burst_cycle * duty
+        mean_off = self.burst_cycle * (1.0 - duty)
+        horizon = start_time + duration
+        for source_index, source in enumerate(nodes):
+            t = start_time
+            while t < horizon:
+                on_end = t + float(self._rng.exponential(mean_on))
+                arrival = t + float(self._rng.exponential(1.0 / on_rate))
+                while arrival < min(on_end, horizon):
+                    if self._accepted(arrival):
+                        destination = self._draw_destination(nodes, source_index)
+                        yield source, destination, arrival
+                    arrival += float(self._rng.exponential(1.0 / on_rate))
+                t = on_end + float(self._rng.exponential(mean_off))
+
+
+#: Concrete model classes, for introspection and tests.
+ALL_MODELS: List[type] = [UniformCBR, PoissonArrivals, MMPPBursty]

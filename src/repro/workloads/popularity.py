@@ -1,0 +1,145 @@
+"""Destination-popularity distributions.
+
+The paper's workload addresses every destination uniformly; real
+deployments skew hard — a few sinks (gateways, popular peers) attract
+most of the traffic, and balanced-allocation analyses show that this
+skew, not just the mean rate, drives routing behaviour.  A
+:class:`DestinationPopularity` maps a node population to per-node
+selection weights; arrival models draw each packet's destination from
+it (excluding the packet's source).
+
+Draw-order contract: sampling one destination consumes exactly one
+uniform variate from the model's RNG, whatever the distribution — so
+swapping popularities never shifts the arrival-time draws around it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+
+class DestinationPopularity(abc.ABC):
+    """Maps a node population to per-destination selection weights."""
+
+    @abc.abstractmethod
+    def weights(self, nodes: Sequence[int]) -> np.ndarray:
+        """Unnormalised selection weight per position of *nodes*.
+
+        Weights attach to the *position* in the node sequence (its
+        rank), not the node id, so popularity is stable under node
+        relabelling and reproducible for any node set.
+        """
+
+    def prepare(self, nodes: Sequence[int]) -> "PreparedPopularity":
+        """Bind the distribution to one node population for fast sampling.
+
+        The weights (and the per-source cumulative sums) are invariant
+        per population, so models prepare once per ``generate()`` and
+        pay O(log n) per destination draw instead of rebuilding the
+        arrays per packet.
+        """
+        return PreparedPopularity(self, nodes)
+
+    def sample(self, rng: np.random.Generator, nodes: Sequence[int], source_index: int) -> int:
+        """Draw one destination for the source at *source_index*.
+
+        Consumes exactly one uniform variate.  The source's own weight
+        is zeroed so a packet never addresses its creator.  One-shot
+        convenience — repeated sampling should go through
+        :meth:`prepare`.
+        """
+        return self.prepare(nodes).sample(rng, source_index)
+
+
+class PreparedPopularity:
+    """A :class:`DestinationPopularity` bound to one node population.
+
+    Caches the weight vector and one cumulative distribution per source
+    index (the source's weight zeroed, the rest renormalised), so each
+    draw costs one uniform variate plus a binary search — numerically
+    identical to recomputing the arrays per draw.
+    """
+
+    def __init__(self, popularity: DestinationPopularity, nodes: Sequence[int]) -> None:
+        self._nodes = list(nodes)
+        weights = np.asarray(popularity.weights(self._nodes), dtype=float)
+        if len(weights) != len(self._nodes):
+            raise ValueError("popularity weights must match the node population")
+        self._weights = weights
+        self._cumulative: dict = {}
+
+    def sample(self, rng: np.random.Generator, source_index: int) -> int:
+        """Draw one destination for *source_index* (one uniform variate)."""
+        cumulative = self._cumulative.get(source_index)
+        if cumulative is None:
+            weights = self._weights.copy()
+            weights[source_index] = 0.0
+            total = weights.sum()
+            if total <= 0:
+                raise ValueError(
+                    "popularity weights must leave at least one destination"
+                )
+            cumulative = np.cumsum(weights / total)
+            self._cumulative[source_index] = cumulative
+        draw = rng.random()
+        return int(self._nodes[int(np.searchsorted(cumulative, draw, side="right"))])
+
+
+class UniformPopularity(DestinationPopularity):
+    """Every destination equally likely — the paper's workload."""
+
+    def weights(self, nodes: Sequence[int]) -> np.ndarray:
+        """A weight of 1 for every node."""
+        return np.ones(len(nodes), dtype=float)
+
+
+class ZipfPopularity(DestinationPopularity):
+    """Zipf-ranked popularity: the ``r``-th node draws ``(r+1)^-alpha``.
+
+    Args:
+        alpha: Skew exponent; ``0`` degenerates to uniform, web-trace
+            values sit around ``0.6-1.0``.
+    """
+
+    def __init__(self, alpha: float = 0.8) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+
+    def weights(self, nodes: Sequence[int]) -> np.ndarray:
+        """Rank-ordered Zipf weights over the node positions."""
+        ranks = np.arange(1, len(nodes) + 1, dtype=float)
+        return ranks ** -self.alpha
+
+
+class HotspotPopularity(DestinationPopularity):
+    """A few hotspot nodes attract a fixed share of all traffic.
+
+    Args:
+        fraction: Fraction of the population that is hot (at least one
+            node — the *first* nodes of the sequence, mirroring
+            :class:`ZipfPopularity`'s rank convention).
+        weight: Total probability mass on the hotspot set; the
+            remainder spreads uniformly over the other nodes.
+    """
+
+    def __init__(self, fraction: float = 0.1, weight: float = 0.7) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not 0.0 < weight < 1.0:
+            raise ValueError("weight must be in (0, 1)")
+        self.fraction = float(fraction)
+        self.weight = float(weight)
+
+    def weights(self, nodes: Sequence[int]) -> np.ndarray:
+        """Hotspot-weighted selection weights over the node positions."""
+        count = len(nodes)
+        hot = max(1, int(round(self.fraction * count)))
+        if hot >= count:
+            return np.ones(count, dtype=float)
+        weights = np.full(count, (1.0 - self.weight) / (count - hot), dtype=float)
+        weights[:hot] = self.weight / hot
+        return weights

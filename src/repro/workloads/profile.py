@@ -1,0 +1,64 @@
+"""Time-varying rate profiles.
+
+A rate profile modulates an arrival model's instantaneous rate over
+simulation time.  The canonical instance is the diurnal cycle — traffic
+peaks during the day and troughs at night — which load-balancing studies
+identify as a first-order effect on routing quality, independent of the
+mean rate.
+
+Models apply a profile by *thinning*: candidate arrivals are generated
+at the profile's peak rate and each one is accepted with probability
+``multiplier(t) / peak``, which preserves the exact inhomogeneous
+Poisson statistics.  Draw-order contract: one gap draw per candidate,
+then one uniform accept draw — destinations are drawn only for accepted
+arrivals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import units
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A sinusoidal day/night rate modulation.
+
+    The instantaneous rate multiplier is
+    ``1 + amplitude * sin(2 * pi * (t - phase) / period)``, so the mean
+    multiplier over a whole period is exactly 1 — the profile reshapes
+    traffic in time without changing the configured mean load.
+
+    Attributes:
+        amplitude: Relative swing in ``[0, 1)``; ``0.5`` means the rate
+            oscillates between half and one-and-a-half times the mean.
+        period: Cycle length in seconds (a day by default).
+        phase: Time offset in seconds of the cycle's zero crossing.
+    """
+
+    amplitude: float = 0.5
+    period: float = 24 * units.HOUR
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def peak(self) -> float:
+        """The maximum rate multiplier, ``1 + amplitude``."""
+        return 1.0 + self.amplitude
+
+    def multiplier(self, time: float) -> float:
+        """The instantaneous rate multiplier at simulation *time*."""
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (time - self.phase) / self.period
+        )
+
+    def acceptance(self, time: float) -> float:
+        """Thinning acceptance probability at *time* (multiplier / peak)."""
+        return self.multiplier(time) / self.peak

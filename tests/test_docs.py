@@ -46,6 +46,12 @@ PUBLIC_API_MODULES = (
     "repro.mobility.spatial.grid",
     "repro.experiments.config",
     "repro.experiments.runner",
+    "repro.workloads",
+    "repro.workloads.base",
+    "repro.workloads.models",
+    "repro.workloads.params",
+    "repro.workloads.popularity",
+    "repro.workloads.profile",
 )
 
 
