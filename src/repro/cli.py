@@ -19,7 +19,18 @@
   simulation (exponential mobility by default; ``--mobility`` selects
   any model, including the spatial ones, ``--workload`` any traffic
   model and ``--contact-model`` any contact semantics) and print the
-  summary.
+  summary;
+* ``repro-dtn inspect trace.jsonl --packet 3`` — replay a lifecycle
+  trace written by ``--trace-out`` into an overview, one packet's
+  timeline, a per-packet table or a per-node summary.
+
+Observability flags shared by ``run``/``sweep``/``quicksim``:
+``--trace-out FILE`` streams every cell's lifecycle events as canonical
+JSONL (byte-identical across ``--workers`` counts and cache states),
+``--metrics-interval SECONDS`` attaches sampled time-series metrics to
+every result, ``--progress`` prints a live cell counter, and (engine
+commands only) ``--telemetry-out FILE`` writes the machine-readable
+sweep report: per-cell wall times, cache traffic, worker utilization.
 
 The full reference, generated from these parsers, lives in
 ``docs/reference/cli.md``.
@@ -29,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 from typing import List, Optional
@@ -37,7 +49,8 @@ from . import constants, units
 from .profiling import ENV_PROFILE
 from .dtn.simulator import run_simulation
 from .exceptions import ReproError
-from .engine import ExperimentEngine, use_engine
+from .engine import ExperimentEngine, ObservabilityOptions, SweepTelemetry, use_engine
+from .observability import JsonlSink
 from .experiments import (
     EXPERIMENT_INDEX,
     FigureResult,
@@ -179,6 +192,47 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "freshly executed simulation cell (SimulationResult.timings; "
         "never persisted to the result cache)",
     )
+    _add_observability_arguments(parser)
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable sweep-telemetry report (per-cell "
+        "wall times, cache hit/miss counters, worker utilization) to FILE "
+        "as JSON",
+    )
+
+
+def _add_observability_arguments(
+    parser: argparse.ArgumentParser, include_progress: bool = True
+) -> None:
+    """Add the per-cell observability flags shared with ``quicksim``."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write every simulation cell's lifecycle events (packet "
+        "created/replicated/delivered/evicted/expired, contact open/close, "
+        "transfer start/interrupt/resume, ack propagation) to FILE as "
+        "canonical JSONL; bytes are identical for any --workers count and "
+        "any cache state (replay with 'repro-dtn inspect')",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sample time-series metrics (per-node buffer occupancy, "
+        "in-flight replicas, delivery rate, channel utilization, RAPID "
+        "utility distribution) every SECONDS of simulated time and attach "
+        "them to each result (never persisted to the result cache)",
+    )
+    if include_progress:
+        parser.add_argument(
+            "--progress",
+            action="store_true",
+            help="print a live progress line (completed/total cells) to stderr",
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -264,6 +318,47 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-phase wall-time and call-count breakdown",
     )
+    _add_observability_arguments(sim_parser, include_progress=False)
+
+    inspect_parser = subparsers.add_parser(
+        "inspect", help="replay a JSONL lifecycle trace written by --trace-out"
+    )
+    inspect_parser.add_argument(
+        "trace", help="path to a trace file written by --trace-out"
+    )
+    inspect_parser.add_argument(
+        "--packet",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="print one packet's full chronological timeline",
+    )
+    inspect_parser.add_argument(
+        "--node",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="print one node's traffic summary",
+    )
+    inspect_parser.add_argument(
+        "--packets",
+        action="store_true",
+        help="print the per-packet summary table (created/delivered/delay/"
+        "hops/replicas/evictions)",
+    )
+    inspect_parser.add_argument(
+        "--nodes",
+        action="store_true",
+        help="print the per-node traffic summary (contacts/sent/received/"
+        "delivered/evictions/acks)",
+    )
+    inspect_parser.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        metavar="N",
+        help="maximum rows of the per-packet table",
+    )
 
     return parser
 
@@ -292,12 +387,93 @@ def _profile_scope(enabled: bool):
             os.environ[ENV_PROFILE] = previous
 
 
+class _ProgressPrinter:
+    """Live ``completed/total cells`` line on one terminal row (stderr)."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._last_len = 0
+
+    def __call__(self, completed: int, total: int, spec) -> None:
+        line = f"[progress] {completed}/{total} cells  {spec.label}"
+        padding = " " * max(0, self._last_len - len(line))
+        self.stream.write("\r" + line + padding)
+        self._last_len = len(line)
+        if completed >= total:
+            self.stream.write("\n")
+            self._last_len = 0
+        self.stream.flush()
+
+
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+    progress = _ProgressPrinter() if getattr(args, "progress", False) else None
     return ExperimentEngine(
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        progress=progress,
     )
+
+
+def _observability_from_args(args: argparse.Namespace) -> ObservabilityOptions:
+    """The per-cell collection request of this invocation (may be off)."""
+    try:
+        return ObservabilityOptions(
+            trace=getattr(args, "trace_out", None) is not None,
+            metrics_interval=getattr(args, "metrics_interval", None),
+        )
+    except ValueError as exc:
+        raise ConfigurationError(str(exc)) from exc
+
+
+@contextlib.contextmanager
+def _observability_scope(args: argparse.Namespace, engine: ExperimentEngine):
+    """Configure the engine's observability for one command.
+
+    Installs the standing trace writer / metrics request / telemetry
+    collector on *engine*, streams trace lines to ``--trace-out`` while
+    cells run, and writes the ``--telemetry-out`` report (including the
+    result cache's hit/miss/corruption-heal counters) when the command
+    body finishes.
+    """
+    observability = _observability_from_args(args)
+    trace_out = getattr(args, "trace_out", None)
+    telemetry_out = getattr(args, "telemetry_out", None)
+    telemetry = (
+        SweepTelemetry(workers=engine.workers) if telemetry_out is not None else None
+    )
+    handle = None
+
+    def write_line(line: str) -> None:
+        nonlocal handle
+        if handle is None:
+            handle = open(trace_out, "w", encoding="utf-8")
+        handle.write(line)
+        handle.write("\n")
+
+    if observability.enabled:
+        engine.observability = observability
+    if trace_out is not None:
+        engine.trace_writer = write_line
+    if telemetry is not None:
+        engine.telemetry = telemetry
+    try:
+        yield
+    finally:
+        if handle is not None:
+            handle.close()
+            print(f"[trace] wrote {trace_out}", file=sys.stderr)
+        if telemetry is not None:
+            report = telemetry.report(
+                cache_stats=(
+                    engine.cache.stats.as_dict() if engine.cache is not None else None
+                ),
+                engine_stats=engine.stats.as_dict(),
+            )
+            with open(telemetry_out, "w", encoding="utf-8") as out:
+                json.dump(report, out, indent=2, sort_keys=True)
+                out.write("\n")
+            print(f"[telemetry] wrote {telemetry_out}", file=sys.stderr)
 
 
 def _config_from_args(family: str, scale: str, seed: int, contact_model: Optional[str] = None):
@@ -417,6 +593,13 @@ def _print_engine_stats(engine: ExperimentEngine) -> None:
         f"workers: {engine.workers} wall: {stats.wall_time_s:.2f}s",
         file=sys.stderr,
     )
+    if engine.cache is not None:
+        cache = engine.cache.stats
+        print(
+            f"[cache] hits: {cache.hits} misses: {cache.misses} "
+            f"stores: {cache.stores} corrupt healed: {cache.corrupt_entries}",
+            file=sys.stderr,
+        )
 
 
 def _command_list() -> int:
@@ -448,7 +631,9 @@ def _command_run(args: argparse.Namespace) -> int:
         # instead of being silently forced back.
         kwargs["runner"] = SyntheticRunner(config.with_mobility(args.mobility))
     engine = _engine_from_args(args)
-    with _profile_scope(args.profile), engine, use_engine(engine):
+    with _profile_scope(args.profile), engine, use_engine(engine), _observability_scope(
+        args, engine
+    ):
         result = runner_fn(**kwargs)
     print(result.to_text())
     _print_engine_stats(engine)
@@ -504,7 +689,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         y_label=args.metric,
     )
     results = []
-    with _profile_scope(args.profile), engine:
+    with _profile_scope(args.profile), engine, _observability_scope(args, engine):
         for mobility in mobilities:
             for workload in workload_models:
                 run_kwargs = {}
@@ -593,6 +778,7 @@ def _command_quicksim(args: argparse.Namespace) -> int:
     )
     packets = workload.generate(list(range(args.nodes)), args.duration)
     factory = create_factory(args.protocol)
+    observability = _observability_from_args(args)
     options: dict = {}
     if args.profile:
         options["profile"] = True
@@ -600,6 +786,11 @@ def _command_quicksim(args: argparse.Namespace) -> int:
         options["contact_model"] = args.contact_model
         if args.contact_resume:
             options["contact_resume"] = True
+    sink = JsonlSink(args.trace_out) if args.trace_out is not None else None
+    if sink is not None:
+        options["trace_sink"] = sink
+    if observability.metrics_interval is not None:
+        options["metrics_interval"] = observability.metrics_interval
     result = run_simulation(
         schedule,
         packets,
@@ -608,6 +799,9 @@ def _command_quicksim(args: argparse.Namespace) -> int:
         seed=args.seed,
         options=options or None,
     )
+    if sink is not None:
+        sink.close()
+        print(f"[trace] wrote {args.trace_out}", file=sys.stderr)
     print(f"protocol:          {result.protocol_name}")
     for key, value in result.summary().items():
         print(f"{key:35s} {value:.4f}")
@@ -616,6 +810,42 @@ def _command_quicksim(args: argparse.Namespace) -> int:
         print("profile (per-phase wall time and call counts):")
         for key, value in sorted(result.timings.items()):
             print(f"  {key:32s} {value:.6f}")
+    if result.metrics is not None:
+        metrics = result.metrics
+        print()
+        print(
+            f"metrics: {len(metrics['times'])} samples at "
+            f"{metrics['interval']:g}s intervals, "
+            f"{len(metrics['series'])} series, "
+            f"{len(metrics['histograms'])} histograms"
+        )
+        for name, histogram in sorted(metrics["histograms"].items()):
+            print(
+                f"  {name}: n={histogram['count']} mean={histogram['mean']:.3g}"
+            )
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    from .observability.inspect import (
+        load_trace,
+        node_summary,
+        packet_table,
+        packet_timeline,
+        trace_overview,
+    )
+
+    events = load_trace(args.trace)
+    if args.packet is not None:
+        print(packet_timeline(events, args.packet))
+    elif args.node is not None:
+        print(node_summary(events, args.node))
+    elif args.packets:
+        print(packet_table(events, limit=args.limit))
+    elif args.nodes:
+        print(node_summary(events))
+    else:
+        print(trace_overview(events))
     return 0
 
 
@@ -634,6 +864,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "quicksim":
             return _command_quicksim(args)
+        if args.command == "inspect":
+            return _command_inspect(args)
     except ReproError as exc:
         # Bad user input (unknown protocol, workers < 1, ...) — report
         # the message, not a traceback.  Internal invariant failures are
@@ -641,6 +873,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into head/less that quit early — not an error.
+        # Detach stdout so interpreter shutdown does not re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

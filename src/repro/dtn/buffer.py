@@ -92,6 +92,9 @@ class NodeBuffer:
         self._packets: Dict[int, Packet] = {}
         self._arrival_times: Dict[int, float] = {}
         self._used = 0
+        #: Lifetime high-water mark of :attr:`used_bytes` (observability:
+        #: the per-node peak occupancy reported by the metrics registry).
+        self._peak = 0
         self._by_destination: Dict[int, _DestinationQueue] = {}
         self._slow_reference = slow_reference_mode()
 
@@ -116,6 +119,11 @@ class NodeBuffer:
     def free_bytes(self) -> float:
         """Remaining capacity in bytes."""
         return self.capacity - self._used
+
+    @property
+    def peak_used_bytes(self) -> int:
+        """Highest :attr:`used_bytes` ever reached by this buffer."""
+        return self._peak
 
     @property
     def packet_ids(self) -> List[int]:
@@ -166,6 +174,8 @@ class NodeBuffer:
         self._packets[packet.packet_id] = packet
         self._arrival_times[packet.packet_id] = now
         self._used += packet.size
+        if self._used > self._peak:
+            self._peak = self._used
         queue = self._by_destination.get(packet.destination)
         if queue is None:
             queue = self._by_destination[packet.destination] = _DestinationQueue()

@@ -55,6 +55,12 @@ class SimulationResult:
     #: empty — and absent from :meth:`to_dict` — otherwise, so profiling
     #: never perturbs byte-identity of unprofiled results.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Streaming time-series snapshot
+    #: (:meth:`repro.observability.metrics.MetricsRegistry.to_dict`)
+    #: attached when the run sampled metrics; ``None`` — and absent from
+    #: :meth:`to_dict` — otherwise, so default payloads stay
+    #: byte-identical to the wire format before metrics existed.
+    metrics: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Record access
@@ -272,6 +278,11 @@ class SimulationResult:
         }
         if self.timings:
             payload["timings"] = {key: float(value) for key, value in self.timings.items()}
+        if self.metrics is not None:
+            # Included only when the run sampled metrics, so default
+            # payloads stay byte-identical to the wire format as written
+            # before the observability subsystem existed.
+            payload["metrics"] = self.metrics
         contact = self._contact_accounting()
         if contact is not None:
             # Included only when some contact-layer counter is non-zero, so
@@ -388,6 +399,9 @@ class SimulationResult:
         result.timings = {
             str(key): float(value) for key, value in data.get("timings", {}).items()
         }
+        metrics = data.get("metrics")
+        if metrics is not None:
+            result.metrics = dict(metrics)
         contact = data.get("contact")
         if contact:
             result.infinite_capacity_contacts = int(contact.get("infinite_capacity_contacts", 0))
@@ -428,4 +442,9 @@ class SimulationResult:
             merged.transfers_interrupted += result.transfers_interrupted
             merged.transfers_resumed += result.transfers_resumed
             merged.partial_bytes_wasted += result.partial_bytes_wasted
+            # Profiling timings (wall seconds and call counters alike) are
+            # additive across the merged runs; dropping them here would
+            # lose the per-phase breakdown of multi-day sweeps.
+            for key, value in result.timings.items():
+                merged.timings[key] = merged.timings.get(key, 0.0) + float(value)
         return merged

@@ -50,6 +50,8 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, SimulationError
 from ..mobility.schedule import Contact, Meeting, MeetingSchedule
+from ..observability.metrics import MetricsRegistry, metrics_interval_from
+from ..observability.trace import TraceRecorder, TraceSink
 from ..profiling import Profiler, profiling_requested
 from ..routing.base import (
     LinkSession,
@@ -164,6 +166,32 @@ class Simulator:
         self.profiler: Optional[Profiler] = (
             Profiler() if profiling_requested(self.options) else None
         )
+        #: Lifecycle-event recorder; ``None`` (zero overhead) unless a
+        #: ``trace_sink`` was passed in the options.  Events carry
+        #: simulated time only, so the trace is a pure function of the
+        #: cell's inputs regardless of which process runs it.
+        sink = self.options.get("trace_sink")
+        if sink is not None and not isinstance(sink, TraceSink):
+            raise ConfigurationError(
+                "trace_sink option must be a repro.observability TraceSink"
+            )
+        # A disabled sink (NullSink) is indistinguishable from no sink,
+        # so it skips recorder construction entirely and the hot path
+        # keeps its unhooked shape.
+        self.tracer: Optional[TraceRecorder] = (
+            TraceRecorder(sink) if sink is not None and sink.enabled else None
+        )
+        #: Streaming time-series registry; ``None`` unless the
+        #: ``metrics_interval`` option requested sampling.
+        try:
+            interval = metrics_interval_from(self.options)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry(interval) if interval is not None else None
+        )
+        #: Packets accepted into the system so far (delivery-rate gauge).
+        self._packets_created = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -180,7 +208,9 @@ class Simulator:
             node_id: Node.with_capacity(node_id, self.buffer_capacity)
             for node_id in self._node_ids()
         }
-        context = ProtocolContext(nodes=self.nodes, rng=self._rng, options=self.options)
+        context = ProtocolContext(
+            nodes=self.nodes, rng=self._rng, options=self.options, tracer=self.tracer
+        )
         self.context = context
         self.protocols = {
             node_id: self.protocol_factory.create(node, context)
@@ -233,9 +263,15 @@ class Simulator:
 
         queue = self._build_events()
         profiler = self.profiler
+        # One boolean decides whether the loops pay the observability
+        # tick; with tracing and metrics both off (the default) the only
+        # added cost per event is this flag test.
+        observe = self.tracer is not None or self.metrics is not None
         if profiler is None:
             while queue:
                 event = queue.pop()
+                if observe:
+                    self._observe_tick(event.time)
                 if isinstance(event, PacketCreationEvent):
                     self._handle_creation(event.packet, event.time)
                 elif isinstance(event, MeetingEvent):
@@ -252,6 +288,8 @@ class Simulator:
             with profiler.phase("total"):
                 while queue:
                     event = queue.pop()
+                    if observe:
+                        self._observe_tick(event.time)
                     if isinstance(event, PacketCreationEvent):
                         with profiler.phase("packet_creation"):
                             self._handle_creation(event.packet, event.time)
@@ -277,9 +315,84 @@ class Simulator:
             self._close_contact(self._open_contacts[contact_id], self._horizon)
         self._open_contacts.clear()
 
+        if observe:
+            self._finalize_observability(result)
+
         for node_id, node in self.nodes.items():
             result.node_counters[node_id] = node.counters
         return result
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _observe_tick(self, now: float) -> None:
+        """Advance the trace clock and take any due metric samples.
+
+        Runs before the event at *now* is dispatched, so a sample at a
+        boundary reflects the state the preceding events left behind —
+        a deterministic function of event order, never of wall clock.
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.now = now
+        metrics = self.metrics
+        if metrics is not None and metrics.due(now):
+            while metrics.due(now):
+                metrics.push(metrics.next_sample_time, self._metric_sample())
+
+    def _metric_sample(self) -> Dict[str, float]:
+        """One snapshot of every gauge (series keys are fixed per run)."""
+        result = self.result
+        sample: Dict[str, float] = {}
+        total = 0
+        replicas = 0
+        for node_id in self.nodes:
+            used = self.nodes[node_id].buffer.used_bytes
+            sample[f"buffer_bytes.{node_id}"] = float(used)
+            total += used
+            replicas += len(self.nodes[node_id].buffer)
+        sample["buffer_bytes_total"] = float(total)
+        sample["replicas_in_flight"] = float(replicas)
+        sample["delivery_rate"] = (
+            result.deliveries / self._packets_created if self._packets_created else 0.0
+        )
+        used_bytes = result.data_bytes + result.metadata_bytes
+        sample["channel_utilization"] = (
+            used_bytes / result.total_capacity_bytes
+            if result.total_capacity_bytes > 0
+            else 0.0
+        )
+        return sample
+
+    def _finalize_observability(self, result: SimulationResult) -> None:
+        """Emit end-of-run events and attach the metrics snapshot."""
+        tracer = self.tracer
+        if tracer is not None:
+            # Undelivered packets whose deadline fell inside the horizon
+            # expired; stamped at the horizon so traces stay time-ordered.
+            for packet in self.packets:
+                record = result.records.get(packet.packet_id)
+                deadline = packet.absolute_deadline()
+                if (
+                    record is not None
+                    and not record.delivered
+                    and deadline is not None
+                    and deadline <= self._horizon
+                ):
+                    tracer.packet_expired(packet, self._horizon)
+        metrics = self.metrics
+        if metrics is not None:
+            # Close the series with one final sample at the horizon
+            # (unless a boundary already landed exactly there), then
+            # record the lifetime buffer high-water marks as counters.
+            if not metrics.times or metrics.times[-1] != self._horizon:
+                metrics.push(self._horizon, self._metric_sample())
+            for node_id in sorted(self.nodes):
+                metrics.count(
+                    f"peak_buffer_bytes.{node_id}",
+                    float(self.nodes[node_id].buffer.peak_used_bytes),
+                )
+            result.metrics = metrics.to_dict()
 
     # ------------------------------------------------------------------
     # Shared accounting
@@ -325,6 +438,10 @@ class Simulator:
         if protocol is None:  # pragma: no cover - defensive
             raise SimulationError(f"packet source {packet.source} has no node")
         accepted = protocol.on_packet_created(packet, now)
+        self._packets_created += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.packet_created(packet, stored=accepted)
         if not accepted:
             record = self.result.records[packet.packet_id]
             record.drops += 1
@@ -360,6 +477,10 @@ class Simulator:
         x.node.counters.meetings += 1
         y.node.counters.meetings += 1
 
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.contact_open(meeting.node_a, meeting.node_b, now, capacity)
+
         x.on_meeting_start(y, now)
         y.on_meeting_start(x, now)
 
@@ -391,6 +512,15 @@ class Simulator:
         result.metadata_bytes += budget.metadata_bytes
         x.node.counters.metadata_bytes_sent += budget.metadata_bytes / 2.0
         y.node.counters.metadata_bytes_sent += budget.metadata_bytes / 2.0
+
+        if tracer is not None:
+            tracer.contact_close(
+                meeting.node_a,
+                meeting.node_b,
+                now,
+                budget.data_bytes,
+                budget.metadata_bytes,
+            )
 
     # ------------------------------------------------------------------
     # Contact-session pipeline (durational modes)
@@ -438,6 +568,10 @@ class Simulator:
         x.node.counters.meetings += 1
         y.node.counters.meetings += 1
 
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.contact_open(contact.node_a, contact.node_b, now, capacity)
+
         session = LinkSession(
             capacity=capacity,
             contact=contact,
@@ -475,6 +609,16 @@ class Simulator:
         state.y.node.counters.metadata_bytes_sent += session.metadata_bytes / 2.0
         if session.interrupted:
             result.contacts_interrupted += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.contact_close(
+                state.contact.node_a,
+                state.contact.node_b,
+                now,
+                session.data_bytes,
+                session.metadata_bytes,
+                interrupted=session.interrupted,
+            )
         state.x.on_session_close(state.y, session, now)
         state.y.on_session_close(state.x, session, now)
 
@@ -515,6 +659,16 @@ class Simulator:
         """Clear resumable progress; return True when progress existed."""
         return self._partial_progress.pop(self._progress_key(sender, receiver, packet), None) is not None
 
+    def _note_resumed(
+        self, sender: RoutingProtocol, receiver: RoutingProtocol, packet: Packet, now: float
+    ) -> None:
+        """Account (and trace) a transfer completed from resumed progress."""
+        if self._finish_transfer(sender, receiver, packet):
+            self.result.transfers_resumed += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.transfer_resume(packet, sender.node_id, receiver.node_id, now)
+
     def _interrupt_transfer(
         self,
         state: _OpenContact,
@@ -532,6 +686,11 @@ class Simulator:
         capacity (the rollback of the aborted transfer).
         """
         session = state.session
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.transfer_start(
+                packet, sender.node_id, receiver.node_id, now, remaining_size
+            )
         sent, _, _ = session.transmit(remaining_size, now)
         result = self.result
         result.transfers_interrupted += 1
@@ -540,6 +699,8 @@ class Simulator:
             self._partial_progress[key] = self._partial_progress.get(key, 0.0) + sent
         else:
             result.partial_bytes_wasted += sent
+        if tracer is not None:
+            tracer.transfer_interrupt(packet, sender.node_id, receiver.node_id, now, sent)
         sender.on_transfer_interrupted(packet, receiver, now, sent)
 
     # ------------------------------------------------------------------
@@ -561,9 +722,13 @@ class Simulator:
                         state, sender, receiver, packet, remaining_size, now
                     )
                 break
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.transfer_start(
+                    packet, sender.node_id, receiver.node_id, now, remaining_size
+                )
             sent, finish, _ = session.transmit(remaining_size, now)
-            if self._finish_transfer(sender, receiver, packet):
-                self.result.transfers_resumed += 1
+            self._note_resumed(sender, receiver, packet, finish)
             self._record_delivery(packet, sender, receiver, finish)
 
     def _replicate_session(self, state: _OpenContact, now: float) -> None:
@@ -614,9 +779,13 @@ class Simulator:
             if packet.destination == receiver.node_id:
                 # Destined to the peer: deliver it now rather than replicate.
                 if fits_window:
+                    tracer = self.tracer
+                    if tracer is not None:
+                        tracer.transfer_start(
+                            packet, sender.node_id, receiver.node_id, now, remaining_size
+                        )
                     sent, finish, _ = session.transmit(remaining_size, now)
-                    if self._finish_transfer(sender, receiver, packet):
-                        self.result.transfers_resumed += 1
+                    self._note_resumed(sender, receiver, packet, finish)
                     self._record_delivery(packet, sender, receiver, finish)
                     return True
                 if fits_budget and session.sendable_bytes(now) > _EPS:
@@ -633,9 +802,13 @@ class Simulator:
                 active[turn] = False
                 return False
             if receiver.accept_replica(packet, sender, now):
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.transfer_start(
+                        packet, sender.node_id, receiver.node_id, now, remaining_size
+                    )
                 session.transmit(remaining_size, now)
-                if self._finish_transfer(sender, receiver, packet):
-                    self.result.transfers_resumed += 1
+                self._note_resumed(sender, receiver, packet, now)
                 self._register_replication(packet, sender, receiver, now)
                 return True
             # Storage refusal: try the next candidate.
@@ -679,6 +852,11 @@ class Simulator:
         receiver.node.counters.packets_received += 1
         receiver.node.counters.bytes_received += packet.size
         receiver.node.counters.packets_delivered_here += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.packet_delivered(
+                packet, sender.node_id, receiver.node_id, now, hop_count
+            )
         # Both participants learn of the delivery immediately.
         sender.on_delivery(packet, now)
         receiver.on_delivery(packet, now)
@@ -755,6 +933,18 @@ class Simulator:
         sender.node.counters.bytes_sent += packet.size
         receiver.node.counters.packets_received += 1
         receiver.node.counters.bytes_received += packet.size
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.packet_replicated(packet, sender.node_id, receiver.node_id, now)
+        metrics = self.metrics
+        if metrics is not None:
+            # RAPID's marginal-utility view of the replica just committed;
+            # protocols without a utility (epidemic, prophet) skip the
+            # histogram.  ``packet_utility`` is read-only estimator math,
+            # so sampling it never perturbs the run.
+            utility = getattr(sender, "packet_utility", None)
+            if utility is not None:
+                metrics.observe("rapid_utility", utility(packet, now))
         sender.on_replica_sent(packet, receiver, now)
 
 

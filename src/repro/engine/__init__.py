@@ -26,9 +26,10 @@ import contextlib
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Union
 
 from ..dtn.results import SimulationResult
+from ..observability import ObservabilityOptions, SweepTelemetry
 from .aggregator import Aggregator, group_results
 from .cache import CacheStats, ResultCache
 from .executor import Executor, ProgressCallback, default_workers
@@ -40,10 +41,12 @@ __all__ = [
     "EngineStats",
     "ExperimentEngine",
     "Executor",
+    "ObservabilityOptions",
     "ProgressCallback",
     "ResultCache",
     "ScenarioGrid",
     "ScenarioSpec",
+    "SweepTelemetry",
     "canonical_json",
     "config_key",
     "default_workers",
@@ -102,6 +105,12 @@ class ExperimentEngine:
             read nor written even when *cache_dir* is set.
         progress: Optional callback invoked after every finished cell
             with ``(completed, total, spec)`` (cache hits included).
+
+    Standing observability configuration — :attr:`observability`,
+    :attr:`telemetry` and :attr:`trace_writer` — applies to every
+    :meth:`run_cells` batch that does not pass its own.  The CLI sets
+    these once per command so runners and exhibits need no signature
+    changes to be observed.
     """
 
     def __init__(
@@ -118,6 +127,12 @@ class ExperimentEngine:
         )
         self.progress = progress
         self.stats = EngineStats()
+        #: Standing per-cell collection request (see :meth:`run_cells`).
+        self.observability: Optional[ObservabilityOptions] = None
+        #: Standing sweep-telemetry collector (see :meth:`run_cells`).
+        self.telemetry: Optional[SweepTelemetry] = None
+        #: Standing trace-line consumer (see :meth:`run_cells`).
+        self.trace_writer: Optional[Callable[[str], None]] = None
 
     @property
     def workers(self) -> int:
@@ -137,27 +152,59 @@ class ExperimentEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_cells(self, cells: Sequence[ScenarioSpec]) -> List[SimulationResult]:
-        """Run *cells* (serving cache hits) and return ordered results."""
+    def run_cells(
+        self,
+        cells: Sequence[ScenarioSpec],
+        observability: Optional[ObservabilityOptions] = None,
+        telemetry: Optional[SweepTelemetry] = None,
+        trace_writer: Optional[Callable[[str], None]] = None,
+    ) -> List[SimulationResult]:
+        """Run *cells* (serving cache hits) and return ordered results.
+
+        Args:
+            observability: Per-cell collection request (trace, metrics).
+                When it asks for anything, cache *reads* are bypassed so
+                every cell re-executes and produces its trace/metrics —
+                a warm cache therefore yields byte-identical traces to a
+                cold one.  Cache writes still happen (instrumented blocks
+                are stripped by :meth:`ResultCache.put`).
+            telemetry: Sweep-telemetry collector; receives one record per
+                cell (cache hits included) and this batch's wall time.
+            trace_writer: Called once per trace line, in cell submission
+                order — the streaming end of ``--trace-out``.
+        """
         cells = list(cells)
         started = time.perf_counter()
         self.stats.cells_total += len(cells)
+        observability = observability or self.observability or ObservabilityOptions()
+        telemetry = telemetry if telemetry is not None else self.telemetry
+        trace_writer = trace_writer if trace_writer is not None else self.trace_writer
+        # Any observed collection (per-cell walls for telemetry, traces,
+        # metrics) routes misses through the observed worker entry point.
+        observe = (
+            observability.enabled or telemetry is not None or trace_writer is not None
+        )
 
         results: List[Optional[SimulationResult]] = [None] * len(cells)
         miss_indices: List[int] = []
         done = 0
-        if self.cache is not None:
+        if self.cache is not None and not observability.enabled:
             for index, spec in enumerate(cells):
                 cached = self.cache.get(spec)
                 if cached is not None:
                     results[index] = cached
                     self.stats.cache_hits += 1
                     done += 1
+                    if telemetry is not None:
+                        telemetry.record_cell(index, spec.label, 0.0, cached=True)
                     if self.progress is not None:
                         self.progress(done, len(cells), spec)
                 else:
                     miss_indices.append(index)
         else:
+            # Tracing/metrics requested: serving results from the cache
+            # would skip the simulation that produces them, making warm
+            # and cold runs diverge — so every cell re-executes.
             miss_indices = list(range(len(cells)))
 
         if miss_indices:
@@ -167,16 +214,36 @@ class ExperimentEngine:
                 if self.progress is not None:
                     self.progress(done + completed, len(cells), spec)
 
-            executed = self.executor.run(
-                missed_cells, progress=_on_progress if self.progress else None
-            )
-            self.stats.cells_executed += len(executed)
-            for index, result in zip(miss_indices, executed):
-                results[index] = result
-                if self.cache is not None:
-                    self.cache.put(cells[index], result)
+            on_progress = _on_progress if self.progress else None
+            if observe:
+                observed = self.executor.run_observed(
+                    missed_cells, observability, progress=on_progress
+                )
+                self.stats.cells_executed += len(observed)
+                for index, payload in zip(miss_indices, observed):
+                    result = SimulationResult.from_dict(payload["result"])
+                    results[index] = result
+                    if telemetry is not None:
+                        telemetry.record_cell(
+                            index, cells[index].label, payload["wall_s"], cached=False
+                        )
+                    if trace_writer is not None:
+                        for line in payload["trace"]:
+                            trace_writer(line)
+                    if self.cache is not None:
+                        self.cache.put(cells[index], result)
+            else:
+                executed = self.executor.run(missed_cells, progress=on_progress)
+                self.stats.cells_executed += len(executed)
+                for index, result in zip(miss_indices, executed):
+                    results[index] = result
+                    if self.cache is not None:
+                        self.cache.put(cells[index], result)
 
-        self.stats.wall_time_s += time.perf_counter() - started
+        batch_wall = time.perf_counter() - started
+        self.stats.wall_time_s += batch_wall
+        if telemetry is not None:
+            telemetry.add_engine_wall(batch_wall)
         return [r for r in results if r is not None]
 
     def run_grid(self, grid: ScenarioGrid) -> List[SimulationResult]:

@@ -82,23 +82,27 @@ class ResultCache:
                 pass
             return None
         self.stats.hits += 1
-        # Cached results never carry profiling timings (see put); drop any
-        # written by older code so hits are uniform regardless of profiling.
+        # Cached results never carry profiling timings or sampled metrics
+        # (see put); drop any written by older code so hits are uniform
+        # regardless of how the storing run was instrumented.
         result.timings = {}
+        result.metrics = None
         return result
 
     def put(self, spec: ScenarioSpec, result: SimulationResult) -> Path:
         """Store *result* under *spec*'s content address (atomically).
 
-        Profiling timings are stripped before persisting: they describe one
-        run on one machine, not the cell, and the profile flag is not part
-        of the cache key — persisting them would make a later unprofiled
-        run emit another run's wall times from a warm cache.
+        Profiling timings and sampled metrics are stripped before
+        persisting: they describe one instrumented run, not the cell, and
+        neither flag is part of the cache key — persisting them would make
+        a later uninstrumented run emit another run's telemetry from a
+        warm cache.
         """
         path = self.entry_path(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         result_payload = result.to_dict()
         result_payload.pop("timings", None)
+        result_payload.pop("metrics", None)
         payload = {"spec": spec.to_dict(), "result": result_payload}
         # Write-then-rename so concurrent readers never observe a torn file.
         fd, tmp_name = tempfile.mkstemp(

@@ -29,8 +29,9 @@ from typing import Callable, List, Optional, Sequence
 
 from ..dtn.results import SimulationResult
 from ..exceptions import ConfigurationError
+from ..observability import ObservabilityOptions
 from .spec import ScenarioSpec
-from .worker import execute_cell, run_cell
+from .worker import execute_cell, execute_cell_observed, run_cell
 
 #: Progress callbacks receive ``(completed_cells, total_cells, spec)``.
 ProgressCallback = Callable[[int, int, ScenarioSpec], None]
@@ -90,6 +91,46 @@ class Executor:
         if self.effective_backend() == BACKEND_SERIAL:
             return self._run_serial(cells, progress)
         return self._run_process(cells, progress)
+
+    def run_observed(
+        self,
+        cells: Sequence[ScenarioSpec],
+        observability: ObservabilityOptions,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[dict]:
+        """Execute *cells* through the observed worker entry point.
+
+        Returns the raw observed payloads — ``{"result": dict, "wall_s":
+        float, "trace": [lines]}`` — in submission order.  Both backends
+        route through :func:`repro.engine.worker.execute_cell_observed`,
+        so serial and multiprocess runs produce identical trace bytes and
+        identical result dictionaries; only ``wall_s`` (telemetry about
+        the run, never part of it) differs between hosts.
+        """
+        cells = list(cells)
+        if not cells:
+            return []
+        payloads = [
+            {"spec": spec.to_dict(), "observability": observability.to_dict()}
+            for spec in cells
+        ]
+        observed: List[dict] = []
+        if self.effective_backend() == BACKEND_SERIAL:
+            for index, payload in enumerate(payloads):
+                observed.append(execute_cell_observed(payload))
+                if progress is not None:
+                    progress(index + 1, len(cells), cells[index])
+            return observed
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self.workers)
+        chunksize = self.chunksize or max(1, math.ceil(len(cells) / (self.workers * 4)))
+        for index, payload in enumerate(
+            self._pool.imap(execute_cell_observed, payloads, chunksize=chunksize)
+        ):
+            observed.append(payload)
+            if progress is not None:
+                progress(index + 1, len(cells), cells[index])
+        return observed
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -23,11 +23,13 @@ runners had before the engine existed.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..dtn.packet import Packet
 from ..dtn.results import SimulationResult
 from ..dtn.simulator import run_simulation
+from ..observability import MemorySink, ObservabilityOptions
 from ..mobility.exponential import ExponentialMobility
 from ..mobility.powerlaw import PowerLawMobility
 from ..mobility.schedule import MeetingSchedule
@@ -210,8 +212,15 @@ def synthetic_workload(
 # ----------------------------------------------------------------------
 # Cell execution
 # ----------------------------------------------------------------------
-def run_cell(spec: ScenarioSpec) -> SimulationResult:
-    """Run one cell in the current process and return the live result."""
+def run_cell(
+    spec: ScenarioSpec, extra_options: Optional[Dict[str, object]] = None
+) -> SimulationResult:
+    """Run one cell in the current process and return the live result.
+
+    ``extra_options`` lets the observed execution path inject per-run
+    simulator options (a trace sink, a metrics interval) without them
+    becoming part of the cell's identity.
+    """
     config = spec.experiment_config()
     protocol = spec.protocol_spec()
     is_rapid = protocol.registry_name.startswith("rapid")
@@ -251,6 +260,8 @@ def run_cell(spec: ScenarioSpec) -> SimulationResult:
             options["contact_resume"] = True
         if spec.contact_options:
             options.update(spec.contact_options)
+    if extra_options:
+        options.update(extra_options)
     return run_simulation(
         schedule=schedule,
         packets=packets,
@@ -271,3 +282,33 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
     """
     spec = ScenarioSpec.from_dict(payload)
     return run_cell(spec).to_dict()
+
+
+def execute_cell_observed(payload: Dict[str, object]) -> Dict[str, object]:
+    """Observed worker entry point: cell execution plus per-cell telemetry.
+
+    The payload carries the spec dictionary next to serialized
+    :class:`~repro.observability.telemetry.ObservabilityOptions`.  The
+    return value wraps the result dictionary with the wall seconds the
+    cell took in this process and, when tracing was requested, the cell's
+    canonical JSONL trace lines.  Trace events carry simulated time only,
+    so the lines are byte-identical no matter which backend or process
+    executes the cell; wall seconds are telemetry *about* the run and
+    never enter the result.
+    """
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    observability = ObservabilityOptions.from_dict(payload["observability"])
+    sink = MemorySink() if observability.trace else None
+    extra: Dict[str, object] = {}
+    if sink is not None:
+        extra["trace_sink"] = sink
+    if observability.metrics_interval is not None:
+        extra["metrics_interval"] = observability.metrics_interval
+    started = time.perf_counter()
+    result = run_cell(spec, extra_options=extra or None)
+    wall_s = time.perf_counter() - started
+    return {
+        "result": result.to_dict(),
+        "wall_s": wall_s,
+        "trace": sink.lines() if sink is not None else [],
+    }

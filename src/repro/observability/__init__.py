@@ -1,0 +1,67 @@
+"""Observability: event tracing, streaming metrics and sweep telemetry.
+
+RAPID's whole argument is about *why* a replica was sent or evicted —
+per-packet utility under a resource constraint — yet aggregate results
+alone cannot show a packet's lifecycle or how buffer occupancy and
+utility evolve over simulated time.  This package makes the simulator
+and the experiment engine observable without taxing them:
+
+* :mod:`~repro.observability.trace` — :class:`TraceRecorder` emits
+  structured lifecycle events (packet created/replicated/evicted/
+  delivered/expired, contact open/close, transfer start/interrupt/
+  resume, ack propagation) into a pluggable sink: :class:`NullSink`
+  (the zero-overhead default), :class:`MemorySink` (in-process
+  analysis) or :class:`JsonlSink` (one canonical-JSON line per event).
+  Event payloads carry only simulated time and simulation state, so a
+  cell's trace is **byte-identical** no matter which executor backend —
+  serial, multiprocess, cold or warm cache — produced it.
+* :mod:`~repro.observability.metrics` — :class:`MetricsRegistry`
+  samples gauges on a simulated-time interval into bounded time-series
+  (buffer occupancy per node, in-flight replicas, delivery rate,
+  channel utilization) and aggregates histograms (RAPID's marginal
+  replication utility).  The registry attaches to
+  ``SimulationResult.metrics`` and serializes only when enabled, so
+  default payloads stay wire-identical.
+* :mod:`~repro.observability.telemetry` — :class:`SweepTelemetry`
+  aggregates per-cell wall time, cache hit/miss/heal counts and worker
+  utilization of one engine sweep into a machine-readable report;
+  :class:`ObservabilityOptions` is the plain-data handle the engine and
+  CLI use to request tracing/metrics for every cell of a run.
+* :mod:`~repro.observability.inspect` — replays a JSONL trace into a
+  per-packet timeline or per-node summary (the ``repro-dtn inspect``
+  subcommand).
+
+The hot-path contract is enforced by
+``benchmarks/bench_observability.py``: attaching a recorder with the
+null sink must add at most 2% to the RAPID hot path, and tracing must
+not change simulation output.
+"""
+
+from __future__ import annotations
+
+from .metrics import Histogram, MetricsRegistry
+from .telemetry import CellTelemetry, ObservabilityOptions, SweepTelemetry
+from .trace import (
+    EVENT_NAMES,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceRecorder,
+    TraceSink,
+    event_line,
+)
+
+__all__ = [
+    "CellTelemetry",
+    "EVENT_NAMES",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "ObservabilityOptions",
+    "SweepTelemetry",
+    "TraceRecorder",
+    "TraceSink",
+    "event_line",
+]

@@ -1,0 +1,225 @@
+"""Trace replay: turn a JSONL lifecycle trace back into answers.
+
+The ``repro-dtn inspect`` subcommand reads a trace written by
+``--trace-out`` (or any :class:`~repro.observability.trace.JsonlSink`)
+and renders one of three views:
+
+* the **overview** — event counts by type plus headline totals derived
+  purely from the trace (packets, deliveries, evictions, contacts);
+* a **per-packet table** (or, with ``--packet``, one packet's full
+  chronological timeline: created → replicated → … → delivered);
+* a **per-node summary** of every node's traffic (or, with ``--node``,
+  one node's contact and replica history).
+
+Everything is computed from the event stream alone — no simulator state
+is needed — so a trace file is a self-contained artifact that can be
+inspected long after (and far away from) the run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "load_trace",
+    "node_summary",
+    "packet_table",
+    "packet_timeline",
+    "trace_overview",
+]
+
+Event = Dict[str, object]
+
+
+class TraceFormatError(ReproError):
+    """The trace file is not a valid JSONL event stream."""
+
+
+def load_trace(path: Union[str, Path]) -> List[Event]:
+    """Parse a JSONL trace file into its event dictionaries.
+
+    Raises:
+        TraceFormatError: on unreadable files or malformed lines (the
+            message names the offending line).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file {path}: {exc}") from exc
+    events: List[Event] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}:{number}: not valid JSON: {exc}") from exc
+        if not isinstance(event, dict) or "ev" not in event or "t" not in event:
+            raise TraceFormatError(f"{path}:{number}: not a trace event (missing t/ev)")
+        events.append(event)
+    return events
+
+
+def _fmt_time(value: object) -> str:
+    return f"{float(value):.1f}" if value is not None else "-"
+
+
+# ----------------------------------------------------------------------
+# Overview
+# ----------------------------------------------------------------------
+def trace_overview(events: List[Event]) -> str:
+    """Headline totals of the trace: event counts and derived metrics."""
+    if not events:
+        return "empty trace (no events)"
+    counts: Dict[str, int] = {}
+    for event in events:
+        name = str(event["ev"])
+        counts[name] = counts.get(name, 0) + 1
+    packets = {e["packet"] for e in events if e["ev"] == "packet_created"}
+    delivered = {e["packet"] for e in events if e["ev"] == "packet_delivered"}
+    times = [float(e["t"]) for e in events]
+    lines = [
+        f"events:            {len(events)}",
+        f"time span:         {min(times):.1f} .. {max(times):.1f} s",
+        f"packets created:   {len(packets)}",
+        f"packets delivered: {len(delivered)}"
+        + (f" ({len(delivered) / len(packets):.1%})" if packets else ""),
+        "",
+        "event counts:",
+    ]
+    for name in sorted(counts):
+        lines.append(f"  {name:20s} {counts[name]}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Per-packet views
+# ----------------------------------------------------------------------
+def _packet_events(events: List[Event], packet_id: int) -> List[Event]:
+    return [e for e in events if e.get("packet") == packet_id]
+
+
+def packet_timeline(events: List[Event], packet_id: int) -> str:
+    """One packet's full lifecycle, one event per line in trace order."""
+    mine = _packet_events(events, packet_id)
+    if not mine:
+        return f"packet {packet_id}: no events in trace"
+    lines = [f"packet {packet_id} timeline ({len(mine)} events):"]
+    for event in mine:
+        name = str(event["ev"])
+        detail = ", ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("t", "ev", "packet")
+        )
+        lines.append(f"  {float(event['t']):>10.1f}s  {name:20s} {detail}")
+    return "\n".join(lines)
+
+
+def packet_table(events: List[Event], limit: Optional[int] = None) -> str:
+    """Per-packet summary table derived from the whole trace."""
+    rows: Dict[int, Dict[str, object]] = {}
+    for event in events:
+        packet = event.get("packet")
+        if packet is None:
+            continue
+        row = rows.setdefault(
+            int(packet),  # type: ignore[arg-type]
+            {
+                "created": None, "src": "-", "dst": "-", "replicas": 0,
+                "evictions": 0, "delivered": None, "hops": "-", "expired": False,
+            },
+        )
+        name = event["ev"]
+        if name == "packet_created":
+            row["created"] = event["t"]
+            row["src"] = event["src"]
+            row["dst"] = event["dst"]
+        elif name == "packet_replicated":
+            row["replicas"] = int(row["replicas"]) + 1  # type: ignore[arg-type]
+        elif name == "packet_evicted":
+            row["evictions"] = int(row["evictions"]) + 1  # type: ignore[arg-type]
+        elif name == "packet_delivered" and row["delivered"] is None:
+            row["delivered"] = event["t"]
+            row["hops"] = event.get("hops", "-")
+        elif name == "packet_expired":
+            row["expired"] = True
+    if not rows:
+        return "no packet events in trace"
+    header = (
+        f"{'packet':>7} {'src':>4} {'dst':>4} {'created':>9} {'delivered':>10} "
+        f"{'delay':>9} {'hops':>5} {'replicas':>9} {'evicted':>8} {'expired':>8}"
+    )
+    lines = [header]
+    for packet_id in sorted(rows)[: limit if limit else None]:
+        row = rows[packet_id]
+        delay = "-"
+        if row["created"] is not None and row["delivered"] is not None:
+            delay = f"{float(row['delivered']) - float(row['created']):.1f}"  # type: ignore[arg-type]
+        lines.append(
+            f"{packet_id:>7} {row['src']!s:>4} {row['dst']!s:>4} "
+            f"{_fmt_time(row['created']):>9} {_fmt_time(row['delivered']):>10} "
+            f"{delay:>9} {row['hops']!s:>5} {row['replicas']!s:>9} "
+            f"{row['evictions']!s:>8} {'yes' if row['expired'] else '-':>8}"
+        )
+    if limit and len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more packets (raise --limit)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Per-node views
+# ----------------------------------------------------------------------
+def node_summary(events: List[Event], node_id: Optional[int] = None) -> str:
+    """Per-node traffic summary (all nodes, or just *node_id*)."""
+    rows: Dict[int, Dict[str, int]] = {}
+
+    def row(node: object) -> Dict[str, int]:
+        return rows.setdefault(
+            int(node),  # type: ignore[arg-type]
+            {"contacts": 0, "sent": 0, "received": 0, "delivered_here": 0,
+             "evictions": 0, "acks": 0, "sourced": 0},
+        )
+
+    for event in events:
+        name = event["ev"]
+        if name == "contact_open":
+            row(event["a"])["contacts"] += 1
+            row(event["b"])["contacts"] += 1
+        elif name == "packet_created":
+            row(event["src"])["sourced"] += 1
+        elif name == "packet_replicated":
+            row(event["from"])["sent"] += 1
+            row(event["to"])["received"] += 1
+        elif name == "packet_delivered":
+            row(event["from"])["sent"] += 1
+            row(event["to"])["delivered_here"] += 1
+        elif name == "packet_evicted":
+            row(event["node"])["evictions"] += 1
+        elif name == "ack_learned":
+            row(event["node"])["acks"] += 1
+    if not rows:
+        return "no node events in trace"
+    if node_id is not None and node_id not in rows:
+        return f"node {node_id}: no events in trace"
+    header = (
+        f"{'node':>5} {'contacts':>9} {'sourced':>8} {'sent':>6} {'received':>9} "
+        f"{'delivered':>10} {'evicted':>8} {'acks':>6}"
+    )
+    lines = [header]
+    selected = [node_id] if node_id is not None else sorted(rows)
+    for node in selected:
+        counters = rows[node]
+        lines.append(
+            f"{node:>5} {counters['contacts']:>9} {counters['sourced']:>8} "
+            f"{counters['sent']:>6} {counters['received']:>9} "
+            f"{counters['delivered_here']:>10} {counters['evictions']:>8} "
+            f"{counters['acks']:>6}"
+        )
+    return "\n".join(lines)

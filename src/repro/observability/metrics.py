@@ -1,0 +1,201 @@
+"""Streaming time-series metrics sampled on a simulated-time interval.
+
+A :class:`MetricsRegistry` turns one simulation run into bounded
+time-series: the simulator calls :meth:`MetricsRegistry.push` at every
+interval boundary it crosses with a snapshot of its gauges (buffer
+occupancy per node, in-flight replicas, cumulative delivery rate,
+channel utilization), and the registry appends one parallel sample to
+every series.  Aggregate distributions (RAPID's replication utility)
+accumulate into deterministic log-bucket :class:`Histogram`\\ s, and
+named counters tally discrete happenings.
+
+The series are **bounded**: when the sample count reaches
+``max_samples`` the registry decimates — every other sample is dropped
+and the effective interval doubles — so a week-long simulated horizon
+produces the same memory footprint as a ten-minute one.  Decimation is
+pure arithmetic on already-recorded samples, so the resulting series is
+a deterministic function of the run.
+
+Everything here measures *simulated* quantities; no wall-clock time
+ever enters a registry, keeping serialized metrics identical across
+hosts and executor backends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """A deterministic log-bucket histogram of one observed quantity.
+
+    Values are classified by sign and decade: bucket ``"e3"`` counts
+    values in ``[10^3, 10^4)``, ``"-e2"`` counts values in
+    ``(-10^3, -10^2]``, ``"0"`` counts exact zeros, and the extreme
+    decades clamp (``|value| < 1`` lands in ``e0``/``-e0``).  Count,
+    sum, min and max are tracked exactly, so means are not distorted by
+    the bucketing.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    #: Decades outside ``[-_CLAMP, _CLAMP]`` clamp to the boundary bucket.
+    _CLAMP = 18
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one observation of the tracked quantity."""
+        value = float(value)
+        if not math.isfinite(value):
+            # Infinite utilities (no delivery path in the horizon) carry
+            # no magnitude information; bucket them by sign only.
+            label = "inf" if value > 0 else "-inf"
+            self.count += 1
+            self.buckets[label] = self.buckets.get(label, 0) + 1
+            return
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[self._bucket(value)] = self.buckets.get(self._bucket(value), 0) + 1
+
+    @classmethod
+    def _bucket(cls, value: float) -> str:
+        if value == 0.0:
+            return "0"
+        decade = int(math.floor(math.log10(abs(value))))
+        decade = max(0, min(cls._CLAMP, decade))
+        return f"e{decade}" if value > 0 else f"-e{decade}"
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the finite observations (0 when empty)."""
+        finite = self.count - self.buckets.get("inf", 0) - self.buckets.get("-inf", 0)
+        return self.total / finite if finite else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible view: exact stats plus the sorted buckets."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 or not math.isfinite(self.min) else self.min,
+            "max": None if self.count == 0 or not math.isfinite(self.max) else self.max,
+            "mean": self.mean,
+            "buckets": {label: self.buckets[label] for label in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Bounded time-series, histograms and counters of one simulation.
+
+    Args:
+        interval: Simulated seconds between samples (must be positive).
+        max_samples: Bound on the per-series sample count; reaching it
+            halves the series and doubles the effective interval.
+    """
+
+    def __init__(self, interval: float, max_samples: int = 512) -> None:
+        if interval <= 0:
+            raise ValueError("metrics interval must be positive")
+        if max_samples < 4:
+            raise ValueError("max_samples must be at least 4")
+        self.requested_interval = float(interval)
+        self.interval = float(interval)
+        self.max_samples = int(max_samples)
+        self.times: List[float] = []
+        self.series: Dict[str, List[float]] = {}
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._next = 0.0
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    @property
+    def next_sample_time(self) -> float:
+        """The simulated time of the next interval boundary."""
+        return self._next
+
+    def due(self, now: float) -> bool:
+        """Whether at least one boundary lies at or before *now*."""
+        return self._next <= now
+
+    def push(self, t: float, values: Dict[str, float]) -> None:
+        """Record one sample of every gauge at boundary time *t*.
+
+        Callers sample at :attr:`next_sample_time`; the registry advances
+        the boundary and decimates when the bound is reached.  Series
+        keys must be stable across pushes (the gauges of a run are fixed
+        at setup).
+        """
+        self.times.append(float(t))
+        for name, value in values.items():
+            self.series.setdefault(name, []).append(float(value))
+        self._next = t + self.interval
+        if len(self.times) >= self.max_samples:
+            self._decimate()
+
+    def _decimate(self) -> None:
+        """Drop every other sample and double the effective interval."""
+        self.times = self.times[::2]
+        for name in self.series:
+            self.series[name] = self.series[name][::2]
+        self.interval *= 2.0
+        self._next = self.times[-1] + self.interval
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def count(self, name: str, increment: float = 1.0) -> None:
+        """Bump counter *name* by *increment*."""
+        self.counters[name] = self.counters.get(name, 0.0) + increment
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into histogram *name*."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible snapshot (attached to ``SimulationResult.metrics``)."""
+        return {
+            "requested_interval": self.requested_interval,
+            "interval": self.interval,
+            "times": list(self.times),
+            "series": {name: list(values) for name, values in sorted(self.series.items())},
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "histograms": {
+                name: self.histograms[name].to_dict() for name in sorted(self.histograms)
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def metrics_interval_from(options: Optional[Dict[str, object]]) -> Optional[float]:
+    """The ``metrics_interval`` simulator option, validated (``None`` = off)."""
+    if not options:
+        return None
+    raw = options.get("metrics_interval")
+    if raw is None:
+        return None
+    interval = float(raw)  # type: ignore[arg-type]
+    if interval <= 0:
+        raise ValueError("metrics_interval must be positive")
+    return interval

@@ -1,0 +1,363 @@
+"""Structured lifecycle-event tracing with pluggable sinks.
+
+A trace is a sequence of flat dictionaries, each describing one thing
+that happened at one simulated instant: a packet entering the system, a
+replica crossing a link, a contact window opening, an eviction under
+storage pressure.  Events reference nodes and packets by id and carry
+**simulated** time only — never wall-clock time, process ids or other
+host state — so the trace of a simulation cell is a pure function of
+its inputs and is byte-identical regardless of which process (or which
+executor backend) ran the cell.
+
+Serialization is canonical: :func:`event_line` renders an event as JSON
+with sorted keys and no whitespace, which is the line format of
+:class:`JsonlSink` and of ``repro-dtn --trace-out`` files.  Non-finite
+floats (an unbounded contact capacity) serialize as ``null`` so every
+line is strict JSON.
+
+The default sink is :class:`NullSink`; a :class:`TraceRecorder` bound
+to it short-circuits every ``emit_*`` call before building the event
+dictionary, keeping the instrumented hot path within the 2% overhead
+budget enforced by ``benchmarks/bench_observability.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "EVENT_NAMES",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "TraceRecorder",
+    "TraceSink",
+    "event_line",
+]
+
+#: Every event name a :class:`TraceRecorder` can emit, in lifecycle order.
+EVENT_NAMES = (
+    "packet_created",
+    "packet_replicated",
+    "packet_delivered",
+    "packet_evicted",
+    "packet_expired",
+    "contact_open",
+    "contact_close",
+    "transfer_start",
+    "transfer_interrupt",
+    "transfer_resume",
+    "ack_learned",
+)
+
+Event = Dict[str, object]
+
+
+def _finite(value: float) -> Optional[float]:
+    """A JSON-safe number: non-finite values become ``None`` (→ ``null``)."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def event_line(event: Event) -> str:
+    """Render *event* as one canonical JSON line (sorted keys, compact)."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class TraceSink:
+    """Destination of trace events.
+
+    ``enabled`` is a class-level hint the recorder reads once: a falsy
+    value short-circuits event construction entirely (see
+    :class:`NullSink`).
+    """
+
+    enabled: bool = True
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - interface
+        """Consume one event dictionary."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (idempotent; a no-op by default)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discards every event — the zero-overhead default."""
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - short-circuited
+        """Discard *event* (recorders short-circuit before calling this)."""
+
+
+class MemorySink(TraceSink):
+    """Collects events in memory (in-process analysis and transport)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        """Append *event* to :attr:`events`."""
+        self.events.append(event)
+
+    def lines(self) -> List[str]:
+        """The canonical JSONL rendering of the collected events."""
+        return [event_line(event) for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(TraceSink):
+    """Appends one canonical JSON line per event to a file.
+
+    The file is opened lazily on the first event and truncated then, so
+    constructing the sink is free and an un-emitted sink leaves no file
+    behind.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, event: Event) -> None:
+        """Write *event* as one canonical JSON line (opening the file first)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(event_line(event))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TraceRecorder:
+    """Builds lifecycle events and hands them to the configured sink.
+
+    The recorder keeps a *simulated-time clock* (:attr:`now`) that the
+    simulator advances as it pops events; emit sites that have no
+    natural timestamp of their own (ack propagation deep inside a
+    control exchange) stamp events with it.  All ``emit_*`` methods are
+    no-ops when the sink is a :class:`NullSink`.
+    """
+
+    __slots__ = ("sink", "enabled", "now")
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = bool(getattr(self.sink, "enabled", True))
+        self.now: float = 0.0
+
+    def clock(self, now: float) -> None:
+        """Advance the simulated-time clock (called per simulator event)."""
+        self.now = now
+
+    def close(self) -> None:
+        """Close the underlying sink."""
+        self.sink.close()
+
+    # ------------------------------------------------------------------
+    # Packet lifecycle
+    # ------------------------------------------------------------------
+    def packet_created(self, packet, stored: bool) -> None:
+        """*packet* entered the system (``stored=False``: refused at source)."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": packet.creation_time,
+                "ev": "packet_created",
+                "packet": packet.packet_id,
+                "src": packet.source,
+                "dst": packet.destination,
+                "size": packet.size,
+                "deadline": None if packet.deadline is None else float(packet.deadline),
+                "stored": bool(stored),
+            }
+        )
+
+    def packet_replicated(self, packet, sender_id: int, receiver_id: int, now: float) -> None:
+        """A replica of *packet* was committed at *receiver_id*."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "packet_replicated",
+                "packet": packet.packet_id,
+                "from": sender_id,
+                "to": receiver_id,
+            }
+        )
+
+    def packet_delivered(
+        self, packet, sender_id: int, receiver_id: int, now: float, hops: int
+    ) -> None:
+        """*packet* reached its destination (possibly a duplicate delivery)."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "packet_delivered",
+                "packet": packet.packet_id,
+                "from": sender_id,
+                "to": receiver_id,
+                "hops": int(hops),
+            }
+        )
+
+    def packet_evicted(self, packet, node_id: int, now: float) -> None:
+        """A replica of *packet* was evicted at *node_id* under pressure."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "packet_evicted",
+                "packet": packet.packet_id,
+                "node": node_id,
+            }
+        )
+
+    def packet_expired(self, packet, horizon: float) -> None:
+        """*packet* missed its deadline and was never delivered.
+
+        Emitted while finalizing a run (the simulator scans undelivered
+        records at the horizon), so expiry events sit at the end of a
+        trace with ``t`` equal to the horizon and the missed deadline as
+        a field.
+        """
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": horizon,
+                "ev": "packet_expired",
+                "packet": packet.packet_id,
+                "deadline": float(packet.deadline),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Contacts and transfers
+    # ------------------------------------------------------------------
+    def contact_open(self, node_a: int, node_b: int, now: float, capacity: float) -> None:
+        """A transfer opportunity between *node_a* and *node_b* opened."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "contact_open",
+                "a": node_a,
+                "b": node_b,
+                "capacity": _finite(capacity),
+            }
+        )
+
+    def contact_close(
+        self,
+        node_a: int,
+        node_b: int,
+        now: float,
+        data_bytes: float,
+        metadata_bytes: float,
+        interrupted: bool = False,
+    ) -> None:
+        """The opportunity closed after moving the reported byte totals."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "contact_close",
+                "a": node_a,
+                "b": node_b,
+                "data_bytes": float(data_bytes),
+                "metadata_bytes": float(metadata_bytes),
+                "interrupted": bool(interrupted),
+            }
+        )
+
+    def transfer_start(
+        self, packet, sender_id: int, receiver_id: int, now: float, num_bytes: float
+    ) -> None:
+        """*num_bytes* of *packet* began streaming towards *receiver_id*."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "transfer_start",
+                "packet": packet.packet_id,
+                "from": sender_id,
+                "to": receiver_id,
+                "bytes": float(num_bytes),
+            }
+        )
+
+    def transfer_interrupt(
+        self, packet, sender_id: int, receiver_id: int, now: float, bytes_sent: float
+    ) -> None:
+        """The in-flight transfer was cut after *bytes_sent* bytes."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "transfer_interrupt",
+                "packet": packet.packet_id,
+                "from": sender_id,
+                "to": receiver_id,
+                "bytes_sent": float(bytes_sent),
+            }
+        )
+
+    def transfer_resume(self, packet, sender_id: int, receiver_id: int, now: float) -> None:
+        """A previously cut transfer completed using resumed progress."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "transfer_resume",
+                "packet": packet.packet_id,
+                "from": sender_id,
+                "to": receiver_id,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def ack_learned(self, node_id: int, packet_id: int) -> None:
+        """*node_id* learned (via ack propagation) that *packet_id* was delivered.
+
+        Stamped with the recorder clock: acks propagate inside control
+        exchanges that do not thread an explicit timestamp.
+        """
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": self.now,
+                "ev": "ack_learned",
+                "node": node_id,
+                "packet": packet_id,
+            }
+        )

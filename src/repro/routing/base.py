@@ -245,6 +245,10 @@ class ProtocolContext:
     nodes: Dict[int, Node]
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     options: Dict[str, object] = field(default_factory=dict)
+    #: Lifecycle-event recorder shared with the simulator
+    #: (:class:`~repro.observability.trace.TraceRecorder`); ``None`` —
+    #: the zero-overhead default — unless tracing was requested.
+    tracer: Optional[object] = None
 
     @property
     def num_nodes(self) -> int:
@@ -371,6 +375,14 @@ class RoutingProtocol(abc.ABC):
 
     def learn_ack(self, packet_id: int, now: Optional[float]) -> None:
         """Record that *packet_id* was delivered; purge the local replica."""
+        if packet_id not in self.acked:
+            tracer = self.context.tracer
+            if tracer is not None:
+                # Ack propagation: this node just learned of the delivery
+                # (via a control exchange or by witnessing it).  The
+                # recorder clock stamps the event — control exchanges do
+                # not thread an explicit timestamp down to this hook.
+                tracer.ack_learned(self.node_id, packet_id)
         self.acked.add(packet_id)
         self.node.buffer.discard(packet_id)
         self.hop_counts.pop(packet_id, None)
@@ -436,6 +448,7 @@ class RoutingProtocol(abc.ABC):
         """
         if self.buffer.fits(incoming):
             return True
+        tracer = self.context.tracer
         self.begin_eviction_cascade(incoming, now)
         try:
             while not self.buffer.fits(incoming):
@@ -447,6 +460,8 @@ class RoutingProtocol(abc.ABC):
                 self.storage_drops += 1
                 self.node.counters.packets_dropped += 1
                 self.on_replica_evicted(packet, now)
+                if tracer is not None:
+                    tracer.packet_evicted(packet, self.node_id, now)
             return True
         finally:
             self.end_eviction_cascade()

@@ -35,3 +35,44 @@ class TestCLI:
     def test_unknown_exhibit_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "figure99"])
+
+
+class TestObservabilityCLI:
+    def test_quicksim_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "quicksim", "--protocol", "rapid", "--nodes", "4", "--duration", "120",
+            "--trace-out", str(trace), "--metrics-interval", "30",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "metrics:" in output
+        lines = trace.read_text().splitlines()
+        assert lines and all('"ev"' in line for line in lines)
+
+    def test_inspect_views(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main([
+            "quicksim", "--protocol", "epidemic", "--nodes", "4", "--duration", "120",
+            "--trace-out", str(trace),
+        ])
+        capsys.readouterr()
+        assert main(["inspect", str(trace)]) == 0
+        assert "event counts:" in capsys.readouterr().out
+        assert main(["inspect", str(trace), "--packets", "--limit", "3"]) == 0
+        assert "packet" in capsys.readouterr().out
+        assert main(["inspect", str(trace), "--nodes"]) == 0
+        assert "contacts" in capsys.readouterr().out
+        assert main(["inspect", str(trace), "--packet", "0"]) == 0
+        assert "timeline" in capsys.readouterr().out
+
+    def test_inspect_rejects_bad_trace(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{nope\n")
+        assert main(["inspect", str(bad)]) == 2
+
+    def test_metrics_interval_validated(self, tmp_path):
+        assert main([
+            "quicksim", "--protocol", "rapid", "--nodes", "4", "--duration", "60",
+            "--metrics-interval", "-1",
+        ]) == 2

@@ -46,6 +46,11 @@ PUBLIC_API_MODULES = (
     "repro.mobility.spatial.grid",
     "repro.experiments.config",
     "repro.experiments.runner",
+    "repro.observability",
+    "repro.observability.trace",
+    "repro.observability.metrics",
+    "repro.observability.telemetry",
+    "repro.observability.inspect",
     "repro.workloads",
     "repro.workloads.base",
     "repro.workloads.models",
