@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Routing under failure: sweep the fault axis over a RAPID vs Random grid.
+
+The paper evaluates RAPID under a clean deployment; the fault subsystem
+(:mod:`repro.faults`) asks what happens when that assumption breaks.
+This example runs the same synthetic grid four times — clean, node
+crashes (buffers wiped), transient churn (buffers survive), and
+metadata/ack loss — prints the per-model delivery and delay
+degradation, then dials the crash rate up to draw a degradation curve.
+
+Run with:  python examples/node_churn.py
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.engine import ExperimentEngine, ScenarioGrid
+from repro.experiments.config import ProtocolSpec, SyntheticExperimentConfig
+from repro.faults import FaultParameters
+
+PROTOCOLS = [ProtocolSpec("Rapid", "rapid"), ProtocolSpec("Random", "random")]
+LOAD = 4.0  # packets per interval per destination
+
+
+def base_config(faults: FaultParameters = FaultParameters()) -> SyntheticExperimentConfig:
+    return SyntheticExperimentConfig(
+        num_nodes=8,
+        mean_inter_meeting=40.0,
+        transfer_opportunity=50 * units.KB,
+        duration=10 * units.MINUTE,
+        buffer_capacity=30 * units.KB,
+        deadline=60.0,
+        packet_interval=50.0,
+        mobility="exponential",
+        num_runs=3,
+        seed=11,
+    ).with_faults(faults)
+
+
+def run_pass(engine: ExperimentEngine, label: str, faults: FaultParameters):
+    """Run the grid under one fault setting; print its accounting."""
+    grid = ScenarioGrid(config=base_config(faults), protocols=PROTOCOLS, loads=(LOAD,))
+    cells = grid.cells()
+    results = engine.run_cells(cells)
+    print(f"  {label}:")
+    per_label: dict = {}
+    for cell, result in zip(cells, results):
+        per_label.setdefault(cell.protocol["label"], []).append(result)
+    for name, group in per_label.items():
+        delivery = sum(r.delivery_rate() for r in group) / len(group)
+        delay = sum(r.average_delay() for r in group) / len(group)
+        outages = sum(r.node_outages for r in group)
+        wiped = sum(r.replicas_lost_to_crashes for r in group)
+        print(
+            f"    {name:<8} delivery {delivery:6.1%}   delay {delay:7.1f}s   "
+            f"outages {outages:3d}   replicas wiped {wiped:3d}"
+        )
+    return per_label
+
+
+def main() -> None:
+    engine = ExperimentEngine(workers=2)
+
+    print("== One grid, four worlds (fault rate 0.4) ==")
+    run_pass(engine, "clean", FaultParameters())
+    run_pass(engine, "crash (buffers wiped)", FaultParameters(model="crash", rate=0.4))
+    run_pass(engine, "churn (buffers survive)", FaultParameters(model="churn", rate=0.4))
+    run_pass(engine, "metadata/ack loss", FaultParameters(model="metadata", rate=0.4))
+
+    print()
+    print("== Degradation curve: RAPID delivery vs crash rate ==")
+    for rate in (0.0, 0.2, 0.4, 0.6, 0.8):
+        faults = FaultParameters(model="crash", rate=rate) if rate else FaultParameters()
+        grid = ScenarioGrid(
+            config=base_config(faults),
+            protocols=[ProtocolSpec("Rapid", "rapid")],
+            loads=(LOAD,),
+        )
+        series = engine.sweep_series(grid, "delivery_rate")
+        print(f"  crash rate {rate:.1f}  ->  delivery {series['Rapid'][0]:6.1%}")
+
+    print()
+    print(
+        "The same draws replay anywhere: fault schedules are pure functions\n"
+        "of (parameters, seed, deployment shape), so every number above is\n"
+        "byte-identical across serial, parallel and cached engine backends."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -43,14 +43,23 @@ import contextlib
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import constants, units
 from .profiling import ENV_PROFILE
 from .dtn.simulator import run_simulation
 from .exceptions import ReproError
-from .engine import ExperimentEngine, ObservabilityOptions, SweepTelemetry, use_engine
-from .observability import JsonlSink
+from .engine import (
+    ExperimentEngine,
+    Executor,
+    ObservabilityOptions,
+    SweepManifest,
+    SweepTelemetry,
+    use_engine,
+)
+from .faults import FAULT_MODEL_NAMES, FaultParameters, build_fault_model
+from .observability import JsonlSink, validate_writable
 from .experiments import (
     EXPERIMENT_INDEX,
     FigureResult,
@@ -60,6 +69,7 @@ from .experiments import (
     TraceExperimentConfig,
     TraceRunner,
     sweep,
+    sweep_cells,
 )
 from .exceptions import ConfigurationError
 from .mobility import MOBILITY_MODEL_NAMES
@@ -168,12 +178,59 @@ def _add_workload_arguments(parser: argparse.ArgumentParser, multi: bool = False
     )
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser, multi: bool = False) -> None:
+    if multi:
+        parser.add_argument(
+            "--fault-model",
+            default=None,
+            metavar="NAMES",
+            help="comma-separated fault-injection models "
+            f"({', '.join(FAULT_MODEL_NAMES)}); more than one name "
+            "sweeps the faults axis",
+        )
+    else:
+        parser.add_argument(
+            "--fault-model",
+            default=None,
+            choices=sorted(FAULT_MODEL_NAMES),
+            help="inject deterministic faults from this model into every cell",
+        )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="fault probability of the selected --fault-model "
+        "(per node for crash/churn, per contact for contact/metadata; "
+        "default 0.2)",
+    )
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
         type=int,
         default=1,
         help="worker processes for simulation cells (1 = serial)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a crashed/failed/timed-out cell up to N more times "
+        "with deterministic backoff; a cell past the budget is reported "
+        "as failed and the sweep continues (selects the failure-"
+        "resilient dispatch path)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline of one cell attempt; a worker past it "
+        "is killed and the cell retried (selects the failure-resilient "
+        "dispatch path)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -257,6 +314,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_contact_model_argument(run_parser)
     _add_mobility_arguments(run_parser)
     _add_workload_arguments(run_parser)
+    _add_fault_arguments(run_parser)
     _add_engine_arguments(run_parser)
 
     sweep_parser = subparsers.add_parser(
@@ -291,9 +349,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ci = reduced scale (fast); paper = full Table 4 scale (slow)",
     )
     sweep_parser.add_argument("--seed", type=int, default=7, help="random seed")
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep: validate the sweep manifest in "
+        "--cache-dir against this grid, serve completed cells from the "
+        "result cache, and execute only the remainder (output is byte-"
+        "identical to an uninterrupted run)",
+    )
     _add_contact_model_argument(sweep_parser)
     _add_mobility_arguments(sweep_parser, multi=True)
     _add_workload_arguments(sweep_parser, multi=True)
+    _add_fault_arguments(sweep_parser, multi=True)
     _add_engine_arguments(sweep_parser)
 
     sim_parser = subparsers.add_parser("quicksim", help="run one ad-hoc simulation")
@@ -310,6 +377,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_mobility_arguments(sim_parser)
     _add_workload_arguments(sim_parser)
     _add_contact_model_argument(sim_parser)
+    _add_fault_arguments(sim_parser)
     sim_parser.add_argument("--load", type=float, default=30.0, help="packets per hour per destination")
     sim_parser.add_argument("--buffer-kb", type=float, default=100.0, help="buffer capacity in KB")
     sim_parser.add_argument("--seed", type=int, default=1, help="random seed")
@@ -351,6 +419,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-node traffic summary (contacts/sent/received/"
         "delivered/evictions/acks)",
+    )
+    inspect_parser.add_argument(
+        "--outages",
+        action="store_true",
+        help="replay the fault-injected outages: every node down/up window "
+        "in chronological order with wiped replicas and per-node downtime",
     )
     inspect_parser.add_argument(
         "--limit",
@@ -407,11 +481,17 @@ class _ProgressPrinter:
 
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     progress = _ProgressPrinter() if getattr(args, "progress", False) else None
+    executor = Executor(
+        workers=args.workers,
+        retries=getattr(args, "retries", 0) or 0,
+        cell_timeout=getattr(args, "cell_timeout", None),
+    )
     return ExperimentEngine(
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=progress,
+        executor=executor,
     )
 
 
@@ -439,6 +519,13 @@ def _observability_scope(args: argparse.Namespace, engine: ExperimentEngine):
     observability = _observability_from_args(args)
     trace_out = getattr(args, "trace_out", None)
     telemetry_out = getattr(args, "telemetry_out", None)
+    # Fail fast on unwritable destinations: a bad --trace-out or
+    # --telemetry-out should be reported before the simulation runs, not
+    # after hours of it.
+    if trace_out is not None:
+        validate_writable(trace_out, what="trace output")
+    if telemetry_out is not None:
+        validate_writable(telemetry_out, what="telemetry output")
     telemetry = (
         SweepTelemetry(workers=engine.workers) if telemetry_out is not None else None
     )
@@ -509,6 +596,41 @@ def _parse_workloads(value: Optional[str]) -> List[str]:
     return names
 
 
+def _parse_faults(value: Optional[str]) -> List[str]:
+    """Parse and validate a comma-separated ``--fault-model`` value."""
+    names = [name.strip() for name in (value or "").split(",") if name.strip()]
+    for name in names:
+        if name not in FAULT_MODEL_NAMES:
+            raise ConfigurationError(
+                f"unknown fault model {name!r}; "
+                f"expected one of {', '.join(FAULT_MODEL_NAMES)}"
+            )
+    return names
+
+
+def _fault_params_from_args(args: argparse.Namespace, base: FaultParameters):
+    """Apply ``--fault-rate`` to *base* fault parameters.
+
+    The rate only means anything when a fault model is selected, so
+    misuse is rejected instead of silently ignored (mirroring the
+    workload and spatial knobs).
+    """
+    from dataclasses import replace
+
+    fault_rate = getattr(args, "fault_rate", None)
+    if fault_rate is None:
+        return base
+    if not _parse_faults(getattr(args, "fault_model", None)):
+        raise ConfigurationError(
+            "--fault-rate applies only with --fault-model; select a model "
+            f"({', '.join(FAULT_MODEL_NAMES)})"
+        )
+    try:
+        return replace(base, rate=fault_rate)
+    except ValueError as exc:
+        raise ConfigurationError(str(exc)) from exc
+
+
 def _workload_params_from_args(args: argparse.Namespace, base):
     """Apply ``--zipf-alpha``/``--burstiness`` to *base* workload params.
 
@@ -555,6 +677,9 @@ def _resolve_config(args: argparse.Namespace, family: str):
     workload_params = _workload_params_from_args(args, config.workload)
     if workload_params is not config.workload:
         config = config.with_workload(workload_params)
+    fault_params = _fault_params_from_args(args, config.faults)
+    if fault_params is not config.faults:
+        config = config.with_faults(fault_params)
     mobility = getattr(args, "mobility", None)
     arena = getattr(args, "arena", None)
     radio_range = getattr(args, "radio_range", None)
@@ -587,9 +712,11 @@ def _resolve_config(args: argparse.Namespace, family: str):
 
 def _print_engine_stats(engine: ExperimentEngine) -> None:
     stats = engine.stats
+    failed = f", failed: {stats.cells_failed}" if stats.cells_failed else ""
     print(
         f"[engine] cells: {stats.cells_total} "
-        f"(executed: {stats.cells_executed}, cache hits: {stats.cache_hits}) "
+        f"(executed: {stats.cells_executed}, cache hits: {stats.cache_hits}"
+        f"{failed}) "
         f"workers: {engine.workers} wall: {stats.wall_time_s:.2f}s",
         file=sys.stderr,
     )
@@ -624,6 +751,10 @@ def _command_run(args: argparse.Namespace) -> int:
         # Exhibits pin the paper's uniform workload via the config;
         # --workload genuinely replaces the arrival model for every cell.
         config = config.with_workload(config.workload.with_model(args.workload))
+    if args.fault_model:
+        # A single model on `run` applies to every cell of the exhibit
+        # (specs resolve the model from the config when no axis is set).
+        config = config.with_faults(config.faults.with_model(args.fault_model))
     kwargs = {"config": config}
     if family == "synthetic" and args.mobility:
         # Synthetic exhibits pin the mobility the paper's figure used;
@@ -676,12 +807,68 @@ def _command_sweep(args: argparse.Namespace) -> int:
         runner = SyntheticRunner(config, engine=engine)
         x_label = f"Packets per {config.packet_interval:g}s per destination"
 
-    # The mobility and workload axes: each named model becomes one pass
-    # of the sweep, implemented as per-cell overrides so the engine
-    # caches every (mobility, workload, protocol, load, run) cell
+    # The mobility, workload and fault axes: each named model becomes one
+    # pass of the sweep, implemented as per-cell overrides so the engine
+    # caches every (mobility, workload, fault, protocol, load, run) cell
     # independently.
     mobilities = _parse_mobilities(getattr(args, "mobility", None)) or [None]
     workload_models = _parse_workloads(getattr(args, "workload", None)) or [None]
+    fault_models = _parse_faults(getattr(args, "fault_model", None)) or [None]
+    passes = [
+        (mobility, workload, fault)
+        for mobility in mobilities
+        for workload in workload_models
+        for fault in fault_models
+    ]
+
+    def pass_kwargs(mobility, workload, fault) -> dict:
+        run_kwargs = {}
+        if mobility is not None:
+            run_kwargs["mobility"] = mobility
+        if workload is not None:
+            run_kwargs["workload"] = workload
+        if fault is not None:
+            run_kwargs["faults"] = fault
+        return run_kwargs
+
+    # The full cell list is known before anything runs, which is what
+    # makes --resume safe: the manifest's sweep key is validated against
+    # exactly the cells this invocation would submit.
+    pass_cells = [
+        sweep_cells(runner, specs, loads, **pass_kwargs(*combo)) for combo in passes
+    ]
+    all_cells = [cell for cells in pass_cells for cell in cells]
+
+    manifest = None
+    if args.resume and args.cache_dir is None:
+        raise ConfigurationError(
+            "--resume requires --cache-dir (the manifest and the completed "
+            "cells' results live there)"
+        )
+    if args.resume and args.no_cache:
+        raise ConfigurationError(
+            "--resume needs the result cache; drop --no-cache"
+        )
+    if args.cache_dir is not None and not args.no_cache:
+        sweep_key = SweepManifest.sweep_key_for(all_cells)
+        manifest_path = Path(args.cache_dir) / f"sweep-{sweep_key[:16]}.manifest.json"
+        if args.resume:
+            manifest = SweepManifest.load(manifest_path)
+            if not manifest.matches(all_cells):
+                raise ConfigurationError(
+                    f"sweep manifest {manifest_path} describes a different "
+                    "sweep (grid, configuration or schema changed); re-run "
+                    "without --resume"
+                )
+            print(
+                f"[resume] {manifest.completed_count}/{len(all_cells)} cells "
+                "already completed",
+                file=sys.stderr,
+            )
+        else:
+            manifest = SweepManifest.for_cells(manifest_path, all_cells)
+        engine.manifest = manifest
+
     figure = FigureResult(
         figure_id="Sweep",
         title=f"{args.family} sweep: {args.metric}",
@@ -689,30 +876,62 @@ def _command_sweep(args: argparse.Namespace) -> int:
         y_label=args.metric,
     )
     results = []
-    with _profile_scope(args.profile), engine, _observability_scope(args, engine):
-        for mobility in mobilities:
-            for workload in workload_models:
-                run_kwargs = {}
-                if mobility is not None:
-                    run_kwargs["mobility"] = mobility
-                if workload is not None:
-                    run_kwargs["workload"] = workload
+    failures = []
+    try:
+        with _profile_scope(args.profile), engine, _observability_scope(args, engine):
+            for (mobility, workload, fault), cells in zip(passes, pass_cells):
                 series, pass_results = sweep(
-                    runner, specs, loads, args.metric, return_results=True, **run_kwargs
+                    runner,
+                    specs,
+                    loads,
+                    args.metric,
+                    return_results=True,
+                    cells=cells,
+                    **pass_kwargs(mobility, workload, fault),
                 )
                 results.extend(pass_results)
+                failures.extend(engine.last_failures)
                 tags = [
                     tag
                     for tag, swept in (
                         (mobility, len(mobilities) > 1),
                         (workload, len(workload_models) > 1),
+                        (fault, len(fault_models) > 1),
                     )
                     if swept
                 ]
                 suffix = f" [{'/'.join(tags)}]" if tags else ""
                 for spec in specs:
                     figure.add_series(spec.label + suffix, loads, series[spec.label])
+    finally:
+        # Written even when interrupted: the manifest is exactly what a
+        # later --resume needs to pick the sweep back up.
+        if manifest is not None:
+            manifest.write()
+            print(f"[manifest] wrote {manifest.path}", file=sys.stderr)
     print(figure.to_text())
+    if any(fault is not None for fault in fault_models):
+        print(
+            f"[faults] node outages: {sum(r.node_outages for r in results)} "
+            f"downtime: {sum(r.node_downtime_s for r in results):.0f}s "
+            f"replicas lost: {sum(r.replicas_lost_to_crashes for r in results)} "
+            f"contacts missed down: {sum(r.contacts_missed_down for r in results)} "
+            f"no-shows: {sum(r.contact_no_shows for r in results)} "
+            f"transfers killed: {sum(r.transfers_killed for r in results)} "
+            f"control lost: {sum(r.control_exchanges_lost for r in results)}",
+            file=sys.stderr,
+        )
+    if failures:
+        print(
+            f"[failed] {len(failures)} cells exhausted their retries:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(
+                f"  {failure.label} (attempts: {failure.attempts}): "
+                f"{failure.error}",
+                file=sys.stderr,
+            )
     if config.contact_model != "instantaneous":
         # Interruption accounting summed over every cell of the sweep, so
         # durational/interruptible runs surface their contact-layer cost.
@@ -786,6 +1005,13 @@ def _command_quicksim(args: argparse.Namespace) -> int:
         options["contact_model"] = args.contact_model
         if args.contact_resume:
             options["contact_resume"] = True
+    fault_params = _fault_params_from_args(args, FaultParameters())
+    if args.fault_model is not None:
+        options["fault_model"] = build_fault_model(
+            fault_params,
+            seed=args.seed * 6361 + fault_params.seed_offset,
+            model=args.fault_model,
+        )
     sink = JsonlSink(args.trace_out) if args.trace_out is not None else None
     if sink is not None:
         options["trace_sink"] = sink
@@ -830,6 +1056,7 @@ def _command_inspect(args: argparse.Namespace) -> int:
     from .observability.inspect import (
         load_trace,
         node_summary,
+        outage_timeline,
         packet_table,
         packet_timeline,
         trace_overview,
@@ -844,6 +1071,8 @@ def _command_inspect(args: argparse.Namespace) -> int:
         print(packet_table(events, limit=args.limit))
     elif args.nodes:
         print(node_summary(events))
+    elif args.outages:
+        print(outage_timeline(events))
     else:
         print(trace_overview(events))
     return 0
@@ -873,6 +1102,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C: the executor has already terminated its workers and the
+        # context managers flushed telemetry, traces and the manifest on
+        # the way out — report and exit with the conventional 130.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Output piped into head/less that quit early — not an error.
         # Detach stdout so interpreter shutdown does not re-raise.

@@ -32,6 +32,13 @@ class EventKind(enum.IntEnum):
 
     At equal timestamps:
 
+    0. ``NODE_UP`` then ``NODE_DOWN`` — fault-injected availability
+       transitions resolve before anything else at *t*: a node coming
+       back up at *t* is online for every contact of that instant, a
+       node going down at *t* misses them, and back-to-back
+       down-windows ``[a, b)`` ``[b, c)`` keep the node down at *b*
+       because the up fires before the next down (their enum values are
+       negative so the pre-fault kinds keep their documented values);
     1. ``CONTACT_START`` — a contact window opening at time *t* is open to
        everything else happening at *t*;
     2. ``PACKET_CREATION`` — a packet created at *t* is visible both to an
@@ -50,6 +57,8 @@ class EventKind(enum.IntEnum):
     default instantaneous mode pops events in the historic sequence.
     """
 
+    NODE_UP = -2
+    NODE_DOWN = -1
     CONTACT_START = 0
     PACKET_CREATION = 1
     MEETING = 2
@@ -89,9 +98,15 @@ class PacketCreationEvent(Event):
 
 @dataclass(frozen=True)
 class MeetingEvent(Event):
-    """Two nodes meet instantaneously and may transfer data (default mode)."""
+    """Two nodes meet instantaneously and may transfer data (default mode).
+
+    ``contact_id`` is the meeting's index in the schedule's enumeration
+    order; fault schedules address contacts by this index.  ``-1`` means
+    the meeting is not addressable by contact faults (hand-built events).
+    """
 
     meeting: Optional[Meeting] = None
+    contact_id: int = -1
     kind: EventKind = field(default=EventKind.MEETING)
 
     def __post_init__(self) -> None:
@@ -130,6 +145,31 @@ class ContactEndEvent(Event):
     def __post_init__(self) -> None:
         if self.contact_id < 0:
             raise ValueError("ContactEndEvent requires a non-negative contact_id")
+
+
+@dataclass(frozen=True)
+class NodeDownEvent(Event):
+    """A fault takes *node_id* offline; ``wipe`` loses its buffered replicas."""
+
+    node_id: int = -1
+    wipe: bool = False
+    kind: EventKind = field(default=EventKind.NODE_DOWN)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("NodeDownEvent requires a non-negative node_id")
+
+
+@dataclass(frozen=True)
+class NodeUpEvent(Event):
+    """A faulted node restarts and rejoins the deployment."""
+
+    node_id: int = -1
+    kind: EventKind = field(default=EventKind.NODE_UP)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("NodeUpEvent requires a non-negative node_id")
 
 
 @dataclass(frozen=True)

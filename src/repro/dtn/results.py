@@ -50,6 +50,19 @@ class SimulationResult:
     transfers_interrupted: int = 0
     transfers_resumed: int = 0
     partial_bytes_wasted: float = 0.0
+    #: Fault-injection accounting (``repro.faults``): all-zero — and
+    #: absent from :meth:`to_dict` — on a fault-free run, so default
+    #: payloads stay wire-identical to the pre-fault format.
+    node_outages: int = 0
+    node_downtime_s: float = 0.0
+    replicas_lost_to_crashes: int = 0
+    bytes_lost_to_crashes: float = 0.0
+    contacts_missed_down: int = 0
+    deliveries_missed_down: int = 0
+    creations_refused_down: int = 0
+    contact_no_shows: int = 0
+    transfers_killed: int = 0
+    control_exchanges_lost: int = 0
     #: Per-phase wall times and call counters recorded when the simulation
     #: ran with profiling enabled (``--profile`` / ``REPRO_PROFILE=1``);
     #: empty — and absent from :meth:`to_dict` — otherwise, so profiling
@@ -213,7 +226,7 @@ class SimulationResult:
         """
         utilization = self.channel_utilization()
         metadata_fraction = self.metadata_fraction_of_bandwidth()
-        return {
+        summary: Dict[str, float] = {
             "packets": float(self.num_packets),
             "delivered": float(self.num_delivered),
             "delivery_rate": self.delivery_rate(),
@@ -233,6 +246,13 @@ class SimulationResult:
             "transfers_resumed": float(self.transfers_resumed),
             "partial_bytes_wasted": float(self.partial_bytes_wasted),
         }
+        faults = self._fault_accounting()
+        if faults is not None:
+            # Fault keys appear only when faults were injected, so the
+            # default summary (and quicksim's printed output) is unchanged
+            # on the fault-free path.
+            summary.update({key: float(value) for key, value in faults.items()})
+        return summary
 
     # ------------------------------------------------------------------
     # Serialization
@@ -295,6 +315,12 @@ class SimulationResult:
             # single-class payloads stay byte-identical to the wire format
             # as written before the workload subsystem existed.
             payload["classes"] = classes
+        faults = self._fault_accounting()
+        if faults is not None:
+            # Included only when a fault model actually disrupted the run,
+            # so fault-free payloads stay byte-identical to the wire format
+            # as written before the fault subsystem existed.
+            payload["faults"] = faults
         return payload
 
     @staticmethod
@@ -342,6 +368,34 @@ class SimulationResult:
             "transfers_interrupted": self.transfers_interrupted,
             "transfers_resumed": self.transfers_resumed,
             "partial_bytes_wasted": self.partial_bytes_wasted,
+        }
+
+    def _fault_accounting(self) -> Optional[Dict[str, object]]:
+        """The fault-injection counter block, or ``None`` when all-zero."""
+        if not (
+            self.node_outages
+            or self.node_downtime_s
+            or self.replicas_lost_to_crashes
+            or self.bytes_lost_to_crashes
+            or self.contacts_missed_down
+            or self.deliveries_missed_down
+            or self.creations_refused_down
+            or self.contact_no_shows
+            or self.transfers_killed
+            or self.control_exchanges_lost
+        ):
+            return None
+        return {
+            "node_outages": self.node_outages,
+            "node_downtime_s": self.node_downtime_s,
+            "replicas_lost_to_crashes": self.replicas_lost_to_crashes,
+            "bytes_lost_to_crashes": self.bytes_lost_to_crashes,
+            "contacts_missed_down": self.contacts_missed_down,
+            "deliveries_missed_down": self.deliveries_missed_down,
+            "creations_refused_down": self.creations_refused_down,
+            "contact_no_shows": self.contact_no_shows,
+            "transfers_killed": self.transfers_killed,
+            "control_exchanges_lost": self.control_exchanges_lost,
         }
 
     @classmethod
@@ -409,6 +463,18 @@ class SimulationResult:
             result.transfers_interrupted = int(contact.get("transfers_interrupted", 0))
             result.transfers_resumed = int(contact.get("transfers_resumed", 0))
             result.partial_bytes_wasted = float(contact.get("partial_bytes_wasted", 0.0))
+        faults = data.get("faults")
+        if faults:
+            result.node_outages = int(faults.get("node_outages", 0))
+            result.node_downtime_s = float(faults.get("node_downtime_s", 0.0))
+            result.replicas_lost_to_crashes = int(faults.get("replicas_lost_to_crashes", 0))
+            result.bytes_lost_to_crashes = float(faults.get("bytes_lost_to_crashes", 0.0))
+            result.contacts_missed_down = int(faults.get("contacts_missed_down", 0))
+            result.deliveries_missed_down = int(faults.get("deliveries_missed_down", 0))
+            result.creations_refused_down = int(faults.get("creations_refused_down", 0))
+            result.contact_no_shows = int(faults.get("contact_no_shows", 0))
+            result.transfers_killed = int(faults.get("transfers_killed", 0))
+            result.control_exchanges_lost = int(faults.get("control_exchanges_lost", 0))
         return result
 
     @staticmethod
@@ -442,6 +508,16 @@ class SimulationResult:
             merged.transfers_interrupted += result.transfers_interrupted
             merged.transfers_resumed += result.transfers_resumed
             merged.partial_bytes_wasted += result.partial_bytes_wasted
+            merged.node_outages += result.node_outages
+            merged.node_downtime_s += result.node_downtime_s
+            merged.replicas_lost_to_crashes += result.replicas_lost_to_crashes
+            merged.bytes_lost_to_crashes += result.bytes_lost_to_crashes
+            merged.contacts_missed_down += result.contacts_missed_down
+            merged.deliveries_missed_down += result.deliveries_missed_down
+            merged.creations_refused_down += result.creations_refused_down
+            merged.contact_no_shows += result.contact_no_shows
+            merged.transfers_killed += result.transfers_killed
+            merged.control_exchanges_lost += result.control_exchanges_lost
             # Profiling timings (wall seconds and call counters alike) are
             # additive across the merged runs; dropping them here would
             # lose the per-phase breakdown of multi-day sweeps.

@@ -7,6 +7,11 @@ the same sequence and produces bit-identical results.
 
 Events at equal timestamps are ordered by kind, then by insertion order:
 
+0. ``NODE_UP`` then ``NODE_DOWN`` — fault-injected availability
+   transitions resolve before everything else at *t*: a node restarting
+   at *t* participates in that instant's contacts, a node crashing at
+   *t* misses them, and adjacent down-windows ``[a, b)`` ``[b, c)``
+   keep the node down at *b*;
 1. ``CONTACT_START`` — a contact window opening at *t* is open to every
    other event of the same instant;
 2. ``PACKET_CREATION`` — a packet generated at time *t* is visible to a

@@ -49,6 +49,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError, SimulationError
+from ..faults import FaultModel, FaultSchedule
 from ..mobility.schedule import Contact, Meeting, MeetingSchedule
 from ..observability.metrics import MetricsRegistry, metrics_interval_from
 from ..observability.trace import TraceRecorder, TraceSink
@@ -65,6 +66,8 @@ from .events import (
     ContactStartEvent,
     EndOfSimulationEvent,
     MeetingEvent,
+    NodeDownEvent,
+    NodeUpEvent,
     PacketCreationEvent,
 )
 from .node import DeploymentNoise, Node
@@ -190,6 +193,23 @@ class Simulator:
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry(interval) if interval is not None else None
         )
+        #: Fault injection (``repro.faults``): either a precomputed
+        #: ``fault_schedule`` or a ``fault_model`` the simulator asks to
+        #: build one from the deployment shape at event-build time.  Both
+        #: ``None`` (the default) is the byte-identical fault-free path.
+        fault_model = self.options.get("fault_model")
+        if fault_model is not None and not isinstance(fault_model, FaultModel):
+            raise ConfigurationError("fault_model option must be a repro.faults FaultModel")
+        self._fault_model: Optional[FaultModel] = fault_model
+        fault_schedule = self.options.get("fault_schedule")
+        if fault_schedule is not None and not isinstance(fault_schedule, FaultSchedule):
+            raise ConfigurationError(
+                "fault_schedule option must be a repro.faults FaultSchedule"
+            )
+        self._fault_schedule: Optional[FaultSchedule] = fault_schedule
+        #: Nodes currently offline, and when each went down (accounting).
+        self._down: set = set()
+        self._down_since: Dict[int, float] = {}
         #: Packets accepted into the system so far (delivery-rate gauge).
         self._packets_created = 0
 
@@ -226,9 +246,31 @@ class Simulator:
             max((p.creation_time for p in self.packets), default=0.0),
         )
         self._horizon = horizon
+        if self._fault_schedule is None and self._fault_model is not None:
+            # The schedule is a pure function of (model, seed, deployment
+            # shape): sorted node ids, contact count, horizon.  Nothing
+            # about the running simulation feeds back into the draws, so
+            # identical seeds give byte-identical schedules on every
+            # execution backend.
+            self._fault_schedule = self._fault_model.build_schedule(
+                self._node_ids(), len(self.schedule), horizon
+            )
+        if self._fault_schedule is not None:
+            for window in self._fault_schedule.downtimes:
+                if window.start >= horizon:
+                    continue
+                queue.push(
+                    NodeDownEvent(time=window.start, node_id=window.node, wipe=window.wipe)
+                )
+                # NODE_UP sorts before everything else at its instant, so
+                # an up clipped to the horizon still fires before the
+                # END_OF_SIMULATION event and downtime accounting closes.
+                queue.push(NodeUpEvent(time=min(window.end, horizon), node_id=window.node))
         if self.contact_model == CONTACT_MODEL_INSTANTANEOUS:
-            for meeting in self.schedule:
-                queue.push(MeetingEvent(time=meeting.time, meeting=meeting))
+            for contact_id, meeting in enumerate(self.schedule):
+                queue.push(
+                    MeetingEvent(time=meeting.time, meeting=meeting, contact_id=contact_id)
+                )
         else:
             # Durational modes bracket every contact window with a
             # start/end pair; windows reaching past the horizon are closed
@@ -275,11 +317,15 @@ class Simulator:
                 if isinstance(event, PacketCreationEvent):
                     self._handle_creation(event.packet, event.time)
                 elif isinstance(event, MeetingEvent):
-                    self._handle_meeting(event.meeting, event.time)
+                    self._handle_meeting(event.meeting, event.time, event.contact_id)
                 elif isinstance(event, ContactStartEvent):
                     self._handle_contact_start(event.contact, event.contact_id, event.time)
                 elif isinstance(event, ContactEndEvent):
                     self._handle_contact_end(event.contact_id, event.time)
+                elif isinstance(event, NodeDownEvent):
+                    self._handle_node_down(event.node_id, event.wipe, event.time)
+                elif isinstance(event, NodeUpEvent):
+                    self._handle_node_up(event.node_id, event.time)
                 elif isinstance(event, EndOfSimulationEvent):
                     break
                 else:  # pragma: no cover - defensive
@@ -294,7 +340,7 @@ class Simulator:
                         with profiler.phase("packet_creation"):
                             self._handle_creation(event.packet, event.time)
                     elif isinstance(event, MeetingEvent):
-                        self._handle_meeting(event.meeting, event.time)
+                        self._handle_meeting(event.meeting, event.time, event.contact_id)
                     elif isinstance(event, ContactStartEvent):
                         with profiler.phase("contact_session"):
                             self._handle_contact_start(
@@ -303,6 +349,10 @@ class Simulator:
                     elif isinstance(event, ContactEndEvent):
                         with profiler.phase("contact_session"):
                             self._handle_contact_end(event.contact_id, event.time)
+                    elif isinstance(event, NodeDownEvent):
+                        self._handle_node_down(event.node_id, event.wipe, event.time)
+                    elif isinstance(event, NodeUpEvent):
+                        self._handle_node_up(event.node_id, event.time)
                     elif isinstance(event, EndOfSimulationEvent):
                         break
                     else:  # pragma: no cover - defensive
@@ -314,6 +364,14 @@ class Simulator:
         for contact_id in sorted(self._open_contacts):
             self._close_contact(self._open_contacts[contact_id], self._horizon)
         self._open_contacts.clear()
+
+        # Defensive: nodes still down at the horizon (all up events are
+        # clipped to the horizon and sort before END_OF_SIMULATION, so
+        # this is normally a no-op) still charge their downtime.
+        for node_id in sorted(self._down_since):
+            result.node_downtime_s += self._horizon - self._down_since[node_id]
+        self._down_since.clear()
+        self._down.clear()
 
         if observe:
             self._finalize_observability(result)
@@ -431,12 +489,74 @@ class Simulator:
         return False, capacity * scale, scale
 
     # ------------------------------------------------------------------
+    # Fault handlers
+    # ------------------------------------------------------------------
+    def _handle_node_down(self, node_id: int, wipe: bool, now: float) -> None:
+        """Take *node_id* offline: cut its open sessions, maybe wipe it."""
+        result = self.result
+        self._down.add(node_id)
+        self._down_since[node_id] = now
+        result.node_outages += 1
+
+        # Any open durational session the node participates in dies now —
+        # the crash is an interruption from the link's point of view.
+        for contact_id in sorted(self._open_contacts):
+            state = self._open_contacts.get(contact_id)
+            if state is not None and state.contact.involves(node_id):
+                state.session.interrupted = True
+                del self._open_contacts[contact_id]
+                self._close_contact(state, now)
+
+        wiped_replicas = 0
+        wiped_bytes = 0.0
+        if wipe:
+            protocol = self.protocols.get(node_id)
+            if protocol is not None:
+                lost = protocol.wipe_buffer(now)
+                wiped_replicas = len(lost)
+                wiped_bytes = float(sum(p.size for p in lost))
+                result.replicas_lost_to_crashes += wiped_replicas
+                result.bytes_lost_to_crashes += wiped_bytes
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.node_down(node_id, now, wiped_replicas, wiped_bytes)
+
+    def _handle_node_up(self, node_id: int, now: float) -> None:
+        """Bring *node_id* back online and charge the elapsed downtime."""
+        self._down.discard(node_id)
+        went_down = self._down_since.pop(node_id, None)
+        if went_down is not None:
+            self.result.node_downtime_s += now - went_down
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.node_up(node_id, now)
+
+    def _count_missed_deliveries(self, down_id: int, up_id: int) -> int:
+        """Packets the up peer holds for the down node at a missed contact."""
+        if down_id in self._down and up_id not in self._down:
+            protocol = self.protocols.get(up_id)
+            if protocol is not None:
+                return len(protocol.buffer.packets_for(down_id))
+        return 0
+
+    # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
     def _handle_creation(self, packet: Packet, now: float) -> None:
         protocol = self.protocols.get(packet.source)
         if protocol is None:  # pragma: no cover - defensive
             raise SimulationError(f"packet source {packet.source} has no node")
+        if packet.source in self._down:
+            # The source is offline: the packet is generated but never
+            # enters the system (it would need the node's application
+            # stack).  Recorded as a refused creation, like a full buffer.
+            self._packets_created += 1
+            self.result.creations_refused_down += 1
+            self.result.records[packet.packet_id].drops += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.packet_created(packet, stored=False)
+            return
         accepted = protocol.on_packet_created(packet, now)
         self._packets_created += 1
         tracer = self.tracer
@@ -455,12 +575,39 @@ class Simulator:
                 if state is not None and state.contact.involves(packet.source):
                     self._pump_contact(state, now)
 
-    def _handle_meeting(self, meeting: Meeting, now: float) -> None:
+    def _handle_meeting(self, meeting: Meeting, now: float, contact_id: int = -1) -> None:
         result = self.result
+        fault_schedule = self._fault_schedule
+        control_lost = False
+        kill_fraction: Optional[float] = None
+        if fault_schedule is not None:
+            # Fault checks come before the noise draw: a contact that
+            # never happens (no-show, down endpoint) consumes no noise
+            # randomness — the fault process has its own stream.
+            if contact_id in fault_schedule.contact_no_shows:
+                result.contact_no_shows += 1
+                return
+            if self._down and (meeting.node_a in self._down or meeting.node_b in self._down):
+                result.contacts_missed_down += 1
+                result.deliveries_missed_down += self._count_missed_deliveries(
+                    meeting.node_a, meeting.node_b
+                ) + self._count_missed_deliveries(meeting.node_b, meeting.node_a)
+                return
+            kill_fraction = fault_schedule.transfer_kills.get(contact_id)
+            control_lost = contact_id in fault_schedule.control_losses
+
         missed, capacity, _ = self._apply_noise(meeting.capacity)
         if missed:
             result.meetings_missed += 1
             return
+
+        if kill_fraction is not None:
+            # Mid-transfer kill in instantaneous mode: the whole meeting
+            # is one transfer instant, so dying at a fraction of the
+            # contact truncates the transferable bytes to that fraction.
+            if not math.isinf(capacity):
+                capacity *= kill_fraction
+            result.transfers_killed += 1
 
         if meeting.node_a not in self.protocols or meeting.node_b not in self.protocols:
             # Meetings of buses that carry no traffic endpoints are still
@@ -488,9 +635,12 @@ class Simulator:
 
         profiler = self.profiler
         if profiler is None:
-            # Step 1: control exchange (acks + protocol metadata), both ways.
-            x.exchange_control(y, now, budget)
-            y.exchange_control(x, now, budget)
+            # Step 1: control exchange (acks + protocol metadata), both
+            # ways — suppressed entirely on a metadata-loss contact, so
+            # both peers keep routing on stale acks and delay state.
+            if not control_lost:
+                x.exchange_control(y, now, budget)
+                y.exchange_control(x, now, budget)
 
             # Step 2: direct delivery, both ways.
             self._direct_delivery(x, y, now, budget)
@@ -499,14 +649,17 @@ class Simulator:
             # Step 3: replication, alternating directions.
             self._replicate(x, y, now, budget)
         else:
-            with profiler.phase("control_exchange"):
-                x.exchange_control(y, now, budget)
-                y.exchange_control(x, now, budget)
+            if not control_lost:
+                with profiler.phase("control_exchange"):
+                    x.exchange_control(y, now, budget)
+                    y.exchange_control(x, now, budget)
             with profiler.phase("direct_delivery"):
                 self._direct_delivery(x, y, now, budget)
                 self._direct_delivery(y, x, now, budget)
             with profiler.phase("replication"):
                 self._replicate(x, y, now, budget)
+        if control_lost:
+            result.control_exchanges_lost += 1
 
         result.data_bytes += budget.data_bytes
         result.metadata_bytes += budget.metadata_bytes
@@ -520,14 +673,34 @@ class Simulator:
                 now,
                 budget.data_bytes,
                 budget.metadata_bytes,
+                interrupted=kill_fraction is not None,
             )
 
     # ------------------------------------------------------------------
     # Contact-session pipeline (durational modes)
     # ------------------------------------------------------------------
     def _handle_contact_start(self, contact: Contact, contact_id: int, now: float) -> None:
-        """Open a contact session: noise, interruption draw, control, pump."""
+        """Open a contact session: faults, noise, interruption draw, control, pump."""
         result = self.result
+        fault_schedule = self._fault_schedule
+        control_lost = False
+        kill_fraction: Optional[float] = None
+        if fault_schedule is not None:
+            # Fault checks precede the noise and interruption draws: a
+            # contact that never opens consumes no randomness from the
+            # other streams (the fault process is precomputed).
+            if contact_id in fault_schedule.contact_no_shows:
+                result.contact_no_shows += 1
+                return
+            if self._down and (contact.node_a in self._down or contact.node_b in self._down):
+                result.contacts_missed_down += 1
+                result.deliveries_missed_down += self._count_missed_deliveries(
+                    contact.node_a, contact.node_b
+                ) + self._count_missed_deliveries(contact.node_b, contact.node_a)
+                return
+            kill_fraction = fault_schedule.transfer_kills.get(contact_id)
+            control_lost = contact_id in fault_schedule.control_losses
+
         missed, capacity, scale = self._apply_noise(contact.capacity)
         if missed:
             result.meetings_missed += 1
@@ -546,6 +719,16 @@ class Simulator:
             fraction = float(self._contact_rng.uniform(0.05, 0.95))
             cutoff = contact.start + contact.duration * fraction
             interrupted = True
+
+        if kill_fraction is not None and contact.duration > 0.0:
+            # Mid-transfer kill (fault process): the session dies at the
+            # drawn fraction of the window — possibly earlier than the
+            # interruptible model's own draw; the earlier cutoff binds.
+            kill_cutoff = contact.start + contact.duration * kill_fraction
+            if kill_cutoff < cutoff:
+                cutoff = kill_cutoff
+            interrupted = True
+            result.transfers_killed += 1
 
         result.meetings_processed += 1
         # The utilization denominator counts the capacity the channel can
@@ -585,8 +768,13 @@ class Simulator:
         x.on_session_open(y, session, now)
         y.on_session_open(x, session, now)
 
-        x.exchange_control(y, now, session)
-        y.exchange_control(x, now, session)
+        if control_lost:
+            # Metadata-loss fault: the control exchange never happens, so
+            # acks and delay metadata stay stale on both sides.
+            result.control_exchanges_lost += 1
+        else:
+            x.exchange_control(y, now, session)
+            y.exchange_control(x, now, session)
 
         state = _OpenContact(contact, session, x, y)
         self._open_contacts[contact_id] = state

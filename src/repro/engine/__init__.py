@@ -33,11 +33,14 @@ from ..observability import ObservabilityOptions, SweepTelemetry
 from .aggregator import Aggregator, group_results
 from .cache import CacheStats, ResultCache
 from .executor import Executor, ProgressCallback, default_workers
+from .manifest import SweepManifest
+from .resilient import CellFailure
 from .spec import ScenarioGrid, ScenarioSpec, canonical_json, config_key
 
 __all__ = [
     "Aggregator",
     "CacheStats",
+    "CellFailure",
     "EngineStats",
     "ExperimentEngine",
     "Executor",
@@ -46,6 +49,7 @@ __all__ = [
     "ResultCache",
     "ScenarioGrid",
     "ScenarioSpec",
+    "SweepManifest",
     "SweepTelemetry",
     "canonical_json",
     "config_key",
@@ -64,6 +68,7 @@ class EngineStats:
     cells_total: int = 0
     cells_executed: int = 0
     cache_hits: int = 0
+    cells_failed: int = 0
     wall_time_s: float = 0.0
 
     def as_dict(self) -> dict:
@@ -72,6 +77,7 @@ class EngineStats:
             "cells_total": self.cells_total,
             "cells_executed": self.cells_executed,
             "cache_hits": self.cache_hits,
+            "cells_failed": self.cells_failed,
             "wall_time_s": self.wall_time_s,
         }
 
@@ -81,6 +87,7 @@ class EngineStats:
             cells_total=self.cells_total,
             cells_executed=self.cells_executed,
             cache_hits=self.cache_hits,
+            cells_failed=self.cells_failed,
             wall_time_s=self.wall_time_s,
         )
 
@@ -90,6 +97,7 @@ class EngineStats:
             cells_total=self.cells_total - earlier.cells_total,
             cells_executed=self.cells_executed - earlier.cells_executed,
             cache_hits=self.cache_hits - earlier.cache_hits,
+            cells_failed=self.cells_failed - earlier.cells_failed,
             wall_time_s=self.wall_time_s - earlier.wall_time_s,
         )
 
@@ -133,6 +141,12 @@ class ExperimentEngine:
         self.telemetry: Optional[SweepTelemetry] = None
         #: Standing trace-line consumer (see :meth:`run_cells`).
         self.trace_writer: Optional[Callable[[str], None]] = None
+        #: Standing sweep manifest; completed/failed cells are marked on
+        #: it as they settle (the ``--resume`` ledger).
+        self.manifest: Optional[SweepManifest] = None
+        #: Cells of the most recent :meth:`run_cells` batch that
+        #: exhausted their retries (indices refer to that batch).
+        self.last_failures: List[CellFailure] = []
 
     @property
     def workers(self) -> int:
@@ -176,6 +190,7 @@ class ExperimentEngine:
         cells = list(cells)
         started = time.perf_counter()
         self.stats.cells_total += len(cells)
+        self.last_failures = []
         observability = observability or self.observability or ObservabilityOptions()
         telemetry = telemetry if telemetry is not None else self.telemetry
         trace_writer = trace_writer if trace_writer is not None else self.trace_writer
@@ -197,6 +212,8 @@ class ExperimentEngine:
                     done += 1
                     if telemetry is not None:
                         telemetry.record_cell(index, spec.label, 0.0, cached=True)
+                    if self.manifest is not None:
+                        self.manifest.mark_completed(spec.cache_key())
                     if self.progress is not None:
                         self.progress(done, len(cells), spec)
                 else:
@@ -215,12 +232,22 @@ class ExperimentEngine:
                     self.progress(done + completed, len(cells), spec)
 
             on_progress = _on_progress if self.progress else None
+            failures: List[CellFailure] = []
             if observe:
-                observed = self.executor.run_observed(
-                    missed_cells, observability, progress=on_progress
+                if self.executor.resilient:
+                    observed, failures = self.executor.run_observed_resilient(
+                        missed_cells, observability, progress=on_progress
+                    )
+                else:
+                    observed = self.executor.run_observed(
+                        missed_cells, observability, progress=on_progress
+                    )
+                self.stats.cells_executed += sum(
+                    1 for payload in observed if payload is not None
                 )
-                self.stats.cells_executed += len(observed)
                 for index, payload in zip(miss_indices, observed):
+                    if payload is None:  # exhausted its retries
+                        continue
                     result = SimulationResult.from_dict(payload["result"])
                     results[index] = result
                     if telemetry is not None:
@@ -232,19 +259,63 @@ class ExperimentEngine:
                             trace_writer(line)
                     if self.cache is not None:
                         self.cache.put(cells[index], result)
+                    if self.manifest is not None:
+                        self.manifest.mark_completed(cells[index].cache_key())
             else:
-                executed = self.executor.run(missed_cells, progress=on_progress)
-                self.stats.cells_executed += len(executed)
+                if self.executor.resilient:
+                    executed, failures = self.executor.run_resilient(
+                        missed_cells, progress=on_progress
+                    )
+                else:
+                    executed = self.executor.run(missed_cells, progress=on_progress)
+                self.stats.cells_executed += sum(
+                    1 for result in executed if result is not None
+                )
                 for index, result in zip(miss_indices, executed):
+                    if result is None:  # exhausted its retries
+                        continue
                     results[index] = result
                     if self.cache is not None:
                         self.cache.put(cells[index], result)
+                    if self.manifest is not None:
+                        self.manifest.mark_completed(cells[index].cache_key())
+            self._record_failures(failures, miss_indices, cells, telemetry)
 
         batch_wall = time.perf_counter() - started
         self.stats.wall_time_s += batch_wall
         if telemetry is not None:
             telemetry.add_engine_wall(batch_wall)
+        # Failed cells (resilient path only) are dropped from the ordered
+        # output; their batch indices are in :attr:`last_failures` so
+        # aggregating callers can drop the matching cells too.
         return [r for r in results if r is not None]
+
+    def _record_failures(
+        self,
+        failures: Sequence[CellFailure],
+        miss_indices: Sequence[int],
+        cells: Sequence[ScenarioSpec],
+        telemetry: Optional[SweepTelemetry],
+    ) -> None:
+        """Map executor failures back to batch indices and account them."""
+        for failure in failures:
+            batch_index = miss_indices[failure.index]
+            spec = cells[batch_index]
+            self.last_failures.append(
+                CellFailure(
+                    index=batch_index,
+                    label=failure.label,
+                    attempts=failure.attempts,
+                    error=failure.error,
+                )
+            )
+            self.stats.cells_failed += 1
+            if telemetry is not None:
+                telemetry.record_failure(
+                    batch_index, spec.label, failure.attempts, failure.error
+                )
+            if self.manifest is not None:
+                self.manifest.mark_failed(spec.cache_key(), failure.error)
 
     def run_grid(self, grid: ScenarioGrid) -> List[SimulationResult]:
         """Expand *grid* and run its cells."""

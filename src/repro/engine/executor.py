@@ -25,11 +25,12 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..dtn.results import SimulationResult
 from ..exceptions import ConfigurationError
 from ..observability import ObservabilityOptions
+from .resilient import CellFailure, ResilientPool
 from .spec import ScenarioSpec
 from .worker import execute_cell, execute_cell_observed, run_cell
 
@@ -56,6 +57,14 @@ class Executor:
         chunksize: Cells handed to a worker per dispatch; ``None`` sizes
             chunks so each worker receives roughly four (balancing
             dispatch overhead against tail latency on uneven cells).
+        retries: Extra attempts per cell after the first; any non-zero
+            value selects the resilient dispatch path (see
+            :mod:`repro.engine.resilient`).
+        cell_timeout: Per-attempt deadline in seconds; setting it also
+            selects the resilient path (a deadline needs one-cell-per-
+            worker dispatch to be enforceable).
+        backoff_base: Base of the deterministic retry backoff
+            (``backoff_base * 2**(attempt-1)`` seconds).
     """
 
     def __init__(
@@ -63,15 +72,30 @@ class Executor:
         workers: int = 1,
         backend: Optional[str] = None,
         chunksize: Optional[int] = None,
+        retries: int = 0,
+        cell_timeout: Optional[float] = None,
+        backoff_base: float = 0.5,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
         if backend not in (None, BACKEND_SERIAL, BACKEND_PROCESS):
             raise ConfigurationError(f"unknown executor backend {backend!r}")
+        if retries < 0:
+            raise ConfigurationError("retries must not be negative")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ConfigurationError("cell_timeout must be positive")
         self.workers = workers
         self.backend = backend
         self.chunksize = chunksize
+        self.retries = retries
+        self.cell_timeout = cell_timeout
+        self.backoff_base = backoff_base
         self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    @property
+    def resilient(self) -> bool:
+        """Whether cells should run through the failure-resilient path."""
+        return self.retries > 0 or self.cell_timeout is not None
 
     def effective_backend(self) -> str:
         """The backend in force (serial unless multiple workers)."""
@@ -124,13 +148,99 @@ class Executor:
         if self._pool is None:
             self._pool = multiprocessing.Pool(processes=self.workers)
         chunksize = self.chunksize or max(1, math.ceil(len(cells) / (self.workers * 4)))
-        for index, payload in enumerate(
-            self._pool.imap(execute_cell_observed, payloads, chunksize=chunksize)
-        ):
-            observed.append(payload)
-            if progress is not None:
-                progress(index + 1, len(cells), cells[index])
+        try:
+            for index, payload in enumerate(
+                self._pool.imap(execute_cell_observed, payloads, chunksize=chunksize)
+            ):
+                observed.append(payload)
+                if progress is not None:
+                    progress(index + 1, len(cells), cells[index])
+        except KeyboardInterrupt:
+            # Ctrl-C mid-sweep: terminate the pool so no orphaned workers
+            # keep simulating, then let callers flush telemetry/caches.
+            self.close()
+            raise
         return observed
+
+    # ------------------------------------------------------------------
+    # Resilient execution (retries / timeouts / crash isolation)
+    # ------------------------------------------------------------------
+    def run_resilient(
+        self,
+        cells: Sequence[ScenarioSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> Tuple[List[Optional[SimulationResult]], List[CellFailure]]:
+        """Execute *cells* with crash isolation, deadlines and retries.
+
+        Returns the ordered result list — ``None`` at the index of any
+        cell that exhausted its retry budget — plus the matching
+        :class:`~repro.engine.resilient.CellFailure` report.  Results of
+        surviving cells are byte-identical to the plain backends (a cell
+        is a pure function of its spec, whichever attempt computed it).
+        """
+        cells = list(cells)
+        payloads = [spec.to_dict() for spec in cells]
+        pool = ResilientPool(
+            execute_cell,
+            workers=self.workers,
+            retries=self.retries,
+            cell_timeout=self.cell_timeout,
+            backoff_base=self.backoff_base,
+        )
+        raw, failures = pool.run(
+            payloads,
+            labels=[spec.label for spec in cells],
+            progress=self._adapt_progress(cells, progress),
+        )
+        results = [
+            SimulationResult.from_dict(item) if item is not None else None
+            for item in raw
+        ]
+        return results, failures
+
+    def run_observed_resilient(
+        self,
+        cells: Sequence[ScenarioSpec],
+        observability: ObservabilityOptions,
+        progress: Optional[ProgressCallback] = None,
+    ) -> Tuple[List[Optional[dict]], List[CellFailure]]:
+        """Observed twin of :meth:`run_resilient` (payloads, failures)."""
+        cells = list(cells)
+        payloads = [
+            {"spec": spec.to_dict(), "observability": observability.to_dict()}
+            for spec in cells
+        ]
+        pool = ResilientPool(
+            execute_cell_observed,
+            workers=self.workers,
+            retries=self.retries,
+            cell_timeout=self.cell_timeout,
+            backoff_base=self.backoff_base,
+        )
+        observed, failures = pool.run(
+            payloads,
+            labels=[spec.label for spec in cells],
+            progress=self._adapt_progress(cells, progress),
+        )
+        return observed, failures
+
+    @staticmethod
+    def _adapt_progress(
+        cells: Sequence[ScenarioSpec], progress: Optional[ProgressCallback]
+    ):
+        """Bridge the pool's ``(done, total)`` callback to the engine's.
+
+        The resilient pool completes cells out of submission order, so
+        the spec reported is the *last finished count's* cell only in the
+        aggregate sense; the engine's printers use it for labelling.
+        """
+        if progress is None:
+            return None
+
+        def adapted(done: int, total: int) -> None:
+            progress(done, total, cells[min(done, total) - 1])
+
+        return adapted
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -169,10 +279,16 @@ class Executor:
         payloads = [spec.to_dict() for spec in cells]
         chunksize = self.chunksize or max(1, math.ceil(len(cells) / (self.workers * 4)))
         results: List[SimulationResult] = []
-        for index, result_dict in enumerate(
-            self._pool.imap(execute_cell, payloads, chunksize=chunksize)
-        ):
-            results.append(SimulationResult.from_dict(result_dict))
-            if progress is not None:
-                progress(index + 1, len(cells), cells[index])
+        try:
+            for index, result_dict in enumerate(
+                self._pool.imap(execute_cell, payloads, chunksize=chunksize)
+            ):
+                results.append(SimulationResult.from_dict(result_dict))
+                if progress is not None:
+                    progress(index + 1, len(cells), cells[index])
+        except KeyboardInterrupt:
+            # Ctrl-C mid-sweep: terminate the pool so no orphaned workers
+            # keep simulating, then let callers flush telemetry/caches.
+            self.close()
+            raise
         return results

@@ -1,0 +1,172 @@
+"""Sweep manifest: a durable progress record enabling ``--resume``.
+
+A long sweep interrupted at cell 800 of 1000 should not start over.  The
+content-addressed :class:`~repro.engine.cache.ResultCache` already holds
+every finished cell's result; what is missing is a statement of *which
+sweep* those cells belong to and *how far it got*.  The manifest records
+exactly that:
+
+* a **sweep key** — SHA-256 over the cache keys of every cell in
+  submission order, so a manifest only ever resumes the sweep that wrote
+  it (any change to the grid, the configuration or a schema version
+  changes every cache key and with it the sweep key);
+* the **completed** cell keys (results live in the cache under them);
+* the **failed** cell keys with their last error, so a resumed sweep can
+  retry exactly what went wrong.
+
+``repro-dtn sweep --resume`` validates the stored sweep key against the
+recomputed grid *before* running anything — a mismatched resume fails
+fast instead of silently mixing two different sweeps — then re-submits
+every cell, letting the cache serve the completed ones.  Because cached
+results are byte-identical to fresh executions, a resumed sweep's output
+is byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..exceptions import ConfigurationError
+from .spec import ScenarioSpec
+
+__all__ = ["MANIFEST_VERSION", "SweepManifest"]
+
+#: Schema version of the manifest file (bump on shape changes).
+MANIFEST_VERSION = 1
+
+
+class SweepManifest:
+    """Progress ledger of one sweep, persisted as a small JSON file."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        sweep_key: str,
+        total_cells: int,
+        completed: Optional[Sequence[str]] = None,
+        failed: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.sweep_key = sweep_key
+        self.total_cells = int(total_cells)
+        self.completed: Set[str] = set(completed or ())
+        self.failed: Dict[str, str] = dict(failed or {})
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @staticmethod
+    def sweep_key_for(cells: Sequence[ScenarioSpec]) -> str:
+        """The content address of a sweep: a hash over its cells, in order."""
+        hasher = hashlib.sha256()
+        for spec in cells:
+            hasher.update(spec.cache_key().encode("ascii"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    @classmethod
+    def for_cells(
+        cls, path: Union[str, Path], cells: Sequence[ScenarioSpec]
+    ) -> "SweepManifest":
+        """A fresh manifest describing *cells* (nothing completed yet)."""
+        return cls(path, cls.sweep_key_for(cells), len(cells))
+
+    def matches(self, cells: Sequence[ScenarioSpec]) -> bool:
+        """Whether this manifest describes exactly the sweep of *cells*."""
+        return (
+            self.sweep_key == self.sweep_key_for(cells)
+            and self.total_cells == len(cells)
+        )
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def mark_completed(self, cache_key: str) -> None:
+        """Record one finished cell (clears any earlier failure of it)."""
+        self.completed.add(cache_key)
+        self.failed.pop(cache_key, None)
+
+    def mark_failed(self, cache_key: str, error: str) -> None:
+        """Record one cell that exhausted its retries (last error wins)."""
+        if cache_key not in self.completed:
+            self.failed[cache_key] = str(error)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.completed)
+
+    def remaining(self, cells: Sequence[ScenarioSpec]) -> List[ScenarioSpec]:
+        """The cells of this sweep not yet marked completed."""
+        return [spec for spec in cells if spec.cache_key() not in self.completed]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-compatible form."""
+        return {
+            "version": MANIFEST_VERSION,
+            "sweep_key": self.sweep_key,
+            "total_cells": self.total_cells,
+            "completed": sorted(self.completed),
+            "failed": {key: self.failed[key] for key in sorted(self.failed)},
+        }
+
+    def write(self) -> Path:
+        """Persist atomically (write-then-rename, like the result cache)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return self.path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepManifest":
+        """Read a manifest back; corrupt or alien files fail fast.
+
+        Raises:
+            ConfigurationError: when the file is missing, unreadable, or
+                written by an incompatible manifest version.
+        """
+        path = Path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload["version"] != MANIFEST_VERSION:
+                raise ConfigurationError(
+                    f"sweep manifest {path} has version {payload['version']}, "
+                    f"expected {MANIFEST_VERSION}; re-run without --resume"
+                )
+            return cls(
+                path=path,
+                sweep_key=str(payload["sweep_key"]),
+                total_cells=int(payload["total_cells"]),
+                completed=[str(key) for key in payload["completed"]],
+                failed={str(k): str(v) for k, v in payload["failed"].items()},
+            )
+        except FileNotFoundError as exc:
+            raise ConfigurationError(
+                f"no sweep manifest at {path}; nothing to resume "
+                "(run the sweep once without --resume first)"
+            ) from exc
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"sweep manifest {path} is corrupt: {exc}; "
+                "delete it and re-run without --resume"
+            ) from exc

@@ -41,8 +41,9 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 #: Version 2 added the ``contact_model`` axis; version 3 added the
 #: ``mobility`` axis and the spatial parameters of synthetic configs;
 #: version 4 added the ``workload`` axis and the workload parameters of
-#: both config families.
-SPEC_SCHEMA_VERSION = 4
+#: both config families; version 5 added the ``faults`` axis and the
+#: fault parameters of both config families.
+SPEC_SCHEMA_VERSION = 5
 
 ExperimentConfig = Union["TraceExperimentConfig", "SyntheticExperimentConfig"]
 
@@ -94,6 +95,11 @@ class ScenarioSpec:
             entry); ``None`` defers to the configuration.  This is the
             engine-level handle that lets a grid sweep the workload
             axis; unlike mobility it applies to both families.
+        faults: Optional override of the configuration's fault model (a
+            :data:`~repro.faults.FAULT_MODEL_NAMES` entry); ``None``
+            defers to the configuration (whose default injects nothing).
+            This is the engine-level handle that lets a grid sweep the
+            fault axis across both families.
     """
 
     family: str
@@ -108,9 +114,11 @@ class ScenarioSpec:
     contact_options: Optional[Dict[str, object]] = None
     mobility: Optional[str] = None
     workload: Optional[str] = None
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         from ..dtn.simulator import CONTACT_MODELS
+        from ..faults import FAULT_MODEL_NAMES
         from ..mobility import MOBILITY_MODEL_NAMES
         from ..workloads import WORKLOAD_MODEL_NAMES
 
@@ -144,6 +152,11 @@ class ScenarioSpec:
                 f"unknown workload model {self.workload!r}; "
                 f"expected one of {', '.join(WORKLOAD_MODEL_NAMES)}"
             )
+        if self.faults is not None and self.faults not in FAULT_MODEL_NAMES:
+            raise ConfigurationError(
+                f"unknown fault model {self.faults!r}; "
+                f"expected one of {', '.join(FAULT_MODEL_NAMES)}"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -162,6 +175,7 @@ class ScenarioSpec:
         contact_options: Optional[Dict[str, object]] = None,
         mobility: Optional[str] = None,
         workload: Optional[str] = None,
+        faults: Optional[str] = None,
     ) -> "ScenarioSpec":
         """Build a spec from live configuration objects."""
         from ..experiments.config import TraceExperimentConfig
@@ -193,6 +207,7 @@ class ScenarioSpec:
             contact_options=dict(contact_options) if contact_options else None,
             mobility=mobility,
             workload=workload,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------
@@ -245,6 +260,21 @@ class ScenarioSpec:
             return str(workload_params.get("model", "uniform"))
         return str(getattr(workload_params, "model", "uniform"))
 
+    def resolved_faults(self) -> Optional[str]:
+        """The fault model in force: the cell's override or the config's.
+
+        ``None`` means fault injection is disabled for the cell — the
+        byte-identical default path.
+        """
+        if self.faults is not None:
+            return self.faults
+        fault_params = self.config.get("faults") or {}
+        if isinstance(fault_params, dict):
+            model = fault_params.get("model")
+        else:
+            model = getattr(fault_params, "model", None)
+        return None if model is None else str(model)
+
     @property
     def label(self) -> str:
         """The protocol label of this cell (a figure's series name)."""
@@ -270,6 +300,7 @@ class ScenarioSpec:
             ),
             "mobility": self.mobility,
             "workload": self.workload,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -300,6 +331,7 @@ class ScenarioSpec:
             contact_options=data.get("contact_options"),
             mobility=data.get("mobility"),
             workload=data.get("workload"),
+            faults=data.get("faults"),
         )
 
     def cache_key(self) -> str:
@@ -324,14 +356,14 @@ class ScenarioGrid:
     """A declarative grid over every experiment axis.
 
     The full expansion is contact models x mobilities x workloads x
-    loads x protocols x runs.  ``run_indices`` defaults to every day of
-    a trace configuration or every random run of a synthetic
-    configuration, which is what the paper's figures sweep over.
-    ``contact_models``, ``mobilities`` and ``workloads`` are optional
-    outer axes (``None`` entries defer to the configuration); leaving
-    them unset yields the classic three-axis grid.  The mobility axis
-    applies only to synthetic configurations; the workload axis applies
-    to both families.
+    faults x loads x protocols x runs.  ``run_indices`` defaults to
+    every day of a trace configuration or every random run of a
+    synthetic configuration, which is what the paper's figures sweep
+    over.  ``contact_models``, ``mobilities``, ``workloads`` and
+    ``faults`` are optional outer axes (``None`` entries defer to the
+    configuration); leaving them unset yields the classic three-axis
+    grid.  The mobility axis applies only to synthetic configurations;
+    the workload and fault axes apply to both families.
     """
 
     config: ExperimentConfig
@@ -345,6 +377,7 @@ class ScenarioGrid:
     contact_options: Optional[Dict[str, object]] = None
     mobilities: Optional[Sequence[Optional[str]]] = None
     workloads: Optional[Sequence[Optional[str]]] = None
+    faults: Optional[Sequence[Optional[str]]] = None
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -362,6 +395,10 @@ class ScenarioGrid:
         if self.workloads is not None and not self.workloads:
             raise ConfigurationError(
                 "workloads must be omitted or name at least one model"
+            )
+        if self.faults is not None and not self.faults:
+            raise ConfigurationError(
+                "faults must be omitted or name at least one model"
             )
 
     def default_run_indices(self) -> List[int]:
@@ -389,12 +426,17 @@ class ScenarioGrid:
             return [None]
         return list(self.workloads)
 
+    def _fault_axis(self) -> List[Optional[str]]:
+        if self.faults is None:
+            return [None]
+        return list(self.faults)
+
     def cells(self) -> List[ScenarioSpec]:
         """Expand the grid into its cells.
 
         The expansion order is contact models, then mobilities, then
-        workloads (when swept), then loads then protocols then run
-        indices — the inner nesting is the same as the serial ``sweep``
+        workloads, then faults (when swept), then loads then protocols
+        then run indices — the inner nesting is the same as the serial ``sweep``
         loop used, so progress reporting advances the way a reader of
         the figures expects.
         """
@@ -403,24 +445,26 @@ class ScenarioGrid:
         for contact_model in self._contact_model_axis():
             for mobility in self._mobility_axis():
                 for workload in self._workload_axis():
-                    for load in self.loads:
-                        for protocol in self.protocols:
-                            for run_index in run_indices:
-                                out.append(
-                                    ScenarioSpec.for_cell(
-                                        config=self.config,
-                                        protocol=protocol,
-                                        load=load,
-                                        run_index=run_index,
-                                        buffer_capacity=self.buffer_capacity,
-                                        metadata_fraction_cap=self.metadata_fraction_cap,
-                                        noise=self.noise,
-                                        contact_model=contact_model,
-                                        contact_options=self.contact_options,
-                                        mobility=mobility,
-                                        workload=workload,
+                    for fault in self._fault_axis():
+                        for load in self.loads:
+                            for protocol in self.protocols:
+                                for run_index in run_indices:
+                                    out.append(
+                                        ScenarioSpec.for_cell(
+                                            config=self.config,
+                                            protocol=protocol,
+                                            load=load,
+                                            run_index=run_index,
+                                            buffer_capacity=self.buffer_capacity,
+                                            metadata_fraction_cap=self.metadata_fraction_cap,
+                                            noise=self.noise,
+                                            contact_model=contact_model,
+                                            contact_options=self.contact_options,
+                                            mobility=mobility,
+                                            workload=workload,
+                                            faults=fault,
+                                        )
                                     )
-                                )
         return out
 
     def __len__(self) -> int:
@@ -428,6 +472,7 @@ class ScenarioGrid:
             len(self._contact_model_axis())
             * len(self._mobility_axis())
             * len(self._workload_axis())
+            * len(self._fault_axis())
             * len(self.protocols)
             * len(self.loads)
             * len(self.default_run_indices())

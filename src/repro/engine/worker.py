@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from ..dtn.packet import Packet
 from ..dtn.results import SimulationResult
 from ..dtn.simulator import run_simulation
+from ..faults import build_fault_model
 from ..observability import MemorySink, ObservabilityOptions
 from ..mobility.exponential import ExponentialMobility
 from ..mobility.powerlaw import PowerLawMobility
@@ -260,6 +261,17 @@ def run_cell(
             options["contact_resume"] = True
         if spec.contact_options:
             options.update(spec.contact_options)
+    # Fault injection is opt-in per spec: the fault-free path leaves the
+    # options dict untouched so its output stays byte-identical to the
+    # pre-fault engine.
+    fault_name = spec.resolved_faults()
+    if fault_name is not None:
+        fault_params = config.faults
+        options["fault_model"] = build_fault_model(
+            fault_params,
+            seed=config.seed * 6361 + spec.run_index * 17 + fault_params.seed_offset,
+            model=fault_name,
+        )
     if extra_options:
         options.update(extra_options)
     return run_simulation(

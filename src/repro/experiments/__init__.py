@@ -19,7 +19,7 @@ from .config import (
     standard_protocols,
 )
 from .report import FigureResult, Series, TableResult, percentage_improvement
-from .runner import RunRecord, SyntheticRunner, TraceRunner, sweep
+from .runner import RunRecord, SyntheticRunner, TraceRunner, sweep, sweep_cells
 
 __all__ = [
     "ProtocolSpec",
@@ -36,6 +36,7 @@ __all__ = [
     "SyntheticRunner",
     "RunRecord",
     "sweep",
+    "sweep_cells",
     "deployment",
     "trace_comparison",
     "control_channel",

@@ -20,6 +20,7 @@ from ..mobility import MOBILITY_MODEL_NAMES
 from ..mobility.spatial import SpatialParameters
 from ..routing.registry import create_factory
 from ..traces.dieselnet import DieselNetParameters
+from ..faults import FAULT_MODEL_NAMES, FaultParameters
 from ..workloads import WORKLOAD_MODEL_NAMES, WorkloadParameters
 
 
@@ -36,6 +37,14 @@ def _validate_mobility(mobility: str) -> None:
         raise ConfigurationError(
             f"unknown mobility model {mobility!r}; "
             f"expected one of {', '.join(MOBILITY_MODEL_NAMES)}"
+        )
+
+
+def _validate_faults(faults: FaultParameters) -> None:
+    if faults.model is not None and faults.model not in FAULT_MODEL_NAMES:
+        raise ConfigurationError(
+            f"unknown fault model {faults.model!r}; "
+            f"expected one of {', '.join(FAULT_MODEL_NAMES)}"
         )
 
 
@@ -145,6 +154,12 @@ class TraceExperimentConfig:
     #: :class:`~repro.engine.ScenarioSpec` cells may override the model
     #: name, which is how grids sweep the workload axis.
     workload: WorkloadParameters = field(default_factory=WorkloadParameters)
+    #: Fault injection of every cell (see :mod:`repro.faults`).  The
+    #: default (``model=None``) disables injection and keeps the run
+    #: byte-identical to a fault-free build.  Individual
+    #: :class:`~repro.engine.ScenarioSpec` cells may override the model
+    #: name, which is how grids sweep the fault axis.
+    faults: FaultParameters = field(default_factory=FaultParameters)
 
     def __post_init__(self) -> None:
         if self.num_days < 1:
@@ -153,6 +168,7 @@ class TraceExperimentConfig:
             raise ConfigurationError("load must be positive")
         _validate_contact_model(self.contact_model)
         _validate_workload(self.workload)
+        _validate_faults(self.faults)
 
     def with_load(self, load_packets_per_hour: float) -> "TraceExperimentConfig":
         """Return a copy at the given load (packets/hour/destination)."""
@@ -166,10 +182,15 @@ class TraceExperimentConfig:
         """Return a copy using the given workload parameters."""
         return replace(self, workload=workload)
 
+    def with_faults(self, faults: FaultParameters) -> "TraceExperimentConfig":
+        """Return a copy using the given fault-injection parameters."""
+        return replace(self, faults=faults)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible representation (used by the experiment engine)."""
         data = asdict(self)
         data["workload"] = self.workload.to_dict()
+        data["faults"] = self.faults.to_dict()
         data["family"] = "trace"
         return data
 
@@ -180,6 +201,8 @@ class TraceExperimentConfig:
         kwargs["trace_parameters"] = DieselNetParameters(**kwargs["trace_parameters"])
         if isinstance(kwargs.get("workload"), dict):
             kwargs["workload"] = WorkloadParameters.from_dict(kwargs["workload"])
+        if isinstance(kwargs.get("faults"), dict):
+            kwargs["faults"] = FaultParameters.from_dict(kwargs["faults"])
         return cls(**kwargs)
 
     @classmethod
@@ -250,6 +273,8 @@ class SyntheticExperimentConfig:
     contact_resume: bool = False
     #: Traffic workload of every cell (see :class:`TraceExperimentConfig`).
     workload: WorkloadParameters = field(default_factory=WorkloadParameters)
+    #: Fault injection of every cell (see :class:`TraceExperimentConfig`).
+    faults: FaultParameters = field(default_factory=FaultParameters)
 
     def __post_init__(self) -> None:
         _validate_mobility(self.mobility)
@@ -257,6 +282,7 @@ class SyntheticExperimentConfig:
             raise ConfigurationError("num_runs must be at least 1")
         _validate_contact_model(self.contact_model)
         _validate_workload(self.workload)
+        _validate_faults(self.faults)
 
     def with_contact_model(self, contact_model: str) -> "SyntheticExperimentConfig":
         """Return a copy using the named contact model."""
@@ -265,6 +291,10 @@ class SyntheticExperimentConfig:
     def with_workload(self, workload: WorkloadParameters) -> "SyntheticExperimentConfig":
         """Return a copy using the given workload parameters."""
         return replace(self, workload=workload)
+
+    def with_faults(self, faults: FaultParameters) -> "SyntheticExperimentConfig":
+        """Return a copy using the given fault-injection parameters."""
+        return replace(self, faults=faults)
 
     def load_to_packets_per_hour(self, packets_per_interval: float) -> float:
         """Convert the paper's load axis (packets per ``packet_interval`` per
@@ -283,6 +313,7 @@ class SyntheticExperimentConfig:
         """JSON-compatible representation (used by the experiment engine)."""
         data = asdict(self)
         data["workload"] = self.workload.to_dict()
+        data["faults"] = self.faults.to_dict()
         data["family"] = "synthetic"
         return data
 
@@ -294,6 +325,8 @@ class SyntheticExperimentConfig:
             kwargs["spatial"] = SpatialParameters.from_dict(kwargs["spatial"])
         if isinstance(kwargs.get("workload"), dict):
             kwargs["workload"] = WorkloadParameters.from_dict(kwargs["workload"])
+        if isinstance(kwargs.get("faults"), dict):
+            kwargs["faults"] = FaultParameters.from_dict(kwargs["faults"])
         return cls(**kwargs)
 
     def with_buffer(self, buffer_capacity: float) -> "SyntheticExperimentConfig":

@@ -100,11 +100,14 @@ class TraceRunner:
         buffer_capacity: Optional[float] = None,
         metadata_fraction_cap: Optional[float] = None,
         workload: Optional[str] = None,
+        faults: Optional[str] = None,
     ) -> List[ScenarioSpec]:
         """One cell per day for *spec* at the (resolved) load.
 
         ``workload`` overrides the configuration's traffic model for
-        these cells (the per-sweep handle of the workload axis).
+        these cells (the per-sweep handle of the workload axis);
+        ``faults`` selects a registered fault model for them (the
+        per-sweep handle of the faults axis).
         """
         if load is None:
             load = self.config.load_packets_per_hour
@@ -118,6 +121,7 @@ class TraceRunner:
                 metadata_fraction_cap=metadata_fraction_cap,
                 noise=noise,
                 workload=workload,
+                faults=faults,
             )
             for index in range(self.config.num_days)
         ]
@@ -199,12 +203,13 @@ class SyntheticRunner:
         buffer_capacity: Optional[float] = None,
         mobility: Optional[str] = None,
         workload: Optional[str] = None,
+        faults: Optional[str] = None,
     ) -> List[ScenarioSpec]:
         """One cell per random run for *spec* at the given load.
 
-        ``mobility`` and ``workload`` override the configuration's
-        mobility and traffic models for these cells (the per-sweep
-        handles of those grid axes).
+        ``mobility``, ``workload`` and ``faults`` override the
+        configuration's mobility, traffic and fault models for these
+        cells (the per-sweep handles of those grid axes).
         """
         if load is None:
             raise ConfigurationError(
@@ -219,6 +224,7 @@ class SyntheticRunner:
                 buffer_capacity=buffer_capacity,
                 mobility=mobility,
                 workload=workload,
+                faults=faults,
             )
             for run_index in range(self.config.num_runs)
         ]
@@ -242,6 +248,25 @@ class SyntheticRunner:
         )
 
 
+def sweep_cells(
+    runner,
+    specs: Sequence[ProtocolSpec],
+    x_values: Sequence[float],
+    **run_kwargs,
+) -> List[ScenarioSpec]:
+    """The exact cell list :func:`sweep` would submit, in order.
+
+    Factored out so callers that need the grid *before* running it — the
+    ``--resume`` manifest validates its sweep key against these cells —
+    build precisely what the sweep will later submit.
+    """
+    cells: List[ScenarioSpec] = []
+    for x in x_values:
+        for spec in specs:
+            cells.extend(runner.cells(spec, load=x, **run_kwargs))
+    return cells
+
+
 def sweep(
     runner,
     specs: Sequence[ProtocolSpec],
@@ -249,6 +274,7 @@ def sweep(
     metric_name: str,
     engine: Optional[ExperimentEngine] = None,
     return_results: bool = False,
+    cells: Optional[List[ScenarioSpec]] = None,
     **run_kwargs,
 ):
     """Run every protocol at every sweep point and average one metric.
@@ -258,15 +284,25 @@ def sweep(
     whole grid is submitted to the engine in one batch, so a multi-worker
     engine parallelises across protocols, loads and days/runs at once.
 
+    On the failure-resilient engine path a cell may exhaust its retries;
+    such cells are dropped from the aggregation (the sweep point averages
+    over the surviving runs) and reported via ``engine.last_failures``.
+
     Returns the ``{label: [metric at each x]}`` series; with
     ``return_results=True`` it returns ``(series, results)`` so callers
     can also report per-cell accounting (e.g. interruption counts).
+    ``cells`` short-circuits cell building with a precomputed list (it
+    must equal ``sweep_cells(runner, specs, x_values, **run_kwargs)``).
     """
-    cells: List[ScenarioSpec] = []
-    for x in x_values:
-        for spec in specs:
-            cells.extend(runner.cells(spec, load=x, **run_kwargs))
-    results = (engine or runner._engine()).run_cells(cells)
+    if cells is None:
+        cells = sweep_cells(runner, specs, x_values, **run_kwargs)
+    engine = engine or runner._engine()
+    results = engine.run_cells(cells)
+    failed = {failure.index for failure in getattr(engine, "last_failures", [])}
+    if failed:
+        # Partial aggregation: keep cells aligned with the surviving
+        # results so each sweep point averages over the runs that made it.
+        cells = [cell for index, cell in enumerate(cells) if index not in failed]
     series = Aggregator(metric_name).series(
         cells,
         results,

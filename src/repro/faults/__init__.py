@@ -1,0 +1,93 @@
+"""Deterministic fault injection for the DTN simulator.
+
+The subsystem turns "what if nodes crash / links flap / acks get lost"
+into a first-class, seeded experiment axis.  A registered
+:class:`~repro.faults.base.FaultModel` precomputes a
+:class:`~repro.faults.base.FaultSchedule` from the deployment's static
+shape; the simulator consumes the schedule through
+``NodeDownEvent``/``NodeUpEvent`` entries in the event total order and
+per-contact lookups, and accounts every disruption on the
+:class:`~repro.dtn.results.SimulationResult` — serialized only when
+faults are enabled, so default payloads stay wire-identical.
+
+Registered models:
+
+``crash``
+    Node crash/restart with configurable buffer loss (wiped by default,
+    persisted with ``wipe_buffers=False``).
+``churn``
+    Transient churn — repeated short down-windows during which a node
+    joins no contacts; buffers survive.
+``contact``
+    Contact no-show and mid-transfer kill, generalizing
+    ``contact_interrupt_probability`` into a pluggable process.
+``metadata``
+    Metadata/ack loss-and-staleness — control exchanges suppressed on
+    drawn contacts, so peers route on stale state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .base import FaultModel, FaultSchedule, NodeDowntime, merge_windows
+from .models import ContactFaults, MetadataLossFaults, NodeCrashFaults, TransientChurnFaults
+from .params import FaultParameters
+
+__all__ = [
+    "FAULT_MODELS",
+    "FAULT_MODEL_NAMES",
+    "ContactFaults",
+    "FaultModel",
+    "FaultParameters",
+    "FaultSchedule",
+    "MetadataLossFaults",
+    "NodeCrashFaults",
+    "NodeDowntime",
+    "TransientChurnFaults",
+    "build_fault_model",
+    "merge_windows",
+]
+
+#: Builder signature every registry entry satisfies.
+ModelBuilder = Callable[[FaultParameters, int], FaultModel]
+
+#: Registry of the fault models selectable by name.
+FAULT_MODELS: Dict[str, ModelBuilder] = {
+    NodeCrashFaults.name: NodeCrashFaults,
+    TransientChurnFaults.name: TransientChurnFaults,
+    ContactFaults.name: ContactFaults,
+    MetadataLossFaults.name: MetadataLossFaults,
+}
+
+#: Stable tuple of the registered model names (CLI choices, validation).
+FAULT_MODEL_NAMES = tuple(FAULT_MODELS)
+
+
+def build_fault_model(
+    params: FaultParameters,
+    seed: int,
+    model: Optional[str] = None,
+) -> FaultModel:
+    """Instantiate the fault model *params* (or the *model* override) names.
+
+    Args:
+        params: Shared intensity/shape knobs; ``params.model`` selects
+            the model unless *model* overrides it.
+        seed: Seed of the model's private RNG stream.
+        model: Optional registry-name override (the per-cell ``faults``
+            axis of a sweep).
+
+    Raises:
+        KeyError: If the resolved name is not a registered model.
+    """
+    name = model if model is not None else params.model
+    if name is None:
+        raise KeyError("no fault model selected (params.model is None and no override given)")
+    try:
+        builder = FAULT_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault model {name!r}; registered models: {', '.join(FAULT_MODEL_NAMES)}"
+        ) from None
+    return builder(params, seed)

@@ -1,0 +1,167 @@
+"""Fault model base class and the precomputed fault schedule.
+
+A fault model never touches the running simulator.  It is handed the
+deployment's static shape — the sorted node ids, the number of contacts
+in the meeting schedule, and the simulation horizon — and returns a
+:class:`FaultSchedule`: a plain-data description of every disruption
+that will happen, drawn from the model's own seeded RNG stream in a
+fixed, documented order.  The simulator then *consumes* the schedule
+(down-windows become ``NodeDownEvent``/``NodeUpEvent`` entries in the
+event total order; contact faults are looked up by contact index), so
+the schedule is a pure function of ``(parameters, seed, deployment
+shape)`` and byte-identical across serial, multiprocess, cold-cache and
+warm-cache execution backends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from numpy.random import Generator, default_rng
+
+from .params import FaultParameters
+
+__all__ = ["FaultModel", "FaultSchedule", "NodeDowntime"]
+
+
+@dataclass(frozen=True)
+class NodeDowntime:
+    """One down-window: *node* is offline during ``[start, end)``.
+
+    ``wipe`` records whether going down loses the node's buffered
+    replicas (a crash) or merely disconnects it (churn); the distinction
+    is drawn by the model, not by the simulator.
+    """
+
+    node: int
+    start: float
+    end: float
+    wipe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("downtime node id must be non-negative")
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError("downtime window must satisfy 0 <= start < end")
+
+    @property
+    def duration(self) -> float:
+        """Length of the window in seconds."""
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation."""
+        return {"node": self.node, "start": self.start, "end": self.end, "wipe": self.wipe}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything a fault model decided, as plain data.
+
+    Attributes:
+        downtimes: Down-windows sorted by ``(start, node)``; windows of
+            the same node never overlap (models merge before emitting).
+        contact_no_shows: Indices (into the meeting schedule's
+            enumeration order) of contacts that silently never happen.
+        transfer_kills: Contact index to the fraction of the contact at
+            which the transfer is killed mid-flight, in ``(0, 1)``.
+        control_losses: Contact indices whose metadata/ack exchange is
+            lost, leaving both peers with stale control state.
+    """
+
+    downtimes: Tuple[NodeDowntime, ...] = ()
+    contact_no_shows: FrozenSet[int] = field(default_factory=frozenset)
+    transfer_kills: Dict[int, float] = field(default_factory=dict)
+    control_losses: FrozenSet[int] = field(default_factory=frozenset)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the schedule injects no fault at all."""
+        return not (
+            self.downtimes or self.contact_no_shows or self.transfer_kills or self.control_losses
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-compatible form (sorted, determinism-testable)."""
+        return {
+            "downtimes": [window.to_dict() for window in self.downtimes],
+            "contact_no_shows": sorted(self.contact_no_shows),
+            "transfer_kills": {
+                str(index): self.transfer_kills[index] for index in sorted(self.transfer_kills)
+            },
+            "control_losses": sorted(self.control_losses),
+        }
+
+    def schedule_key(self) -> str:
+        """SHA-256 over the canonical form — equal keys, equal schedules."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def merge_windows(windows: Sequence[NodeDowntime]) -> Tuple[NodeDowntime, ...]:
+    """Merge per-node overlapping windows into a sorted, disjoint tuple.
+
+    Two windows of the same node that overlap (or touch) collapse into
+    one; the merged window wipes if either constituent wiped.  The
+    result is sorted by ``(start, node)`` so event insertion order is
+    canonical.
+    """
+    per_node: Dict[int, List[NodeDowntime]] = {}
+    for window in windows:
+        per_node.setdefault(window.node, []).append(window)
+    merged: List[NodeDowntime] = []
+    for node in sorted(per_node):
+        spans = sorted(per_node[node], key=lambda w: (w.start, w.end))
+        current = spans[0]
+        for nxt in spans[1:]:
+            if nxt.start <= current.end:
+                current = NodeDowntime(
+                    node=node,
+                    start=current.start,
+                    end=max(current.end, nxt.end),
+                    wipe=current.wipe or nxt.wipe,
+                )
+            else:
+                merged.append(current)
+                current = nxt
+        merged.append(current)
+    merged.sort(key=lambda w: (w.start, w.node))
+    return tuple(merged)
+
+
+class FaultModel:
+    """Seeded base class of every registered fault model.
+
+    Subclasses implement :meth:`build_schedule` and MUST draw from
+    ``self.rng`` in a fixed order that depends only on the arguments
+    (iterate nodes in the given sorted order, contacts in index order)
+    — that contract is what makes schedules reproducible across
+    execution backends.
+    """
+
+    #: Registry key; subclasses override.
+    name = "base"
+
+    def __init__(self, params: FaultParameters, seed: int) -> None:
+        self.params = params
+        self.seed = int(seed)
+        self.rng: Generator = default_rng(self.seed)
+
+    def build_schedule(
+        self, node_ids: Sequence[int], num_contacts: int, horizon: float
+    ) -> FaultSchedule:
+        """Draw the full disruption plan for one simulation run."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared draw helpers
+    # ------------------------------------------------------------------
+    def _draw_window(self, node: int, horizon: float, wipe: bool) -> NodeDowntime:
+        """One down-window: uniform start, duration around the mean."""
+        start = float(self.rng.uniform(0.0, 0.9)) * horizon
+        duration = float(self.rng.uniform(0.5, 1.5)) * self.params.mean_downtime * horizon
+        end = min(start + max(duration, 1e-9), horizon)
+        return NodeDowntime(node=node, start=start, end=end, wipe=wipe)

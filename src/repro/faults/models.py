@@ -1,0 +1,119 @@
+"""The four registered fault models.
+
+Each model disrupts one axis the paper's clean-case evaluation holds
+fixed: node availability (``crash``, ``churn``), contact reliability
+(``contact``), and control-plane freshness (``metadata``).  All draws
+come from the model's own seeded stream in a fixed order — nodes in the
+given sorted order, contacts in schedule-index order — so a schedule is
+reproducible from ``(parameters, seed, deployment shape)`` alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from .base import FaultModel, FaultSchedule, NodeDowntime, merge_windows
+
+__all__ = [
+    "ContactFaults",
+    "MetadataLossFaults",
+    "NodeCrashFaults",
+    "TransientChurnFaults",
+]
+
+
+class NodeCrashFaults(FaultModel):
+    """Node crash/restart with configurable buffer loss.
+
+    Draw order: for each node (sorted), one Bernoulli(``rate``) crash
+    decision, then — if it crashes — one down-window.  A crashed node
+    loses its buffered replicas when ``wipe_buffers`` is set (the
+    default) and keeps them across the restart otherwise.
+    """
+
+    name = "crash"
+
+    def build_schedule(
+        self, node_ids: Sequence[int], num_contacts: int, horizon: float
+    ) -> FaultSchedule:
+        windows: List[NodeDowntime] = []
+        for node in node_ids:
+            if self.rng.random() < self.params.rate:
+                windows.append(self._draw_window(node, horizon, wipe=self.params.wipe_buffers))
+        return FaultSchedule(downtimes=merge_windows(windows))
+
+
+class TransientChurnFaults(FaultModel):
+    """Transient churn: repeated short down-windows, buffers preserved.
+
+    Draw order: for each node (sorted), one Bernoulli(``rate``) churner
+    decision, then — if it churns — a window count in
+    ``[1, max_windows]`` and that many down-windows.  While down the
+    node joins no contacts; its buffer survives (a radio outage, not a
+    crash).
+    """
+
+    name = "churn"
+
+    def build_schedule(
+        self, node_ids: Sequence[int], num_contacts: int, horizon: float
+    ) -> FaultSchedule:
+        windows: List[NodeDowntime] = []
+        for node in node_ids:
+            if self.rng.random() >= self.params.rate:
+                continue
+            count = int(self.rng.integers(1, self.params.max_windows + 1))
+            for _ in range(count):
+                windows.append(self._draw_window(node, horizon, wipe=False))
+        return FaultSchedule(downtimes=merge_windows(windows))
+
+
+class ContactFaults(FaultModel):
+    """Contact no-show and mid-transfer kill.
+
+    Generalizes the simulator's ``contact_interrupt_probability`` into a
+    pluggable, precomputed process.  Draw order: for each contact index,
+    one Bernoulli(``rate``) no-show decision, then one
+    Bernoulli(``rate``) kill decision, then — only if killed — the
+    uniform kill fraction in ``(0.05, 0.95)``.  A no-show contact never
+    happens at all; a killed contact dies mid-flight at the drawn
+    fraction of its capacity (instantaneous mode) or duration
+    (durational modes).
+    """
+
+    name = "contact"
+
+    def build_schedule(
+        self, node_ids: Sequence[int], num_contacts: int, horizon: float
+    ) -> FaultSchedule:
+        no_shows: Set[int] = set()
+        kills: Dict[int, float] = {}
+        for index in range(num_contacts):
+            if self.rng.random() < self.params.rate:
+                no_shows.add(index)
+                continue
+            if self.rng.random() < self.params.rate:
+                kills[index] = float(self.rng.uniform(0.05, 0.95))
+        return FaultSchedule(contact_no_shows=frozenset(no_shows), transfer_kills=kills)
+
+
+class MetadataLossFaults(FaultModel):
+    """Metadata/ack loss and staleness.
+
+    Draw order: for each contact index, one Bernoulli(``rate``) loss
+    decision.  A lossy contact still transfers data but its control
+    exchange (acks, delay metadata) is suppressed in both directions,
+    so peers keep routing on stale state until a later clean contact —
+    staleness emerges from loss, it is not modelled separately.
+    """
+
+    name = "metadata"
+
+    def build_schedule(
+        self, node_ids: Sequence[int], num_contacts: int, horizon: float
+    ) -> FaultSchedule:
+        losses: Set[int] = set()
+        for index in range(num_contacts):
+            if self.rng.random() < self.params.rate:
+                losses.add(index)
+        return FaultSchedule(control_losses=frozenset(losses))

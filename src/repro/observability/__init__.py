@@ -49,6 +49,7 @@ from .trace import (
     TraceRecorder,
     TraceSink,
     event_line,
+    validate_writable,
 )
 
 __all__ = [
@@ -64,4 +65,5 @@ __all__ = [
     "TraceRecorder",
     "TraceSink",
     "event_line",
+    "validate_writable",
 ]

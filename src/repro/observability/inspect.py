@@ -9,7 +9,11 @@ and renders one of three views:
 * a **per-packet table** (or, with ``--packet``, one packet's full
   chronological timeline: created → replicated → … → delivered);
 * a **per-node summary** of every node's traffic (or, with ``--node``,
-  one node's contact and replica history).
+  one node's contact and replica history);
+* an **outage replay** (``--outages``) — every fault-injected
+  down-window in chronological order with the replicas it wiped, plus
+  per-node downtime totals, reconstructed from ``node_down``/``node_up``
+  events.
 
 Everything is computed from the event stream alone — no simulator state
 is needed — so a trace file is a self-contained artifact that can be
@@ -27,6 +31,7 @@ from ..exceptions import ReproError
 __all__ = [
     "load_trace",
     "node_summary",
+    "outage_timeline",
     "packet_table",
     "packet_timeline",
     "trace_overview",
@@ -222,4 +227,68 @@ def node_summary(events: List[Event], node_id: Optional[int] = None) -> str:
             f"{counters['delivered_here']:>10} {counters['evictions']:>8} "
             f"{counters['acks']:>6}"
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Outage replay
+# ----------------------------------------------------------------------
+def outage_timeline(events: List[Event]) -> str:
+    """Replay every fault-injected outage recorded in the trace.
+
+    Pairs ``node_down`` events with the matching ``node_up`` (per node,
+    in order — fault windows of one node never overlap after merging),
+    lists each window chronologically with the replicas it wiped, and
+    closes with per-node downtime totals.  A window still open at the end
+    of the trace is shown with an open end.
+    """
+    downs = [e for e in events if e["ev"] == "node_down"]
+    ups = [e for e in events if e["ev"] == "node_up"]
+    if not downs:
+        return "no outages in trace (fault injection off, or no windows drawn)"
+    pending_ups: Dict[int, List[Event]] = {}
+    for event in ups:
+        pending_ups.setdefault(int(event["node"]), []).append(event)  # type: ignore[arg-type]
+    windows = []
+    for event in downs:
+        node = int(event["node"])  # type: ignore[arg-type]
+        queue = pending_ups.get(node, [])
+        up_time = float(queue.pop(0)["t"]) if queue else None
+        windows.append(
+            {
+                "node": node,
+                "start": float(event["t"]),
+                "end": up_time,
+                "wiped_replicas": int(event.get("wiped_replicas", 0)),  # type: ignore[arg-type]
+                "wiped_bytes": float(event.get("wiped_bytes", 0.0)),  # type: ignore[arg-type]
+            }
+        )
+    windows.sort(key=lambda w: (w["start"], w["node"]))
+    lines = [f"outages ({len(windows)} windows):"]
+    header = (
+        f"{'node':>5} {'down':>10} {'up':>10} {'downtime':>10} "
+        f"{'wiped':>7} {'bytes':>12}"
+    )
+    lines.append(header)
+    downtime: Dict[int, float] = {}
+    for window in windows:
+        end = window["end"]
+        duration = (end - window["start"]) if end is not None else None
+        if duration is not None:
+            downtime[window["node"]] = downtime.get(window["node"], 0.0) + duration
+        lines.append(
+            f"{window['node']:>5} {window['start']:>10.1f} "
+            f"{(f'{end:.1f}' if end is not None else 'open'):>10} "
+            f"{(f'{duration:.1f}' if duration is not None else '-'):>10} "
+            f"{window['wiped_replicas']:>7} {window['wiped_bytes']:>12.0f}"
+        )
+    lines.append("")
+    lines.append("downtime per node:")
+    for node in sorted(downtime):
+        lines.append(f"  node {node}: {downtime[node]:.1f}s")
+    total_wiped = sum(w["wiped_replicas"] for w in windows)
+    lines.append(
+        f"total: {len(windows)} outages, {sum(downtime.values()):.1f}s downtime, "
+        f"{total_wiped} replicas wiped"
+    )
     return "\n".join(lines)

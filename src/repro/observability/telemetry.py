@@ -6,8 +6,10 @@ one :class:`CellTelemetry` record per cell — its spec label, whether the
 result cache served it, and the wall seconds the executing worker spent
 on it — and aggregates them into a machine-readable report: executed vs
 cached counts, wall-time distribution over executed cells, the slowest
-cells by label, cache hit/miss/corruption-heal counters, and worker
-utilization (busy worker-seconds over the workers × engine-wall budget).
+cells by label, cache hit/miss/corruption-heal counters, worker
+utilization (busy worker-seconds over the workers × engine-wall budget),
+and — on the failure-resilient path — an explicit failed-cells section
+(label, attempts, last error per cell that exhausted its retries).
 
 :class:`ObservabilityOptions` is the plain-data request object the
 engine, executor and worker share: it names what to collect for every
@@ -23,7 +25,9 @@ from typing import Dict, List, Optional
 __all__ = ["CellTelemetry", "ObservabilityOptions", "SweepTelemetry"]
 
 #: Schema version of the sweep report (bump on shape changes).
-SWEEP_REPORT_VERSION = 1
+#: Version 2 added the failed-cells section (``cells_failed``,
+#: ``failed_cells``) of the failure-resilient execution path.
+SWEEP_REPORT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -90,6 +94,7 @@ class SweepTelemetry:
     def __init__(self, workers: int = 1) -> None:
         self.workers = max(1, int(workers))
         self.cells: List[CellTelemetry] = []
+        self.failures: List[Dict[str, object]] = []
         self.engine_wall_s = 0.0
 
     # ------------------------------------------------------------------
@@ -99,6 +104,19 @@ class SweepTelemetry:
         """Record one finished cell (``cached=True``: served by the cache)."""
         self.cells.append(
             CellTelemetry(index=index, label=label, cached=cached, wall_s=float(wall_s))
+        )
+
+    def record_failure(
+        self, index: int, label: str, attempts: int, error: str
+    ) -> None:
+        """Record one cell that exhausted its retry budget."""
+        self.failures.append(
+            {
+                "index": int(index),
+                "label": label,
+                "attempts": int(attempts),
+                "error": str(error),
+            }
         )
 
     def add_engine_wall(self, seconds: float) -> None:
@@ -153,6 +171,8 @@ class SweepTelemetry:
             "worker_utilization": self.worker_utilization(),
             "slowest_cells": [cell.as_dict() for cell in slowest[: self.SLOWEST]],
             "cells": [cell.as_dict() for cell in self.cells],
+            "cells_failed": len(self.failures),
+            "failed_cells": [dict(failure) for failure in self.failures],
         }
         if cache_stats is not None:
             payload["cache"] = dict(cache_stats)

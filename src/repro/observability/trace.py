@@ -25,8 +25,11 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
+
+from ..exceptions import ConfigurationError
 
 __all__ = [
     "EVENT_NAMES",
@@ -36,6 +39,7 @@ __all__ = [
     "TraceRecorder",
     "TraceSink",
     "event_line",
+    "validate_writable",
 ]
 
 #: Every event name a :class:`TraceRecorder` can emit, in lifecycle order.
@@ -51,6 +55,8 @@ EVENT_NAMES = (
     "transfer_interrupt",
     "transfer_resume",
     "ack_learned",
+    "node_down",
+    "node_up",
 )
 
 Event = Dict[str, object]
@@ -65,6 +71,33 @@ def _finite(value: float) -> Optional[float]:
 def event_line(event: Event) -> str:
     """Render *event* as one canonical JSON line (sorted keys, compact)."""
     return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def validate_writable(path: Union[str, Path], what: str = "output") -> Path:
+    """Fail fast if *path* cannot be written (unwritable directory, etc.).
+
+    Creates the parent directory (like the eventual writer would) and
+    checks write permission on it and on a pre-existing file, so a bad
+    destination is reported before hours of simulation — not after.
+
+    Raises:
+        ConfigurationError: with a clear, actionable message.
+    """
+    path = Path(path)
+    parent = path.parent
+    try:
+        parent.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"{what} directory {parent} cannot be created: {exc}"
+        ) from exc
+    if path.is_dir():
+        raise ConfigurationError(f"{what} path {path} is a directory, not a file")
+    if not os.access(parent, os.W_OK):
+        raise ConfigurationError(f"{what} directory {parent} is not writable")
+    if path.exists() and not os.access(path, os.W_OK):
+        raise ConfigurationError(f"{what} file {path} exists and is not writable")
+    return path
 
 
 class TraceSink:
@@ -121,19 +154,22 @@ class MemorySink(TraceSink):
 class JsonlSink(TraceSink):
     """Appends one canonical JSON line per event to a file.
 
-    The file is opened lazily on the first event and truncated then, so
-    constructing the sink is free and an un-emitted sink leaves no file
-    behind.
+    Writability of the destination is validated **up front** — the
+    directory is created and probed at construction time, so an
+    unwritable ``--trace-out`` fails before the simulation runs rather
+    than after it finished.  The file itself is still opened lazily on
+    the first event and truncated then, so an un-emitted sink leaves no
+    trace file behind.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._handle = None
+        validate_writable(self.path, what="trace output")
 
     def emit(self, event: Event) -> None:
         """Write *event* as one canonical JSON line (opening the file first)."""
         if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "w", encoding="utf-8")
         self._handle.write(event_line(event))
         self._handle.write("\n")
@@ -339,6 +375,37 @@ class TraceRecorder:
                 "packet": packet.packet_id,
                 "from": sender_id,
                 "to": receiver_id,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def node_down(
+        self, node_id: int, now: float, wiped_replicas: int = 0, wiped_bytes: float = 0.0
+    ) -> None:
+        """A fault took *node_id* offline, losing the reported buffer contents."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "node_down",
+                "node": node_id,
+                "wiped_replicas": int(wiped_replicas),
+                "wiped_bytes": float(wiped_bytes),
+            }
+        )
+
+    def node_up(self, node_id: int, now: float) -> None:
+        """*node_id* restarted and rejoined the deployment."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": now,
+                "ev": "node_up",
+                "node": node_id,
             }
         )
 

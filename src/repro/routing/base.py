@@ -466,6 +466,26 @@ class RoutingProtocol(abc.ABC):
         finally:
             self.end_eviction_cascade()
 
+    def wipe_buffer(self, now: float) -> List[Packet]:
+        """Drop every buffered replica (a node crash), returning the losses.
+
+        Mirrors the eviction bookkeeping of :meth:`make_room` — buffer
+        entry, hop count, then the ``on_replica_evicted`` hook — so
+        protocol-side replica state (e.g. RAPID's metadata) stays
+        consistent with the emptied buffer.  Crash losses are *not*
+        storage drops: they are accounted by the fault subsystem
+        (``replicas_lost_to_crashes``), not as storage pressure.
+        Packets are wiped in sorted packet-id order so the loss sequence
+        is deterministic.
+        """
+        wiped: List[Packet] = []
+        for packet_id in sorted(self.buffer.packet_ids):
+            packet = self.buffer.remove(packet_id)
+            self.hop_counts.pop(packet_id, None)
+            self.on_replica_evicted(packet, now)
+            wiped.append(packet)
+        return wiped
+
     def begin_eviction_cascade(self, incoming: Packet, now: float) -> None:
         """Called before the first victim selection of a ``make_room`` call."""
 

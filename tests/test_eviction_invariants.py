@@ -101,8 +101,8 @@ class TestEvictionConsistency:
         )
         original = simulator._handle_meeting
 
-        def checked(meeting, now):
-            original(meeting, now)
+        def checked(meeting, now, contact_id=-1):
+            original(meeting, now, contact_id)
             for protocol in simulator.protocols.values():
                 assert_protocol_consistent(protocol)
 

@@ -18,6 +18,8 @@ from repro.dtn.events import (
     EndOfSimulationEvent,
     EventKind,
     MeetingEvent,
+    NodeDownEvent,
+    NodeUpEvent,
     PacketCreationEvent,
 )
 from repro.mobility.schedule import Contact, Meeting, MeetingSchedule
@@ -183,6 +185,10 @@ def _make_event(time: float, kind: EventKind, index: int):
         return MeetingEvent(time=time, meeting=meeting)
     if kind == EventKind.CONTACT_END:
         return ContactEndEvent(time=time, contact_id=index)
+    if kind == EventKind.NODE_DOWN:
+        return NodeDownEvent(time=time, node_id=index, wipe=bool(index % 2))
+    if kind == EventKind.NODE_UP:
+        return NodeUpEvent(time=time, node_id=index)
     return EndOfSimulationEvent(time=time)
 
 
