@@ -146,9 +146,17 @@ class InBandControlChannel(ControlChannel):
         """
         tolerance = constants.RAPID_ESTIMATE_TOLERANCE
         previously_sent = sender.sent_buffer_estimates.setdefault(receiver.node_id, {})
+        packets = sender.buffer.packets()
+        if sender._slow_reference:
+            estimates = [sender.own_delay_estimate(packet, now) for packet in packets]
+        else:
+            # One array-kernel pass over the whole buffer instead of a
+            # scalar own_delay_estimate call per packet (bit-identical;
+            # the golden tests hold fast and reference paths together).
+            estimates = sender.buffer_delay_estimates(now)
         changed = []
-        for packet in sender.buffer.packets():
-            estimate = sender.own_delay_estimate(packet, now)
+        for packet, estimate in zip(packets, estimates):
+            estimate = float(estimate)
             last = previously_sent.get(packet.packet_id)
             if last is not None and last > 0 and abs(estimate - last) <= tolerance * last:
                 continue

@@ -91,6 +91,63 @@ def direct_delivery_delay_array(
     return expected_meeting_times * meetings
 
 
+def delivery_rate_fold(
+    first_delays: np.ndarray, other_delays: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorised :func:`delivery_rate` over ``[first_i, *others_i]`` rows.
+
+    *first_delays* has shape ``(n,)``; *other_delays* has shape ``(n, k)``
+    and is padded with ``+inf`` — an infinite delay contributes a rate of
+    exactly ``0.0``, and adding ``0.0`` to a non-negative partial sum is
+    the IEEE-754 identity, so padded rows fold to the same bits as the
+    scalar left-to-right accumulation over the unpadded list.
+
+    Returns ``(rate, degenerate)``: the folded rates plus a boolean mask of
+    rows containing a non-positive delay, for which the scalar function
+    early-returns ``inf`` — callers must apply the mask (the folded value
+    of such a row is unspecified).
+    """
+    with np.errstate(divide="ignore"):
+        rate = np.where(np.isinf(first_delays), 0.0, 1.0 / first_delays)
+        degenerate = first_delays <= 0
+        for j in range(other_delays.shape[1]):
+            column = other_delays[:, j]
+            rate = rate + np.where(np.isinf(column), 0.0, 1.0 / column)
+            degenerate |= column <= 0
+    return rate, degenerate
+
+
+def fold_extra_delay(
+    rate: np.ndarray, degenerate: np.ndarray, extra_delays: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Fold one more replica delay into :func:`delivery_rate_fold` results.
+
+    Appending a delay to the scalar fold's input list adds exactly one
+    more ``rate += 1/d`` step, so the updated rate is bit-identical to
+    refolding the extended list from scratch.
+    """
+    with np.errstate(divide="ignore"):
+        extended = rate + np.where(np.isinf(extra_delays), 0.0, 1.0 / extra_delays)
+    return extended, degenerate | (extra_delays <= 0)
+
+
+def combined_remaining_delay_array(
+    rate: np.ndarray, degenerate: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`combined_remaining_delay` from folded rates.
+
+    Element ``i`` equals ``combined_remaining_delay(delays_i)`` bit for
+    bit: a zero rate means no replica can reach the destination
+    (:data:`~repro.constants.NEVER_MEET`), a degenerate row (some delay
+    ``<= 0``) means immediate delivery (``0.0``), and otherwise the
+    reciprocal — including the one-replica case, where the scalar path
+    computes ``1.0 / (1.0 / d)`` rather than returning ``d`` directly.
+    """
+    with np.errstate(divide="ignore"):
+        combined = np.where(rate == 0.0, constants.NEVER_MEET, 1.0 / rate)
+    return np.where(degenerate | np.isinf(rate), 0.0, combined)
+
+
 def delivery_rate(delays: Iterable[float]) -> float:
     """Total delivery rate ``sum_j 1/d_j`` of a set of per-replica delays."""
     rate = 0.0

@@ -10,7 +10,9 @@ within ``h`` hops are assigned an infinite expected meeting time.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from .. import constants
 
@@ -192,3 +194,27 @@ class EstimateScratch:
         value = self._transfers.expected_bytes_or_none(destination)
         self._transfer_bytes[destination] = value
         return value
+
+    def fill_arrays(
+        self, destinations: np.ndarray, fallback_sizes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-packet meeting-time and transfer-size arrays in one pass.
+
+        The expensive lookups run once per *distinct* destination (through
+        the same memoized scalar accessors, so values match the scalar
+        path bit for bit) and are broadcast back to per-packet arrays.
+        ``None`` transfer estimates fall back to the packet's own size,
+        exactly as the scalar path's per-packet default does.
+        """
+        unique, inverse = np.unique(destinations, return_inverse=True)
+        meeting = np.empty(len(unique))
+        transfer = np.empty(len(unique))
+        for j, destination in enumerate(unique.tolist()):
+            meeting[j] = self.expected_meeting_time(destination)
+            transfer_bytes = self.expected_transfer_bytes(destination)
+            transfer[j] = np.nan if transfer_bytes is None else transfer_bytes
+        per_packet_transfer = transfer[inverse]
+        per_packet_transfer = np.where(
+            np.isnan(per_packet_transfer), fallback_sizes, per_packet_transfer
+        )
+        return meeting[inverse], per_packet_transfer

@@ -6,18 +6,32 @@ replica together with each holder's own estimate of its direct-delivery
 delay.  Entries are timestamped so that (i) only fresher information
 overwrites older information, and (ii) the in-band control channel can
 send only entries that changed since the last exchange with a given peer.
+
+The changed-since query used to scan every entry per exchange; the store
+now keeps an append-only *change journal* of ``(time, packet_id)`` pairs,
+so :meth:`MetadataStore.entries_changed_since` binary-searches the journal
+suffix instead.  Entries carry a monotone insertion sequence number so the
+suffix can be re-emitted in exact store insertion order — the order the
+scan produced, which determines *which* records fit a metadata budget.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from .. import constants
 from ..dtn.packet import Packet
 
+#: Rebuild (compact) the change journal once it grows this many times
+#: larger than the live entry count; stale ids from removed packets and
+#: superseded changes are dropped in the rebuild.
+_JOURNAL_COMPACT_FACTOR = 8
+_JOURNAL_COMPACT_MIN = 1024
 
-@dataclass
+
+@dataclass(slots=True)
 class ReplicaInfo:
     """What one node is believed to know about one replica of a packet.
 
@@ -36,13 +50,16 @@ class ReplicaInfo:
     changed_at: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketMetadata:
     """Everything a node knows about one packet's replicas."""
 
     packet: Packet
     replicas: Dict[int, ReplicaInfo] = field(default_factory=dict)
     last_change: float = 0.0
+    #: Store insertion sequence (monotone per :class:`MetadataStore`);
+    #: preserves the store's entry iteration order for journal queries.
+    seq: int = 0
 
     @property
     def packet_id(self) -> int:
@@ -64,6 +81,15 @@ class MetadataStore:
 
     def __init__(self) -> None:
         self._entries: Dict[int, PacketMetadata] = {}
+        self._next_seq = 0
+        #: Append-only change journal: parallel lists of (non-decreasing)
+        #: change times and packet ids.  Simulation time never goes
+        #: backwards, but clamping keeps the binary search sound even if a
+        #: caller passes an out-of-order timestamp — an inflated journal
+        #: time only widens the candidate suffix, and candidates are
+        #: re-filtered against the entry's actual ``last_change``.
+        self._journal_times: List[float] = []
+        self._journal_ids: List[int] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -81,8 +107,29 @@ class MetadataStore:
         return list(self._entries.values())
 
     def entries_changed_since(self, timestamp: float) -> List[PacketMetadata]:
-        """Entries whose replica information changed after *timestamp*."""
-        return [entry for entry in self._entries.values() if entry.last_change > timestamp]
+        """Entries whose replica information changed after *timestamp*.
+
+        Served from the change journal: one binary search finds the suffix
+        of journal records newer than *timestamp*; the (deduplicated)
+        candidates are then re-checked against their live ``last_change``
+        and emitted in store insertion order — exactly the set and order
+        the full-scan implementation produced.
+        """
+        start = bisect_right(self._journal_times, timestamp)
+        if start >= len(self._journal_ids):
+            return []
+        entries = self._entries
+        candidates: Dict[int, None] = {}
+        for packet_id in self._journal_ids[start:]:
+            candidates[packet_id] = None
+        changed = [
+            entry
+            for packet_id in candidates
+            if (entry := entries.get(packet_id)) is not None
+            and entry.last_change > timestamp
+        ]
+        changed.sort(key=lambda entry: entry.seq)
+        return changed
 
     def total_replica_entries(self) -> int:
         """Number of (packet, holder) pairs stored — sizing for metadata bytes."""
@@ -91,10 +138,30 @@ class MetadataStore:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
+    def _journal_append(self, time: float, packet_id: int) -> None:
+        times = self._journal_times
+        if times and time < times[-1]:
+            time = times[-1]
+        times.append(time)
+        self._journal_ids.append(packet_id)
+        if len(times) > _JOURNAL_COMPACT_MIN and len(times) > _JOURNAL_COMPACT_FACTOR * len(
+            self._entries
+        ):
+            self._compact_journal()
+
+    def _compact_journal(self) -> None:
+        """Rebuild the journal from live entries (one record per entry)."""
+        records = sorted(
+            (entry.last_change, packet_id) for packet_id, entry in self._entries.items()
+        )
+        self._journal_times = [time for time, _ in records]
+        self._journal_ids = [packet_id for _, packet_id in records]
+
     def ensure_entry(self, packet: Packet) -> PacketMetadata:
         entry = self._entries.get(packet.packet_id)
         if entry is None:
-            entry = PacketMetadata(packet=packet)
+            entry = PacketMetadata(packet=packet, seq=self._next_seq)
+            self._next_seq += 1
             self._entries[packet.packet_id] = entry
         return entry
 
@@ -153,7 +220,9 @@ class MetadataStore:
             )
         if not meaningful:
             return False
-        entry.last_change = max(entry.last_change, learned_at)
+        if learned_at > entry.last_change:
+            entry.last_change = learned_at
+        self._journal_append(learned_at, packet.packet_id)
         return True
 
     def remove_replica(self, packet_id: int, holder_id: int, now: float) -> None:
@@ -163,10 +232,16 @@ class MetadataStore:
             return
         if holder_id in entry.replicas:
             del entry.replicas[holder_id]
-            entry.last_change = max(entry.last_change, now)
+            if now > entry.last_change:
+                entry.last_change = now
+            self._journal_append(now, packet_id)
 
     def remove_packet(self, packet_id: int) -> None:
-        """Forget a packet entirely (called when an ack is received)."""
+        """Forget a packet entirely (called when an ack is received).
+
+        Stale journal records for the packet are filtered out on the next
+        changed-since query (and dropped wholesale at the next compaction).
+        """
         self._entries.pop(packet_id, None)
 
     def merge_entry(self, entry: PacketMetadata, now: float) -> bool:

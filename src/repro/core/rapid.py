@@ -33,7 +33,13 @@ from .control import ControlChannel, GlobalControlChannel, make_channel
 from .meeting_estimator import EstimateScratch, MeetingTimeEstimator
 from .metadata import MetadataStore
 from .transfer_estimator import TransferSizeEstimator
-from .utility import DeadlineMetric, MaximumDelayMetric, UtilityMetric, make_metric
+from .utility import (
+    AverageDelayMetric,
+    DeadlineMetric,
+    MaximumDelayMetric,
+    UtilityMetric,
+    make_metric,
+)
 
 #: Keys used in the shared protocol context options.
 _REGISTRY_KEY = "rapid_registry"
@@ -133,6 +139,19 @@ class RapidProtocol(RoutingProtocol):
             return channel
         return make_channel(str(channel), fraction_cap=fraction_cap, byte_scale=byte_scale)
 
+    @property
+    def _vector_rank(self) -> bool:
+        """Whether the whole-meeting array kernels apply to this metric.
+
+        Only the plain average-delay metric (the default) has exact
+        vectorised counterparts of its fold; other metrics, subclasses and
+        wrapped/instrumented metrics keep the scalar scoring so customised
+        utilities cannot silently diverge from the kernels.  Evaluated per
+        call because tests (and callers) may swap ``self.metric`` at run
+        time.
+        """
+        return type(self.metric) is AverageDelayMetric
+
     # ------------------------------------------------------------------
     # Delay estimation (the inference algorithm)
     # ------------------------------------------------------------------
@@ -224,9 +243,11 @@ class RapidProtocol(RoutingProtocol):
     # Protocol RAPID step 2: direct delivery
     # ------------------------------------------------------------------
     def direct_delivery_order(self, peer_id: int, now: float) -> List[Packet]:
-        packets = self.buffer.packets_for(peer_id)
-        packets.sort(key=lambda p: self.metric.direct_delivery_key(p, now), reverse=True)
-        return packets
+        return sorted(
+            self.buffer.packets_for(peer_id),
+            key=lambda p: self.metric.direct_delivery_key(p, now),
+            reverse=True,
+        )
 
     # ------------------------------------------------------------------
     # Protocol RAPID step 3: replication in marginal-utility order
@@ -297,7 +318,32 @@ class RapidProtocol(RoutingProtocol):
                 scored.append((rank, index, packet))
             return scored
 
-        own_delays, peer_delays = self._vectorized_direct_delays(candidates, peer, now)
+        own_delays, peer_delays, sizes, creation_times = self._vectorized_direct_delays(
+            candidates, peer, now
+        )
+        if self._vector_rank:
+            # Whole-meeting array kernel: fold the per-replica rates, the
+            # before/after combined delays and the marginal utilities for
+            # every candidate in a handful of numpy passes.  Each element
+            # is bit-identical to the scalar rank (the golden tests hold
+            # the fast path to the REPRO_SLOW_ESTIMATES=1 reference).
+            rate, degenerate = self._fold_replica_rates(candidates, own_delays)
+            before = delay_module.combined_remaining_delay_array(rate, degenerate)
+            rate_after, degenerate_after = delay_module.fold_extra_delay(
+                rate, degenerate, peer_delays
+            )
+            after = delay_module.combined_remaining_delay_array(
+                rate_after, degenerate_after
+            )
+            marginal = self.metric.marginal_utility_array(before, after, now)
+            improves = marginal > _MIN_MARGINAL_UTILITY
+            ages = np.maximum(0.0, now - creation_times)
+            keys = np.where(improves, marginal / sizes, ages)
+            return [
+                ((1 if improves[index] else 0, keys[index]), index, packet)
+                for index, packet in enumerate(candidates)
+            ]
+
         for index, packet in enumerate(candidates):
             delays_before: List[float] = [float(own_delays[index])]
             entry = self.metadata.get(packet.packet_id)
@@ -312,45 +358,107 @@ class RapidProtocol(RoutingProtocol):
             scored.append((rank, index, packet))
         return scored
 
+    def _direct_delays_for_holder(
+        self,
+        holder: "RapidProtocol",
+        packets: Sequence[Packet],
+        destinations: np.ndarray,
+        sizes: np.ndarray,
+        rows: np.ndarray,
+        now: float,
+    ) -> np.ndarray:
+        """``d_holder(i)`` for every packet, as one array kernel pass.
+
+        The per-destination meeting-time and transfer-size estimates are
+        memoized through an :class:`EstimateScratch` (one lookup per
+        distinct destination), queue positions come from the holder
+        buffer's batched prefix-sum kernel, and the final
+        ``d = E(M) * n`` evaluation is the proven-bit-identical
+        :func:`~repro.core.delay.direct_delivery_delay_array`.
+        """
+        scratch = EstimateScratch(holder.meetings, holder.transfer_sizes)
+        meeting, transfer = scratch.fill_arrays(destinations, sizes)
+        holder_store = holder.buffer.store
+        if holder_store is not self.buffer.store:
+            # Buffers normally share the per-simulation store; standalone
+            # fixtures may not, so translate rows through the holder's own.
+            holder_store.register_all(packets)
+            rows = holder_store.rows_for(packets)
+        ahead = holder.buffer.bytes_ahead_batch(packets, rows, now)
+        return delay_module.direct_delivery_delay_array(meeting, ahead, sizes, transfer)
+
     def _vectorized_direct_delays(
         self, candidates: Sequence[Packet], peer: "RapidProtocol", now: float
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Own and would-be-peer direct-delivery delays for all candidates.
 
-        Packs sizes, queue positions (one O(log n) index lookup each) and
-        the per-destination meeting/transfer estimates — memoized once per
-        distinct destination in an :class:`EstimateScratch` per participant
-        — into arrays, then evaluates ``d = E(M) * n`` for every candidate
-        in two numpy passes.
+        Pulls the candidates' sizes, creation times and destinations as
+        structure-of-arrays columns (one store-row lookup per packet), and
+        evaluates both holders' ``d = E(M) * n`` in two array passes.
+        Returns ``(own_delays, peer_delays, sizes, creation_times)``.
         """
-        count = len(candidates)
-        sizes = np.empty(count)
-        own_ahead = np.empty(count)
-        peer_ahead = np.empty(count)
-        own_meeting = np.empty(count)
-        peer_meeting = np.empty(count)
-        own_transfer = np.empty(count)
-        peer_transfer = np.empty(count)
-        own_scratch = EstimateScratch(self.meetings, self.transfer_sizes)
-        peer_scratch = EstimateScratch(peer.meetings, peer.transfer_sizes)
-        for i, packet in enumerate(candidates):
-            destination = packet.destination
-            sizes[i] = packet.size
-            own_ahead[i] = self.buffer.bytes_ahead_of(packet, now)
-            peer_ahead[i] = peer.buffer.bytes_ahead_of(packet, now)
-            own_meeting[i] = own_scratch.expected_meeting_time(destination)
-            peer_meeting[i] = peer_scratch.expected_meeting_time(destination)
-            own_bytes = own_scratch.expected_transfer_bytes(destination)
-            peer_bytes = peer_scratch.expected_transfer_bytes(destination)
-            own_transfer[i] = packet.size if own_bytes is None else own_bytes
-            peer_transfer[i] = packet.size if peer_bytes is None else peer_bytes
-        own_delays = delay_module.direct_delivery_delay_array(
-            own_meeting, own_ahead, sizes, own_transfer
+        store = self.buffer.store
+        rows = store.rows_for(candidates)
+        sizes = store.sizes[rows]
+        creation_times = store.creation_times[rows]
+        destinations = store.destinations[rows]
+        own_delays = self._direct_delays_for_holder(
+            self, candidates, destinations, sizes, rows, now
         )
-        peer_delays = delay_module.direct_delivery_delay_array(
-            peer_meeting, peer_ahead, sizes, peer_transfer
+        peer_delays = self._direct_delays_for_holder(
+            peer, candidates, destinations, sizes, rows, now
         )
-        return own_delays, peer_delays
+        return own_delays, peer_delays, sizes, creation_times
+
+    def _fold_replica_rates(
+        self, candidates: Sequence[Packet], own_delays: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold ``[own, *metadata replicas]`` delivery rates per candidate.
+
+        The ragged per-candidate replica lists (metadata entries, holder
+        dict order) are packed into an ``inf``-padded matrix — an infinite
+        delay contributes exactly ``0.0`` rate, so padding preserves the
+        scalar left-fold bit for bit.
+        """
+        node_id = self.node_id
+        metadata_get = self.metadata.get
+        others: List[List[float]] = []
+        width = 0
+        for packet in candidates:
+            entry = metadata_get(packet.packet_id)
+            if entry is None:
+                others.append([])
+                continue
+            delays = [
+                info.delay_estimate
+                for holder_id, info in entry.replicas.items()
+                if holder_id != node_id
+            ]
+            others.append(delays)
+            if len(delays) > width:
+                width = len(delays)
+        matrix = np.full((len(candidates), width), np.inf)
+        for index, delays in enumerate(others):
+            if delays:
+                matrix[index, : len(delays)] = delays
+        return delay_module.delivery_rate_fold(own_delays, matrix)
+
+    def buffer_delay_estimates(self, now: float) -> np.ndarray:
+        """Own direct-delivery delay estimates for every buffered packet.
+
+        One array-kernel pass aligned with ``buffer.packets()`` — the
+        batched equivalent of calling :meth:`own_delay_estimate` per
+        packet, used by the in-band control channel's buffer-state
+        exchange.
+        """
+        packets = self.buffer.packets()
+        store = self.buffer.store
+        rows = self.buffer.snapshot_rows()
+        sizes = store.sizes[rows]
+        destinations = store.destinations[rows]
+        return self._direct_delays_for_holder(
+            self, packets, destinations, sizes, rows, now
+        )
 
     def _rank_key(
         self,
@@ -467,6 +575,10 @@ class RapidProtocol(RoutingProtocol):
             if not candidates:
                 return None
         scores = self._eviction_scores
+        if scores is not None and self._vector_rank and not self._use_oracle:
+            missing = [p for p in candidates if p.packet_id not in scores]
+            if missing:
+                self._fill_eviction_scores(missing, now, scores)
         best_score: Optional[float] = None
         victim_id: Optional[int] = None
         for packet in candidates:
@@ -482,6 +594,36 @@ class RapidProtocol(RoutingProtocol):
                 best_score = score
                 victim_id = packet.packet_id
         return victim_id
+
+    def _fill_eviction_scores(
+        self,
+        missing: List[Packet],
+        now: float,
+        scores: Dict[int, Tuple[float, int]],
+    ) -> None:
+        """Score all unmemoized eviction victims in one array-kernel pass.
+
+        The vectorised cascade: per-destination batched queue positions,
+        one fold of ``[own, *replica]`` rates, one combined-delay kernel
+        and one eviction-score kernel replace the per-victim scalar chain.
+        Values are bit-identical to :meth:`expected_remaining_delay` +
+        ``metric.eviction_score`` (all victims sit in this buffer, so the
+        own estimate leads each fold exactly as ``replica_delays`` does).
+        """
+        store = self.buffer.store
+        rows = store.rows_for(missing)
+        sizes = store.sizes[rows]
+        creation_times = store.creation_times[rows]
+        destinations = store.destinations[rows]
+        own_delays = self._direct_delays_for_holder(
+            self, missing, destinations, sizes, rows, now
+        )
+        rate, degenerate = self._fold_replica_rates(missing, own_delays)
+        remaining = delay_module.combined_remaining_delay_array(rate, degenerate)
+        ages = np.maximum(0.0, now - creation_times)
+        batch = self.metric.eviction_score_array(ages, remaining, now)
+        for packet, score in zip(missing, batch):
+            scores[packet.packet_id] = (float(score), packet.destination)
 
     # ------------------------------------------------------------------
     # Introspection helpers (used by tests and examples)

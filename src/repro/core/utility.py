@@ -20,6 +20,8 @@ from __future__ import annotations
 import abc
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..dtn.packet import Packet
 from ..exceptions import ConfigurationError
 from . import delay as delay_module
@@ -49,6 +51,18 @@ class UtilityMetric(abc.ABC):
             return value
         remaining = max(1.0, self.horizon - now)
         return min(value, remaining)
+
+    def clip_delay_array(self, values: np.ndarray, now: float) -> np.ndarray:
+        """Vectorised :meth:`clip_delay` (bit-identical per element)."""
+        if self.horizon is None:
+            return values
+        remaining = max(1.0, self.horizon - now)
+        return np.minimum(values, remaining)
+
+    #: Whether this metric supports the whole-meeting array kernels
+    #: (:meth:`marginal_utility_array` / :meth:`eviction_score_array`).
+    #: Metrics without kernels are scored by the scalar reference path.
+    supports_array_kernels: bool = False
 
     # ------------------------------------------------------------------
     # Core utility definitions
@@ -97,6 +111,7 @@ class AverageDelayMetric(UtilityMetric):
     """Minimise the average delay of packets (Eq. 1): ``U_i = -D(i)``."""
 
     name = "average_delay"
+    supports_array_kernels = True
 
     def utility(self, packet: Packet, remaining_delay: float, now: float) -> float:
         return -(packet.age(now) + self.clip_delay(remaining_delay, now))
@@ -120,6 +135,34 @@ class AverageDelayMetric(UtilityMetric):
             after = self.clip_delay(after, now)
             return 1.0 / max(after, 1e-9)
         return max(0.0, self.clip_delay(before, now) - self.clip_delay(after, now))
+
+    def marginal_utility_array(
+        self, before: np.ndarray, after: np.ndarray, now: float
+    ) -> np.ndarray:
+        """Vectorised :meth:`marginal_utility` from combined before/after delays.
+
+        Element ``i`` reproduces the scalar branch structure bit for bit:
+        both-infinite rows yield 0, newly-deliverable rows yield the
+        reciprocal of the clipped new delay, and the common case is the
+        clipped delay reduction floored at zero.
+        """
+        before_inf = np.isinf(before)
+        after_clipped = self.clip_delay_array(after, now)
+        before_clipped = self.clip_delay_array(before, now)
+        with np.errstate(invalid="ignore"):
+            newly_deliverable = 1.0 / np.maximum(after_clipped, 1e-9)
+            reduction = np.maximum(0.0, before_clipped - after_clipped)
+        return np.where(
+            before_inf & np.isinf(after),
+            0.0,
+            np.where(before_inf, newly_deliverable, reduction),
+        )
+
+    def eviction_score_array(
+        self, ages: np.ndarray, remaining_delays: np.ndarray, now: float
+    ) -> np.ndarray:
+        """Vectorised :meth:`eviction_score` (= :meth:`utility`) per packet."""
+        return -(ages + self.clip_delay_array(remaining_delays, now))
 
 
 class DeadlineMetric(UtilityMetric):

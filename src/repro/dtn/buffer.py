@@ -12,20 +12,38 @@ per-destination *serve-order index*: the same-destination packets sorted
 by ``(creation_time, packet_id)`` — the static serve order of Algorithm 2
 (oldest first, ties by id) — together with lazily rebuilt prefix sums of
 their sizes.  ``bytes_ahead_of`` is then one binary search instead of a
-scan over the whole buffer.  Setting ``REPRO_SLOW_ESTIMATES=1`` restores
-the original O(buffer) reference scan; both paths return identical
-values (the golden tests assert bit-identical simulation output).
+scan over the whole buffer, and :meth:`bytes_ahead_batch` answers a whole
+meeting's worth of queries with one vectorised ``searchsorted`` per
+destination.  Setting ``REPRO_SLOW_ESTIMATES=1`` restores the original
+O(buffer) reference scan; both paths return identical values (the golden
+tests assert bit-identical simulation output).
+
+The buffer is also the attachment point of the structure-of-arrays
+:class:`~repro.dtn.packet_store.PacketStore`: every inserted packet is
+registered in the (usually simulation-shared) store, and the snapshot
+accessors — :meth:`packets`, :meth:`packets_for`, :meth:`destinations`,
+:meth:`snapshot_rows` — return cached tuples/arrays invalidated on
+mutation, so the meeting loop stops allocating fresh lists per call
+(:data:`NodeBuffer.snapshot_stats` counts builds vs. cache hits).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
 from itertools import accumulate
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..exceptions import BufferError_
 from ..profiling import slow_reference_mode
 from .packet import Packet
+from .packet_store import PacketStore
+
+#: Packet ids must fit the low 32 bits of the encoded serve-order key used
+#: by the batched ``bytes_ahead`` kernel; larger ids fall back to the
+#: per-item binary search (same values, just not vectorised).
+_ID_ENCODING_LIMIT = 1 << 32
 
 
 class _DestinationQueue:
@@ -37,15 +55,35 @@ class _DestinationQueue:
     parallel to ``keys``; prefix sums over it are rebuilt lazily on the
     first query after a mutation, so a burst of queries between meetings
     pays O(log n) each while adds/removes stay O(n) list surgery at worst.
+
+    For the batched kernel the queue additionally mirrors itself into
+    numpy arrays (also rebuilt lazily): the unique creation times, the
+    serve order encoded as one ``int64`` key ``rank(creation_time) << 32 |
+    packet_id``, and the size prefix sums.  Encoding both sort dimensions
+    into a single integer key lets one vectorised ``searchsorted`` answer
+    every query for this destination at once.
     """
 
-    __slots__ = ("keys", "sizes", "_prefix", "_dirty")
+    __slots__ = (
+        "keys",
+        "sizes",
+        "_prefix",
+        "_dirty",
+        "_np_unique_cts",
+        "_np_keys",
+        "_np_prefix",
+        "_np_dirty",
+    )
 
     def __init__(self) -> None:
         self.keys: List[Tuple[float, int]] = []
         self.sizes: List[int] = []
         self._prefix: List[int] = [0]
         self._dirty = False
+        self._np_unique_cts: Optional[np.ndarray] = None
+        self._np_keys: Optional[np.ndarray] = None
+        self._np_prefix: Optional[np.ndarray] = None
+        self._np_dirty = True
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -55,6 +93,7 @@ class _DestinationQueue:
         self.keys.insert(index, key)
         self.sizes.insert(index, size)
         self._dirty = True
+        self._np_dirty = True
 
     def remove(self, key: Tuple[float, int]) -> None:
         index = bisect_left(self.keys, key)
@@ -63,6 +102,7 @@ class _DestinationQueue:
         del self.keys[index]
         del self.sizes[index]
         self._dirty = True
+        self._np_dirty = True
 
     def bytes_before(self, key: Tuple[float, int]) -> int:
         """Total size of entries served strictly before *key*."""
@@ -76,6 +116,60 @@ class _DestinationQueue:
     def max_creation_time(self) -> float:
         return self.keys[-1][0] if self.keys else float("-inf")
 
+    # ------------------------------------------------------------------
+    # Vectorised mirror
+    # ------------------------------------------------------------------
+    def _rebuild_arrays(self) -> bool:
+        """Rebuild the numpy mirror; ``False`` when ids overflow the encoding."""
+        count = len(self.keys)
+        cts = np.fromiter((k[0] for k in self.keys), dtype=np.float64, count=count)
+        ids = np.fromiter((k[1] for k in self.keys), dtype=np.int64, count=count)
+        if count and (ids[-1] >= _ID_ENCODING_LIMIT or ids.max() >= _ID_ENCODING_LIMIT):
+            self._np_keys = None
+            self._np_dirty = False
+            return False
+        unique_cts, ranks = np.unique(cts, return_inverse=True)
+        self._np_unique_cts = unique_cts
+        self._np_keys = (ranks.astype(np.int64) << 32) | ids
+        prefix = np.zeros(count + 1, dtype=np.int64)
+        if count:
+            np.cumsum(
+                np.fromiter(self.sizes, dtype=np.int64, count=count), out=prefix[1:]
+            )
+        self._np_prefix = prefix
+        self._np_dirty = False
+        return True
+
+    def bytes_before_batch(
+        self, creation_times: np.ndarray, packet_ids: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Vectorised :meth:`bytes_before` for many queries at once.
+
+        Returns ``None`` when the encoding cannot represent this queue's
+        ids (caller falls back to per-item binary search).  Query packets
+        need not be present in the queue; absent creation times resolve to
+        the insertion rank, matching ``bisect_left`` on the tuple keys.
+        """
+        if self._np_dirty and not self._rebuild_arrays():
+            return None
+        if self._np_keys is None:
+            return None
+        if len(packet_ids) and (
+            packet_ids.min() < 0 or packet_ids.max() >= _ID_ENCODING_LIMIT
+        ):
+            return None
+        unique_cts = self._np_unique_cts
+        ranks = np.searchsorted(unique_cts, creation_times, side="left")
+        present = ranks < len(unique_cts)
+        exact = np.zeros(len(ranks), dtype=bool)
+        exact[present] = unique_cts[ranks[present]] == creation_times[present]
+        # A creation time absent from the queue encodes as (rank << 32):
+        # it sorts before every stored key of rank >= rank, exactly where
+        # bisect_left would place the (ct, id) tuple.
+        query_keys = (ranks.astype(np.int64) << 32) | np.where(exact, packet_ids, 0)
+        positions = np.searchsorted(self._np_keys, query_keys, side="left")
+        return self._np_prefix[positions]
+
 
 class NodeBuffer:
     """A byte-capacity-limited container of packet replicas.
@@ -85,7 +179,15 @@ class NodeBuffer:
     ``used_bytes <= capacity`` at all times.
     """
 
-    def __init__(self, capacity: float = float("inf")) -> None:
+    #: Class-wide snapshot-cache statistics (profiling: the satellite goal
+    #: of cutting per-meeting garbage churn is observable here — ``hits``
+    #: dwarfing ``builds`` means the meeting loop reuses cached tuples
+    #: instead of allocating fresh lists per call).
+    snapshot_stats: Dict[str, int] = {"builds": 0, "hits": 0}
+
+    def __init__(
+        self, capacity: float = float("inf"), store: Optional[PacketStore] = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError("buffer capacity must be positive")
         self.capacity = capacity
@@ -97,6 +199,36 @@ class NodeBuffer:
         self._peak = 0
         self._by_destination: Dict[int, _DestinationQueue] = {}
         self._slow_reference = slow_reference_mode()
+        self._store = store
+        # Snapshot caches, invalidated on any mutation.
+        self._snapshot: Optional[Tuple[Packet, ...]] = None
+        self._rows_snapshot: Optional[np.ndarray] = None
+        self._dest_snapshot: Optional[Tuple[int, ...]] = None
+        self._for_destination: Dict[int, Tuple[Packet, ...]] = {}
+
+    @classmethod
+    def reset_snapshot_stats(cls) -> None:
+        """Zero the class-wide snapshot-cache counters (tests, profiling)."""
+        cls.snapshot_stats["builds"] = 0
+        cls.snapshot_stats["hits"] = 0
+
+    # ------------------------------------------------------------------
+    # Structure-of-arrays store attachment
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> PacketStore:
+        """The packet store this buffer registers into (lazily private)."""
+        if self._store is None:
+            self._store = PacketStore(self._packets.values())
+        return self._store
+
+    def attach_store(self, store: PacketStore) -> None:
+        """Attach the (simulation-shared) store, registering current contents."""
+        if store is self._store:
+            return
+        store.register_all(self._packets.values())
+        self._store = store
+        self._rows_snapshot = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -108,7 +240,7 @@ class NodeBuffer:
         return len(self._packets)
 
     def __iter__(self) -> Iterator[Packet]:
-        return iter(list(self._packets.values()))
+        return iter(self.packets())
 
     @property
     def used_bytes(self) -> int:
@@ -130,9 +262,22 @@ class NodeBuffer:
         """Identifiers of stored packets (insertion order)."""
         return list(self._packets.keys())
 
-    def packets(self) -> List[Packet]:
-        """A snapshot list of stored packets."""
-        return list(self._packets.values())
+    def packets(self) -> Tuple[Packet, ...]:
+        """Snapshot of stored packets (cached tuple, insertion order)."""
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = self._snapshot = tuple(self._packets.values())
+            NodeBuffer.snapshot_stats["builds"] += 1
+        else:
+            NodeBuffer.snapshot_stats["hits"] += 1
+        return snapshot
+
+    def snapshot_rows(self) -> np.ndarray:
+        """Store rows of :meth:`packets`, aligned with the snapshot tuple."""
+        rows = self._rows_snapshot
+        if rows is None:
+            rows = self._rows_snapshot = self.store.rows_for(self.packets())
+        return rows
 
     def get(self, packet_id: int) -> Optional[Packet]:
         """Return the stored packet with *packet_id*, or ``None``."""
@@ -151,6 +296,13 @@ class NodeBuffer:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _invalidate_snapshots(self) -> None:
+        self._snapshot = None
+        self._rows_snapshot = None
+        self._dest_snapshot = None
+        if self._for_destination:
+            self._for_destination.clear()
+
     def fits(self, packet: Packet) -> bool:
         """Return True when *packet* can be added without eviction."""
         return packet.size <= self.free_bytes
@@ -180,6 +332,9 @@ class NodeBuffer:
         if queue is None:
             queue = self._by_destination[packet.destination] = _DestinationQueue()
         queue.add((packet.creation_time, packet.packet_id), packet.size)
+        if self._store is not None:
+            self._store.register(packet)
+        self._invalidate_snapshots()
 
     def remove(self, packet_id: int) -> Packet:
         """Remove and return the packet with *packet_id*.
@@ -197,6 +352,7 @@ class NodeBuffer:
             queue.remove((packet.creation_time, packet.packet_id))
             if not queue.keys:
                 del self._by_destination[packet.destination]
+        self._invalidate_snapshots()
         return packet
 
     def discard(self, packet_id: int) -> Optional[Packet]:
@@ -211,20 +367,36 @@ class NodeBuffer:
         self._arrival_times.clear()
         self._by_destination.clear()
         self._used = 0
+        self._invalidate_snapshots()
 
     # ------------------------------------------------------------------
     # Queries used by routing protocols
     # ------------------------------------------------------------------
-    def packets_for(self, destination: int) -> List[Packet]:
-        """Packets destined to *destination*, in insertion order."""
-        return [p for p in self._packets.values() if p.destination == destination]
+    def packets_for(self, destination: int) -> Tuple[Packet, ...]:
+        """Packets destined to *destination* (cached tuple, insertion order)."""
+        cached = self._for_destination.get(destination)
+        if cached is None:
+            cached = tuple(
+                p for p in self._packets.values() if p.destination == destination
+            )
+            self._for_destination[destination] = cached
+            NodeBuffer.snapshot_stats["builds"] += 1
+        else:
+            NodeBuffer.snapshot_stats["hits"] += 1
+        return cached
 
-    def destinations(self) -> List[int]:
-        """Distinct destinations of buffered packets."""
-        seen: Dict[int, None] = {}
-        for packet in self._packets.values():
-            seen.setdefault(packet.destination, None)
-        return list(seen.keys())
+    def destinations(self) -> Tuple[int, ...]:
+        """Distinct destinations of buffered packets (cached tuple)."""
+        cached = self._dest_snapshot
+        if cached is None:
+            seen: Dict[int, None] = {}
+            for packet in self._packets.values():
+                seen.setdefault(packet.destination, None)
+            cached = self._dest_snapshot = tuple(seen.keys())
+            NodeBuffer.snapshot_stats["builds"] += 1
+        else:
+            NodeBuffer.snapshot_stats["hits"] += 1
+        return cached
 
     def bytes_ahead_of(self, packet: Packet, now: float) -> int:
         """Return ``b(i)``: bytes of same-destination packets served before *packet*.
@@ -250,6 +422,63 @@ class NodeBuffer:
         if packet.creation_time > now or queue.max_creation_time > now:
             return self._bytes_ahead_scan(packet, now)
         return queue.bytes_before((packet.creation_time, packet.packet_id))
+
+    def bytes_ahead_batch(
+        self, packets: Sequence[Packet], rows: np.ndarray, now: float
+    ) -> np.ndarray:
+        """Vectorised :meth:`bytes_ahead_of` over many packets at once.
+
+        *rows* are the packets' rows in :attr:`store`; the queried packets
+        need not reside in this buffer (the kernel serves "what would the
+        queue position be at this holder" questions for peers too).  One
+        vectorised ``searchsorted`` per distinct destination replaces the
+        per-packet binary searches; the degenerate age-clamping cases fall
+        back to the same reference scan the scalar path uses, element by
+        element, so results are bit-identical.
+        """
+        store = self.store
+        count = len(rows)
+        out = np.zeros(count, dtype=np.float64)
+        if not count or not self._by_destination:
+            return out
+        dests = store.destinations[rows]
+        cts = store.creation_times[rows]
+        ids = store.ids[rows]
+        order = np.argsort(dests, kind="stable")
+        sorted_dests = dests[order]
+        boundaries = np.nonzero(np.diff(sorted_dests))[0] + 1
+        start = 0
+        for end in [*boundaries.tolist(), count]:
+            idx = order[start:end]
+            destination = int(sorted_dests[start])
+            start = end
+            queue = self._by_destination.get(destination)
+            if queue is None or not queue.keys:
+                continue
+            if queue.max_creation_time > now:
+                for i in idx.tolist():
+                    out[i] = self._bytes_ahead_scan(packets[i], now)
+                continue
+            sub_cts = cts[idx]
+            late = sub_cts > now
+            if late.any():
+                regular = idx[~late]
+                for i in idx[late].tolist():
+                    out[i] = self._bytes_ahead_scan(packets[i], now)
+            else:
+                regular = idx
+            if not len(regular):
+                continue
+            batch = queue.bytes_before_batch(cts[regular], ids[regular])
+            if batch is None:
+                for i in regular.tolist():
+                    packet = packets[i]
+                    out[i] = queue.bytes_before(
+                        (packet.creation_time, packet.packet_id)
+                    )
+            else:
+                out[regular] = batch
+        return out
 
     def _bytes_ahead_scan(self, packet: Packet, now: float) -> int:
         """Reference O(buffer) implementation of :meth:`bytes_ahead_of`."""
@@ -300,4 +529,18 @@ class NodeBuffer:
                     raise BufferError_(
                         f"destination {destination} index entry for packet "
                         f"{packet_id} disagrees with the stored packet"
+                    )
+        if self._store is not None:
+            for packet in self._packets.values():
+                if packet.packet_id not in self._store:
+                    raise BufferError_(
+                        f"packet {packet.packet_id} buffered but unregistered in store"
+                    )
+                row = self._store.row_of(packet.packet_id)
+                if self._store.packet_at(row) is not packet and (
+                    self._store.packet_at(row) != packet
+                ):
+                    raise BufferError_(
+                        f"store row {row} disagrees with buffered packet "
+                        f"{packet.packet_id}"
                     )

@@ -20,7 +20,7 @@ from .. import constants
 DEFAULT_TRAFFIC_CLASS = "default"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
     """A single unfragmentable DTN packet.
 
@@ -85,7 +85,7 @@ class Packet:
         return remaining is not None and remaining <= 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ack:
     """An acknowledgment that a packet has been delivered to its destination.
 

@@ -231,6 +231,10 @@ class Simulator:
         context = ProtocolContext(
             nodes=self.nodes, rng=self._rng, options=self.options, tracer=self.tracer
         )
+        # Pre-register the whole workload in the shared structure-of-arrays
+        # store: columns are sized once and every packet's row identity
+        # exists before the first meeting kernel runs.
+        context.packet_store.register_all(self.packets)
         self.context = context
         self.protocols = {
             node_id: self.protocol_factory.create(node, context)

@@ -31,7 +31,16 @@ from .. import constants
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..dtn.node import Node
     from ..dtn.packet import Packet
+    from ..dtn.packet_store import PacketStore
     from ..mobility.schedule import Contact
+
+
+def _default_packet_store() -> "PacketStore":
+    # Imported lazily: repro.dtn's package init pulls the simulator, which
+    # imports this module — a module-level import would be circular.
+    from ..dtn.packet_store import PacketStore
+
+    return PacketStore()
 
 #: Tolerance for floating-point byte/time comparisons in link sessions.
 _EPS = 1e-9
@@ -249,6 +258,10 @@ class ProtocolContext:
     #: (:class:`~repro.observability.trace.TraceRecorder`); ``None`` —
     #: the zero-overhead default — unless tracing was requested.
     tracer: Optional[object] = None
+    #: Simulation-wide structure-of-arrays packet registry.  Every node
+    #: buffer attaches to it (see :class:`RoutingProtocol`), so a packet's
+    #: store row is one global identity all array kernels can index with.
+    packet_store: "PacketStore" = field(default_factory=_default_packet_store)
 
     @property
     def num_nodes(self) -> int:
@@ -278,6 +291,10 @@ class RoutingProtocol(abc.ABC):
     def __init__(self, node: Node, context: ProtocolContext) -> None:
         self.node = node
         self.context = context
+        # Share one structure-of-arrays packet store per simulation: all
+        # buffers register into it, so any holder's array kernels can
+        # index any packet's columns by its store row.
+        node.buffer.attach_store(context.packet_store)
         #: Packet ids this node knows to have been delivered.
         self.acked: Set[int] = set()
         #: Hops traversed by the local replica of each buffered packet.
@@ -389,9 +406,7 @@ class RoutingProtocol(abc.ABC):
 
     def direct_delivery_order(self, peer_id: int, now: float) -> List[Packet]:
         """Packets destined to *peer_id*, in the order they should be sent."""
-        packets = self.buffer.packets_for(peer_id)
-        packets.sort(key=lambda p: p.creation_time)
-        return packets
+        return sorted(self.buffer.packets_for(peer_id), key=lambda p: p.creation_time)
 
     @abc.abstractmethod
     def replication_candidates(self, peer: "RoutingProtocol", now: float) -> Iterator[Packet]:
