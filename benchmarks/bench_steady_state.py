@@ -1,0 +1,251 @@
+"""Benchmark gate: streaming results stay bounded on long horizons.
+
+The steady-state engine's claim is that ``result_mode="streaming"``
+makes the *results layer* O(1) in the horizon: a run four times as long
+produces the same fixed-size summary, while records mode grows linearly
+with the packet population.  This gate runs one long-horizon cell at two
+scales (the larger is the same traffic intensity over a 4x horizon; the
+full, non-``--quick`` mode pushes the large scale to a million packets)
+in both result modes and asserts:
+
+1. **Differential correctness** — at every scale the streaming run's
+   integer counters equal the records run's exactly, float aggregates
+   agree to addition-order rounding, and every delay quantile estimate
+   is within the sketch's documented relative-error bound of the exact
+   per-record quantile.
+2. **Bounded payload** — the streaming result payload stays under a
+   fixed byte ceiling at both scales and essentially flat across the 4x
+   horizon, while the records payload grows with the traffic.
+3. **Bounded retained memory** — rebuilding the result object from its
+   payload (the deserialized form every analysis consumer holds)
+   allocates under a fixed ceiling in streaming mode and essentially
+   flat across scales, while records mode grows with the traffic.
+
+Everything lands in ``benchmarks/results/BENCH_steady_state.json`` and
+is diffed by ``scripts/bench_compare.py`` across commits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_steady_state.py [--quick]
+    PYTHONPATH=src python -m pytest benchmarks/bench_steady_state.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from repro import units
+from repro.analysis.streaming import MIN_TRACKABLE_DELAY
+from repro.dtn.results import (
+    RESULT_MODE_RECORDS,
+    RESULT_MODE_STREAMING,
+    SimulationResult,
+)
+from repro.dtn.simulator import run_simulation
+from repro.mobility.exponential import ExponentialMobility
+from repro.routing.registry import create_factory
+from repro.workloads import PoissonArrivals
+
+from bench_config import emit_bench_json
+
+#: The streaming payload may never exceed this many canonical-JSON bytes,
+#: at any horizon (sketch buckets + class tallies + 512 rate windows).
+PAYLOAD_CEILING_BYTES = 128 * 1024
+#: Rebuilding a streaming result from its payload must allocate at most
+#: this much (the retained, results-layer footprint of a consumer).
+RETAINED_CEILING_BYTES = 8 * 1024 * 1024
+#: "Flat": the 4x-horizon run may grow the streaming payload/footprint by
+#: at most this factor (bucket tables fill in a little; windows decimate).
+FLAT_GROWTH_CEILING = 1.5
+#: Records mode must demonstrate the contrast: at least this growth
+#: across the 4x horizon (linear would be ~4x).
+RECORDS_GROWTH_FLOOR = 2.0
+
+#: Quantiles checked against the exact per-record answer.
+QUANTILES = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+#: Long-horizon cell shape: same traffic intensity, two horizons.
+NUM_NODES = 10
+MEAN_INTER_MEETING_S = 60.0
+PACKETS_PER_HOUR = 450.0
+DEADLINE_S = 90.0
+QUICK_BASE_HORIZON_S = 1800.0
+FULL_BASE_HORIZON_S = 22500.0  # 4x horizon lands around a million packets
+HORIZON_FACTOR = 4.0
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _cell_inputs(duration: float):
+    mobility = ExponentialMobility(
+        num_nodes=NUM_NODES,
+        mean_inter_meeting=MEAN_INTER_MEETING_S,
+        transfer_opportunity=60 * units.KB,
+        seed=3,
+    )
+    schedule = mobility.generate(duration)
+    workload = PoissonArrivals(
+        packets_per_hour=PACKETS_PER_HOUR, seed=4, deadline=DEADLINE_S
+    )
+    packets = workload.generate(range(NUM_NODES), duration)
+    return schedule, packets
+
+
+def _run_mode(schedule, packets, result_mode: str):
+    """Run the cell in one result mode; returns (result, wall seconds)."""
+    options = (
+        {"result_mode": result_mode} if result_mode != RESULT_MODE_RECORDS else None
+    )
+    started = time.perf_counter()
+    result = run_simulation(
+        schedule,
+        packets,
+        create_factory("direct"),
+        seed=5,
+        options=options,
+    )
+    return result, time.perf_counter() - started
+
+
+def _retained_bytes(payload_text: str) -> int:
+    """Peak allocation of rebuilding a result from its serialized form."""
+    data = json.loads(payload_text)
+    tracemalloc.start()
+    try:
+        result = SimulationResult.from_dict(data)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    del result
+    return peak
+
+
+def _differential_check(records: SimulationResult, streaming: SimulationResult) -> None:
+    assert records.num_packets > 0, "the benchmark cell generated no traffic"
+    assert streaming.num_packets == records.num_packets, "packet counters differ"
+    assert streaming.num_delivered == records.num_delivered, "delivery counters differ"
+    assert streaming.replications == records.replications, "replication counters differ"
+    assert abs(streaming.average_delay() - records.average_delay()) <= 1e-9 * max(
+        1.0, records.average_delay()
+    ), "average delay differs beyond addition-order rounding"
+
+    delays = np.asarray(records.delays(), dtype=float)
+    sketch = streaming.streaming.delay_sketch
+    assert sketch.count == delays.size, "sketch count differs from record delays"
+    for q in QUANTILES:
+        exact = float(np.quantile(delays, q, method="inverted_cdf"))
+        estimate = streaming.delay_quantile(q)
+        bound = sketch.relative_error * exact + MIN_TRACKABLE_DELAY + 1e-9 * max(1.0, exact)
+        assert abs(estimate - exact) <= bound, (
+            f"q={q} estimate {estimate} outside the sketch bound of exact {exact}"
+        )
+
+
+def _scale_point(duration: float) -> Dict[str, object]:
+    """Both modes at one horizon, with the differential check applied."""
+    schedule, packets = _cell_inputs(duration)
+    records, records_s = _run_mode(schedule, packets, RESULT_MODE_RECORDS)
+    streaming, streaming_s = _run_mode(schedule, packets, RESULT_MODE_STREAMING)
+    _differential_check(records, streaming)
+
+    records_text = _canonical(records.to_dict())
+    streaming_text = _canonical(streaming.to_dict())
+    return {
+        "horizon_s": duration,
+        "packets": records.num_packets,
+        "delivered": records.num_delivered,
+        "records_wall_time_s": round(records_s, 6),
+        "streaming_wall_time_s": round(streaming_s, 6),
+        "records_payload_bytes": len(records_text),
+        "streaming_payload_bytes": len(streaming_text),
+        "records_retained_bytes": _retained_bytes(records_text),
+        "streaming_retained_bytes": _retained_bytes(streaming_text),
+        "sketch_buckets": streaming.streaming.delay_sketch.num_buckets,
+        "rate_windows": streaming.streaming.rate_windows.num_windows,
+    }
+
+
+def run_gate(quick: bool) -> Dict[str, object]:
+    """Run the full gate; return the BENCH payload (raises on regression)."""
+    base = QUICK_BASE_HORIZON_S if quick else FULL_BASE_HORIZON_S
+    small = _scale_point(base)
+    large = _scale_point(base * HORIZON_FACTOR)
+
+    def ratio(key: str) -> float:
+        return large[key] / small[key] if small[key] else float("inf")
+
+    payload = {
+        "mode": "quick" if quick else "full",
+        "payload_ceiling_bytes": PAYLOAD_CEILING_BYTES,
+        "retained_ceiling_bytes": RETAINED_CEILING_BYTES,
+        "flat_growth_ceiling": FLAT_GROWTH_CEILING,
+        "small": small,
+        "large": large,
+        "streaming_payload_growth": round(ratio("streaming_payload_bytes"), 4),
+        "records_payload_growth": round(ratio("records_payload_bytes"), 4),
+        "streaming_retained_growth": round(ratio("streaming_retained_bytes"), 4),
+        "records_retained_growth": round(ratio("records_retained_bytes"), 4),
+        "wall_time_s": round(
+            small["streaming_wall_time_s"] + large["streaming_wall_time_s"], 6
+        ),
+    }
+    emit_bench_json("steady_state", payload)
+
+    for point in (small, large):
+        assert point["streaming_payload_bytes"] <= PAYLOAD_CEILING_BYTES, (
+            f"streaming payload {point['streaming_payload_bytes']}B at horizon "
+            f"{point['horizon_s']}s exceeds the {PAYLOAD_CEILING_BYTES}B ceiling"
+        )
+        assert point["streaming_retained_bytes"] <= RETAINED_CEILING_BYTES, (
+            f"streaming retained footprint {point['streaming_retained_bytes']}B "
+            f"at horizon {point['horizon_s']}s exceeds the ceiling"
+        )
+    assert payload["streaming_payload_growth"] <= FLAT_GROWTH_CEILING, (
+        f"streaming payload grew {payload['streaming_payload_growth']}x across "
+        f"the {HORIZON_FACTOR}x horizon (ceiling {FLAT_GROWTH_CEILING}x)"
+    )
+    assert payload["streaming_retained_growth"] <= FLAT_GROWTH_CEILING, (
+        f"streaming retained footprint grew {payload['streaming_retained_growth']}x "
+        f"across the {HORIZON_FACTOR}x horizon (ceiling {FLAT_GROWTH_CEILING}x)"
+    )
+    assert payload["records_payload_growth"] >= RECORDS_GROWTH_FLOOR, (
+        "records payload did not grow with the horizon — the contrast the "
+        "streaming mode exists to fix has disappeared; check the cell shape"
+    )
+    return payload
+
+
+def test_steady_state_gate():
+    """Pytest entry point (quick mode keeps bench suites fast)."""
+    payload = run_gate(quick=True)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller horizons for CI smoke runs; the full run's large "
+        "scale is a million-packet cell",
+    )
+    args = parser.parse_args(argv)
+    payload = run_gate(quick=args.quick)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

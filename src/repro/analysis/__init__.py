@@ -13,12 +13,22 @@ from .metrics import (
 from .stats import (
     ConfidenceInterval,
     PairedTestResult,
+    WarmupEstimate,
+    batch_means_interval,
     matched_pair_delays,
     mean_confidence_interval,
     moving_average,
+    mser5_truncation,
     paired_delay_test,
     per_pair_average_delays,
     relative_difference,
+)
+from .streaming import (
+    ClassTally,
+    DeliveryRateWindows,
+    QuantileSketch,
+    StreamingCollector,
+    StreamingSummary,
 )
 
 __all__ = [
@@ -40,4 +50,12 @@ __all__ = [
     "matched_pair_delays",
     "moving_average",
     "relative_difference",
+    "WarmupEstimate",
+    "mser5_truncation",
+    "batch_means_interval",
+    "QuantileSketch",
+    "ClassTally",
+    "DeliveryRateWindows",
+    "StreamingSummary",
+    "StreamingCollector",
 ]

@@ -27,13 +27,16 @@ class ConfidenceInterval:
 
     @property
     def low(self) -> float:
+        """Lower endpoint of the interval."""
         return self.mean - self.half_width
 
     @property
     def high(self) -> float:
+        """Upper endpoint of the interval."""
         return self.mean + self.half_width
 
     def contains(self, value: float) -> bool:
+        """Whether *value* falls inside the interval (inclusive)."""
         return self.low <= value <= self.high
 
     def relative_half_width(self) -> float:
@@ -136,3 +139,116 @@ def relative_difference(value: float, reference: float) -> float:
     if reference == 0:
         return 0.0 if value == 0 else float("inf")
     return (value - reference) / reference
+
+
+# ----------------------------------------------------------------------
+# Steady-state analysis (long-horizon runs)
+# ----------------------------------------------------------------------
+@dataclass
+class WarmupEstimate:
+    """Result of MSER warm-up detection on an output series.
+
+    ``truncation`` is the number of *raw* observations to discard before
+    steady-state averaging; ``statistic`` is the minimized MSER value
+    (squared standard error of the truncated mean), and ``batch_size``
+    records the batching the detector ran on (5 for classic MSER-5).
+    """
+
+    truncation: int
+    statistic: float
+    batch_size: int
+    num_batches: int
+
+    @property
+    def truncated_fraction(self) -> float:
+        """Fraction of the series the estimate discards."""
+        total = self.num_batches * self.batch_size
+        return self.truncation / total if total else 0.0
+
+
+def mser5_truncation(values: Sequence[float], batch_size: int = 5) -> WarmupEstimate:
+    """MSER-5 warm-up (initialization-bias) truncation point.
+
+    The Marginal Standard Error Rule (White 1997) batches the series
+    into non-overlapping means of *batch_size* observations, then picks
+    the truncation point ``d`` minimizing the squared standard error of
+    the remaining batch means::
+
+        MSER(d) = (1 / (n - d)^2) * sum_{i=d}^{n-1} (z_i - mean(z_d..z_{n-1}))^2
+
+    Candidate truncations are restricted to the first half of the
+    batched series (the standard guard against the statistic collapsing
+    when only a handful of observations remain).  Returns the truncation
+    in raw observations, ready to slice the original series.
+
+    Raises:
+        ValueError: when fewer than two batches of data are supplied.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    data = np.asarray(list(values), dtype=float)
+    num_batches = data.size // batch_size
+    if num_batches < 2:
+        raise ValueError(
+            f"MSER needs at least two batches of {batch_size} observations, "
+            f"got {data.size}"
+        )
+    batched = data[: num_batches * batch_size].reshape(num_batches, batch_size)
+    means = batched.mean(axis=1)
+    # Suffix sums make every candidate truncation O(1): the MSER
+    # statistic of the suffix starting at d follows from sum and
+    # sum-of-squares of that suffix alone.
+    suffix_sum = np.cumsum(means[::-1])[::-1]
+    suffix_sq = np.cumsum((means ** 2)[::-1])[::-1]
+    max_d = max(1, num_batches // 2)
+    best_d = 0
+    best_stat = math.inf
+    for d in range(max_d):
+        remaining = num_batches - d
+        mean = suffix_sum[d] / remaining
+        # Guard the tiny negative residue fp cancellation can leave.
+        sse = max(0.0, float(suffix_sq[d] - remaining * mean * mean))
+        stat = sse / (remaining * remaining)
+        if stat < best_stat:
+            best_stat = stat
+            best_d = d
+    return WarmupEstimate(
+        truncation=best_d * batch_size,
+        statistic=best_stat,
+        batch_size=batch_size,
+        num_batches=num_batches,
+    )
+
+
+def batch_means_interval(
+    values: Sequence[float],
+    num_batches: int = 20,
+    confidence: float = 0.95,
+    warmup: int = 0,
+) -> ConfidenceInterval:
+    """Batch-means confidence interval of a steady-state mean.
+
+    Discards the first *warmup* observations (e.g. the
+    :func:`mser5_truncation` point), splits the remainder into
+    *num_batches* equal non-overlapping batches (a tail shorter than a
+    batch is dropped), and forms a Student-t interval over the batch
+    means.  Batching absorbs the autocorrelation a raw per-observation
+    t-interval would ignore, which is why it is the standard steady-state
+    estimator for simulation output.
+
+    Raises:
+        ValueError: when the post-warmup series cannot fill
+            *num_batches* batches of at least one observation each.
+    """
+    if num_batches < 2:
+        raise ValueError("batch_means_interval needs at least 2 batches")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    data = np.asarray(list(values), dtype=float)[warmup:]
+    batch_size = data.size // num_batches
+    if batch_size < 1:
+        raise ValueError(
+            f"need at least {num_batches} post-warmup observations, got {data.size}"
+        )
+    batched = data[: num_batches * batch_size].reshape(num_batches, batch_size)
+    return mean_confidence_interval(batched.mean(axis=1), confidence=confidence)

@@ -48,6 +48,7 @@ from typing import List, Optional
 
 from . import constants, units
 from .profiling import ENV_PROFILE
+from .dtn.results import RESULT_MODE_RECORDS, RESULT_MODES
 from .dtn.simulator import run_simulation
 from .exceptions import ReproError
 from .engine import (
@@ -206,6 +207,19 @@ def _add_fault_arguments(parser: argparse.ArgumentParser, multi: bool = False) -
     )
 
 
+def _add_result_mode_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--result-mode",
+        choices=RESULT_MODES,
+        default=None,
+        help="result collection mode for every simulation cell: records "
+        "(paper default; per-packet records retained, byte-identical to "
+        "prior releases) or streaming (bounded-memory summaries: exact "
+        "counters, delay quantile sketch, windowed delivery-rate series; "
+        "for long-horizon runs)",
+    )
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -315,6 +329,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_mobility_arguments(run_parser)
     _add_workload_arguments(run_parser)
     _add_fault_arguments(run_parser)
+    _add_result_mode_argument(run_parser)
     _add_engine_arguments(run_parser)
 
     sweep_parser = subparsers.add_parser(
@@ -361,6 +376,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_mobility_arguments(sweep_parser, multi=True)
     _add_workload_arguments(sweep_parser, multi=True)
     _add_fault_arguments(sweep_parser, multi=True)
+    _add_result_mode_argument(sweep_parser)
     _add_engine_arguments(sweep_parser)
 
     sim_parser = subparsers.add_parser("quicksim", help="run one ad-hoc simulation")
@@ -378,6 +394,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(sim_parser)
     _add_contact_model_argument(sim_parser)
     _add_fault_arguments(sim_parser)
+    _add_result_mode_argument(sim_parser)
     sim_parser.add_argument("--load", type=float, default=30.0, help="packets per hour per destination")
     sim_parser.add_argument("--buffer-kb", type=float, default=100.0, help="buffer capacity in KB")
     sim_parser.add_argument("--seed", type=int, default=1, help="random seed")
@@ -680,6 +697,9 @@ def _resolve_config(args: argparse.Namespace, family: str):
     fault_params = _fault_params_from_args(args, config.faults)
     if fault_params is not config.faults:
         config = config.with_faults(fault_params)
+    result_mode = getattr(args, "result_mode", None)
+    if result_mode is not None:
+        config = config.with_result_mode(result_mode)
     mobility = getattr(args, "mobility", None)
     arena = getattr(args, "arena", None)
     radio_range = getattr(args, "radio_range", None)
@@ -1012,6 +1032,10 @@ def _command_quicksim(args: argparse.Namespace) -> int:
             seed=args.seed * 6361 + fault_params.seed_offset,
             model=args.fault_model,
         )
+    # The records default stays out of the options dict so the historic
+    # quicksim path (and its byte-identical summary) is untouched.
+    if args.result_mode is not None and args.result_mode != RESULT_MODE_RECORDS:
+        options["result_mode"] = args.result_mode
     sink = JsonlSink(args.trace_out) if args.trace_out is not None else None
     if sink is not None:
         options["trace_sink"] = sink

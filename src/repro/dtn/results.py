@@ -11,15 +11,29 @@ lives in :mod:`repro.analysis`.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
+import numpy as np
+
+from ..exceptions import RecordsUnavailableError
 from .node import NodeCounters
 from .packet import DEFAULT_TRAFFIC_CLASS, Packet, PacketRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis -> results)
+    from ..analysis.streaming import StreamingSummary
 
 #: Version of the :meth:`SimulationResult.to_dict` wire format.  Bump it
 #: whenever the serialized shape (or the semantics of a field) changes so
 #: that on-disk caches keyed on it are invalidated rather than misread.
 RESULT_SCHEMA_VERSION = 1
+
+#: Valid values of the simulator ``result_mode`` option: ``"records"``
+#: (the default — one :class:`PacketRecord` per packet, exact
+#: everything) and ``"streaming"`` (bounded-size online summaries for
+#: long-horizon runs; see :mod:`repro.analysis.streaming`).
+RESULT_MODE_RECORDS = "records"
+RESULT_MODE_STREAMING = "streaming"
+RESULT_MODES = (RESULT_MODE_RECORDS, RESULT_MODE_STREAMING)
 
 
 @dataclass
@@ -74,28 +88,60 @@ class SimulationResult:
     #: :meth:`to_dict` — otherwise, so default payloads stay
     #: byte-identical to the wire format before metrics existed.
     metrics: Optional[Dict[str, object]] = None
+    #: Bounded-size streaming summary
+    #: (:class:`repro.analysis.streaming.StreamingSummary`) attached when
+    #: the run executed with ``result_mode="streaming"``; ``None`` — and
+    #: absent from :meth:`to_dict` — in the default record-keeping mode,
+    #: so default payloads stay byte-identical to the pre-streaming wire
+    #: format.  When set, :attr:`records` is empty and every headline
+    #: metric is answered from the summary instead.
+    streaming: Optional["StreamingSummary"] = None
 
     # ------------------------------------------------------------------
     # Record access
     # ------------------------------------------------------------------
+    @property
+    def has_records(self) -> bool:
+        """Whether per-packet records were retained (False in streaming mode)."""
+        return self.streaming is None
+
+    def _require_records(self, api: str) -> None:
+        """Raise a clear error when *api* needs records a streaming run lacks."""
+        if self.streaming is not None:
+            raise RecordsUnavailableError(
+                f"{api} needs per-packet records, but this result was produced "
+                "with result_mode='streaming' which keeps only bounded-size "
+                "summaries; use the streaming summary (result.streaming), the "
+                "exact counters (summary(), per_class_summary()) or "
+                "delay_quantile(), or re-run with result_mode='records'"
+            )
+
     def record_for(self, packet_id: int) -> PacketRecord:
+        self._require_records("record_for()")
         return self.records[packet_id]
 
     def packets(self) -> List[Packet]:
+        self._require_records("packets()")
         return [r.packet for r in self.records.values()]
 
     def delivered_records(self) -> List[PacketRecord]:
+        self._require_records("delivered_records()")
         return [r for r in self.records.values() if r.delivered]
 
     def undelivered_records(self) -> List[PacketRecord]:
+        self._require_records("undelivered_records()")
         return [r for r in self.records.values() if not r.delivered]
 
     @property
     def num_packets(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.num_packets
         return len(self.records)
 
     @property
     def num_delivered(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.num_delivered
         return sum(1 for r in self.records.values() if r.delivered)
 
     # ------------------------------------------------------------------
@@ -103,7 +149,7 @@ class SimulationResult:
     # ------------------------------------------------------------------
     def delivery_rate(self) -> float:
         """Fraction of generated packets delivered by the end of the run."""
-        if not self.records:
+        if self.num_packets == 0:
             return 0.0
         return self.num_delivered / self.num_packets
 
@@ -114,7 +160,13 @@ class SimulationResult:
         time they spent in the system until the end of the run — the
         convention used when comparing against the ILP optimum
         (Section 6.2.4).
+
+        Raises:
+            RecordsUnavailableError: in streaming mode, which keeps delay
+                *summaries* (exact mean/max, sketched quantiles via
+                :meth:`delay_quantile`) rather than per-packet delays.
         """
+        self._require_records("delays()")
         values: List[float] = []
         for record in self.records.values():
             delay = record.delay(horizon=self.duration if include_undelivered else None)
@@ -123,23 +175,65 @@ class SimulationResult:
         return values
 
     def average_delay(self, include_undelivered: bool = False) -> float:
-        """Mean delivery delay in seconds (0 when nothing qualifies)."""
+        """Mean delivery delay in seconds (0 when nothing qualifies).
+
+        Exact in both result modes: streaming mode keeps the delay and
+        residence-time sums as exact counters.
+        """
+        if self.streaming is not None:
+            summary = self.streaming
+            if include_undelivered:
+                if summary.num_packets == 0:
+                    return 0.0
+                undelivered_residence = (
+                    summary.residence_sum - summary.delivered_residence_sum
+                )
+                return (summary.delay_sum + undelivered_residence) / summary.num_packets
+            if summary.num_delivered == 0:
+                return 0.0
+            return summary.delay_sum / summary.num_delivered
         values = self.delays(include_undelivered=include_undelivered)
         if not values:
             return 0.0
         return sum(values) / len(values)
 
     def max_delay(self, include_undelivered: bool = False) -> float:
-        """Maximum delivery delay in seconds (0 when nothing qualifies)."""
+        """Maximum delivery delay in seconds (0 when nothing qualifies).
+
+        Exact in both result modes (the streaming summary tracks the
+        maxima outside the sketch).
+        """
+        if self.streaming is not None:
+            summary = self.streaming
+            if include_undelivered:
+                return max(summary.delay_max, summary.undelivered_residence_max)
+            return summary.delay_max
         values = self.delays(include_undelivered=include_undelivered)
         if not values:
             return 0.0
         return max(values)
 
+    def delay_quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the first-delivery delays.
+
+        Exact (``numpy.quantile(..., method="inverted_cdf")``) when
+        records were retained; within the sketch's documented relative
+        error bound (``result.streaming.delay_sketch.relative_error``)
+        in streaming mode.  Returns 0.0 when nothing was delivered.
+        """
+        if self.streaming is not None:
+            return self.streaming.delay_sketch.quantile(q)
+        values = self.delays()
+        if not values:
+            return 0.0
+        return float(np.quantile(np.asarray(values), q, method="inverted_cdf"))
+
     def deadline_success_rate(self) -> float:
         """Fraction of all generated packets delivered within their deadline."""
-        if not self.records:
+        if self.num_packets == 0:
             return 0.0
+        if self.streaming is not None:
+            return self.streaming.num_delivered_in_deadline / self.num_packets
         met = sum(1 for r in self.records.values() if r.met_deadline())
         return met / self.num_packets
 
@@ -149,12 +243,20 @@ class SimulationResult:
     def traffic_classes(self) -> List[str]:
         """The traffic-class names present, sorted (``["default"]`` when
         the workload never assigned classes)."""
+        if self.streaming is not None:
+            return self.streaming.traffic_classes()
         if not self.records:
             return []
         return sorted({r.packet.traffic_class for r in self.records.values()})
 
     def class_records(self, traffic_class: str) -> List[PacketRecord]:
-        """All records of packets belonging to *traffic_class*."""
+        """All records of packets belonging to *traffic_class*.
+
+        Raises:
+            RecordsUnavailableError: in streaming mode; use
+                :meth:`per_class_summary` (exact) instead.
+        """
+        self._require_records("class_records()")
         return [
             r for r in self.records.values() if r.packet.traffic_class == traffic_class
         ]
@@ -166,9 +268,24 @@ class SimulationResult:
         average_delay, deadline_success_rate}}`` with one entry per
         class present in the workload.  Counts conserve the totals: the
         per-class ``packets`` and ``delivered`` sum to
-        :attr:`num_packets` and :attr:`num_delivered`.
+        :attr:`num_packets` and :attr:`num_delivered`.  Available — and
+        exact — in both result modes: streaming runs answer it from the
+        per-class tallies instead of the records.
         """
         breakdown: Dict[str, Dict[str, float]] = {}
+        if self.streaming is not None:
+            for traffic_class in self.streaming.traffic_classes():
+                tally = self.streaming.class_tallies[traffic_class]
+                breakdown[traffic_class] = {
+                    "packets": float(tally.packets),
+                    "delivered": float(tally.delivered),
+                    "delivery_rate": tally.delivered / tally.packets if tally.packets else 0.0,
+                    "average_delay": tally.delay_sum / tally.delivered if tally.delivered else 0.0,
+                    "deadline_success_rate": (
+                        tally.delivered_in_deadline / tally.packets if tally.packets else 0.0
+                    ),
+                }
+            return breakdown
         for traffic_class in self.traffic_classes():
             records = self.class_records(traffic_class)
             delivered = [r for r in records if r.delivered]
@@ -321,6 +438,11 @@ class SimulationResult:
             # so fault-free payloads stay byte-identical to the wire format
             # as written before the fault subsystem existed.
             payload["faults"] = faults
+        if self.streaming is not None:
+            # Included only for result_mode="streaming" runs, so default
+            # record-keeping payloads stay byte-identical to the wire
+            # format as written before streaming mode existed.
+            payload["streaming"] = self.streaming.to_dict()
         return payload
 
     @staticmethod
@@ -475,6 +597,13 @@ class SimulationResult:
             result.contact_no_shows = int(faults.get("contact_no_shows", 0))
             result.transfers_killed = int(faults.get("transfers_killed", 0))
             result.control_exchanges_lost = int(faults.get("control_exchanges_lost", 0))
+        streaming = data.get("streaming")
+        if streaming is not None:
+            # Imported lazily: repro.analysis imports this module, so a
+            # top-level import would be circular.
+            from ..analysis.streaming import StreamingSummary
+
+            result.streaming = StreamingSummary.from_dict(streaming)
         return result
 
     @staticmethod
@@ -483,6 +612,10 @@ class SimulationResult:
 
         Packet ids must be unique across the merged runs; the experiment
         harness guarantees this by sharing a :class:`PacketFactory`.
+        Record-mode results verify uniqueness via the records; streaming
+        results carry no per-packet state, so they merge their summaries
+        (exactly, bucket- and counter-wise) and rely on the harness
+        guarantee.  Mixing the two modes in one merge is rejected.
         """
         results = list(results)
         if not results:
@@ -491,6 +624,21 @@ class SimulationResult:
             protocol_name=protocol_name or results[0].protocol_name,
             duration=max(r.duration for r in results),
         )
+        streaming_runs = [r for r in results if r.streaming is not None]
+        if streaming_runs and len(streaming_runs) != len(results):
+            raise ValueError(
+                "cannot merge streaming-mode and record-mode results; "
+                "re-run the cells with one result_mode"
+            )
+        if streaming_runs:
+            # Round-trip the first summary through its wire format to get
+            # an independent deep copy, then fold the rest in.
+            from ..analysis.streaming import StreamingSummary
+
+            summary = StreamingSummary.from_dict(results[0].streaming.to_dict())
+            for result in results[1:]:
+                summary.merge(result.streaming)
+            merged.streaming = summary
         for result in results:
             overlapping = set(merged.records) & set(result.records)
             if overlapping:

@@ -72,7 +72,12 @@ from .events import (
 )
 from .node import DeploymentNoise, Node
 from .packet import Packet, PacketRecord
-from .results import SimulationResult
+from .results import (
+    RESULT_MODE_RECORDS,
+    RESULT_MODE_STREAMING,
+    RESULT_MODES,
+    SimulationResult,
+)
 from .scheduler import EventQueue
 
 #: The three contact models (see the module docstring).
@@ -147,6 +152,27 @@ class Simulator:
             raise ConfigurationError(
                 "contact_interrupt_probability must be in [0, 1]"
             )
+
+        #: Result-layer mode: ``"records"`` (default, per-packet records)
+        #: or ``"streaming"`` (bounded-size online summaries for
+        #: long-horizon runs; see :mod:`repro.analysis.streaming`).
+        self.result_mode = str(self.options.get("result_mode", RESULT_MODE_RECORDS))
+        if self.result_mode not in RESULT_MODES:
+            raise ConfigurationError(
+                f"unknown result_mode {self.result_mode!r}; "
+                f"expected one of {', '.join(RESULT_MODES)}"
+            )
+        error = self.options.get("streaming_relative_error")
+        if error is not None:
+            error = float(error)
+            if not 0.0 < error < 1.0:
+                raise ConfigurationError(
+                    "streaming_relative_error must be in (0, 1)"
+                )
+        self._streaming_relative_error: Optional[float] = error
+        #: The streaming accumulator; ``None`` on the default records
+        #: path, which therefore keeps its exact pre-streaming shape.
+        self._stream = None
 
         self._rng = np.random.default_rng(seed)
         self._noise_rng = np.random.default_rng(noise.seed if noise and noise.seed is not None else seed)
@@ -304,7 +330,26 @@ class Simulator:
             protocol_name=self.protocol_factory.name,
             duration=max(self.schedule.duration, 0.0),
         )
-        result.records = {p.packet_id: PacketRecord(p) for p in self.packets}
+        if self.result_mode == RESULT_MODE_STREAMING:
+            # Imported lazily: repro.analysis imports repro.dtn modules,
+            # so a top-level import here would be circular.
+            from ..analysis.streaming import StreamingCollector
+
+            store = self.context.packet_store
+            kwargs = {}
+            if self._streaming_relative_error is not None:
+                kwargs["relative_error"] = self._streaming_relative_error
+            self._stream = StreamingCollector(
+                horizon=result.duration,
+                num_packets=len(store),
+                row_of=store.row_of,
+                creation_times=store.creation_times,
+                **kwargs,
+            )
+            for packet in self.packets:
+                self._stream.register(packet)
+        else:
+            result.records = {p.packet_id: PacketRecord(p) for p in self.packets}
         self.result = result
 
         queue = self._build_events()
@@ -380,6 +425,9 @@ class Simulator:
         if observe:
             self._finalize_observability(result)
 
+        if self._stream is not None:
+            result.streaming = self._stream.finalize()
+
         for node_id, node in self.nodes.items():
             result.node_counters[node_id] = node.counters
         return result
@@ -432,15 +480,19 @@ class Simulator:
         if tracer is not None:
             # Undelivered packets whose deadline fell inside the horizon
             # expired; stamped at the horizon so traces stay time-ordered.
+            # Streaming mode answers "delivered?" from the collector's
+            # dedup bitmap, so the trace is identical in both modes.
+            stream = self._stream
             for packet in self.packets:
-                record = result.records.get(packet.packet_id)
                 deadline = packet.absolute_deadline()
-                if (
-                    record is not None
-                    and not record.delivered
-                    and deadline is not None
-                    and deadline <= self._horizon
-                ):
+                if deadline is None or deadline > self._horizon:
+                    continue
+                if stream is not None:
+                    delivered = stream.is_delivered(packet.packet_id)
+                else:
+                    record = result.records.get(packet.packet_id)
+                    delivered = record is None or record.delivered
+                if not delivered:
                     tracer.packet_expired(packet, self._horizon)
         metrics = self.metrics
         if metrics is not None:
@@ -556,7 +608,10 @@ class Simulator:
             # stack).  Recorded as a refused creation, like a full buffer.
             self._packets_created += 1
             self.result.creations_refused_down += 1
-            self.result.records[packet.packet_id].drops += 1
+            if self._stream is not None:
+                self._stream.on_drop(packet)
+            else:
+                self.result.records[packet.packet_id].drops += 1
             tracer = self.tracer
             if tracer is not None:
                 tracer.packet_created(packet, stored=False)
@@ -567,8 +622,10 @@ class Simulator:
         if tracer is not None:
             tracer.packet_created(packet, stored=accepted)
         if not accepted:
-            record = self.result.records[packet.packet_id]
-            record.drops += 1
+            if self._stream is not None:
+                self._stream.on_drop(packet)
+            else:
+                self.result.records[packet.packet_id].drops += 1
             return
         if self._open_contacts:
             # A packet created during an open contact becomes transferable
@@ -1029,16 +1086,20 @@ class Simulator:
         now: float,
     ) -> None:
         result = self.result
-        record = result.records.get(packet.packet_id)
         delivery_time = now
         if self.noise is not None:
             delivery_time += self.noise.processing_delay
         hop_count = sender.hop_counts.get(packet.packet_id, 0) + 1
-        if record is not None:
-            already_delivered = record.delivered
-            record.mark_delivered(delivery_time, receiver.node_id, hop_count)
-            if not already_delivered:
+        if self._stream is not None:
+            if self._stream.on_delivery(packet, delivery_time):
                 result.deliveries += 1
+        else:
+            record = result.records.get(packet.packet_id)
+            if record is not None:
+                already_delivered = record.delivered
+                record.mark_delivered(delivery_time, receiver.node_id, hop_count)
+                if not already_delivered:
+                    result.deliveries += 1
         sender.node.counters.packets_sent += 1
         sender.node.counters.bytes_sent += packet.size
         receiver.node.counters.packets_received += 1
@@ -1117,9 +1178,12 @@ class Simulator:
         self, packet: Packet, sender: RoutingProtocol, receiver: RoutingProtocol, now: float
     ) -> None:
         result = self.result
-        record = result.records.get(packet.packet_id)
-        if record is not None:
-            record.replicas_created += 1
+        if self._stream is not None:
+            self._stream.on_replication(packet)
+        else:
+            record = result.records.get(packet.packet_id)
+            if record is not None:
+                record.replicas_created += 1
         result.replications += 1
         sender.node.counters.packets_sent += 1
         sender.node.counters.bytes_sent += packet.size

@@ -25,7 +25,7 @@ from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from ..dtn.node import DeploymentNoise
-from ..dtn.results import RESULT_SCHEMA_VERSION
+from ..dtn.results import RESULT_MODE_RECORDS, RESULT_MODES, RESULT_SCHEMA_VERSION
 from ..exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
@@ -42,8 +42,10 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 #: ``mobility`` axis and the spatial parameters of synthetic configs;
 #: version 4 added the ``workload`` axis and the workload parameters of
 #: both config families; version 5 added the ``faults`` axis and the
-#: fault parameters of both config families.
-SPEC_SCHEMA_VERSION = 5
+#: fault parameters of both config families; version 6 added the
+#: ``result_mode`` axis (bounded-memory streaming summaries) to the
+#: spec and both config families.
+SPEC_SCHEMA_VERSION = 6
 
 ExperimentConfig = Union["TraceExperimentConfig", "SyntheticExperimentConfig"]
 
@@ -100,6 +102,13 @@ class ScenarioSpec:
             defers to the configuration (whose default injects nothing).
             This is the engine-level handle that lets a grid sweep the
             fault axis across both families.
+        result_mode: Optional override of the configuration's result
+            mode (a :data:`~repro.dtn.results.RESULT_MODES` entry);
+            ``None`` defers to the configuration (whose default,
+            ``"records"``, keeps per-packet records).  ``"streaming"``
+            swaps the record list for bounded-size online summaries
+            (:mod:`repro.analysis.streaming`) so long-horizon cells run
+            in bounded memory.
     """
 
     family: str
@@ -115,6 +124,7 @@ class ScenarioSpec:
     mobility: Optional[str] = None
     workload: Optional[str] = None
     faults: Optional[str] = None
+    result_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         from ..dtn.simulator import CONTACT_MODELS
@@ -157,6 +167,11 @@ class ScenarioSpec:
                 f"unknown fault model {self.faults!r}; "
                 f"expected one of {', '.join(FAULT_MODEL_NAMES)}"
             )
+        if self.result_mode is not None and self.result_mode not in RESULT_MODES:
+            raise ConfigurationError(
+                f"unknown result_mode {self.result_mode!r}; "
+                f"expected one of {', '.join(RESULT_MODES)}"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -176,6 +191,7 @@ class ScenarioSpec:
         mobility: Optional[str] = None,
         workload: Optional[str] = None,
         faults: Optional[str] = None,
+        result_mode: Optional[str] = None,
     ) -> "ScenarioSpec":
         """Build a spec from live configuration objects."""
         from ..experiments.config import TraceExperimentConfig
@@ -208,6 +224,7 @@ class ScenarioSpec:
             mobility=mobility,
             workload=workload,
             faults=faults,
+            result_mode=result_mode,
         )
 
     # ------------------------------------------------------------------
@@ -275,6 +292,16 @@ class ScenarioSpec:
             model = getattr(fault_params, "model", None)
         return None if model is None else str(model)
 
+    def resolved_result_mode(self) -> str:
+        """The result mode in force: the cell's override or the config's.
+
+        ``"records"`` — the byte-identical default path — unless the
+        cell or its configuration opted into ``"streaming"``.
+        """
+        if self.result_mode is not None:
+            return self.result_mode
+        return str(self.config.get("result_mode", RESULT_MODE_RECORDS))
+
     @property
     def label(self) -> str:
         """The protocol label of this cell (a figure's series name)."""
@@ -301,6 +328,7 @@ class ScenarioSpec:
             "mobility": self.mobility,
             "workload": self.workload,
             "faults": self.faults,
+            "result_mode": self.result_mode,
         }
 
     @classmethod
@@ -332,6 +360,7 @@ class ScenarioSpec:
             mobility=data.get("mobility"),
             workload=data.get("workload"),
             faults=data.get("faults"),
+            result_mode=data.get("result_mode"),
         )
 
     def cache_key(self) -> str:

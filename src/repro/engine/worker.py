@@ -27,7 +27,7 @@ import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..dtn.packet import Packet
-from ..dtn.results import SimulationResult
+from ..dtn.results import RESULT_MODE_RECORDS, SimulationResult
 from ..dtn.simulator import run_simulation
 from ..faults import build_fault_model
 from ..observability import MemorySink, ObservabilityOptions
@@ -272,6 +272,12 @@ def run_cell(
             seed=config.seed * 6361 + spec.run_index * 17 + fault_params.seed_offset,
             model=fault_name,
         )
+    # Streaming results are opt-in per spec the same way: the default
+    # records path leaves the options dict untouched so its output stays
+    # byte-identical to the pre-streaming engine.
+    result_mode = spec.resolved_result_mode()
+    if result_mode != RESULT_MODE_RECORDS:
+        options["result_mode"] = result_mode
     if extra_options:
         options.update(extra_options)
     return run_simulation(

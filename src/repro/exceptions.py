@@ -51,3 +51,14 @@ class InfeasibleProblemError(OptimizationError):
 
 class UnknownProtocolError(ReproError, KeyError):
     """Raised when a protocol name is not present in the registry."""
+
+
+class RecordsUnavailableError(ReproError):
+    """Raised when per-packet records are requested from a streaming result.
+
+    Runs executed with ``result_mode="streaming"`` keep bounded-size
+    summaries (:mod:`repro.analysis.streaming`) instead of per-packet
+    :class:`~repro.dtn.packet.PacketRecord` objects; APIs that need the
+    raw records raise this error with a pointer to the streaming-safe
+    alternative instead of failing with an opaque ``KeyError``.
+    """

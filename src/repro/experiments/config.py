@@ -14,6 +14,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
 from .. import constants, units
+from ..dtn.results import RESULT_MODE_RECORDS, RESULT_MODES
 from ..dtn.simulator import CONTACT_MODELS
 from ..exceptions import ConfigurationError
 from ..mobility import MOBILITY_MODEL_NAMES
@@ -53,6 +54,14 @@ def _validate_workload(workload: WorkloadParameters) -> None:
         raise ConfigurationError(
             f"unknown workload model {workload.model!r}; "
             f"expected one of {', '.join(WORKLOAD_MODEL_NAMES)}"
+        )
+
+
+def _validate_result_mode(result_mode: str) -> None:
+    if result_mode not in RESULT_MODES:
+        raise ConfigurationError(
+            f"unknown result_mode {result_mode!r}; "
+            f"expected one of {', '.join(RESULT_MODES)}"
         )
 
 
@@ -160,6 +169,12 @@ class TraceExperimentConfig:
     #: :class:`~repro.engine.ScenarioSpec` cells may override the model
     #: name, which is how grids sweep the fault axis.
     faults: FaultParameters = field(default_factory=FaultParameters)
+    #: Result layer of every cell: ``"records"`` (the byte-identical
+    #: default — one per-packet record each) or ``"streaming"``
+    #: (bounded-size online summaries, :mod:`repro.analysis.streaming`,
+    #: for long-horizon runs).  Individual
+    #: :class:`~repro.engine.ScenarioSpec` cells may override it.
+    result_mode: str = RESULT_MODE_RECORDS
 
     def __post_init__(self) -> None:
         if self.num_days < 1:
@@ -169,6 +184,7 @@ class TraceExperimentConfig:
         _validate_contact_model(self.contact_model)
         _validate_workload(self.workload)
         _validate_faults(self.faults)
+        _validate_result_mode(self.result_mode)
 
     def with_load(self, load_packets_per_hour: float) -> "TraceExperimentConfig":
         """Return a copy at the given load (packets/hour/destination)."""
@@ -185,6 +201,10 @@ class TraceExperimentConfig:
     def with_faults(self, faults: FaultParameters) -> "TraceExperimentConfig":
         """Return a copy using the given fault-injection parameters."""
         return replace(self, faults=faults)
+
+    def with_result_mode(self, result_mode: str) -> "TraceExperimentConfig":
+        """Return a copy using the named result mode."""
+        return replace(self, result_mode=result_mode)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible representation (used by the experiment engine)."""
@@ -275,6 +295,8 @@ class SyntheticExperimentConfig:
     workload: WorkloadParameters = field(default_factory=WorkloadParameters)
     #: Fault injection of every cell (see :class:`TraceExperimentConfig`).
     faults: FaultParameters = field(default_factory=FaultParameters)
+    #: Result layer of every cell (see :class:`TraceExperimentConfig`).
+    result_mode: str = RESULT_MODE_RECORDS
 
     def __post_init__(self) -> None:
         _validate_mobility(self.mobility)
@@ -283,6 +305,7 @@ class SyntheticExperimentConfig:
         _validate_contact_model(self.contact_model)
         _validate_workload(self.workload)
         _validate_faults(self.faults)
+        _validate_result_mode(self.result_mode)
 
     def with_contact_model(self, contact_model: str) -> "SyntheticExperimentConfig":
         """Return a copy using the named contact model."""
@@ -295,6 +318,10 @@ class SyntheticExperimentConfig:
     def with_faults(self, faults: FaultParameters) -> "SyntheticExperimentConfig":
         """Return a copy using the given fault-injection parameters."""
         return replace(self, faults=faults)
+
+    def with_result_mode(self, result_mode: str) -> "SyntheticExperimentConfig":
+        """Return a copy using the named result mode."""
+        return replace(self, result_mode=result_mode)
 
     def load_to_packets_per_hour(self, packets_per_interval: float) -> float:
         """Convert the paper's load axis (packets per ``packet_interval`` per

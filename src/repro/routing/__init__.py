@@ -1,5 +1,6 @@
 """Routing protocols: the RAPID baselines and the protocol registry."""
 
+from .balanced import BalancedAllocationProtocol
 from .base import LinkSession, ProtocolContext, ProtocolFactory, RoutingProtocol, TransferBudget
 from .direct import DirectDeliveryProtocol
 from .epidemic import EpidemicProtocol, EpidemicWithAcksProtocol
@@ -20,6 +21,7 @@ __all__ = [
     "EpidemicProtocol",
     "EpidemicWithAcksProtocol",
     "DirectDeliveryProtocol",
+    "BalancedAllocationProtocol",
     "SprayAndWaitProtocol",
     "ProphetProtocol",
     "MaxPropProtocol",

@@ -1,0 +1,118 @@
+"""Balanced-allocation (DAR-flavored) routing baseline.
+
+A baseline in the spirit of Dynamic Alternative Routing and the
+balanced-allocation ("power of two choices") literature: every contact
+is treated as a two-choice allocation between the sender's and the
+receiver's buffers, and replicas flow toward the *less loaded* of the
+two.  Two classic ingredients are reproduced:
+
+* **Join the shorter queue** — a relayed replica is admitted only when
+  the receiving buffer is no fuller than the sender's, so storage load
+  spreads across the node population instead of piling onto hubs.
+* **Trunk reservation** — above a configurable fill fraction a node
+  refuses *alternative* (relayed) traffic entirely, reserving the
+  remaining capacity for packets it sources or delivers itself.  This
+  is the stabilizing rule from DAR: without it, alternative traffic
+  can crowd out direct traffic at high load.
+
+Replication offers fewest-hops-first (a replica that has traveled less
+is the cheaper allocation to extend), oldest-first within the same hop
+count, and eviction removes the most-traveled relayed replica — all
+deterministic, so the protocol adds no RNG draws to a cell.
+
+The baseline exists to exercise the long-horizon steady-state regime:
+its claims of interest (load balance, delivery under sustained
+pressure) are steady-state properties, the kind the streaming result
+mode and `analysis.stats` warm-up/batch-means helpers measure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..dtn.node import Node
+from ..dtn.packet import Packet
+from ..exceptions import ConfigurationError
+from .base import ProtocolContext, RoutingProtocol
+
+
+class BalancedAllocationProtocol(RoutingProtocol):
+    """Two-choice load-balanced replication with trunk reservation."""
+
+    name = "balanced"
+    uses_acks = True
+
+    def __init__(
+        self,
+        node: Node,
+        context: ProtocolContext,
+        reservation: float = 0.9,
+    ) -> None:
+        super().__init__(node, context)
+        if not 0.0 < reservation <= 1.0:
+            raise ConfigurationError(
+                f"trunk-reservation fill fraction must be in (0, 1], got {reservation}"
+            )
+        #: Occupancy fraction above which relayed traffic is refused.
+        self.reservation = reservation
+
+    # ------------------------------------------------------------------
+    # Allocation decisions
+    # ------------------------------------------------------------------
+    def accept_replica(self, packet: Packet, sender: "RoutingProtocol", now: float) -> bool:
+        """Admit a replica only when this buffer is the better choice."""
+        if packet.packet_id in self.acked or packet.packet_id in self.buffer:
+            return False
+        # Direct traffic (the packet is ours to deliver) bypasses both
+        # balancing rules: refusing it would defeat the point of routing.
+        if packet.destination != self.node_id:
+            occupancy = self.buffer.occupancy()
+            # Trunk reservation: past the fill threshold this node carries
+            # no more alternative traffic.
+            if occupancy >= self.reservation:
+                return False
+            # Join the shorter queue: the replica extends to this node
+            # only when it is the less (or equally) loaded of the two
+            # choices the contact offers.
+            if occupancy > sender.buffer.occupancy():
+                return False
+        return super().accept_replica(packet, sender, now)
+
+    def replication_candidates(self, peer: RoutingProtocol, now: float) -> Iterator[Packet]:
+        """Offer replicas fewest-hops-first, oldest within a hop count."""
+        candidates = self.transferable_packets(peer)
+        # Fewest hops first (the cheapest allocation to extend), oldest
+        # first within a hop count, packet id as the final deterministic
+        # tie-break.
+        candidates.sort(
+            key=lambda p: (
+                self.hop_counts.get(p.packet_id, 0),
+                p.creation_time,
+                p.packet_id,
+            )
+        )
+        yield from candidates
+
+    def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
+        """Evict the most-traveled relayed replica (never own packets).
+
+        The replica with the most hops is the most-replicated allocation
+        and therefore the cheapest loss; ties break toward the newest
+        packet (oldest-first service order), then the highest id.
+        """
+        relayed = [
+            p
+            for p in self.buffer
+            if p.source != self.node_id and p.packet_id != incoming.packet_id
+        ]
+        if not relayed:
+            return None
+        victim = max(
+            relayed,
+            key=lambda p: (
+                self.hop_counts.get(p.packet_id, 0),
+                p.creation_time,
+                p.packet_id,
+            ),
+        )
+        return victim.packet_id

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..exceptions import UnknownProtocolError
+from .balanced import BalancedAllocationProtocol
 from .base import ProtocolFactory
 from .direct import DirectDeliveryProtocol
 from .epidemic import EpidemicProtocol, EpidemicWithAcksProtocol
@@ -63,6 +64,7 @@ register_protocol("random-acks", _simple(RandomWithAcksProtocol, "random-acks"))
 register_protocol("epidemic", _simple(EpidemicProtocol, "epidemic"))
 register_protocol("epidemic-acks", _simple(EpidemicWithAcksProtocol, "epidemic-acks"))
 register_protocol("direct", _simple(DirectDeliveryProtocol, "direct"))
+register_protocol("balanced", _simple(BalancedAllocationProtocol, "balanced"))
 register_protocol("spray-and-wait", _simple(SprayAndWaitProtocol, "spray-and-wait"))
 register_protocol("prophet", _simple(ProphetProtocol, "prophet"))
 register_protocol("maxprop", _simple(MaxPropProtocol, "maxprop"))

@@ -33,7 +33,10 @@ PUBLIC_API_MODULES = (
     "repro.engine.executor",
     "repro.engine.aggregator",
     "repro.routing.base",
+    "repro.routing.balanced",
     "repro.dtn.simulator",
+    "repro.analysis.stats",
+    "repro.analysis.streaming",
     "repro.mobility",
     "repro.mobility.base",
     "repro.mobility.schedule",

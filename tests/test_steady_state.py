@@ -1,0 +1,1118 @@
+"""The steady-state engine's differential test harness.
+
+This file is the validation contract of ``result_mode="streaming"``:
+
+* **Sketch properties** (hypothesis): the delay quantile sketch stays
+  within its documented relative error bound of the exact
+  ``numpy.quantile(..., method="inverted_cdf")`` answer on adversarial
+  streams — sorted, reversed, constant, heavy-tailed — and merges
+  exactly.
+* **Differential harness**: every supported protocol, both experiment
+  families, multi-class workloads, fault injection and the durational
+  contact layer run the *same* cell in records mode and in streaming
+  mode; every integer counter must agree exactly, float aggregates to
+  1e-9, and quantiles within the sketch bound of the exact per-record
+  answer.  Everything in the result payload outside the records/summary
+  themselves must be byte-identical.
+* **Backend identity**: streaming cells are byte-identical across
+  serial, ``workers=4``, cold-cache and warm-cache engine backends, and
+  ``SimulationResult.merge`` of streaming summaries is consistent with
+  the merged record-mode run.
+* **Graceful degradation**: record-dependent APIs raise
+  :class:`~repro.exceptions.RecordsUnavailableError` (never
+  ``AttributeError``) in streaming mode, while the exact counter APIs
+  and ``repro-dtn inspect --packets`` keep working.
+* **Steady-state statistics**: MSER-5 warm-up detection and batch-means
+  confidence intervals, plus the balanced-allocation routing baseline
+  that exercises the long-horizon regime.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.analysis.stats import (
+    WarmupEstimate,
+    batch_means_interval,
+    mser5_truncation,
+)
+from repro.analysis.streaming import (
+    DEFAULT_MAX_WINDOWS,
+    DEFAULT_RELATIVE_ERROR,
+    DEFAULT_WINDOW_S,
+    MIN_TRACKABLE_DELAY,
+    ClassTally,
+    DeliveryRateWindows,
+    QuantileSketch,
+    StreamingSummary,
+)
+from repro.dtn.packet import PacketFactory
+from repro.dtn.results import (
+    RESULT_MODE_RECORDS,
+    RESULT_MODE_STREAMING,
+    RESULT_MODES,
+    SimulationResult,
+)
+from repro.dtn.simulator import run_simulation
+from repro.engine import ExperimentEngine, ScenarioGrid
+from repro.engine import worker as cell_worker
+from repro.engine.spec import ScenarioSpec
+from repro.exceptions import ConfigurationError, RecordsUnavailableError
+from repro.experiments.config import (
+    ProtocolSpec,
+    SyntheticExperimentConfig,
+    TraceExperimentConfig,
+)
+from repro.faults import FaultParameters, build_fault_model
+from repro.mobility.exponential import ExponentialMobility
+from repro.routing import BalancedAllocationProtocol
+from repro.routing.registry import available_protocols, create_factory
+from repro.workloads import PoissonArrivals, TrafficClass
+
+QUANTILES = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+
+#: Tolerance for float aggregates: streaming sums accumulate in delivery
+#: order, records iterate in packet-id order, so the comparisons allow
+#: for addition-order rounding (integer counters are compared exactly).
+FLOAT_RTOL = 1e-9
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _assert_quantiles_within_bound(sketch: QuantileSketch, values) -> None:
+    """Every quantile estimate within the sketch's documented bound."""
+    array = np.asarray(list(values), dtype=float)
+    assert sketch.count == array.size
+    for q in QUANTILES:
+        exact = float(np.quantile(array, q, method="inverted_cdf"))
+        estimate = sketch.quantile(q)
+        # The documented contract: relative error alpha on trackable
+        # values, at most MIN_TRACKABLE_DELAY absolute on the rest, plus
+        # a hair of float slack for the log/pow round trip.
+        tolerance = sketch.relative_error * exact + MIN_TRACKABLE_DELAY + 1e-9 * max(1.0, exact)
+        assert abs(estimate - exact) <= tolerance, (
+            f"q={q}: estimate {estimate} vs exact {exact} (n={array.size})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Quantile sketch: property-based tests against numpy.quantile
+# ----------------------------------------------------------------------
+positive_delays = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestQuantileSketchProperties:
+    @given(values=positive_delays)
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_streams_within_bound(self, values):
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        _assert_quantiles_within_bound(sketch, values)
+
+    @given(values=positive_delays)
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_stream_within_bound(self, values):
+        ordered = sorted(values)
+        sketch = QuantileSketch()
+        sketch.extend(ordered)
+        _assert_quantiles_within_bound(sketch, ordered)
+
+    @given(values=positive_delays)
+    @settings(max_examples=40, deadline=None)
+    def test_reversed_stream_matches_sorted_stream(self, values):
+        """The sketch is order-independent: identical buckets either way."""
+        forward = QuantileSketch()
+        forward.extend(sorted(values))
+        backward = QuantileSketch()
+        backward.extend(sorted(values, reverse=True))
+        forward_payload = forward.to_dict()
+        backward_payload = backward.to_dict()
+        # The running float sum is the one addition-order-dependent field;
+        # buckets, count, min and max are exactly order-independent.
+        assert backward_payload.pop("sum") == pytest.approx(
+            forward_payload.pop("sum"), rel=1e-12
+        )
+        assert forward_payload == backward_payload
+        _assert_quantiles_within_bound(backward, values)
+
+    @given(
+        value=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+        count=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constant_stream_every_quantile_equal(self, value, count):
+        sketch = QuantileSketch()
+        sketch.add(value, count=count)
+        stream = [value] * count
+        _assert_quantiles_within_bound(sketch, stream)
+        # Constant stream: every quantile is (an estimate of) the value.
+        for q in QUANTILES:
+            assert abs(sketch.quantile(q) - value) <= sketch.relative_error * value + 1e-9 * value
+
+    @given(
+        exponents=st.lists(
+            st.floats(min_value=-6.0, max_value=13.0, allow_nan=False),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_heavy_tailed_stream_within_bound(self, exponents):
+        """Log-uniform values spanning ~19 decades (a heavy tail by any
+        measure) stay within the bound."""
+        values = [math.exp(e) for e in exponents]
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        _assert_quantiles_within_bound(sketch, values)
+
+    @given(values=positive_delays, split=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_concatenated_stream(self, values, split):
+        split = min(split, len(values))
+        whole = QuantileSketch()
+        whole.extend(values)
+        left = QuantileSketch()
+        left.extend(values[:split])
+        right = QuantileSketch()
+        right.extend(values[split:])
+        left.merge(right)
+        merged_payload = left.to_dict()
+        whole_payload = whole.to_dict()
+        # Bucket counts merge exactly; the float sum may differ by an ulp
+        # because merge adds two partial sums instead of streaming.
+        assert merged_payload.pop("sum") == pytest.approx(
+            whole_payload.pop("sum"), rel=1e-12
+        )
+        assert merged_payload == whole_payload
+
+    @given(values=positive_delays)
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_round_trip_byte_stable(self, values):
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        payload = sketch.to_dict()
+        rebuilt = QuantileSketch.from_dict(json.loads(_canonical(payload)))
+        assert _canonical(rebuilt.to_dict()) == _canonical(payload)
+        for q in QUANTILES:
+            assert rebuilt.quantile(q) == sketch.quantile(q)
+
+    @given(values=positive_delays)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_side_channels(self, values):
+        """count/sum/min/max/mean carry no sketch error at all."""
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.count == len(values)
+        assert sketch.sum == pytest.approx(math.fsum(values), rel=1e-12)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        assert sketch.mean() == pytest.approx(math.fsum(values) / len(values), rel=1e-12)
+
+
+class TestQuantileSketchEdgeCases:
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert sketch.count == 0
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.min == 0.0 and sketch.max == 0.0
+        assert sketch.mean() == 0.0
+        assert sketch.num_buckets == 0
+
+    def test_rejects_bad_values(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.add(-1.0)
+        with pytest.raises(ValueError):
+            sketch.add(float("nan"))
+        with pytest.raises(ValueError):
+            sketch.add(float("inf"))
+        with pytest.raises(ValueError):
+            sketch.add(1.0, count=0)
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_error=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_error=1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+    def test_zero_bucket_absolute_error(self):
+        """Sub-nanosecond delays report exactly 0.0 (<= 1ns absolute)."""
+        sketch = QuantileSketch()
+        sketch.add(0.0)
+        sketch.add(MIN_TRACKABLE_DELAY / 2)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0) == 0.0
+        assert sketch.num_buckets == 1
+
+    def test_merge_rejects_mismatched_error_bounds(self):
+        coarse = QuantileSketch(relative_error=0.05)
+        fine = QuantileSketch(relative_error=0.01)
+        with pytest.raises(ValueError, match="error bounds"):
+            fine.merge(coarse)
+
+    def test_bucket_count_bounded_by_value_range_not_stream_length(self):
+        """20k log-uniform samples over 15 decades: far fewer buckets
+        than samples, and within the documented ~2500-bucket envelope."""
+        rng = np.random.default_rng(7)
+        values = np.exp(rng.uniform(math.log(1e-9), math.log(1e6), size=20_000))
+        sketch = QuantileSketch()
+        sketch.extend(values.tolist())
+        assert sketch.count == 20_000
+        assert sketch.num_buckets < 2500
+        # Feeding the same range again must not grow the bucket table.
+        before = sketch.num_buckets
+        sketch.extend(values[:5000].tolist())
+        assert sketch.num_buckets == before
+
+
+# ----------------------------------------------------------------------
+# Delivery-rate windows: decimation and merge
+# ----------------------------------------------------------------------
+class TestDeliveryRateWindows:
+    def test_events_land_in_floor_windows(self):
+        windows = DeliveryRateWindows(window=10.0, max_windows=8)
+        for t in (0.0, 9.9, 10.0, 25.0):
+            windows.add_creation(t)
+        windows.add_delivery(25.0)
+        assert windows.created_counts() == [2, 1, 1]
+        assert windows.delivered_counts() == [0, 0, 1]
+        assert windows.delivery_rates() == [0.0, 0.0, 0.1]
+
+    def test_decimation_doubles_window_and_preserves_totals(self):
+        windows = DeliveryRateWindows(window=1.0, max_windows=4)
+        for t in range(16):
+            windows.add_creation(float(t))
+        assert windows.window == 4.0
+        assert windows.num_windows <= 4
+        assert sum(windows.created_counts()) == 16
+
+    def test_merge_aligns_widths_exactly(self):
+        coarse = DeliveryRateWindows(window=1.0, max_windows=4)
+        fine = DeliveryRateWindows(window=1.0, max_windows=4)
+        for t in range(16):
+            coarse.add_creation(float(t))  # decimates to window=4
+        for t in range(4):
+            fine.add_creation(float(t))  # stays at window=1
+        coarse.merge(fine)
+        assert coarse.window == 4.0
+        assert sum(coarse.created_counts()) == 20
+
+    def test_merge_rebudgets_after_union(self):
+        left = DeliveryRateWindows(window=1.0, max_windows=4)
+        right = DeliveryRateWindows(window=1.0, max_windows=4)
+        left.add_creation(3.0)
+        for t in range(16):
+            right.add_creation(float(t))
+        left.merge(right)
+        assert left.num_windows <= 4
+        assert sum(left.created_counts()) == 17
+
+    def test_merge_rejects_different_base_widths(self):
+        with pytest.raises(ValueError, match="base widths"):
+            DeliveryRateWindows(window=60.0).merge(DeliveryRateWindows(window=30.0))
+
+    def test_round_trip(self):
+        windows = DeliveryRateWindows(window=5.0, max_windows=8)
+        for t in (1.0, 7.0, 33.0):
+            windows.add_creation(t)
+        windows.add_delivery(33.0)
+        payload = windows.to_dict()
+        rebuilt = DeliveryRateWindows.from_dict(json.loads(_canonical(payload)))
+        assert _canonical(rebuilt.to_dict()) == _canonical(payload)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeliveryRateWindows(window=0.0)
+        with pytest.raises(ValueError):
+            DeliveryRateWindows(max_windows=1)
+        with pytest.raises(ValueError):
+            DeliveryRateWindows().add_creation(-1.0)
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_budget_and_conservation_invariants(self, times):
+        windows = DeliveryRateWindows(window=7.0, max_windows=8)
+        for t in times:
+            windows.add_creation(t)
+        assert windows.num_windows <= windows.max_windows
+        assert sum(windows.created_counts()) == len(times)
+        # Width is always base * 2^k.
+        ratio = windows.window / windows.base_window
+        assert ratio == 2 ** int(math.log2(ratio))
+
+
+# ----------------------------------------------------------------------
+# Differential harness: records mode vs streaming mode on the same cell
+# ----------------------------------------------------------------------
+def _synthetic_cell(
+    protocol: str,
+    result_mode: str,
+    *,
+    seed: int = 21,
+    num_nodes: int = 8,
+    duration: float = 500.0,
+    load: float = 40.0,
+    deadline: float = 90.0,
+    buffer_kb: float = 30.0,
+    classes: tuple = (),
+    fault_model: str = None,
+    contact_model: str = None,
+) -> SimulationResult:
+    """Run one synthetic cell; both modes get byte-identical inputs."""
+    mobility = ExponentialMobility(
+        num_nodes=num_nodes,
+        mean_inter_meeting=60.0,
+        transfer_opportunity=40 * units.KB,
+        seed=seed,
+    )
+    schedule = mobility.generate(duration)
+    workload = PoissonArrivals(
+        packets_per_hour=load, seed=seed + 1, deadline=deadline, classes=classes
+    )
+    packets = workload.generate(range(num_nodes), duration)
+    options: dict = {}
+    if fault_model is not None:
+        options["fault_model"] = build_fault_model(
+            FaultParameters(), seed=97, model=fault_model
+        )
+    if contact_model is not None:
+        options["contact_model"] = contact_model
+    if result_mode != RESULT_MODE_RECORDS:
+        options["result_mode"] = result_mode
+    return run_simulation(
+        schedule,
+        packets,
+        create_factory(protocol),
+        buffer_capacity=buffer_kb * units.KB,
+        seed=5,
+        options=options or None,
+    )
+
+
+def _assert_modes_agree(records: SimulationResult, streaming: SimulationResult) -> None:
+    """The full differential contract between the two result modes."""
+    summary = streaming.streaming
+    assert summary is not None
+    assert records.streaming is None
+    assert records.has_records and not streaming.has_records
+
+    # -- Integer counters: exactly equal ------------------------------
+    assert records.num_packets > 0  # the cell must carry real traffic
+    assert streaming.num_packets == records.num_packets
+    assert streaming.num_delivered == records.num_delivered
+    assert streaming.replications == records.replications
+    assert streaming.deliveries == records.deliveries
+    assert streaming.traffic_classes() == records.traffic_classes()
+    assert summary.delay_sketch.count == records.num_delivered
+
+    for name in records.traffic_classes():
+        class_records = records.class_records(name)
+        tally = summary.tally(name)
+        assert tally.packets == len(class_records)
+        assert tally.delivered == sum(1 for r in class_records if r.delivered)
+        assert tally.delivered_in_deadline == sum(
+            1 for r in class_records if r.met_deadline()
+        )
+        assert tally.replicas_created == sum(r.replicas_created for r in class_records)
+        assert tally.drops == sum(r.drops for r in class_records)
+
+    # -- Float aggregates: exact formulas, addition-order tolerance ---
+    assert streaming.delivery_rate() == pytest.approx(
+        records.delivery_rate(), rel=FLOAT_RTOL, abs=1e-12
+    )
+    assert streaming.deadline_success_rate() == pytest.approx(
+        records.deadline_success_rate(), rel=FLOAT_RTOL, abs=1e-12
+    )
+    assert streaming.average_delay() == pytest.approx(
+        records.average_delay(), rel=FLOAT_RTOL, abs=1e-9
+    )
+    assert streaming.average_delay(include_undelivered=True) == pytest.approx(
+        records.average_delay(include_undelivered=True), rel=FLOAT_RTOL, abs=1e-9
+    )
+    assert streaming.max_delay() == pytest.approx(
+        records.max_delay(), rel=FLOAT_RTOL, abs=1e-9
+    )
+    assert streaming.max_delay(include_undelivered=True) == pytest.approx(
+        records.max_delay(include_undelivered=True), rel=FLOAT_RTOL, abs=1e-9
+    )
+
+    record_pcs = records.per_class_summary()
+    stream_pcs = streaming.per_class_summary()
+    assert sorted(record_pcs) == sorted(stream_pcs)
+    for name, expected in record_pcs.items():
+        actual = stream_pcs[name]
+        assert sorted(actual) == sorted(expected)
+        for key, value in expected.items():
+            assert actual[key] == pytest.approx(value, rel=FLOAT_RTOL, abs=1e-9), (
+                f"class {name}, metric {key}"
+            )
+
+    # -- Quantiles within the documented sketch bound -----------------
+    delays = records.delays()
+    if delays:
+        _assert_quantiles_within_bound(summary.delay_sketch, delays)
+        for q in QUANTILES:
+            exact = records.delay_quantile(q)
+            estimate = streaming.delay_quantile(q)
+            assert abs(estimate - exact) <= (
+                summary.delay_sketch.relative_error * exact
+                + MIN_TRACKABLE_DELAY
+                + 1e-9 * max(1.0, exact)
+            )
+
+    # -- Everything else in the payload: byte-identical ---------------
+    record_payload = records.to_dict()
+    stream_payload = streaming.to_dict()
+    assert stream_payload["records"] == []
+    assert "streaming" in stream_payload and "streaming" not in record_payload
+    record_payload.pop("records")
+    stream_payload.pop("records")
+    stream_payload.pop("streaming")
+    assert _canonical(record_payload) == _canonical(stream_payload)
+
+    # The streaming payload itself round-trips byte-stably.
+    rebuilt = SimulationResult.from_dict(json.loads(_canonical(streaming.to_dict())))
+    assert _canonical(rebuilt.to_dict()) == _canonical(streaming.to_dict())
+
+
+class TestDifferentialRecordsVsStreaming:
+    """Both modes on identical cells: the heart of the PR."""
+
+    @pytest.mark.parametrize(
+        "protocol",
+        [
+            "rapid",
+            "maxprop",
+            "prophet",
+            "spray-and-wait",
+            "epidemic-acks",
+            "random-acks",
+            "direct",
+            "balanced",
+        ],
+    )
+    def test_protocols_agree_across_modes(self, protocol):
+        records = _synthetic_cell(protocol, RESULT_MODE_RECORDS)
+        streaming = _synthetic_cell(protocol, RESULT_MODE_STREAMING)
+        _assert_modes_agree(records, streaming)
+
+    def test_multi_class_workload_agrees_across_modes(self):
+        classes = (
+            TrafficClass(name="bulk", weight=3.0),
+            TrafficClass(name="interactive", weight=1.0, deadline=30.0),
+        )
+        records = _synthetic_cell("rapid", RESULT_MODE_RECORDS, classes=classes)
+        streaming = _synthetic_cell("rapid", RESULT_MODE_STREAMING, classes=classes)
+        assert records.traffic_classes() == ["bulk", "interactive"]
+        _assert_modes_agree(records, streaming)
+
+    def test_fault_injected_cell_agrees_across_modes(self):
+        records = _synthetic_cell("epidemic-acks", RESULT_MODE_RECORDS, fault_model="crash")
+        streaming = _synthetic_cell(
+            "epidemic-acks", RESULT_MODE_STREAMING, fault_model="crash"
+        )
+        assert records.node_outages > 0  # faults actually fired
+        _assert_modes_agree(records, streaming)
+
+    def test_contact_layer_cell_agrees_across_modes(self):
+        records = _synthetic_cell("rapid", RESULT_MODE_RECORDS, contact_model="durational")
+        streaming = _synthetic_cell(
+            "rapid", RESULT_MODE_STREAMING, contact_model="durational"
+        )
+        _assert_modes_agree(records, streaming)
+
+    def test_storage_pressure_cell_agrees_across_modes(self):
+        """Tiny buffers force creation-time drops through on_drop."""
+        records = _synthetic_cell("random", RESULT_MODE_RECORDS, buffer_kb=4.0, load=80.0)
+        streaming = _synthetic_cell(
+            "random", RESULT_MODE_STREAMING, buffer_kb=4.0, load=80.0
+        )
+        _assert_modes_agree(records, streaming)
+
+    def test_trace_family_cell_agrees_across_modes(self):
+        """Worker-level differential: the spec's result_mode override."""
+        config = TraceExperimentConfig.ci_scale(seed=7, num_days=1)
+        protocol = ProtocolSpec(label="rapid", registry_name="rapid")
+
+        def run(result_mode=None):
+            cell_worker.clear_input_caches()
+            return cell_worker.run_cell(
+                ScenarioSpec.for_cell(
+                    config=config,
+                    protocol=protocol,
+                    load=4.0,
+                    run_index=0,
+                    result_mode=result_mode,
+                )
+            )
+
+        records = run()
+        streaming = run(result_mode=RESULT_MODE_STREAMING)
+        _assert_modes_agree(records, streaming)
+
+    def test_default_mode_payload_has_no_streaming_key(self):
+        """The byte-identity contract: records mode serializes exactly as
+        it did before the streaming layer existed."""
+        result = _synthetic_cell("rapid", RESULT_MODE_RECORDS)
+        payload = result.to_dict()
+        assert "streaming" not in payload
+        assert "result_mode" not in payload
+
+
+class TestStreamingBackendIdentity:
+    """Streaming cells byte-identical across every engine backend."""
+
+    def _grid(self) -> ScenarioGrid:
+        config = SyntheticExperimentConfig(
+            num_nodes=8,
+            mean_inter_meeting=70.0,
+            transfer_opportunity=100 * units.KB,
+            duration=4 * units.MINUTE,
+            buffer_capacity=40 * units.KB,
+            deadline=25.0,
+            packet_interval=50.0,
+            mobility="exponential",
+            num_runs=1,
+            seed=11,
+            result_mode=RESULT_MODE_STREAMING,
+        )
+        protocols = [
+            ProtocolSpec(label="rapid", registry_name="rapid"),
+            ProtocolSpec(label="balanced", registry_name="balanced"),
+        ]
+        return ScenarioGrid(config=config, protocols=protocols, loads=(6.0,))
+
+    def test_streaming_identical_across_backends(self, tmp_path):
+        grid = self._grid()
+        with ExperimentEngine(workers=1) as engine:
+            serial_results = engine.run_grid(grid)
+            serial = _canonical([r.to_dict() for r in serial_results])
+        assert all(r.streaming is not None for r in serial_results)
+        with ExperimentEngine(workers=4) as engine:
+            parallel = _canonical([r.to_dict() for r in engine.run_grid(grid)])
+        cache_dir = tmp_path / "cache"
+        with ExperimentEngine(workers=1, cache_dir=cache_dir) as engine:
+            cold = _canonical([r.to_dict() for r in engine.run_grid(grid)])
+        with ExperimentEngine(workers=1, cache_dir=cache_dir) as engine:
+            warm_results = engine.run_grid(grid)
+            warm = _canonical([r.to_dict() for r in warm_results])
+            assert engine.stats.cache_hits == len(grid)
+        assert all(r.streaming is not None for r in warm_results)
+        assert parallel == serial
+        assert cold == serial
+        assert warm == serial
+
+
+class TestStreamingMerge:
+    """merge() of streaming summaries vs the merged record-mode run."""
+
+    def _segments(self, result_mode: str):
+        """Two day-like segments sharing one packet-id space."""
+        results = []
+        for index in range(2):
+            factory_seed = 31 + 10 * index
+            mobility = ExponentialMobility(
+                num_nodes=8,
+                mean_inter_meeting=60.0,
+                transfer_opportunity=40 * units.KB,
+                seed=factory_seed,
+            )
+            schedule = mobility.generate(400.0)
+            workload = PoissonArrivals(
+                packets_per_hour=30.0,
+                seed=factory_seed + 1,
+                deadline=90.0,
+                factory=self._factory,
+            )
+            packets = workload.generate(range(8), 400.0)
+            options = (
+                {"result_mode": result_mode}
+                if result_mode != RESULT_MODE_RECORDS
+                else None
+            )
+            results.append(
+                run_simulation(
+                    schedule,
+                    packets,
+                    create_factory("rapid"),
+                    buffer_capacity=30 * units.KB,
+                    seed=5 + index,
+                    options=options,
+                )
+            )
+        return results
+
+    def setup_method(self):
+        self._factory = PacketFactory()
+
+    def test_merged_streaming_consistent_with_merged_records(self):
+        streaming_parts = self._segments(RESULT_MODE_STREAMING)
+        self._factory = PacketFactory()  # identical id space for the rerun
+        record_parts = self._segments(RESULT_MODE_RECORDS)
+
+        merged_streaming = SimulationResult.merge(streaming_parts)
+        merged_records = SimulationResult.merge(record_parts)
+
+        assert merged_streaming.streaming is not None
+        assert merged_streaming.num_packets == merged_records.num_packets
+        assert merged_streaming.num_delivered == merged_records.num_delivered
+        assert merged_streaming.replications == merged_records.replications
+        assert merged_streaming.average_delay() == pytest.approx(
+            merged_records.average_delay(), rel=FLOAT_RTOL, abs=1e-9
+        )
+        assert merged_streaming.average_delay(include_undelivered=True) == pytest.approx(
+            merged_records.average_delay(include_undelivered=True),
+            rel=FLOAT_RTOL,
+            abs=1e-9,
+        )
+        assert merged_streaming.delivery_rate() == pytest.approx(
+            merged_records.delivery_rate(), rel=FLOAT_RTOL, abs=1e-12
+        )
+        delays = merged_records.delays()
+        _assert_quantiles_within_bound(merged_streaming.streaming.delay_sketch, delays)
+
+    def test_merge_equals_summary_of_parts(self):
+        parts = self._segments(RESULT_MODE_STREAMING)
+        merged = SimulationResult.merge(parts)
+        assert merged.num_packets == sum(p.num_packets for p in parts)
+        assert merged.num_delivered == sum(p.num_delivered for p in parts)
+        assert merged.streaming.delay_sketch.count == sum(
+            p.streaming.delay_sketch.count for p in parts
+        )
+        # Merging must not mutate the first input (deep-copy contract).
+        assert parts[0].streaming.delay_sketch.count < merged.streaming.delay_sketch.count
+
+    def test_merge_rejects_mixed_modes(self):
+        streaming_part = self._segments(RESULT_MODE_STREAMING)[0]
+        self._factory = PacketFactory()
+        record_part = self._segments(RESULT_MODE_RECORDS)[1]
+        with pytest.raises(ValueError, match="result_mode"):
+            SimulationResult.merge([streaming_part, record_part])
+
+    def test_summary_merge_is_exact_bucket_addition(self):
+        parts = self._segments(RESULT_MODE_STREAMING)
+        direct = StreamingSummary.from_dict(parts[0].streaming.to_dict())
+        direct.merge(parts[1].streaming)
+        merged = SimulationResult.merge(parts)
+        assert _canonical(merged.streaming.to_dict()) == _canonical(direct.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: record APIs without records
+# ----------------------------------------------------------------------
+class TestGracefulDegradation:
+    @pytest.fixture(scope="class")
+    def streaming_result(self) -> SimulationResult:
+        return _synthetic_cell("rapid", RESULT_MODE_STREAMING)
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda r: r.packets(),
+            lambda r: r.delivered_records(),
+            lambda r: r.undelivered_records(),
+            lambda r: r.delays(),
+            lambda r: r.delays(include_undelivered=True),
+            lambda r: r.record_for(0),
+            lambda r: r.class_records("default"),
+        ],
+    )
+    def test_record_apis_raise_clear_error(self, streaming_result, call):
+        with pytest.raises(RecordsUnavailableError) as excinfo:
+            call(streaming_result)
+        message = str(excinfo.value)
+        assert "result_mode='records'" in message
+        assert "streaming" in message
+
+    def test_exact_apis_keep_working(self, streaming_result):
+        summary = streaming_result.summary()
+        assert summary["packets"] == streaming_result.num_packets
+        assert 0.0 < summary["delivery_rate"] <= 1.0
+        per_class = streaming_result.per_class_summary()
+        assert set(per_class) == set(streaming_result.traffic_classes())
+        assert streaming_result.delay_quantile(0.5) >= 0.0
+
+    def test_records_unavailable_is_a_repro_error(self):
+        from repro.exceptions import ReproError
+
+        assert issubclass(RecordsUnavailableError, ReproError)
+
+    def test_inspect_packets_works_on_streaming_trace(self, tmp_path, capsys):
+        """`repro-dtn inspect --packets` must keep working when the run
+        retained no per-packet records (the trace carries the events)."""
+        from repro.cli import main
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "quicksim",
+                "--protocol",
+                "rapid",
+                "--nodes",
+                "6",
+                "--duration",
+                "200",
+                "--seed",
+                "3",
+                "--result-mode",
+                "streaming",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["inspect", str(trace), "--packets", "--limit", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "packet" in out
+        assert "delivered" in out
+
+
+# ----------------------------------------------------------------------
+# Option threading: config, spec, worker, CLI
+# ----------------------------------------------------------------------
+class TestResultModeThreading:
+    def test_result_modes_constant(self):
+        assert RESULT_MODES == (RESULT_MODE_RECORDS, RESULT_MODE_STREAMING)
+
+    @pytest.mark.parametrize("config_cls", [TraceExperimentConfig, SyntheticExperimentConfig])
+    def test_config_validates_and_copies(self, config_cls):
+        config = config_cls()
+        assert config.result_mode == RESULT_MODE_RECORDS
+        updated = config.with_result_mode(RESULT_MODE_STREAMING)
+        assert updated.result_mode == RESULT_MODE_STREAMING
+        assert config.result_mode == RESULT_MODE_RECORDS
+        with pytest.raises(ConfigurationError, match="result_mode"):
+            config.with_result_mode("bogus")
+
+    def test_config_round_trips_result_mode(self):
+        config = SyntheticExperimentConfig(result_mode=RESULT_MODE_STREAMING)
+        rebuilt = SyntheticExperimentConfig.from_dict(config.to_dict())
+        assert rebuilt.result_mode == RESULT_MODE_STREAMING
+
+    def test_spec_override_and_resolution(self):
+        config = SyntheticExperimentConfig()
+        protocol = ProtocolSpec(label="rapid", registry_name="rapid")
+        spec = ScenarioSpec.for_cell(config=config, protocol=protocol, load=4.0, run_index=0)
+        assert spec.resolved_result_mode() == RESULT_MODE_RECORDS
+        override = ScenarioSpec.for_cell(
+            config=config,
+            protocol=protocol,
+            load=4.0,
+            run_index=0,
+            result_mode=RESULT_MODE_STREAMING,
+        )
+        assert override.resolved_result_mode() == RESULT_MODE_STREAMING
+        via_config = ScenarioSpec.for_cell(
+            config=config.with_result_mode(RESULT_MODE_STREAMING),
+            protocol=protocol,
+            load=4.0,
+            run_index=0,
+        )
+        assert via_config.resolved_result_mode() == RESULT_MODE_STREAMING
+
+    def test_spec_round_trip_and_validation(self):
+        config = SyntheticExperimentConfig()
+        protocol = ProtocolSpec(label="rapid", registry_name="rapid")
+        spec = ScenarioSpec.for_cell(
+            config=config,
+            protocol=protocol,
+            load=4.0,
+            run_index=0,
+            result_mode=RESULT_MODE_STREAMING,
+        )
+        rebuilt = ScenarioSpec.from_dict(json.loads(_canonical(spec.to_dict())))
+        assert rebuilt.result_mode == RESULT_MODE_STREAMING
+        assert rebuilt.cache_key() == spec.cache_key()
+        with pytest.raises(ConfigurationError, match="result_mode"):
+            ScenarioSpec.for_cell(
+                config=config,
+                protocol=protocol,
+                load=4.0,
+                run_index=0,
+                result_mode="bogus",
+            )
+
+    def test_simulator_rejects_unknown_result_mode(self, tiny_schedule):
+        with pytest.raises(ConfigurationError, match="result_mode"):
+            run_simulation(
+                tiny_schedule,
+                [],
+                create_factory("direct"),
+                seed=1,
+                options={"result_mode": "bogus"},
+            )
+
+    def test_streaming_relative_error_option(self):
+        result = _synthetic_cell("direct", RESULT_MODE_STREAMING)
+        assert result.streaming.delay_sketch.relative_error == DEFAULT_RELATIVE_ERROR
+        mobility = ExponentialMobility(
+            num_nodes=6, mean_inter_meeting=60.0, transfer_opportunity=40 * units.KB, seed=3
+        )
+        schedule = mobility.generate(300.0)
+        workload = PoissonArrivals(packets_per_hour=30.0, seed=4, deadline=90.0)
+        packets = workload.generate(range(6), 300.0)
+        result = run_simulation(
+            schedule,
+            packets,
+            create_factory("direct"),
+            seed=1,
+            options={"result_mode": RESULT_MODE_STREAMING, "streaming_relative_error": 0.05},
+        )
+        assert result.streaming.delay_sketch.relative_error == 0.05
+        with pytest.raises(ConfigurationError, match="streaming_relative_error"):
+            run_simulation(
+                schedule,
+                packets,
+                create_factory("direct"),
+                seed=1,
+                options={"result_mode": RESULT_MODE_STREAMING, "streaming_relative_error": 1.5},
+            )
+
+    def test_cli_quicksim_summary_identical_across_modes(self, capsys):
+        from repro.cli import main
+
+        base = ["quicksim", "--protocol", "rapid", "--nodes", "6", "--duration", "200", "--seed", "3"]
+        assert main(base) == 0
+        records_out = capsys.readouterr().out
+        assert main(base + ["--result-mode", "streaming"]) == 0
+        streaming_out = capsys.readouterr().out
+        assert streaming_out == records_out
+
+    def test_cli_rejects_unknown_result_mode(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["quicksim", "--result-mode", "bogus"])
+
+
+# ----------------------------------------------------------------------
+# Steady-state statistics: MSER-5 and batch means
+# ----------------------------------------------------------------------
+class TestWarmupAndBatchMeans:
+    def test_mser5_finds_an_obvious_transient(self):
+        rng = np.random.default_rng(0)
+        warm = 50.0 - np.arange(100) * 0.45 + rng.normal(0, 1, 100)
+        steady = 5.0 + rng.normal(0, 1, 2000)
+        estimate = mser5_truncation(np.concatenate([warm, steady]))
+        assert isinstance(estimate, WarmupEstimate)
+        assert 50 <= estimate.truncation <= 200
+        assert estimate.truncation % estimate.batch_size == 0
+        assert 0.0 < estimate.truncated_fraction < 0.5
+
+    def test_mser5_stationary_series_needs_no_truncation(self):
+        rng = np.random.default_rng(1)
+        estimate = mser5_truncation(5.0 + rng.normal(0, 1, 1000))
+        assert estimate.truncation == 0
+
+    def test_mser5_validation(self):
+        with pytest.raises(ValueError, match="at least two batches"):
+            mser5_truncation([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="batch_size"):
+            mser5_truncation([1.0] * 20, batch_size=0)
+
+    def test_batch_means_covers_the_true_mean(self):
+        rng = np.random.default_rng(2)
+        series = 7.0 + rng.normal(0, 2, 4000)
+        interval = batch_means_interval(series, num_batches=20)
+        assert interval.contains(7.0)
+        assert interval.half_width > 0.0
+
+    def test_batch_means_respects_warmup(self):
+        rng = np.random.default_rng(3)
+        biased = np.concatenate([np.full(500, 100.0), 5.0 + rng.normal(0, 1, 4000)])
+        raw = batch_means_interval(biased, num_batches=20)
+        truncated = batch_means_interval(biased, num_batches=20, warmup=500)
+        # The transient biases the raw estimate upward and inflates its
+        # batch variance; truncation recovers a tight, centered interval.
+        assert raw.mean > 10.0
+        assert truncated.contains(5.0)
+        assert truncated.half_width < raw.half_width / 10.0
+
+    def test_batch_means_validation(self):
+        with pytest.raises(ValueError, match="at least 2 batches"):
+            batch_means_interval([1.0] * 100, num_batches=1)
+        with pytest.raises(ValueError, match="post-warmup"):
+            batch_means_interval([1.0] * 10, num_batches=20)
+        with pytest.raises(ValueError, match="warmup"):
+            batch_means_interval([1.0] * 100, warmup=-1)
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=10,
+            max_size=500,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mser5_truncation_invariants(self, data):
+        estimate = mser5_truncation(data)
+        total = estimate.num_batches * estimate.batch_size
+        assert estimate.truncation % estimate.batch_size == 0
+        assert estimate.truncation < total
+        assert estimate.truncated_fraction < 0.5 + 1e-12
+        assert estimate.statistic >= 0.0
+
+    def test_end_to_end_on_streaming_delivery_rates(self):
+        """The pieces compose: a streaming run's windowed delivery-rate
+        series feeds warm-up detection and batch-means estimation."""
+        result = _synthetic_cell("rapid", RESULT_MODE_STREAMING, duration=900.0)
+        rates = result.streaming.rate_windows.delivery_rates()
+        assert len(rates) >= 10
+        estimate = mser5_truncation(rates, batch_size=1)
+        interval = batch_means_interval(rates, num_batches=5, warmup=estimate.truncation)
+        assert interval.half_width >= 0.0
+        assert interval.mean >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Balanced-allocation baseline
+# ----------------------------------------------------------------------
+class TestBalancedAllocationProtocol:
+    def test_registered(self):
+        assert "balanced" in available_protocols()
+
+    def test_delivers_and_is_deterministic(self):
+        first = _synthetic_cell("balanced", RESULT_MODE_RECORDS)
+        second = _synthetic_cell("balanced", RESULT_MODE_RECORDS)
+        assert first.delivery_rate() > 0.5
+        assert _canonical(first.to_dict()) == _canonical(second.to_dict())
+
+    def test_reservation_validation(self):
+        from repro.dtn.node import Node
+        from repro.routing.base import ProtocolContext
+
+        def make(reservation):
+            node = Node.with_capacity(0, 10 * units.KB)
+            context = ProtocolContext(nodes={0: node})
+            return BalancedAllocationProtocol(node, context, reservation=reservation)
+
+        assert make(0.5).reservation == 0.5
+        with pytest.raises(ConfigurationError, match="fill fraction"):
+            make(0.0)
+        with pytest.raises(ConfigurationError, match="fill fraction"):
+            make(1.5)
+
+    def _pair(self, capacity=10 * 1024, reservation=0.5):
+        from repro.dtn.node import Node
+        from repro.routing.base import ProtocolContext
+
+        sender_node = Node.with_capacity(0, capacity)
+        receiver_node = Node.with_capacity(1, capacity)
+        context = ProtocolContext(nodes={0: sender_node, 1: receiver_node})
+        sender = BalancedAllocationProtocol(sender_node, context, reservation=reservation)
+        receiver = BalancedAllocationProtocol(receiver_node, context, reservation=reservation)
+        return sender, receiver
+
+    def test_trunk_reservation_refuses_relayed_traffic(self, packet_factory):
+        sender, receiver = self._pair(capacity=10 * 1024, reservation=0.5)
+        # Fill the receiver past the reservation threshold.
+        filler = packet_factory.create(source=1, destination=3, size=6 * 1024)
+        assert receiver.on_packet_created(filler, now=0.0)
+        assert receiver.buffer.occupancy() >= 0.5
+        relayed = packet_factory.create(source=0, destination=2, size=1024)
+        assert sender.on_packet_created(relayed, now=0.0)
+        assert not receiver.accept_replica(relayed, sender, now=1.0)
+        # Direct traffic bypasses the reservation.
+        direct = packet_factory.create(source=0, destination=1, size=1024)
+        assert sender.on_packet_created(direct, now=0.0)
+        assert receiver.accept_replica(direct, sender, now=1.0)
+
+    def test_join_shorter_queue(self, packet_factory):
+        sender, receiver = self._pair(capacity=10 * 1024, reservation=0.9)
+        light = packet_factory.create(source=0, destination=2, size=1024)
+        assert sender.on_packet_created(light, now=0.0)
+        # Receiver busier than sender: the two-choice rule refuses.
+        filler = packet_factory.create(source=1, destination=3, size=4 * 1024)
+        assert receiver.on_packet_created(filler, now=0.0)
+        assert receiver.buffer.occupancy() > sender.buffer.occupancy()
+        assert not receiver.accept_replica(light, sender, now=1.0)
+        # Drain the receiver below the sender's load: now it accepts.
+        receiver.buffer.remove(filler.packet_id)
+        assert receiver.accept_replica(light, sender, now=2.0)
+
+    def test_eviction_prefers_most_traveled_relayed_replica(self, packet_factory):
+        _, receiver = self._pair(capacity=3 * 1024, reservation=1.0)
+        own = packet_factory.create(source=1, destination=5, size=1024)
+        assert receiver.on_packet_created(own, now=0.0)
+        near = packet_factory.create(source=2, destination=5, size=1024)
+        far = packet_factory.create(source=3, destination=5, size=1024)
+        assert receiver.insert_packet(near, now=0.0, hop_count=1)
+        assert receiver.insert_packet(far, now=0.0, hop_count=4)
+        incoming = packet_factory.create(source=4, destination=5, size=1024)
+        victim = receiver.choose_eviction_victim(incoming, now=1.0)
+        assert victim == far.packet_id  # most hops goes first
+        # Own packets are never victims.
+        receiver.buffer.remove(near.packet_id)
+        receiver.buffer.remove(far.packet_id)
+        assert receiver.choose_eviction_victim(incoming, now=1.0) is None
+
+    def test_agrees_across_modes_under_pressure(self):
+        records = _synthetic_cell("balanced", RESULT_MODE_RECORDS, buffer_kb=6.0, load=80.0)
+        streaming = _synthetic_cell(
+            "balanced", RESULT_MODE_STREAMING, buffer_kb=6.0, load=80.0
+        )
+        _assert_modes_agree(records, streaming)
+
+
+# ----------------------------------------------------------------------
+# Class tallies and summaries
+# ----------------------------------------------------------------------
+class TestStreamingSummaryPieces:
+    def test_class_tally_merge_and_round_trip(self):
+        left = ClassTally(packets=3, delivered=2, delay_sum=10.0, delay_max=6.0)
+        right = ClassTally(packets=2, delivered=1, delay_sum=4.0, delay_max=9.0, drops=1)
+        left.merge(right)
+        assert left.packets == 5 and left.delivered == 3
+        assert left.delay_sum == 14.0 and left.delay_max == 9.0
+        assert left.drops == 1
+        rebuilt = ClassTally.from_dict(json.loads(_canonical(left.to_dict())))
+        assert rebuilt == left
+
+    def test_summary_aggregates_over_classes(self):
+        summary = StreamingSummary(
+            class_tallies={
+                "a": ClassTally(packets=4, delivered=3, delay_sum=9.0, delay_max=5.0),
+                "b": ClassTally(packets=6, delivered=2, delay_sum=4.0, delay_max=7.0),
+            }
+        )
+        assert summary.num_packets == 10
+        assert summary.num_delivered == 5
+        assert summary.delay_sum == 13.0
+        assert summary.delay_max == 7.0
+        assert summary.traffic_classes() == ["a", "b"]
+        assert summary.tally("missing").packets == 0
+
+    def test_summary_merge_deep_copies_new_classes(self):
+        target = StreamingSummary(class_tallies={"a": ClassTally(packets=1)})
+        source = StreamingSummary(class_tallies={"b": ClassTally(packets=2)})
+        target.merge(source)
+        assert target.tally("b").packets == 2
+        source.class_tallies["b"].packets = 99
+        assert target.tally("b").packets == 2  # unshared
+
+    def test_summary_round_trip_byte_stable(self):
+        result = _synthetic_cell("rapid", RESULT_MODE_STREAMING)
+        payload = result.streaming.to_dict()
+        rebuilt = StreamingSummary.from_dict(json.loads(_canonical(payload)))
+        assert _canonical(rebuilt.to_dict()) == _canonical(payload)
