@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Decision audit + forensics: ask a run *why*, not just *what*.
+
+Runs RAPID over a buffer-constrained synthetic DTN with both trace
+streams on — the lifecycle trace and the decision audit — then walks
+the replay layers built on top of them:
+
+* the decision audit itself: every ``replication_rank`` with its
+  per-candidate marginal-utility scores, every ``eviction_choice``
+  with its victim and reason;
+* causal forensics for one delivered packet (`repro-dtn inspect --why`
+  uses the same functions): the replication tree, the winning path and
+  its waiting/queueing/transfer latency decomposition, cross-referenced
+  against the decisions that ranked or evicted it;
+* the delivery funnel: every created packet in exactly one terminal
+  class, with back-references from fully-evicted packets to the
+  evicting decisions;
+* the zero-perturbation check — the same cell re-run without the audit
+  produces byte-identical headline output.
+
+Run with:  python examples/decision_audit.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import (
+    ExponentialMobility,
+    PoissonWorkload,
+    create_factory,
+    run_simulation,
+    units,
+)
+from repro.observability import MemorySink
+from repro.observability.forensics import (
+    causal_chain,
+    decision_references,
+    delivery_funnel,
+    funnel_text,
+    why_text,
+)
+
+NUM_NODES = 8
+DURATION = 10 * units.MINUTE
+BUFFER_CAPACITY = 8 * units.KB  # tight: forces eviction decisions
+
+def build_inputs():
+    mobility = ExponentialMobility(
+        num_nodes=NUM_NODES,
+        mean_inter_meeting=60.0,
+        transfer_opportunity=50 * units.KB,
+        seed=1,
+    )
+    schedule = mobility.generate(DURATION)
+    workload = PoissonWorkload(packets_per_hour=400.0, seed=2)
+    packets = workload.generate(range(NUM_NODES), DURATION)
+    return schedule, packets
+
+
+def main() -> None:
+    schedule, packets = build_inputs()
+
+    # ------------------------------------------------------------------
+    # 1. A fully observed run: lifecycle trace + decision audit.
+    # ------------------------------------------------------------------
+    trace_sink = MemorySink()
+    decision_sink = MemorySink()
+    result = run_simulation(
+        schedule,
+        packets,
+        create_factory("rapid"),
+        buffer_capacity=BUFFER_CAPACITY,
+        seed=3,
+        options={"trace_sink": trace_sink, "decision_sink": decision_sink},
+    )
+    events = trace_sink.events
+    decisions = decision_sink.events
+    print(f"Ran {len(packets)} packets: {result.delivery_rate():.1%} delivered, "
+          f"{len(events)} lifecycle events, {len(decisions)} decisions")
+
+    rankings = [d for d in decisions if d["ev"] == "replication_rank"]
+    evictions = [d for d in decisions if d["ev"] == "eviction_choice"]
+    print(f"  {len(rankings)} replication rankings, {len(evictions)} eviction choices")
+
+    # One ranking, in full: the candidates RAPID weighed and how.
+    sample = max(rankings, key=lambda d: len(d["candidates"]))
+    print(f"\n--- widest ranking: node {sample['node']} -> peer {sample['peer']} "
+          f"at t={sample['t']:.0f}s ---")
+    for packet, score, marginal in zip(
+        sample["candidates"], sample["score"], sample["marginal"]
+    ):
+        print(f"  packet {packet}: score={score:.4g} marginal-utility/byte={marginal}")
+
+    if evictions:
+        choice = evictions[0]
+        print(f"\nfirst eviction: node {choice['node']} dropped packet "
+              f"{choice['victim']} ({choice['reason']}) to admit {choice['incoming']}")
+
+    # ------------------------------------------------------------------
+    # 2. Forensics: why did one packet arrive when it did?
+    # ------------------------------------------------------------------
+    # Pick a delivered packet the audit actually ranked (direct
+    # source->destination deliveries never enter a ranking).
+    ranked = {p for d in rankings for p in d["candidates"]}
+    delivered = next(
+        e["packet"] for e in events
+        if e["ev"] == "packet_delivered" and e["packet"] in ranked
+    )
+    print(f"\n--- why packet {delivered}? ---")
+    print(why_text(events, delivered, decisions=decisions))
+
+    chain = causal_chain(events, delivered)
+    refs = decision_references(decisions, delivered)
+    print(f"(programmatic: {len(chain['path'])} hops, "
+          f"{chain['replicas_committed']} replicas committed, "
+          f"{len(refs)} decision references)")
+
+    # ------------------------------------------------------------------
+    # 3. The delivery funnel: where did every packet end up?
+    # ------------------------------------------------------------------
+    print("\n--- delivery funnel ---")
+    print(funnel_text(events))
+    funnel = delivery_funnel(events)
+    for packet in funnel["evicted_packets"][:3]:
+        refs = funnel["eviction_refs"][packet]
+        print(f"packet {packet} evicted everywhere; last eviction at "
+              f"t={refs[-1]['t']:.0f}s on node {refs[-1]['node']}")
+
+    # ------------------------------------------------------------------
+    # 4. The audit did not perturb the run.
+    # ------------------------------------------------------------------
+    plain = run_simulation(
+        schedule,
+        packets,
+        create_factory("rapid"),
+        buffer_capacity=BUFFER_CAPACITY,
+        seed=3,
+    )
+    identical = json.dumps(result.to_dict(), sort_keys=True) == json.dumps(
+        plain.to_dict(), sort_keys=True
+    )
+    print(f"\nAudited and plain runs byte-identical: {identical}")
+    assert identical
+
+
+if __name__ == "__main__":
+    main()

@@ -22,15 +22,23 @@
   summary;
 * ``repro-dtn inspect trace.jsonl --packet 3`` — replay a lifecycle
   trace written by ``--trace-out`` into an overview, one packet's
-  timeline, a per-packet table or a per-node summary.
+  timeline, a per-packet table or a per-node summary; ``--why ID``
+  reconstructs one packet's causal chain (replication tree, winning
+  path, latency decomposition) and ``--funnel`` the trace-wide
+  delivery funnel;
+* ``repro-dtn report --out report.html`` — render telemetry, traces
+  and benchmark records into one self-contained static HTML file.
 
 Observability flags shared by ``run``/``sweep``/``quicksim``:
 ``--trace-out FILE`` streams every cell's lifecycle events as canonical
 JSONL (byte-identical across ``--workers`` counts and cache states),
+``--decisions-out FILE`` streams the protocol decision audit (every
+replication ranking and eviction choice) the same way,
 ``--metrics-interval SECONDS`` attaches sampled time-series metrics to
 every result, ``--progress`` prints a live cell counter, and (engine
 commands only) ``--telemetry-out FILE`` writes the machine-readable
 sweep report: per-cell wall times, cache traffic, worker utilization.
+A ``.gz`` suffix on any trace/decisions path gzips transparently.
 
 The full reference, generated from these parsers, lives in
 ``docs/reference/cli.md``.
@@ -60,7 +68,13 @@ from .engine import (
     use_engine,
 )
 from .faults import FAULT_MODEL_NAMES, FaultParameters, build_fault_model
-from .observability import JsonlSink, validate_writable
+from .observability import (
+    DECISION_EVENT_NAMES,
+    JsonlSink,
+    open_trace_output,
+    schema_header,
+    validate_writable,
+)
 from .experiments import (
     EXPERIMENT_INDEX,
     FigureResult,
@@ -286,7 +300,17 @@ def _add_observability_arguments(
         "created/replicated/delivered/evicted/expired, contact open/close, "
         "transfer start/interrupt/resume, ack propagation) to FILE as "
         "canonical JSONL; bytes are identical for any --workers count and "
-        "any cache state (replay with 'repro-dtn inspect')",
+        "any cache state (replay with 'repro-dtn inspect'); a .gz suffix "
+        "gzips transparently",
+    )
+    parser.add_argument(
+        "--decisions-out",
+        default=None,
+        metavar="FILE",
+        help="write the protocol decision audit (every replication "
+        "ranking with per-candidate scores and every eviction choice "
+        "with candidates, scores, victim and reason) to FILE as canonical "
+        "JSONL; same determinism and .gz handling as --trace-out",
     )
     parser.add_argument(
         "--metrics-interval",
@@ -372,6 +396,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "result cache, and execute only the remainder (output is byte-"
         "identical to an uninterrupted run)",
     )
+    sweep_parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="render the sweep into one self-contained static HTML report "
+        "(metric series, sweep telemetry, and — when --trace-out is also "
+        "set — the delivery funnel of the trace); the file embeds every "
+        "style and chart inline and references no external assets",
+    )
     _add_contact_model_argument(sweep_parser)
     _add_mobility_arguments(sweep_parser, multi=True)
     _add_workload_arguments(sweep_parser, multi=True)
@@ -444,11 +477,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "in chronological order with wiped replicas and per-node downtime",
     )
     inspect_parser.add_argument(
+        "--why",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="reconstruct one packet's causal chain: replication tree, "
+        "the winning delivery path walked back from the destination, and "
+        "a per-hop latency decomposition (waiting for a contact vs "
+        "queueing vs transfer); undelivered packets get their terminal "
+        "state (expired / evicted everywhere / still in flight)",
+    )
+    inspect_parser.add_argument(
+        "--funnel",
+        action="store_true",
+        help="print the trace-wide delivery funnel: every created packet "
+        "classified as delivered, expired, refused, evicted everywhere "
+        "or in flight (mutually exclusive, so the counts conserve), with "
+        "back-references to the evicting events",
+    )
+    inspect_parser.add_argument(
+        "--decisions",
+        default=None,
+        metavar="FILE",
+        help="decision-audit file written by --decisions-out; --why "
+        "cross-references it to show the rankings and eviction choices "
+        "that touched the packet",
+    )
+    inspect_parser.add_argument(
         "--limit",
         type=int,
         default=40,
         metavar="N",
         help="maximum rows of the per-packet table",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render telemetry, traces and benchmark records into one "
+        "self-contained static HTML file",
+    )
+    report_parser.add_argument(
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="path of the HTML report to write",
+    )
+    report_parser.add_argument(
+        "--title",
+        default="repro-dtn report",
+        help="report title",
+    )
+    report_parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="sweep-telemetry JSON written by --telemetry-out",
+    )
+    report_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="lifecycle trace written by --trace-out (rendered as the "
+        "delivery funnel)",
+    )
+    report_parser.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help="directory holding BENCH_*.json benchmark records "
+        "(e.g. benchmarks/results)",
     )
 
     return parser
@@ -518,6 +615,7 @@ def _observability_from_args(args: argparse.Namespace) -> ObservabilityOptions:
         return ObservabilityOptions(
             trace=getattr(args, "trace_out", None) is not None,
             metrics_interval=getattr(args, "metrics_interval", None),
+            decisions=getattr(args, "decisions_out", None) is not None,
         )
     except ValueError as exc:
         raise ConfigurationError(str(exc)) from exc
@@ -535,38 +633,79 @@ def _observability_scope(args: argparse.Namespace, engine: ExperimentEngine):
     """
     observability = _observability_from_args(args)
     trace_out = getattr(args, "trace_out", None)
+    decisions_out = getattr(args, "decisions_out", None)
     telemetry_out = getattr(args, "telemetry_out", None)
     # Fail fast on unwritable destinations: a bad --trace-out or
     # --telemetry-out should be reported before the simulation runs, not
     # after hours of it.
     if trace_out is not None:
         validate_writable(trace_out, what="trace output")
+    if decisions_out is not None:
+        validate_writable(decisions_out, what="decisions output")
     if telemetry_out is not None:
         validate_writable(telemetry_out, what="telemetry output")
     telemetry = (
         SweepTelemetry(workers=engine.workers) if telemetry_out is not None else None
     )
-    handle = None
+    # The schema header carries provenance the events alone cannot: what
+    # result mode the run used (inspect degrades gracefully on streaming
+    # runs) and which event vocabulary the file speaks.
+    result_mode = getattr(args, "result_mode", None)
 
-    def write_line(line: str) -> None:
-        nonlocal handle
-        if handle is None:
-            handle = open(trace_out, "w", encoding="utf-8")
-        handle.write(line)
-        handle.write("\n")
+    class _LineWriter:
+        """Lazy line writer: header + events, plain or gzip by suffix."""
 
+        def __init__(self, path: str, header: dict) -> None:
+            self.path = path
+            self.header = header
+            self.handle = None
+
+        def __call__(self, line: str) -> None:
+            if self.handle is None:
+                self.handle = open_trace_output(self.path)
+                self.handle.write(json.dumps(self.header, sort_keys=True,
+                                             separators=(",", ":")))
+                self.handle.write("\n")
+            self.handle.write(line)
+            self.handle.write("\n")
+
+        def close(self, what: str) -> None:
+            if self.handle is not None:
+                self.handle.close()
+                print(f"[{what}] wrote {self.path}", file=sys.stderr)
+
+    trace_writer = (
+        _LineWriter(trace_out, schema_header(result_mode=result_mode))
+        if trace_out is not None
+        else None
+    )
+    decisions_writer = (
+        _LineWriter(
+            decisions_out,
+            schema_header(
+                events=DECISION_EVENT_NAMES,
+                kind="decisions",
+                result_mode=result_mode,
+            ),
+        )
+        if decisions_out is not None
+        else None
+    )
     if observability.enabled:
         engine.observability = observability
-    if trace_out is not None:
-        engine.trace_writer = write_line
+    if trace_writer is not None:
+        engine.trace_writer = trace_writer
+    if decisions_writer is not None:
+        engine.decisions_writer = decisions_writer
     if telemetry is not None:
         engine.telemetry = telemetry
     try:
         yield
     finally:
-        if handle is not None:
-            handle.close()
-            print(f"[trace] wrote {trace_out}", file=sys.stderr)
+        if trace_writer is not None:
+            trace_writer.close("trace")
+        if decisions_writer is not None:
+            decisions_writer.close("decisions")
         if telemetry is not None:
             report = telemetry.report(
                 cache_stats=(
@@ -895,6 +1034,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
         x_label=x_label,
         y_label=args.metric,
     )
+    if args.report is not None:
+        validate_writable(args.report, what="report output")
+        # The HTML report wants per-cell telemetry even when no
+        # --telemetry-out file was asked for; a standing collector set
+        # before the scope is kept unless the scope installs its own.
+        if engine.telemetry is None and args.telemetry_out is None:
+            engine.telemetry = SweepTelemetry(workers=engine.workers)
+    report_series: dict = {}
     results = []
     failures = []
     try:
@@ -923,6 +1070,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 suffix = f" [{'/'.join(tags)}]" if tags else ""
                 for spec in specs:
                     figure.add_series(spec.label + suffix, loads, series[spec.label])
+                    report_series[spec.label + suffix] = (
+                        list(loads),
+                        list(series[spec.label]),
+                    )
     finally:
         # Written even when interrupted: the manifest is exactly what a
         # later --resume needs to pick the sweep back up.
@@ -965,6 +1116,43 @@ def _command_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     _print_engine_stats(engine)
+    if args.report is not None:
+        from .observability.forensics import delivery_funnel
+        from .observability.inspect import load_trace
+        from .observability.report import render_report, write_report
+
+        telemetry = engine.telemetry
+        funnel = None
+        if args.trace_out is not None and Path(args.trace_out).exists():
+            funnel = delivery_funnel(load_trace(args.trace_out))
+        write_report(
+            args.report,
+            render_report(
+                f"{args.family} sweep: {args.metric}",
+                telemetry=(
+                    telemetry.report(
+                        cache_stats=(
+                            engine.cache.stats.as_dict()
+                            if engine.cache is not None
+                            else None
+                        ),
+                        engine_stats=engine.stats.as_dict(),
+                    )
+                    if telemetry is not None
+                    else None
+                ),
+                funnel=funnel,
+                series=report_series,
+                x_label=x_label,
+                y_label=args.metric,
+                subtitle=(
+                    f"protocols: {', '.join(protocol_names)}; "
+                    f"loads: {', '.join(f'{load:g}' for load in loads)}; "
+                    f"scale: {args.scale}; seed: {args.seed}"
+                ),
+            ),
+        )
+        print(f"[report] wrote {args.report}", file=sys.stderr)
     return 0
 
 
@@ -1036,9 +1224,27 @@ def _command_quicksim(args: argparse.Namespace) -> int:
     # quicksim path (and its byte-identical summary) is untouched.
     if args.result_mode is not None and args.result_mode != RESULT_MODE_RECORDS:
         options["result_mode"] = args.result_mode
-    sink = JsonlSink(args.trace_out) if args.trace_out is not None else None
+    sink = (
+        JsonlSink(args.trace_out, header=schema_header(result_mode=args.result_mode))
+        if args.trace_out is not None
+        else None
+    )
     if sink is not None:
         options["trace_sink"] = sink
+    decision_sink = (
+        JsonlSink(
+            args.decisions_out,
+            header=schema_header(
+                events=DECISION_EVENT_NAMES,
+                kind="decisions",
+                result_mode=args.result_mode,
+            ),
+        )
+        if args.decisions_out is not None
+        else None
+    )
+    if decision_sink is not None:
+        options["decision_sink"] = decision_sink
     if observability.metrics_interval is not None:
         options["metrics_interval"] = observability.metrics_interval
     result = run_simulation(
@@ -1052,6 +1258,9 @@ def _command_quicksim(args: argparse.Namespace) -> int:
     if sink is not None:
         sink.close()
         print(f"[trace] wrote {args.trace_out}", file=sys.stderr)
+    if decision_sink is not None:
+        decision_sink.close()
+        print(f"[decisions] wrote {args.decisions_out}", file=sys.stderr)
     print(f"protocol:          {result.protocol_name}")
     for key, value in result.summary().items():
         print(f"{key:35s} {value:.4f}")
@@ -1077,17 +1286,31 @@ def _command_quicksim(args: argparse.Namespace) -> int:
 
 
 def _command_inspect(args: argparse.Namespace) -> int:
+    from .observability.forensics import funnel_text, why_text
     from .observability.inspect import (
         load_trace,
         node_summary,
         outage_timeline,
         packet_table,
         packet_timeline,
+        read_trace,
         trace_overview,
     )
 
-    events = load_trace(args.trace)
-    if args.packet is not None:
+    header, events = read_trace(args.trace)
+    if args.why is not None:
+        decisions = load_trace(args.decisions) if args.decisions else None
+        print(why_text(events, args.why, decisions=decisions))
+    elif args.funnel:
+        print(funnel_text(events))
+        if header is not None and header.get("result_mode") == "streaming":
+            print(
+                "[note] trace comes from a streaming-mode run; lifecycle "
+                "events are complete, but per-packet record APIs on the "
+                "run itself need result_mode='records'",
+                file=sys.stderr,
+            )
+    elif args.packet is not None:
         print(packet_timeline(events, args.packet))
     elif args.node is not None:
         print(node_summary(events, args.node))
@@ -1099,6 +1322,50 @@ def _command_inspect(args: argparse.Namespace) -> int:
         print(outage_timeline(events))
     else:
         print(trace_overview(events))
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from .observability.forensics import delivery_funnel
+    from .observability.inspect import load_trace
+    from .observability.report import (
+        load_bench_records,
+        render_report,
+        write_report,
+    )
+
+    validate_writable(args.out, what="report output")
+    telemetry = None
+    if args.telemetry is not None:
+        try:
+            with open(args.telemetry, "r", encoding="utf-8") as handle:
+                telemetry = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read telemetry file {args.telemetry}: {exc}"
+            ) from exc
+    funnel = delivery_funnel(load_trace(args.trace)) if args.trace else None
+    benches = load_bench_records(args.bench_dir) if args.bench_dir else None
+    sources = [
+        name
+        for name, given in (
+            (args.telemetry, args.telemetry),
+            (args.trace, args.trace),
+            (args.bench_dir, args.bench_dir),
+        )
+        if given
+    ]
+    write_report(
+        args.out,
+        render_report(
+            args.title,
+            telemetry=telemetry,
+            funnel=funnel,
+            benches=benches,
+            subtitle="sources: " + ", ".join(sources) if sources else None,
+        ),
+    )
+    print(f"[report] wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -1119,6 +1386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_quicksim(args)
         if args.command == "inspect":
             return _command_inspect(args)
+        if args.command == "report":
+            return _command_report(args)
     except ReproError as exc:
         # Bad user input (unknown protocol, workers < 1, ...) — report
         # the message, not a traceback.  Internal invariant failures are

@@ -316,6 +316,7 @@ class RapidProtocol(RoutingProtocol):
                 extra = self.peer_delay_estimate(packet, peer, now)
                 rank = self._rank_key(packet, delays_before, extra, now, use_max_delay)
                 scored.append((rank, index, packet))
+            self._audit_replication_rank(peer, now, candidates, scored)
             return scored
 
         own_delays, peer_delays, sizes, creation_times = self._vectorized_direct_delays(
@@ -339,6 +340,21 @@ class RapidProtocol(RoutingProtocol):
             improves = marginal > _MIN_MARGINAL_UTILITY
             ages = np.maximum(0.0, now - creation_times)
             keys = np.where(improves, marginal / sizes, ages)
+            recorder = self.context.decisions
+            if recorder is not None:
+                # The kernel outputs are handed over wholesale (one
+                # tolist() each inside the recorder) — the audit adds no
+                # per-candidate arithmetic to the scoring pass.
+                recorder.replication_rank(
+                    self.node_id,
+                    peer.node_id,
+                    now,
+                    self.name,
+                    candidates=[p.packet_id for p in candidates],
+                    score=keys,
+                    marginal=marginal,
+                    improves=improves,
+                )
             return [
                 ((1 if improves[index] else 0, keys[index]), index, packet)
                 for index, packet in enumerate(candidates)
@@ -356,7 +372,35 @@ class RapidProtocol(RoutingProtocol):
             extra = float(peer_delays[index])
             rank = self._rank_key(packet, delays_before, extra, now, use_max_delay)
             scored.append((rank, index, packet))
+        self._audit_replication_rank(peer, now, candidates, scored)
         return scored
+
+    def _audit_replication_rank(
+        self,
+        peer: "RapidProtocol",
+        now: float,
+        candidates: Sequence[Packet],
+        scored: List[Tuple[Tuple[int, float], int, Packet]],
+    ) -> None:
+        """Record one scalar-path ranking pass in the decision audit.
+
+        The vector-kernel branch emits directly from its arrays; the
+        scalar branches (slow reference, oracle, non-average-delay
+        metrics) go through this helper so every path produces the same
+        event shape.
+        """
+        recorder = self.context.decisions
+        if recorder is None or not candidates:
+            return
+        recorder.replication_rank(
+            self.node_id,
+            peer.node_id,
+            now,
+            self.name,
+            candidates=[p.packet_id for p in candidates],
+            score=[rank[1] for rank, _, _ in scored],
+            improves=[bool(rank[0]) for rank, _, _ in scored],
+        )
 
     def _direct_delays_for_holder(
         self,
@@ -558,6 +602,8 @@ class RapidProtocol(RoutingProtocol):
                 del scores[packet_id]
 
     def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
+        recorder = self.context.decisions
+        reason = "lowest_score"
         candidates = [
             p
             for p in self.buffer
@@ -570,10 +616,22 @@ class RapidProtocol(RoutingProtocol):
             # packet must not deadlock the source: the lowest-utility own
             # packet yields instead.
             if incoming.source != self.node_id:
+                if recorder is not None:
+                    recorder.eviction_choice(
+                        self.node_id, now, self.name, incoming.packet_id,
+                        candidates=[], score=[], victim=None,
+                        reason="own_packets_protected" if len(self.buffer) else "no_candidates",
+                    )
                 return None
             candidates = [p for p in self.buffer if p.packet_id != incoming.packet_id]
             if not candidates:
+                if recorder is not None:
+                    recorder.eviction_choice(
+                        self.node_id, now, self.name, incoming.packet_id,
+                        candidates=[], score=[], victim=None, reason="no_candidates",
+                    )
                 return None
+            reason = "own_fallback_lowest_score"
         scores = self._eviction_scores
         if scores is not None and self._vector_rank and not self._use_oracle:
             missing = [p for p in candidates if p.packet_id not in scores]
@@ -581,6 +639,7 @@ class RapidProtocol(RoutingProtocol):
                 self._fill_eviction_scores(missing, now, scores)
         best_score: Optional[float] = None
         victim_id: Optional[int] = None
+        audit_scores: Optional[List[float]] = [] if recorder is not None else None
         for packet in candidates:
             cached = scores.get(packet.packet_id) if scores is not None else None
             if cached is not None:
@@ -590,9 +649,17 @@ class RapidProtocol(RoutingProtocol):
                 score = self.metric.eviction_score(packet, remaining, now)
                 if scores is not None:
                     scores[packet.packet_id] = (score, packet.destination)
+            if audit_scores is not None:
+                audit_scores.append(score)
             if best_score is None or score < best_score:
                 best_score = score
                 victim_id = packet.packet_id
+        if recorder is not None:
+            recorder.eviction_choice(
+                self.node_id, now, self.name, incoming.packet_id,
+                candidates=[p.packet_id for p in candidates],
+                score=audit_scores, victim=victim_id, reason=reason,
+            )
         return victim_id
 
     def _fill_eviction_scores(

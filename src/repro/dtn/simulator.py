@@ -51,6 +51,7 @@ import numpy as np
 from ..exceptions import ConfigurationError, SimulationError
 from ..faults import FaultModel, FaultSchedule
 from ..mobility.schedule import Contact, Meeting, MeetingSchedule
+from ..observability.decisions import DecisionRecorder
 from ..observability.metrics import MetricsRegistry, metrics_interval_from
 from ..observability.trace import TraceRecorder, TraceSink
 from ..profiling import Profiler, profiling_requested
@@ -210,6 +211,20 @@ class Simulator:
         self.tracer: Optional[TraceRecorder] = (
             TraceRecorder(sink) if sink is not None and sink.enabled else None
         )
+        #: Decision-audit recorder; ``None`` (zero overhead) unless a
+        #: ``decision_sink`` was passed in the options.  Shares the sink
+        #: family and gating of lifecycle tracing: a disabled sink skips
+        #: recorder construction so the protocols stay unhooked.
+        decision_sink = self.options.get("decision_sink")
+        if decision_sink is not None and not isinstance(decision_sink, TraceSink):
+            raise ConfigurationError(
+                "decision_sink option must be a repro.observability TraceSink"
+            )
+        self.decisions: Optional[DecisionRecorder] = (
+            DecisionRecorder(decision_sink)
+            if decision_sink is not None and decision_sink.enabled
+            else None
+        )
         #: Streaming time-series registry; ``None`` unless the
         #: ``metrics_interval`` option requested sampling.
         try:
@@ -255,7 +270,11 @@ class Simulator:
             for node_id in self._node_ids()
         }
         context = ProtocolContext(
-            nodes=self.nodes, rng=self._rng, options=self.options, tracer=self.tracer
+            nodes=self.nodes,
+            rng=self._rng,
+            options=self.options,
+            tracer=self.tracer,
+            decisions=self.decisions,
         )
         # Pre-register the whole workload in the shared structure-of-arrays
         # store: columns are sized once and every packet's row identity

@@ -141,6 +141,8 @@ class ExperimentEngine:
         self.telemetry: Optional[SweepTelemetry] = None
         #: Standing trace-line consumer (see :meth:`run_cells`).
         self.trace_writer: Optional[Callable[[str], None]] = None
+        #: Standing decision-line consumer (see :meth:`run_cells`).
+        self.decisions_writer: Optional[Callable[[str], None]] = None
         #: Standing sweep manifest; completed/failed cells are marked on
         #: it as they settle (the ``--resume`` ledger).
         self.manifest: Optional[SweepManifest] = None
@@ -172,20 +174,25 @@ class ExperimentEngine:
         observability: Optional[ObservabilityOptions] = None,
         telemetry: Optional[SweepTelemetry] = None,
         trace_writer: Optional[Callable[[str], None]] = None,
+        decisions_writer: Optional[Callable[[str], None]] = None,
     ) -> List[SimulationResult]:
         """Run *cells* (serving cache hits) and return ordered results.
 
         Args:
-            observability: Per-cell collection request (trace, metrics).
-                When it asks for anything, cache *reads* are bypassed so
-                every cell re-executes and produces its trace/metrics —
-                a warm cache therefore yields byte-identical traces to a
-                cold one.  Cache writes still happen (instrumented blocks
-                are stripped by :meth:`ResultCache.put`).
+            observability: Per-cell collection request (trace, metrics,
+                decision audit).  When it asks for anything, cache
+                *reads* are bypassed so every cell re-executes and
+                produces its trace/metrics/decisions — a warm cache
+                therefore yields byte-identical traces to a cold one.
+                Cache writes still happen (instrumented blocks are
+                stripped by :meth:`ResultCache.put`).
             telemetry: Sweep-telemetry collector; receives one record per
                 cell (cache hits included) and this batch's wall time.
             trace_writer: Called once per trace line, in cell submission
                 order — the streaming end of ``--trace-out``.
+            decisions_writer: Called once per decision-audit line, in
+                cell submission order — the streaming end of
+                ``--decisions-out``.
         """
         cells = list(cells)
         started = time.perf_counter()
@@ -194,10 +201,17 @@ class ExperimentEngine:
         observability = observability or self.observability or ObservabilityOptions()
         telemetry = telemetry if telemetry is not None else self.telemetry
         trace_writer = trace_writer if trace_writer is not None else self.trace_writer
+        decisions_writer = (
+            decisions_writer if decisions_writer is not None else self.decisions_writer
+        )
         # Any observed collection (per-cell walls for telemetry, traces,
-        # metrics) routes misses through the observed worker entry point.
+        # metrics, decisions) routes misses through the observed worker
+        # entry point.
         observe = (
-            observability.enabled or telemetry is not None or trace_writer is not None
+            observability.enabled
+            or telemetry is not None
+            or trace_writer is not None
+            or decisions_writer is not None
         )
 
         results: List[Optional[SimulationResult]] = [None] * len(cells)
@@ -257,6 +271,9 @@ class ExperimentEngine:
                     if trace_writer is not None:
                         for line in payload["trace"]:
                             trace_writer(line)
+                    if decisions_writer is not None:
+                        for line in payload.get("decisions", ()):
+                            decisions_writer(line)
                     if self.cache is not None:
                         self.cache.put(cells[index], result)
                     if self.manifest is not None:

@@ -317,9 +317,12 @@ def execute_cell_observed(payload: Dict[str, object]) -> Dict[str, object]:
     spec = ScenarioSpec.from_dict(payload["spec"])
     observability = ObservabilityOptions.from_dict(payload["observability"])
     sink = MemorySink() if observability.trace else None
+    decision_sink = MemorySink() if observability.decisions else None
     extra: Dict[str, object] = {}
     if sink is not None:
         extra["trace_sink"] = sink
+    if decision_sink is not None:
+        extra["decision_sink"] = decision_sink
     if observability.metrics_interval is not None:
         extra["metrics_interval"] = observability.metrics_interval
     started = time.perf_counter()
@@ -329,4 +332,5 @@ def execute_cell_observed(payload: Dict[str, object]) -> Dict[str, object]:
         "result": result.to_dict(),
         "wall_s": wall_s,
         "trace": sink.lines() if sink is not None else [],
+        "decisions": decision_sink.lines() if decision_sink is not None else [],
     }

@@ -27,9 +27,22 @@ and the experiment engine observable without taxing them:
   utilization of one engine sweep into a machine-readable report;
   :class:`ObservabilityOptions` is the plain-data handle the engine and
   CLI use to request tracing/metrics for every cell of a run.
+* :mod:`~repro.observability.decisions` — :class:`DecisionRecorder`
+  captures the *control-plane comparisons* behind the lifecycle: every
+  replication ranking (candidate set with per-candidate marginal
+  utility / path cost / predictability) and every eviction choice
+  (candidates, scores, victim, reason), gated exactly like the
+  lifecycle recorder so the default path stays byte-identical.
 * :mod:`~repro.observability.inspect` — replays a JSONL trace into a
   per-packet timeline or per-node summary (the ``repro-dtn inspect``
   subcommand).
+* :mod:`~repro.observability.forensics` — causal replay of a trace:
+  per-packet replication trees, the winning delivery path with a
+  latency decomposition, and the created → delivered/evicted/expired
+  delivery funnel (``inspect --why`` / ``inspect --funnel``).
+* :mod:`~repro.observability.report` — renders sweep telemetry,
+  funnel aggregates and benchmark trajectories into one self-contained
+  static HTML file (``repro-dtn report``, ``sweep --report``).
 
 The hot-path contract is enforced by
 ``benchmarks/bench_observability.py``: attaching a recorder with the
@@ -39,21 +52,32 @@ not change simulation output.
 
 from __future__ import annotations
 
+from .decisions import DECISION_EVENT_NAMES, DecisionRecorder
+from .forensics import causal_chain, delivery_funnel, funnel_text, why_text
 from .metrics import Histogram, MetricsRegistry
+from .report import load_bench_records, render_report, write_report
 from .telemetry import CellTelemetry, ObservabilityOptions, SweepTelemetry
 from .trace import (
     EVENT_NAMES,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
     JsonlSink,
     MemorySink,
     NullSink,
     TraceRecorder,
     TraceSink,
     event_line,
+    is_schema_header,
+    open_trace_input,
+    open_trace_output,
+    schema_header,
     validate_writable,
 )
 
 __all__ = [
     "CellTelemetry",
+    "DECISION_EVENT_NAMES",
+    "DecisionRecorder",
     "EVENT_NAMES",
     "Histogram",
     "JsonlSink",
@@ -61,9 +85,22 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "ObservabilityOptions",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
     "SweepTelemetry",
     "TraceRecorder",
     "TraceSink",
+    "causal_chain",
+    "delivery_funnel",
     "event_line",
+    "funnel_text",
+    "is_schema_header",
+    "load_bench_records",
+    "open_trace_input",
+    "open_trace_output",
+    "render_report",
+    "schema_header",
     "validate_writable",
+    "why_text",
+    "write_report",
 ]

@@ -1,0 +1,155 @@
+"""Decision-audit recording: *why* a protocol replicated or evicted.
+
+Lifecycle traces (:mod:`repro.observability.trace`) record what
+happened to every packet; this module records the control-plane
+comparisons that caused it.  Two event types cover the decisions every
+protocol in the registry makes:
+
+* ``replication_rank`` — one event per ranking pass at a meeting: the
+  candidate set a node considered offering to a peer, the per-candidate
+  ranking scores (RAPID's marginal utility per byte, MaxProp's path
+  cost, PRoPHET's delivery predictability, the balanced baseline's hop
+  count), and any protocol-specific context such as which candidates
+  cleared the utility threshold or were rejected outright.
+* ``eviction_choice`` — one event per eviction decision under storage
+  pressure: the candidate victims, their eviction scores, the chosen
+  victim and the reason (``lowest_score``, ``no_candidates``,
+  ``own_packets_protected`` …).
+
+Events are flat dictionaries rendered with the same canonical JSONL
+serialization as lifecycle events and carry **simulated** time only, so
+a decision audit is byte-identical across executor backends, worker
+counts and cache states.  The per-candidate score arrays come straight
+from the vectorized kernels (``marginal_utility_array`` /
+``eviction_score_array``) via a single ``tolist()`` — the audit adds no
+per-candidate Python work on the hot path.
+
+Gating mirrors :class:`~repro.observability.trace.TraceRecorder`
+exactly: a recorder bound to a :class:`~repro.observability.trace.NullSink`
+short-circuits before building the event, and the simulator skips
+recorder construction entirely when no ``decision_sink`` was requested,
+so the default path keeps its unhooked shape (enforced by
+``benchmarks/bench_observability.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .trace import Event, NullSink, TraceSink
+
+__all__ = ["DECISION_EVENT_NAMES", "DecisionRecorder"]
+
+#: Every event name a :class:`DecisionRecorder` can emit.
+DECISION_EVENT_NAMES = (
+    "replication_rank",
+    "eviction_choice",
+)
+
+
+def _float_list(values: Sequence[object]) -> List[Optional[float]]:
+    """JSON-safe copy of a score array (non-finite entries become null).
+
+    Accepts numpy arrays, numpy scalars or plain Python sequences; the
+    common case (a kernel output array) pays one ``tolist()``.
+    """
+    if hasattr(values, "tolist"):
+        values = values.tolist()
+    return [
+        float(v) if v is not None and math.isfinite(v) else None for v in values
+    ]
+
+
+def _plain_list(values: Sequence[object]) -> List[object]:
+    """Plain-Python copy of an id/flag array (numpy-aware)."""
+    if hasattr(values, "tolist"):
+        return values.tolist()
+    return list(values)
+
+
+class DecisionRecorder:
+    """Builds decision events and hands them to the configured sink.
+
+    Reuses the :class:`~repro.observability.trace.TraceSink` family, so
+    decision audits stream to memory (worker transport), JSONL files or
+    nowhere with the same mechanics as lifecycle traces.  Unlike the
+    lifecycle recorder it keeps no clock: every decision site has the
+    meeting time in hand and stamps events explicitly.
+    """
+
+    __slots__ = ("sink", "enabled")
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = bool(getattr(self.sink, "enabled", True))
+
+    def close(self) -> None:
+        """Close the underlying sink."""
+        self.sink.close()
+
+    def replication_rank(
+        self,
+        node_id: int,
+        peer_id: int,
+        now: float,
+        protocol: str,
+        candidates: Sequence[int],
+        score: Sequence[object],
+        **extra: Sequence[object],
+    ) -> None:
+        """One ranking pass: *node_id* scored *candidates* to offer *peer_id*.
+
+        ``score`` is the protocol's ranking key, parallel to
+        ``candidates``; extra keyword sequences (``marginal``,
+        ``improves``, ``rejected`` …) ride along as parallel arrays for
+        protocol-specific context.
+        """
+        if not self.enabled:
+            return
+        event: Event = {
+            "t": float(now),
+            "ev": "replication_rank",
+            "node": node_id,
+            "peer": peer_id,
+            "protocol": protocol,
+            "candidates": _plain_list(candidates),
+            "score": _float_list(score),
+        }
+        for key, values in extra.items():
+            event[key] = _plain_list(values)
+        self.sink.emit(event)
+
+    def eviction_choice(
+        self,
+        node_id: int,
+        now: float,
+        protocol: str,
+        incoming: int,
+        candidates: Sequence[int],
+        score: Sequence[object],
+        victim: Optional[int],
+        reason: str,
+    ) -> None:
+        """One eviction decision: who was considered, who was dropped, why.
+
+        ``victim=None`` records a *refusal* (nothing evictable — the
+        incoming packet is rejected instead); ``reason`` names the rule
+        that decided (``lowest_score``, ``no_candidates``,
+        ``own_packets_protected``, ``oldest_own_fallback`` …).
+        """
+        if not self.enabled:
+            return
+        self.sink.emit(
+            {
+                "t": float(now),
+                "ev": "eviction_choice",
+                "node": node_id,
+                "protocol": protocol,
+                "incoming": incoming,
+                "candidates": _plain_list(candidates),
+                "score": _float_list(score),
+                "victim": victim,
+                "reason": reason,
+            }
+        )

@@ -1,0 +1,502 @@
+"""Causal packet forensics: replay a trace into *why* answers.
+
+:mod:`~repro.observability.inspect` renders what a trace says happened;
+this module reconstructs **causality** from the same event stream:
+
+* the **replication tree** of a packet — every committed replica edge
+  (``from → to`` at *t*), rooted at the source;
+* the **winning path** — the chain of custody of the replica that
+  reached the destination first, walked backwards from the delivery
+  through the latest acquisition of each carrier;
+* a per-hop **latency decomposition** — for each edge of the winning
+  path, how long the replica waited for a contact
+  (``waiting``), sat queued behind other transfers inside the contact
+  (``queueing``) and spent streaming (``transfer``).  Instantaneous
+  contacts emit no ``transfer_start`` events, so their decomposition
+  degrades to pure waiting time — exactly what the model says;
+* the **delivery funnel** — every created packet classified into one
+  terminal state (delivered / expired / evicted everywhere /
+  still in flight), with back-references to the evicting events.
+
+Everything is derived from the event stream alone, so these functions
+work on any trace file regardless of which run produced it (records or
+streaming result mode, serial or parallel backend).
+
+Funnel caveat: fault-injected crash wipes report only aggregate counts
+on ``node_down`` events, not per-packet evictions, so a wiped replica
+is indistinguishable from a buffered one; on fault-injected traces the
+``in_flight`` class includes crash losses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "ForensicsError",
+    "causal_chain",
+    "decision_references",
+    "delivery_funnel",
+    "funnel_text",
+    "why_text",
+]
+
+Event = Dict[str, object]
+
+
+class ForensicsError(ReproError):
+    """The trace does not contain what the forensic question needs."""
+
+
+# ----------------------------------------------------------------------
+# Causal chain of one packet
+# ----------------------------------------------------------------------
+def _packet_bucket(events: Sequence[Event], packet_id: int) -> Dict[str, List[Event]]:
+    """This packet's events by type, plus the contact/transfer context."""
+    bucket: Dict[str, List[Event]] = {
+        "created": [], "replicated": [], "delivered": [],
+        "evicted": [], "expired": [], "transfer_start": [],
+    }
+    contacts: List[Event] = []
+    for event in events:
+        name = event.get("ev")
+        if name == "contact_open":
+            contacts.append(event)
+            continue
+        if event.get("packet") != packet_id:
+            continue
+        if name == "packet_created":
+            bucket["created"].append(event)
+        elif name == "packet_replicated":
+            bucket["replicated"].append(event)
+        elif name == "packet_delivered":
+            bucket["delivered"].append(event)
+        elif name == "packet_evicted":
+            bucket["evicted"].append(event)
+        elif name == "packet_expired":
+            bucket["expired"].append(event)
+        elif name == "transfer_start":
+            bucket["transfer_start"].append(event)
+    bucket["contacts"] = contacts
+    return bucket
+
+
+def _latest_acquisition(
+    replications: Sequence[Event], node: int, before: float, used: set
+) -> Optional[int]:
+    """Index of the replication that last handed *node* the packet.
+
+    Only events at or before *before* count, and an event already used
+    as a custody edge is never reused — a node may appear in the chain
+    more than once (evicted, then re-acquired), but each committed
+    replica edge explains exactly one acquisition.
+    """
+    best: Optional[int] = None
+    for index, event in enumerate(replications):
+        if index in used or event["to"] != node:
+            continue
+        t = float(event["t"])
+        if t <= before and (best is None or t >= float(replications[best]["t"])):
+            best = index
+    return best
+
+
+def _latest_contact_open(
+    contacts: Sequence[Event], a: int, b: int, before: float
+) -> Optional[float]:
+    """When the last contact between *a* and *b* at or before *before* opened."""
+    best: Optional[float] = None
+    pair = {a, b}
+    for event in contacts:
+        if {event["a"], event["b"]} != pair:
+            continue
+        t = float(event["t"])
+        if t <= before and (best is None or t > best):
+            best = t
+    return best
+
+
+def causal_chain(events: Sequence[Event], packet_id: int) -> Dict[str, object]:
+    """Reconstruct one packet's causal history from a trace.
+
+    Returns a dictionary with the creation record, the full replication
+    tree (``tree``: every committed edge), the packet's terminal state
+    (``delivered`` / ``expired`` / ``evicted`` / ``in_flight``), and —
+    for delivered packets — the winning path with a per-hop latency
+    decomposition and the end-to-end delay.
+
+    Raises:
+        ForensicsError: when the trace has no events for *packet_id*.
+    """
+    bucket = _packet_bucket(events, packet_id)
+    if not any(bucket[key] for key in ("created", "replicated", "delivered")):
+        raise ForensicsError(f"packet {packet_id}: no events in trace")
+    created = bucket["created"][0] if bucket["created"] else None
+    source = created["src"] if created is not None else None
+    creation_time = float(created["t"]) if created is not None else None
+
+    tree = [
+        {"t": float(e["t"]), "from": e["from"], "to": e["to"]}
+        for e in bucket["replicated"]
+    ]
+
+    chain: Dict[str, object] = {
+        "packet": packet_id,
+        "created": created,
+        "tree": tree,
+        "replicas_committed": len(tree),
+        "evictions": [
+            {"t": float(e["t"]), "node": e["node"]} for e in bucket["evicted"]
+        ],
+    }
+
+    if not bucket["delivered"]:
+        if bucket["expired"]:
+            chain["state"] = "expired"
+            chain["deadline"] = bucket["expired"][0].get("deadline")
+        elif created is not None and not bool(created.get("stored", True)):
+            chain["state"] = "refused_at_source"
+        else:
+            stored = (1 if created is not None and created.get("stored", True) else 0)
+            live = stored + len(tree) - len(bucket["evicted"])
+            chain["state"] = "evicted" if live <= 0 else "in_flight"
+        return chain
+
+    delivery = min(bucket["delivered"], key=lambda e: (float(e["t"]), e["from"]))
+    delivered_t = float(delivery["t"])
+    chain["state"] = "delivered"
+    chain["delivery"] = {
+        "t": delivered_t,
+        "from": delivery["from"],
+        "to": delivery["to"],
+        "hops": delivery.get("hops"),
+    }
+    if creation_time is not None:
+        chain["delay_s"] = delivered_t - creation_time
+
+    # Walk the chain of custody backwards from the delivering carrier.
+    # Each carrier's replica came from its latest prior acquisition; the
+    # walk ends when no acquisition remains — the carrier's replica came
+    # from the creation itself.  Nodes may repeat (evicted, then
+    # re-acquired — including the source itself), so termination comes
+    # from consuming each replication event at most once, not from a
+    # visited-node set.
+    replications = bucket["replicated"]
+    edges: List[Dict[str, object]] = [
+        {"from": delivery["from"], "to": delivery["to"], "t": delivered_t}
+    ]
+    carrier = delivery["from"]
+    upper = delivered_t
+    used: set = set()
+    while True:
+        index = _latest_acquisition(replications, carrier, upper, used)
+        if index is None:
+            break
+        used.add(index)
+        acquisition = replications[index]
+        edges.append(
+            {
+                "from": acquisition["from"],
+                "to": acquisition["to"],
+                "t": float(acquisition["t"]),
+            }
+        )
+        carrier = acquisition["from"]
+        upper = float(acquisition["t"])
+    if source is not None and carrier != source:
+        raise ForensicsError(
+            f"packet {packet_id}: custody chain ends at node {carrier}, "
+            f"not the source {source} (truncated trace?)"
+        )
+    edges.reverse()
+
+    # Per-hop latency decomposition.  The replica reaches hop N's sender
+    # at `acquired` (creation for the source), waits for the contact to
+    # open, queues until its transfer starts (durational contacts emit
+    # transfer_start; instantaneous ones commit at the open instant) and
+    # streams until the commit.
+    path: List[Dict[str, object]] = []
+    acquired = creation_time if creation_time is not None else float(edges[0]["t"])
+    for edge in edges:
+        committed = float(edge["t"])
+        opened = _latest_contact_open(
+            bucket["contacts"], edge["from"], edge["to"], committed
+        )
+        start: Optional[float] = None
+        for ts in bucket["transfer_start"]:
+            if ts["from"] == edge["from"] and ts["to"] == edge["to"]:
+                t = float(ts["t"])
+                if t <= committed and (start is None or t > start):
+                    start = t
+        open_t = opened if opened is not None else committed
+        start_t = start if start is not None else committed
+        # Clamp against out-of-order context (an earlier contact of the
+        # same pair): each stage is non-negative by construction.
+        open_t = min(max(open_t, acquired), committed)
+        start_t = min(max(start_t, open_t), committed)
+        path.append(
+            {
+                "from": edge["from"],
+                "to": edge["to"],
+                "acquired_t": acquired,
+                "contact_open_t": opened,
+                "transfer_start_t": start,
+                "committed_t": committed,
+                "waiting_s": open_t - acquired,
+                "queueing_s": start_t - open_t,
+                "transfer_s": committed - start_t,
+            }
+        )
+        acquired = committed
+    chain["path"] = path
+    if path:
+        chain["latency"] = {
+            "waiting_s": sum(h["waiting_s"] for h in path),
+            "queueing_s": sum(h["queueing_s"] for h in path),
+            "transfer_s": sum(h["transfer_s"] for h in path),
+        }
+    return chain
+
+
+# ----------------------------------------------------------------------
+# Decision back-references
+# ----------------------------------------------------------------------
+def decision_references(
+    decisions: Sequence[Event], packet_id: int, limit: int = 20
+) -> List[Event]:
+    """Decision-audit events that touched *packet_id* (chronological).
+
+    Returns ``eviction_choice`` events that evicted the packet and
+    ``replication_rank`` events that considered it, capped at *limit*
+    (evictions take precedence — they explain losses).
+    """
+    evictions: List[Event] = []
+    rankings: List[Event] = []
+    for event in decisions:
+        name = event.get("ev")
+        if name == "eviction_choice":
+            if event.get("victim") == packet_id or (
+                packet_id in (event.get("candidates") or ())
+            ):
+                evictions.append(event)
+        elif name == "replication_rank":
+            if packet_id in (event.get("candidates") or ()):
+                rankings.append(event)
+    picked = evictions[:limit]
+    if len(picked) < limit:
+        picked = picked + rankings[: limit - len(picked)]
+    return sorted(picked, key=lambda e: float(e["t"]))
+
+
+# ----------------------------------------------------------------------
+# Delivery funnel
+# ----------------------------------------------------------------------
+def delivery_funnel(events: Sequence[Event]) -> Dict[str, object]:
+    """Classify every created packet into one terminal state.
+
+    The classes are mutually exclusive with precedence
+    ``delivered > expired > refused > evicted > in_flight``, so the
+    counts conserve: ``created == delivered + expired + refused +
+    evicted + in_flight``.  ``evicted`` means *evicted everywhere* —
+    the packet's live replica count (stored creation + replications −
+    evictions) reached zero without a delivery; its evicting events are
+    returned as back-references.
+    """
+    created: Dict[int, Event] = {}
+    replicated: Dict[int, int] = {}
+    delivered: set = set()
+    expired: set = set()
+    evictions: Dict[int, List[Event]] = {}
+    for event in events:
+        name = event.get("ev")
+        if name == "packet_created":
+            created[event["packet"]] = event  # type: ignore[index]
+        elif name == "packet_replicated":
+            key = event["packet"]
+            replicated[key] = replicated.get(key, 0) + 1  # type: ignore[arg-type]
+        elif name == "packet_delivered":
+            delivered.add(event["packet"])
+        elif name == "packet_expired":
+            expired.add(event["packet"])
+        elif name == "packet_evicted":
+            evictions.setdefault(event["packet"], []).append(event)  # type: ignore[arg-type]
+
+    classes = {
+        "delivered": [], "expired": [], "refused": [],
+        "evicted": [], "in_flight": [],
+    }  # type: Dict[str, List[int]]
+    for packet_id in sorted(created):
+        record = created[packet_id]
+        if packet_id in delivered:
+            classes["delivered"].append(packet_id)
+        elif packet_id in expired:
+            classes["expired"].append(packet_id)
+        elif not bool(record.get("stored", True)) and not replicated.get(packet_id):
+            classes["refused"].append(packet_id)
+        else:
+            stored = 1 if bool(record.get("stored", True)) else 0
+            live = stored + replicated.get(packet_id, 0) - len(
+                evictions.get(packet_id, ())
+            )
+            if live <= 0:
+                classes["evicted"].append(packet_id)
+            else:
+                classes["in_flight"].append(packet_id)
+
+    funnel: Dict[str, object] = {
+        "created": len(created),
+        "replicas_committed": sum(replicated.values()),
+    }
+    for name, packets in classes.items():
+        funnel[name] = len(packets)
+        funnel[f"{name}_packets"] = packets
+    funnel["eviction_refs"] = {
+        packet_id: [
+            {"t": float(e["t"]), "node": e["node"]}
+            for e in evictions.get(packet_id, ())
+        ]
+        for packet_id in classes["evicted"]
+    }
+    return funnel
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt_node_path(path: Sequence[Dict[str, object]]) -> str:
+    if not path:
+        return "-"
+    nodes = [str(path[0]["from"])] + [str(hop["to"]) for hop in path]
+    return " -> ".join(nodes)
+
+
+def why_text(
+    events: Sequence[Event],
+    packet_id: int,
+    decisions: Optional[Sequence[Event]] = None,
+) -> str:
+    """Human-readable causal explanation of one packet's fate."""
+    chain = causal_chain(events, packet_id)
+    lines = [f"packet {packet_id}: {chain['state']}"]
+    created = chain.get("created")
+    if created is not None:
+        deadline = created.get("deadline")
+        lines.append(
+            f"  created at {float(created['t']):.1f}s on node {created['src']} "
+            f"for node {created['dst']} ({created['size']} bytes"
+            + (f", deadline {float(deadline):.0f}s" if deadline is not None else "")
+            + ")"
+        )
+    lines.append(
+        f"  replication tree: {chain['replicas_committed']} replicas committed, "
+        f"{len(chain['evictions'])} evicted"
+    )
+    for edge in chain["tree"]:
+        lines.append(
+            f"    {float(edge['t']):>10.1f}s  {edge['from']} -> {edge['to']}"
+        )
+    for ev in chain["evictions"]:
+        lines.append(
+            f"    {float(ev['t']):>10.1f}s  evicted at node {ev['node']}"
+        )
+
+    if chain["state"] == "delivered":
+        delivery = chain["delivery"]
+        lines.append(
+            f"  delivered at {delivery['t']:.1f}s to node {delivery['to']} "
+            f"(hops={delivery['hops']}, delay={chain.get('delay_s', 0.0):.1f}s)"
+        )
+        path = chain["path"]
+        lines.append(f"  winning path: {_fmt_node_path(path)}")
+        for hop in path:
+            lines.append(
+                f"    {hop['from']} -> {hop['to']}: "
+                f"waited {hop['waiting_s']:.1f}s, "
+                f"queued {hop['queueing_s']:.1f}s, "
+                f"transferred {hop['transfer_s']:.1f}s "
+                f"(committed {hop['committed_t']:.1f}s)"
+            )
+        latency = chain["latency"]
+        total = sum(latency.values()) or 1.0
+        lines.append(
+            "  latency decomposition: "
+            f"waiting {latency['waiting_s']:.1f}s ({latency['waiting_s'] / total:.0%}), "
+            f"queueing {latency['queueing_s']:.1f}s ({latency['queueing_s'] / total:.0%}), "
+            f"transfer {latency['transfer_s']:.1f}s ({latency['transfer_s'] / total:.0%})"
+        )
+    elif chain["state"] == "expired":
+        deadline = chain.get("deadline")
+        lines.append(
+            "  never delivered: deadline"
+            + (f" {float(deadline):.0f}s" if deadline is not None else "")
+            + " passed inside the horizon"
+        )
+    elif chain["state"] == "evicted":
+        lines.append("  never delivered: every replica was evicted under storage pressure")
+    elif chain["state"] == "refused_at_source":
+        lines.append("  never entered the network: refused at the source (buffer full or node down)")
+    else:
+        lines.append("  not delivered within the horizon; replicas still in flight")
+
+    if decisions:
+        refs = decision_references(decisions, packet_id)
+        if refs:
+            lines.append(f"  decision audit ({len(refs)} references):")
+            for event in refs:
+                if event["ev"] == "eviction_choice":
+                    role = (
+                        "victim" if event.get("victim") == packet_id else "candidate"
+                    )
+                    lines.append(
+                        f"    {float(event['t']):>10.1f}s  eviction at node "
+                        f"{event['node']}: {role} ({event.get('reason')})"
+                    )
+                else:
+                    candidates = event.get("candidates") or []
+                    scores = event.get("score") or []
+                    try:
+                        index = candidates.index(packet_id)
+                        score = scores[index]
+                    except (ValueError, IndexError):
+                        score = None
+                    lines.append(
+                        f"    {float(event['t']):>10.1f}s  ranked at node "
+                        f"{event['node']} for peer {event['peer']}"
+                        + (f" (score={score:.3g})" if isinstance(score, float) else "")
+                    )
+    return "\n".join(lines)
+
+
+def funnel_text(events: Sequence[Event]) -> str:
+    """Render the delivery funnel of a whole trace."""
+    funnel = delivery_funnel(events)
+    created = funnel["created"]
+    if not created:
+        return "no packets in trace"
+
+    def pct(count: int) -> str:
+        return f"{count / created:.1%}" if created else "-"
+
+    lines = [
+        "delivery funnel:",
+        f"  created            {created:>7}",
+        f"  replicas committed {funnel['replicas_committed']:>7}",
+        f"  delivered          {funnel['delivered']:>7}  ({pct(funnel['delivered'])})",
+        f"  expired            {funnel['expired']:>7}  ({pct(funnel['expired'])})",
+        f"  refused at source  {funnel['refused']:>7}  ({pct(funnel['refused'])})",
+        f"  evicted everywhere {funnel['evicted']:>7}  ({pct(funnel['evicted'])})",
+        f"  in flight          {funnel['in_flight']:>7}  ({pct(funnel['in_flight'])})",
+    ]
+    refs = funnel["eviction_refs"]
+    if refs:
+        lines.append("  evicting events (packet: node@t):")
+        for packet_id in list(refs)[:20]:
+            where = ", ".join(
+                f"{ref['node']}@{ref['t']:.0f}s" for ref in refs[packet_id]
+            )
+            lines.append(f"    packet {packet_id}: {where}")
+        if len(refs) > 20:
+            lines.append(f"    ... {len(refs) - 20} more")
+    return "\n".join(lines)

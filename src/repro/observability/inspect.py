@@ -23,10 +23,12 @@ inspected long after (and far away from) the run that produced it.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..exceptions import ReproError
+from .trace import SCHEMA_VERSION, is_schema_header, open_trace_input
 
 __all__ = [
     "load_trace",
@@ -34,6 +36,7 @@ __all__ = [
     "outage_timeline",
     "packet_table",
     "packet_timeline",
+    "read_trace",
     "trace_overview",
 ]
 
@@ -44,8 +47,14 @@ class TraceFormatError(ReproError):
     """The trace file is not a valid JSONL event stream."""
 
 
-def load_trace(path: Union[str, Path]) -> List[Event]:
-    """Parse a JSONL trace file into its event dictionaries.
+def read_trace(path: Union[str, Path]) -> Tuple[Optional[Event], List[Event]]:
+    """Parse a JSONL trace file into ``(schema_header, events)``.
+
+    A ``.gz`` suffix decompresses transparently.  The schema header —
+    the self-describing first record newer writers emit — is returned
+    separately (``None`` on headerless traces from older writers); an
+    unknown header version prints a warning to stderr instead of
+    misparsing, since event shapes may have changed underneath us.
 
     Raises:
         TraceFormatError: on unreadable files or malformed lines (the
@@ -53,9 +62,11 @@ def load_trace(path: Union[str, Path]) -> List[Event]:
     """
     path = Path(path)
     try:
-        text = path.read_text(encoding="utf-8")
-    except OSError as exc:
+        with open_trace_input(path) as handle:
+            text = handle.read()
+    except (OSError, EOFError) as exc:
         raise TraceFormatError(f"cannot read trace file {path}: {exc}") from exc
+    header: Optional[Event] = None
     events: List[Event] = []
     for number, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
@@ -65,10 +76,34 @@ def load_trace(path: Union[str, Path]) -> List[Event]:
             event = json.loads(line)
         except json.JSONDecodeError as exc:
             raise TraceFormatError(f"{path}:{number}: not valid JSON: {exc}") from exc
+        if not events and header is None and is_schema_header(event):
+            header = event
+            version = header.get("version")
+            if version != SCHEMA_VERSION:
+                print(
+                    f"warning: {path} declares trace schema version {version!r}; "
+                    f"this build reads version {SCHEMA_VERSION} — "
+                    "event fields may be missing or misinterpreted",
+                    file=sys.stderr,
+                )
+            continue
         if not isinstance(event, dict) or "ev" not in event or "t" not in event:
             raise TraceFormatError(f"{path}:{number}: not a trace event (missing t/ev)")
         events.append(event)
-    return events
+    return header, events
+
+
+def load_trace(path: Union[str, Path]) -> List[Event]:
+    """Parse a JSONL trace file into its event dictionaries.
+
+    Skips the schema header (see :func:`read_trace`, which also returns
+    it).
+
+    Raises:
+        TraceFormatError: on unreadable files or malformed lines (the
+            message names the offending line).
+    """
+    return read_trace(path)[1]
 
 
 def _fmt_time(value: object) -> str:

@@ -1,0 +1,439 @@
+"""Self-contained HTML sweep report.
+
+``repro-dtn report`` (and ``sweep --report out.html``) renders what a
+run left behind — sweep telemetry, metric series, the delivery funnel
+of a lifecycle trace, benchmark records — into **one** static HTML
+file.  The file embeds all styling and charts inline (hand-rolled SVG,
+inline CSS, no script) and references zero external assets, so it can
+be mailed, archived next to ``BENCH_*.json``, or opened from a
+sandboxed artifact store years later and still render identically.
+
+The renderer is a pure function of its inputs: it stamps no wall-clock
+time and draws no randomness, so re-rendering the same inputs yields
+byte-identical HTML — the same determinism contract the traces obey.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["load_bench_records", "render_report", "write_report"]
+
+#: Line/bar palette (dark-on-light, colorblind-friendly-ish).
+_PALETTE = (
+    "#2563eb", "#dc2626", "#059669", "#d97706",
+    "#7c3aed", "#0891b2", "#be185d", "#4b5563",
+)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, Helvetica, Arial,
+       sans-serif; margin: 2rem auto; max-width: 60rem; color: #1f2937;
+       background: #ffffff; line-height: 1.45; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #e5e7eb;
+     padding-bottom: .4rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; color: #111827; }
+table { border-collapse: collapse; margin: .75rem 0; font-size: .85rem; }
+th, td { border: 1px solid #e5e7eb; padding: .3rem .6rem;
+         text-align: right; }
+th { background: #f3f4f6; }
+td.l, th.l { text-align: left; }
+.cards { display: flex; flex-wrap: wrap; gap: .75rem; margin: 1rem 0; }
+.card { border: 1px solid #e5e7eb; border-radius: .5rem;
+        padding: .6rem 1rem; min-width: 8rem; background: #f9fafb; }
+.card .v { font-size: 1.3rem; font-weight: 600; }
+.card .k { font-size: .75rem; color: #6b7280; text-transform: uppercase; }
+.muted { color: #6b7280; font-size: .8rem; }
+svg { background: #ffffff; }
+.legend { font-size: .8rem; margin: .25rem 0; }
+.legend span { display: inline-block; margin-right: 1rem; }
+.swatch { display: inline-block; width: .8em; height: .8em;
+          border-radius: .2em; margin-right: .3em;
+          vertical-align: -0.05em; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: object, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# SVG primitives
+# ----------------------------------------------------------------------
+def _svg_line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    x_label: str,
+    y_label: str,
+    width: int = 640,
+    height: int = 320,
+) -> str:
+    """A multi-series line chart as one inline ``<svg>`` element."""
+    pad_l, pad_r, pad_t, pad_b = 56, 16, 16, 40
+    xs = [x for points in series.values() for x in points[0]]
+    ys = [y for points in series.values() for y in points[1] if y == y]
+    if not xs or not ys:
+        return "<p class='muted'>no data points</p>"
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    def sx(x: float) -> float:
+        return pad_l + (x - x_min) / (x_max - x_min) * (width - pad_l - pad_r)
+
+    def sy(y: float) -> float:
+        return height - pad_b - (y - y_min) / (y_max - y_min) * (
+            height - pad_t - pad_b
+        )
+
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' width='{width}' "
+        f"height='{height}' role='img'>"
+    ]
+    # Axes and gridlines.
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y_value = y_min + frac * (y_max - y_min)
+        y_pixel = sy(y_value)
+        parts.append(
+            f"<line x1='{pad_l}' y1='{y_pixel:.1f}' x2='{width - pad_r}' "
+            f"y2='{y_pixel:.1f}' stroke='#e5e7eb' stroke-width='1'/>"
+        )
+        parts.append(
+            f"<text x='{pad_l - 6}' y='{y_pixel + 4:.1f}' font-size='11' "
+            f"fill='#6b7280' text-anchor='end'>{_fmt(y_value)}</text>"
+        )
+    for frac in (0.0, 0.5, 1.0):
+        x_value = x_min + frac * (x_max - x_min)
+        x_pixel = sx(x_value)
+        parts.append(
+            f"<text x='{x_pixel:.1f}' y='{height - pad_b + 16}' "
+            f"font-size='11' fill='#6b7280' text-anchor='middle'>"
+            f"{_fmt(x_value)}</text>"
+        )
+    parts.append(
+        f"<line x1='{pad_l}' y1='{height - pad_b}' x2='{width - pad_r}' "
+        f"y2='{height - pad_b}' stroke='#9ca3af' stroke-width='1'/>"
+    )
+    parts.append(
+        f"<line x1='{pad_l}' y1='{pad_t}' x2='{pad_l}' "
+        f"y2='{height - pad_b}' stroke='#9ca3af' stroke-width='1'/>"
+    )
+    parts.append(
+        f"<text x='{(pad_l + width - pad_r) / 2:.0f}' y='{height - 6}' "
+        f"font-size='12' fill='#374151' text-anchor='middle'>"
+        f"{_esc(x_label)}</text>"
+    )
+    parts.append(
+        f"<text x='14' y='{(pad_t + height - pad_b) / 2:.0f}' "
+        f"font-size='12' fill='#374151' text-anchor='middle' "
+        f"transform='rotate(-90 14 {(pad_t + height - pad_b) / 2:.0f})'>"
+        f"{_esc(y_label)}</text>"
+    )
+    for index, (label, (sxs, sys_)) in enumerate(series.items()):
+        color = _PALETTE[index % len(_PALETTE)]
+        points = " ".join(
+            f"{sx(float(x)):.1f},{sy(float(y)):.1f}"
+            for x, y in zip(sxs, sys_)
+            if y == y  # skip NaN
+        )
+        if not points:
+            continue
+        parts.append(
+            f"<polyline points='{points}' fill='none' stroke='{color}' "
+            f"stroke-width='2'/>"
+        )
+        for x, y in zip(sxs, sys_):
+            if y != y:
+                continue
+            parts.append(
+                f"<circle cx='{sx(float(x)):.1f}' cy='{sy(float(y)):.1f}' "
+                f"r='3' fill='{color}'><title>{_esc(label)}: "
+                f"({_fmt(float(x))}, {_fmt(float(y))})</title></circle>"
+            )
+    parts.append("</svg>")
+    legend = "".join(
+        f"<span><span class='swatch' style='background:"
+        f"{_PALETTE[i % len(_PALETTE)]}'></span>{_esc(label)}</span>"
+        for i, label in enumerate(series)
+    )
+    return "".join(parts) + f"<div class='legend'>{legend}</div>"
+
+
+def _svg_funnel(funnel: Dict[str, object], width: int = 640) -> str:
+    """The delivery funnel as horizontal bars."""
+    created = int(funnel.get("created", 0))  # type: ignore[arg-type]
+    if not created:
+        return "<p class='muted'>no packets in trace</p>"
+    stages = [
+        ("created", created, "#2563eb"),
+        ("delivered", int(funnel.get("delivered", 0)), "#059669"),
+        ("expired", int(funnel.get("expired", 0)), "#d97706"),
+        ("refused at source", int(funnel.get("refused", 0)), "#7c3aed"),
+        ("evicted everywhere", int(funnel.get("evicted", 0)), "#dc2626"),
+        ("in flight", int(funnel.get("in_flight", 0)), "#4b5563"),
+    ]
+    bar_h, gap, label_w = 26, 8, 150
+    height = len(stages) * (bar_h + gap) + gap
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' width='{width}' "
+        f"height='{height}' role='img'>"
+    ]
+    for index, (label, count, color) in enumerate(stages):
+        y = gap + index * (bar_h + gap)
+        bar = (count / created) * (width - label_w - 90)
+        parts.append(
+            f"<text x='{label_w - 8}' y='{y + bar_h - 8}' font-size='12' "
+            f"fill='#374151' text-anchor='end'>{_esc(label)}</text>"
+        )
+        parts.append(
+            f"<rect x='{label_w}' y='{y}' width='{max(bar, 1.0):.1f}' "
+            f"height='{bar_h}' fill='{color}' rx='3'/>"
+        )
+        parts.append(
+            f"<text x='{label_w + max(bar, 1.0) + 6:.1f}' "
+            f"y='{y + bar_h - 8}' font-size='12' fill='#111827'>"
+            f"{count} ({count / created:.1%})</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def _cards(items: Sequence[Tuple[str, object]]) -> str:
+    cards = "".join(
+        f"<div class='card'><div class='v'>{_esc(_fmt(value))}</div>"
+        f"<div class='k'>{_esc(key)}</div></div>"
+        for key, value in items
+    )
+    return f"<div class='cards'>{cards}</div>"
+
+
+def _telemetry_section(telemetry: Dict[str, object]) -> str:
+    wall = telemetry.get("cell_wall_s", {}) or {}
+    utilization = telemetry.get("worker_utilization")
+    parts = ["<h2>Sweep telemetry</h2>"]
+    parts.append(
+        _cards(
+            [
+                ("cells", telemetry.get("cells_total", 0)),
+                ("executed", telemetry.get("cells_executed", 0)),
+                ("cache hits", telemetry.get("cache_hits", 0)),
+                ("failed", telemetry.get("cells_failed", 0)),
+                ("workers", telemetry.get("workers", 1)),
+                ("engine wall (s)", telemetry.get("engine_wall_s")),
+                (
+                    "worker utilization",
+                    None if utilization is None else f"{float(utilization):.0%}",  # type: ignore[arg-type]
+                ),
+            ]
+        )
+    )
+    slowest = telemetry.get("slowest_cells") or []
+    if slowest:
+        rows = "".join(
+            f"<tr><td>{int(cell['index'])}</td>"
+            f"<td class='l'>{_esc(cell['label'])}</td>"
+            f"<td>{float(cell['wall_s']):.3f}</td></tr>"
+            for cell in slowest  # type: ignore[union-attr]
+        )
+        parts.append(
+            "<h2>Slowest cells</h2><table><tr><th>#</th>"
+            "<th class='l'>cell</th><th>wall (s)</th></tr>"
+            f"{rows}</table>"
+        )
+    cells = telemetry.get("cells") or []
+    executed = [c for c in cells if not c.get("cached")]  # type: ignore[union-attr]
+    if executed:
+        series = {
+            "cell wall (s)": (
+                [float(c["index"]) for c in executed],
+                [float(c["wall_s"]) for c in executed],
+            )
+        }
+        parts.append("<h2>Per-cell wall time</h2>")
+        parts.append(_svg_line_chart(series, "cell index", "wall (s)"))
+    if wall:
+        parts.append(
+            "<p class='muted'>cell wall: "
+            f"sum {_fmt(wall.get('sum'))}s, mean {_fmt(wall.get('mean'))}s, "
+            f"min {_fmt(wall.get('min'))}s, max {_fmt(wall.get('max'))}s</p>"
+        )
+    failed = telemetry.get("failed_cells") or []
+    if failed:
+        rows = "".join(
+            f"<tr><td class='l'>{_esc(cell['label'])}</td>"
+            f"<td>{int(cell['attempts'])}</td>"
+            f"<td class='l'>{_esc(cell['error'])}</td></tr>"
+            for cell in failed  # type: ignore[union-attr]
+        )
+        parts.append(
+            "<h2>Failed cells</h2><table><tr><th class='l'>cell</th>"
+            f"<th>attempts</th><th class='l'>error</th></tr>{rows}</table>"
+        )
+    cache = telemetry.get("cache")
+    if cache:
+        parts.append(
+            "<p class='muted'>result cache: "
+            f"hits {cache.get('hits')}, misses {cache.get('misses')}, "  # type: ignore[union-attr]
+            f"stores {cache.get('stores')}, "  # type: ignore[union-attr]
+            f"corrupt healed {cache.get('corrupt_entries')}</p>"  # type: ignore[union-attr]
+        )
+    return "".join(parts)
+
+
+def _series_section(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    x_label: str,
+    y_label: str,
+) -> str:
+    parts = [f"<h2>Metric series: {_esc(y_label)}</h2>"]
+    parts.append(_svg_line_chart(series, x_label, y_label))
+    header = "".join(f"<th>{_fmt(x)}</th>" for x in next(iter(series.values()))[0])
+    rows = "".join(
+        f"<tr><td class='l'>{_esc(label)}</td>"
+        + "".join(f"<td>{_fmt(float(y))}</td>" for y in ys)
+        + "</tr>"
+        for label, (_, ys) in series.items()
+    )
+    parts.append(
+        f"<table><tr><th class='l'>series</th>{header}</tr>{rows}</table>"
+    )
+    return "".join(parts)
+
+
+def _funnel_section(funnel: Dict[str, object]) -> str:
+    parts = ["<h2>Delivery funnel</h2>", _svg_funnel(funnel)]
+    parts.append(
+        "<p class='muted'>"
+        f"{funnel.get('replicas_committed', 0)} replicas committed; "
+        "classes are mutually exclusive (delivered &gt; expired &gt; "
+        "refused &gt; evicted &gt; in flight), so the counts conserve."
+        "</p>"
+    )
+    refs = funnel.get("eviction_refs") or {}
+    if refs:
+        rows = "".join(
+            f"<tr><td>{_esc(packet)}</td><td class='l'>"
+            + ", ".join(
+                f"node {ref['node']} @ {float(ref['t']):.0f}s"
+                for ref in events  # type: ignore[union-attr]
+            )
+            + "</td></tr>"
+            for packet, events in list(refs.items())[:20]  # type: ignore[union-attr]
+        )
+        parts.append(
+            "<h2>Packets lost to eviction</h2><table>"
+            "<tr><th>packet</th><th class='l'>evicting events</th></tr>"
+            f"{rows}</table>"
+        )
+        if len(refs) > 20:  # type: ignore[arg-type]
+            parts.append(
+                f"<p class='muted'>... {len(refs) - 20} more</p>"  # type: ignore[arg-type]
+            )
+    return "".join(parts)
+
+
+def _bench_section(benches: Sequence[Dict[str, object]]) -> str:
+    records = [b for b in benches if b.get("bench")]
+    if not records:
+        return ""
+    records = sorted(records, key=lambda b: str(b.get("bench")))
+    rows = "".join(
+        f"<tr><td class='l'>{_esc(b.get('bench'))}</td>"
+        f"<td>{_fmt(b.get('wall_time_s'))}</td>"
+        f"<td>{_fmt(b.get('cells_total'))}</td>"
+        f"<td>{_fmt(b.get('workers'))}</td>"
+        f"<td class='l'>{_esc(b.get('timestamp', '-'))}</td></tr>"
+        for b in records
+    )
+    walls = {
+        "wall (s)": (
+            list(range(len(records))),
+            [float(b.get("wall_time_s") or 0.0) for b in records],
+        )
+    }
+    return (
+        "<h2>Benchmark records</h2>"
+        "<table><tr><th class='l'>bench</th><th>wall (s)</th>"
+        f"<th>cells</th><th>workers</th><th class='l'>run at</th></tr>{rows}"
+        "</table>"
+        + _svg_line_chart(walls, "bench index (alphabetical)", "wall (s)")
+    )
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+def load_bench_records(directory: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read every ``BENCH_*.json`` record of *directory* (sorted by name)."""
+    records: List[Dict[str, object]] = []
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(data, dict):
+            records.append(data)
+    return records
+
+
+def render_report(
+    title: str,
+    *,
+    telemetry: Optional[Dict[str, object]] = None,
+    funnel: Optional[Dict[str, object]] = None,
+    series: Optional[Dict[str, Tuple[Sequence[float], Sequence[float]]]] = None,
+    x_label: str = "load",
+    y_label: str = "metric",
+    benches: Optional[Sequence[Dict[str, object]]] = None,
+    subtitle: Optional[str] = None,
+) -> str:
+    """Render one self-contained HTML report from whatever is provided.
+
+    Every section is optional; an input left ``None`` is simply omitted.
+    The output embeds all CSS and SVG inline and references no external
+    asset, script or stylesheet.
+    """
+    body = [f"<h1>{_esc(title)}</h1>"]
+    if subtitle:
+        body.append(f"<p class='muted'>{_esc(subtitle)}</p>")
+    if series:
+        body.append(_series_section(series, x_label, y_label))
+    if funnel is not None:
+        body.append(_funnel_section(funnel))
+    if telemetry is not None:
+        body.append(_telemetry_section(telemetry))
+    if benches:
+        body.append(_bench_section(benches))
+    if len(body) == 1 + (1 if subtitle else 0):
+        body.append("<p class='muted'>nothing to report (no inputs)</p>")
+    return (
+        "<!DOCTYPE html>\n"
+        "<html lang='en'><head><meta charset='utf-8'>\n"
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        "</head><body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )
+
+
+def write_report(path: Union[str, Path], html_text: str) -> None:
+    """Write *html_text* to *path* (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html_text)

@@ -36,13 +36,16 @@ class ObservabilityOptions:
 
     ``trace`` requests lifecycle events (collected in memory per cell
     and streamed to the engine's trace output in cell order);
-    ``metrics_interval`` attaches a sampled
-    :class:`~repro.observability.metrics.MetricsRegistry` to every
-    result.  The default (all off) is the zero-overhead path.
+    ``decisions`` requests the protocol decision audit
+    (:class:`~repro.observability.decisions.DecisionRecorder`, streamed
+    the same way to its own output); ``metrics_interval`` attaches a
+    sampled :class:`~repro.observability.metrics.MetricsRegistry` to
+    every result.  The default (all off) is the zero-overhead path.
     """
 
     trace: bool = False
     metrics_interval: Optional[float] = None
+    decisions: bool = False
 
     def __post_init__(self) -> None:
         if self.metrics_interval is not None and self.metrics_interval <= 0:
@@ -51,11 +54,15 @@ class ObservabilityOptions:
     @property
     def enabled(self) -> bool:
         """Whether any per-cell collection is requested at all."""
-        return self.trace or self.metrics_interval is not None
+        return self.trace or self.decisions or self.metrics_interval is not None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible form (crosses the worker process boundary)."""
-        return {"trace": self.trace, "metrics_interval": self.metrics_interval}
+        return {
+            "trace": self.trace,
+            "metrics_interval": self.metrics_interval,
+            "decisions": self.decisions,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ObservabilityOptions":
@@ -63,6 +70,7 @@ class ObservabilityOptions:
         return cls(
             trace=bool(data.get("trace", False)),
             metrics_interval=data.get("metrics_interval"),  # type: ignore[arg-type]
+            decisions=bool(data.get("decisions", False)),
         )
 
 

@@ -23,22 +23,30 @@ budget enforced by ``benchmarks/bench_observability.py``.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import math
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, TextIO, Union
 
 from ..exceptions import ConfigurationError
 
 __all__ = [
     "EVENT_NAMES",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
     "JsonlSink",
     "MemorySink",
     "NullSink",
     "TraceRecorder",
     "TraceSink",
     "event_line",
+    "is_schema_header",
+    "open_trace_input",
+    "open_trace_output",
+    "schema_header",
     "validate_writable",
 ]
 
@@ -60,6 +68,83 @@ EVENT_NAMES = (
 )
 
 Event = Dict[str, object]
+
+#: Identifies the JSONL trace format in the schema header line.
+SCHEMA_NAME = "repro-dtn-trace"
+#: Version of the trace format; bump when the event shapes change in a
+#: way replay tools must know about.
+SCHEMA_VERSION = 1
+
+
+def schema_header(
+    events: Sequence[str] = EVENT_NAMES,
+    kind: str = "lifecycle",
+    **extra: object,
+) -> Event:
+    """The self-describing first record of a JSONL trace file.
+
+    Unlike events, the header carries no ``t``/``ev``: replay tools
+    recognize it by its ``schema`` field.  ``events`` is the registry of
+    event types the writer can produce and ``kind`` names the stream
+    (``"lifecycle"`` traces vs ``"decisions"`` audits); callers may
+    attach extra context (``result_mode``) as keyword fields.
+    """
+    header: Event = {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "kind": kind,
+        "events": list(events),
+    }
+    for key, value in extra.items():
+        if value is not None:
+            header[key] = value
+    return header
+
+
+def is_schema_header(record: object) -> bool:
+    """Whether *record* is a schema header rather than an event."""
+    return isinstance(record, dict) and "schema" in record and "ev" not in record
+
+
+class _GzipTextWriter(io.TextIOWrapper):
+    """Text writer over a deterministic gzip stream (fixed mtime).
+
+    Owns both the gzip layer and the underlying file so ``close()``
+    releases everything; ``mtime=0`` keeps compressed trace bytes a pure
+    function of their contents (the determinism contract extends to
+    ``.jsonl.gz`` outputs).
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._raw = open(path, "wb")
+        gz = gzip.GzipFile(fileobj=self._raw, mode="wb", filename="", mtime=0)
+        super().__init__(gz, encoding="utf-8", newline="\n")
+
+    def close(self) -> None:
+        if not self.closed:
+            super().close()
+            self._raw.close()
+
+
+def open_trace_output(path: Union[str, Path]) -> TextIO:
+    """Open *path* for trace writing; a ``.gz`` suffix compresses.
+
+    Long-horizon lifecycle traces run to gigabytes as plain JSONL;
+    naming the output ``trace.jsonl.gz`` makes every writer in the repo
+    (sinks, CLI ``--trace-out``) compress transparently.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return _GzipTextWriter(path)
+    return open(path, "w", encoding="utf-8")
+
+
+def open_trace_input(path: Union[str, Path]) -> TextIO:
+    """Open *path* for trace reading, decompressing a ``.gz`` suffix."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
 
 
 def _finite(value: float) -> Optional[float]:
@@ -160,17 +245,35 @@ class JsonlSink(TraceSink):
     than after it finished.  The file itself is still opened lazily on
     the first event and truncated then, so an un-emitted sink leaves no
     trace file behind.
+
+    The first written line is the :func:`schema_header` (version plus
+    event registry), so every trace file on disk is self-describing;
+    pass ``header=None`` explicitly to suppress it, or a custom header
+    dictionary to replace it (decision audits name their own event
+    registry).  A ``.gz`` path suffix compresses the stream.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    _DEFAULT_HEADER = object()
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        header: Optional[Event] = _DEFAULT_HEADER,  # type: ignore[assignment]
+    ) -> None:
         self.path = Path(path)
+        self.header: Optional[Event] = (
+            schema_header() if header is JsonlSink._DEFAULT_HEADER else header
+        )
         self._handle = None
         validate_writable(self.path, what="trace output")
 
     def emit(self, event: Event) -> None:
         """Write *event* as one canonical JSON line (opening the file first)."""
         if self._handle is None:
-            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle = open_trace_output(self.path)
+            if self.header is not None:
+                self._handle.write(event_line(self.header))
+                self._handle.write("\n")
         self._handle.write(event_line(event))
         self._handle.write("\n")
 

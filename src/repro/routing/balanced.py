@@ -91,6 +91,14 @@ class BalancedAllocationProtocol(RoutingProtocol):
                 p.packet_id,
             )
         )
+        recorder = self.context.decisions
+        if recorder is not None and candidates:
+            recorder.replication_rank(
+                self.node_id, peer.node_id, now, self.name,
+                candidates=[p.packet_id for p in candidates],
+                score=[self.hop_counts.get(p.packet_id, 0) for p in candidates],
+                age=[now - p.creation_time for p in candidates],
+            )
         yield from candidates
 
     def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
@@ -100,12 +108,19 @@ class BalancedAllocationProtocol(RoutingProtocol):
         and therefore the cheapest loss; ties break toward the newest
         packet (oldest-first service order), then the highest id.
         """
+        recorder = self.context.decisions
         relayed = [
             p
             for p in self.buffer
             if p.source != self.node_id and p.packet_id != incoming.packet_id
         ]
         if not relayed:
+            if recorder is not None:
+                recorder.eviction_choice(
+                    self.node_id, now, self.name, incoming.packet_id,
+                    candidates=[], score=[], victim=None,
+                    reason="own_packets_protected" if len(self.buffer) else "no_candidates",
+                )
             return None
         victim = max(
             relayed,
@@ -115,4 +130,11 @@ class BalancedAllocationProtocol(RoutingProtocol):
                 p.packet_id,
             ),
         )
+        if recorder is not None:
+            recorder.eviction_choice(
+                self.node_id, now, self.name, incoming.packet_id,
+                candidates=[p.packet_id for p in relayed],
+                score=[self.hop_counts.get(p.packet_id, 0) for p in relayed],
+                victim=victim.packet_id, reason="most_traveled_relayed",
+            )
         return victim.packet_id

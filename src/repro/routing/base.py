@@ -258,6 +258,12 @@ class ProtocolContext:
     #: (:class:`~repro.observability.trace.TraceRecorder`); ``None`` —
     #: the zero-overhead default — unless tracing was requested.
     tracer: Optional[object] = None
+    #: Decision-audit recorder
+    #: (:class:`~repro.observability.decisions.DecisionRecorder`);
+    #: ``None`` — the zero-overhead default — unless a ``decision_sink``
+    #: was requested.  Protocols emit replication-ranking and
+    #: eviction-choice events through it.
+    decisions: Optional[object] = None
     #: Simulation-wide structure-of-arrays packet registry.  Every node
     #: buffer attaches to it (see :class:`RoutingProtocol`), so a packet's
     #: store row is one global identity all array kernels can index with.
@@ -520,6 +526,7 @@ class RoutingProtocol(abc.ABC):
         refusing every new local packet would deadlock the source, so the
         oldest own packet is displaced instead.
         """
+        recorder = self.context.decisions
         relayed = [
             p.packet_id
             for p in self.buffer
@@ -527,16 +534,40 @@ class RoutingProtocol(abc.ABC):
         ]
         if relayed:
             index = int(self.context.rng.integers(len(relayed)))
+            if recorder is not None:
+                recorder.eviction_choice(
+                    self.node_id, now, self.name, incoming.packet_id,
+                    candidates=relayed, score=[], victim=relayed[index],
+                    reason="random_relayed",
+                )
             return relayed[index]
         if incoming.source != self.node_id:
+            if recorder is not None:
+                recorder.eviction_choice(
+                    self.node_id, now, self.name, incoming.packet_id,
+                    candidates=[], score=[], victim=None,
+                    reason="own_packets_protected" if len(self.buffer) else "no_candidates",
+                )
             return None
         own = [
             p for p in self.buffer
             if p.packet_id != incoming.packet_id
         ]
         if not own:
+            if recorder is not None:
+                recorder.eviction_choice(
+                    self.node_id, now, self.name, incoming.packet_id,
+                    candidates=[], score=[], victim=None, reason="no_candidates",
+                )
             return None
         oldest = min(own, key=lambda p: p.creation_time)
+        if recorder is not None:
+            recorder.eviction_choice(
+                self.node_id, now, self.name, incoming.packet_id,
+                candidates=[p.packet_id for p in own],
+                score=[p.creation_time for p in own],
+                victim=oldest.packet_id, reason="oldest_own_fallback",
+            )
         return oldest.packet_id
 
     # ------------------------------------------------------------------

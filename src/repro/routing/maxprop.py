@@ -119,7 +119,16 @@ class MaxPropProtocol(RoutingProtocol):
 
     def replication_candidates(self, peer: RoutingProtocol, now: float) -> Iterator[Packet]:
         candidates = self.transferable_packets(peer)
-        yield from self._priority_order(candidates)
+        ordered = self._priority_order(candidates)
+        recorder = self.context.decisions
+        if recorder is not None and ordered:
+            recorder.replication_rank(
+                self.node_id, peer.node_id, now, self.name,
+                candidates=[p.packet_id for p in ordered],
+                score=[self.destination_cost(p.destination) for p in ordered],
+                hops=[self.hop_counts.get(p.packet_id, 0) for p in ordered],
+            )
+        yield from ordered
 
     def direct_delivery_order(self, peer_id: int, now: float) -> List[Packet]:
         packets = self.buffer.packets_for(peer_id)
@@ -130,15 +139,36 @@ class MaxPropProtocol(RoutingProtocol):
     # ------------------------------------------------------------------
     def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
         """Drop from the tail of the priority order (worst likelihood first)."""
+        recorder = self.context.decisions
+        reason = "highest_cost"
         candidates = [
             p for p in self.buffer
             if p.packet_id != incoming.packet_id and p.source != self.node_id
         ]
         if not candidates:
             if incoming.source != self.node_id:
+                if recorder is not None:
+                    recorder.eviction_choice(
+                        self.node_id, now, self.name, incoming.packet_id,
+                        candidates=[], score=[], victim=None,
+                        reason="own_packets_protected" if len(self.buffer) else "no_candidates",
+                    )
                 return None
             candidates = [p for p in self.buffer if p.packet_id != incoming.packet_id]
             if not candidates:
+                if recorder is not None:
+                    recorder.eviction_choice(
+                        self.node_id, now, self.name, incoming.packet_id,
+                        candidates=[], score=[], victim=None, reason="no_candidates",
+                    )
                 return None
+            reason = "own_fallback_highest_cost"
         ordered = self._priority_order(candidates)
+        if recorder is not None:
+            recorder.eviction_choice(
+                self.node_id, now, self.name, incoming.packet_id,
+                candidates=[p.packet_id for p in ordered],
+                score=[self.destination_cost(p.destination) for p in ordered],
+                victim=ordered[-1].packet_id, reason=reason,
+            )
         return ordered[-1].packet_id

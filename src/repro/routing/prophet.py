@@ -92,13 +92,28 @@ class ProphetProtocol(RoutingProtocol):
     def replication_candidates(self, peer: RoutingProtocol, now: float) -> Iterator[Packet]:
         if not isinstance(peer, ProphetProtocol):
             return
+        recorder = self.context.decisions
+        audit = [] if recorder is not None else None
         scored = []
         for packet in self.transferable_packets(peer):
             own = self.predictability_for(packet.destination)
             theirs = peer.predictability_for(packet.destination)
             if theirs > own:
                 scored.append((theirs, packet))
+            if audit is not None:
+                audit.append((packet.packet_id, theirs, own))
         scored.sort(key=lambda item: item[0], reverse=True)
+        if recorder is not None and audit:
+            # Rejected candidates (peer predictability not better than
+            # ours) stay in the event with ``offered=False`` — the
+            # rejection reason PRoPHET's forwarding rule encodes.
+            recorder.replication_rank(
+                self.node_id, peer.node_id, now, self.name,
+                candidates=[packet_id for packet_id, _, _ in audit],
+                score=[theirs for _, theirs, _ in audit],
+                own=[own for _, _, own in audit],
+                offered=[theirs > own for _, theirs, own in audit],
+            )
         for _, packet in scored:
             yield packet
 
@@ -107,15 +122,36 @@ class ProphetProtocol(RoutingProtocol):
     # ------------------------------------------------------------------
     def choose_eviction_victim(self, incoming: Packet, now: float) -> Optional[int]:
         """Evict the packet whose destination we are least likely to reach."""
+        recorder = self.context.decisions
+        reason = "lowest_predictability"
         candidates = [
             p for p in self.buffer
             if p.packet_id != incoming.packet_id and p.source != self.node_id
         ]
         if not candidates:
             if incoming.source != self.node_id:
+                if recorder is not None:
+                    recorder.eviction_choice(
+                        self.node_id, now, self.name, incoming.packet_id,
+                        candidates=[], score=[], victim=None,
+                        reason="own_packets_protected" if len(self.buffer) else "no_candidates",
+                    )
                 return None
             candidates = [p for p in self.buffer if p.packet_id != incoming.packet_id]
             if not candidates:
+                if recorder is not None:
+                    recorder.eviction_choice(
+                        self.node_id, now, self.name, incoming.packet_id,
+                        candidates=[], score=[], victim=None, reason="no_candidates",
+                    )
                 return None
+            reason = "own_fallback_lowest_predictability"
         worst = min(candidates, key=lambda p: self.predictability_for(p.destination))
+        if recorder is not None:
+            recorder.eviction_choice(
+                self.node_id, now, self.name, incoming.packet_id,
+                candidates=[p.packet_id for p in candidates],
+                score=[self.predictability_for(p.destination) for p in candidates],
+                victim=worst.packet_id, reason=reason,
+            )
         return worst.packet_id

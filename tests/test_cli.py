@@ -48,7 +48,8 @@ class TestObservabilityCLI:
         output = capsys.readouterr().out
         assert "metrics:" in output
         lines = trace.read_text().splitlines()
-        assert lines and all('"ev"' in line for line in lines)
+        assert lines and '"schema"' in lines[0]  # self-describing header
+        assert len(lines) > 1 and all('"ev"' in line for line in lines[1:])
 
     def test_inspect_views(self, tmp_path, capsys):
         trace = tmp_path / "trace.jsonl"
@@ -76,3 +77,143 @@ class TestObservabilityCLI:
             "quicksim", "--protocol", "rapid", "--nodes", "4", "--duration", "60",
             "--metrics-interval", "-1",
         ]) == 2
+
+
+class TestForensicsCLI:
+    @pytest.fixture()
+    def traced(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        decisions = tmp_path / "decisions.jsonl.gz"
+        assert main([
+            "quicksim", "--protocol", "rapid", "--nodes", "6",
+            "--duration", "600", "--load", "40", "--buffer-kb", "8",
+            "--trace-out", str(trace), "--decisions-out", str(decisions),
+            "--seed", "3",
+        ]) == 0
+        capsys.readouterr()
+        return trace, decisions
+
+    def test_decisions_out_gzip(self, traced):
+        import gzip
+        import json
+
+        _, decisions = traced
+        with gzip.open(decisions, "rt", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "decisions"
+        events = {json.loads(line)["ev"] for line in lines[1:]}
+        assert "replication_rank" in events
+
+    def test_inspect_why(self, traced, capsys):
+        trace, decisions = traced
+        import gzip
+        import json
+
+        # A delivered packet that the decision audit actually ranked
+        # (direct source->destination deliveries never enter a ranking).
+        with gzip.open(decisions, "rt", encoding="utf-8") as handle:
+            ranked = {
+                packet
+                for line in handle.read().splitlines()[1:]
+                for packet in json.loads(line).get("candidates", ())
+            }
+        delivered = None
+        for line in trace.read_text().splitlines()[1:]:
+            event = json.loads(line)
+            if event["ev"] == "packet_delivered" and event["packet"] in ranked:
+                delivered = event["packet"]
+                break
+        assert delivered is not None
+        assert main(["inspect", str(trace), "--why", str(delivered)]) == 0
+        output = capsys.readouterr().out
+        assert "winning path" in output and "latency decomposition" in output
+        # Cross-referencing the decision audit adds the rankings.
+        assert main([
+            "inspect", str(trace), "--why", str(delivered),
+            "--decisions", str(decisions),
+        ]) == 0
+        assert "decision audit" in capsys.readouterr().out
+
+    def test_inspect_why_unknown_packet_clean_error(self, traced, capsys):
+        trace, _ = traced
+        assert main(["inspect", str(trace), "--why", "999999"]) == 2
+        assert "no events" in capsys.readouterr().err
+
+    def test_inspect_funnel(self, traced, capsys):
+        trace, _ = traced
+        assert main(["inspect", str(trace), "--funnel"]) == 0
+        output = capsys.readouterr().out
+        assert "delivery funnel" in output and "delivered" in output
+
+    def test_inspect_streaming_trace_degrades_gracefully(self, tmp_path, capsys):
+        trace = tmp_path / "stream.jsonl"
+        assert main([
+            "quicksim", "--protocol", "rapid", "--nodes", "5",
+            "--duration", "300", "--result-mode", "streaming",
+            "--trace-out", str(trace), "--seed", "2",
+        ]) == 0
+        capsys.readouterr()
+        import json
+
+        header = json.loads(trace.read_text().splitlines()[0])
+        assert header["result_mode"] == "streaming"
+        assert main(["inspect", str(trace), "--funnel"]) == 0
+        captured = capsys.readouterr()
+        assert "delivery funnel" in captured.out
+        assert "streaming-mode run" in captured.err
+
+
+class TestReportCLI:
+    def _assert_self_contained(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        for marker in ("http://", "https://", "<script", "src=", "<link"):
+            assert marker not in html, f"external reference: {marker}"
+
+    def test_report_from_trace_and_bench(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "quicksim", "--protocol", "epidemic", "--nodes", "4",
+            "--duration", "180", "--trace-out", str(trace),
+        ]) == 0
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        (bench_dir / "BENCH_sample.json").write_text(
+            json.dumps({"bench": "sample", "wall_time_s": 1.5, "workers": 1})
+        )
+        out = tmp_path / "report.html"
+        assert main([
+            "report", "--out", str(out), "--trace", str(trace),
+            "--bench-dir", str(bench_dir), "--title", "test report",
+        ]) == 0
+        html = out.read_text()
+        self._assert_self_contained(html)
+        assert "Delivery funnel" in html and "Benchmark records" in html
+
+    def test_report_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+    def test_report_bad_telemetry_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "tel.json"
+        bad.write_text("{nope")
+        out = tmp_path / "report.html"
+        assert main(["report", "--out", str(out), "--telemetry", str(bad)]) == 2
+        assert "cannot read telemetry" in capsys.readouterr().err
+
+    def test_sweep_report(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl.gz"
+        out = tmp_path / "sweep.html"
+        assert main([
+            "sweep", "--family", "synthetic", "--protocols", "epidemic",
+            "--loads", "2", "--scale", "ci", "--trace-out", str(trace),
+            "--report", str(out),
+        ]) == 0
+        capsys.readouterr()
+        html = out.read_text()
+        self._assert_self_contained(html)
+        assert "Metric series" in html
+        assert "Sweep telemetry" in html
+        assert "Delivery funnel" in html

@@ -1,0 +1,270 @@
+"""Tests for causal packet forensics.
+
+The property tests run real simulations under hypothesis-drawn
+parameters and check the forensic invariants that must hold for *every*
+trace the simulator can produce:
+
+* a delivered packet's winning path is **connected** (each hop starts
+  where the previous ended), starts at the source and ends at the
+  destination;
+* the path is **time-monotone** (commit times never decrease, every
+  latency stage is non-negative) and its stages sum to the end-to-end
+  delay;
+* the path length equals the ``hops`` count the delivery event carried
+  (the replica's own hop counter — an independent witness);
+* the delivery funnel **conserves**: every created packet lands in
+  exactly one terminal class.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.dtn.simulator import run_simulation
+from repro.dtn.workload import PoissonWorkload
+from repro.mobility.exponential import ExponentialMobility
+from repro.observability import MemorySink
+from repro.observability.forensics import (
+    ForensicsError,
+    causal_chain,
+    decision_references,
+    delivery_funnel,
+    funnel_text,
+    why_text,
+)
+from repro.routing.registry import create_factory
+
+
+def _traced_run(seed, num_nodes, buffer_kb, protocol="rapid", duration=600.0):
+    mobility = ExponentialMobility(
+        num_nodes=num_nodes,
+        mean_inter_meeting=40.0,
+        transfer_opportunity=50 * units.KB,
+        seed=seed,
+    )
+    schedule = mobility.generate(duration)
+    workload = PoissonWorkload(packets_per_hour=120.0, seed=seed + 1)
+    packets = workload.generate(list(range(num_nodes)), duration)
+    sink = MemorySink()
+    result = run_simulation(
+        schedule,
+        packets,
+        create_factory(protocol),
+        buffer_capacity=buffer_kb * units.KB,
+        seed=seed,
+        options={"trace_sink": sink},
+    )
+    return result, sink.events
+
+
+# ----------------------------------------------------------------------
+# Property tests over real simulations
+# ----------------------------------------------------------------------
+class TestForensicsInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_nodes=st.integers(min_value=3, max_value=8),
+        buffer_kb=st.sampled_from([6, 10, 20, 100]),
+        protocol=st.sampled_from(["rapid", "epidemic", "maxprop"]),
+    )
+    def test_winning_paths_are_connected_and_monotone(
+        self, seed, num_nodes, buffer_kb, protocol
+    ):
+        result, events = _traced_run(seed, num_nodes, buffer_kb, protocol)
+        delivered = {e["packet"] for e in events if e["ev"] == "packet_delivered"}
+        for packet_id in delivered:
+            chain = causal_chain(events, packet_id)
+            assert chain["state"] == "delivered"
+            path = chain["path"]
+            assert path, "delivered packet has an empty path"
+            created = chain["created"]
+            # Connected: starts at the source, each hop chains onto the
+            # previous, ends at the destination.
+            assert path[0]["from"] == created["src"]
+            assert path[-1]["to"] == created["dst"]
+            for prev, nxt in zip(path, path[1:]):
+                assert prev["to"] == nxt["from"]
+            # Time-monotone with non-negative stages.
+            times = [hop["committed_t"] for hop in path]
+            assert times == sorted(times)
+            assert times[0] >= float(created["t"])
+            for hop in path:
+                assert hop["waiting_s"] >= 0.0
+                assert hop["queueing_s"] >= 0.0
+                assert hop["transfer_s"] >= 0.0
+            # The stages decompose exactly into the end-to-end delay.
+            latency = chain["latency"]
+            total = (
+                latency["waiting_s"] + latency["queueing_s"] + latency["transfer_s"]
+            )
+            assert total == pytest.approx(chain["delay_s"])
+            # Path length agrees with the delivery event's hop counter.
+            hops = chain["delivery"]["hops"]
+            if hops is not None:
+                assert len(path) == hops
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_nodes=st.integers(min_value=3, max_value=8),
+        buffer_kb=st.sampled_from([6, 10, 20]),
+        protocol=st.sampled_from(["rapid", "epidemic", "prophet"]),
+    )
+    def test_funnel_conserves(self, seed, num_nodes, buffer_kb, protocol):
+        _, events = _traced_run(seed, num_nodes, buffer_kb, protocol)
+        funnel = delivery_funnel(events)
+        total = (
+            funnel["delivered"]
+            + funnel["expired"]
+            + funnel["refused"]
+            + funnel["evicted"]
+            + funnel["in_flight"]
+        )
+        assert total == funnel["created"]
+        # The classes are disjoint packet sets covering every creation.
+        classes = [
+            set(funnel[f"{name}_packets"])
+            for name in ("delivered", "expired", "refused", "evicted", "in_flight")
+        ]
+        union = set().union(*classes)
+        assert len(union) == funnel["created"]
+        assert sum(len(c) for c in classes) == len(union)
+        # Every evicted-everywhere packet has its evicting back-references.
+        for packet_id in funnel["evicted_packets"]:
+            assert funnel["eviction_refs"][packet_id]
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_funnel_agrees_with_result_counters(self, seed):
+        result, events = _traced_run(seed, num_nodes=6, buffer_kb=10)
+        funnel = delivery_funnel(events)
+        assert funnel["created"] == result.num_packets
+        assert funnel["delivered"] == result.num_delivered
+
+
+# ----------------------------------------------------------------------
+# Deterministic unit tests on handcrafted traces
+# ----------------------------------------------------------------------
+def _event(t, ev, **fields):
+    return {"t": t, "ev": ev, **fields}
+
+
+def _delivered_trace():
+    """0 creates for 3; 0->1 at 10, 1->2 at 20, 2 delivers to 3 at 30."""
+    return [
+        _event(0.0, "packet_created", packet=7, src=0, dst=3, size=100,
+               deadline=100.0, stored=True),
+        _event(8.0, "contact_open", a=0, b=1, capacity=None),
+        _event(10.0, "packet_replicated", packet=7, **{"from": 0, "to": 1},
+               size=100),
+        _event(19.0, "contact_open", a=1, b=2, capacity=None),
+        _event(19.5, "transfer_start", packet=7, **{"from": 1, "to": 2},
+               bytes=100),
+        _event(20.0, "packet_replicated", packet=7, **{"from": 1, "to": 2},
+               size=100),
+        _event(25.0, "packet_evicted", packet=7, node=1),
+        _event(30.0, "packet_delivered", packet=7, **{"from": 2, "to": 3},
+               hops=3),
+    ]
+
+
+class TestCausalChain:
+    def test_reconstructs_path_and_decomposition(self):
+        chain = causal_chain(_delivered_trace(), 7)
+        assert chain["state"] == "delivered"
+        assert [(h["from"], h["to"]) for h in chain["path"]] == [
+            (0, 1), (1, 2), (2, 3),
+        ]
+        assert chain["delay_s"] == pytest.approx(30.0)
+        hop0, hop1, hop2 = chain["path"]
+        # Hop 0: created at 0, contact opened at 8, committed at 10 (no
+        # transfer_start -> queueing absorbs the open..commit gap).
+        assert hop0["waiting_s"] == pytest.approx(8.0)
+        assert hop0["queueing_s"] == pytest.approx(2.0)
+        assert hop0["transfer_s"] == pytest.approx(0.0)
+        # Hop 1 has a transfer_start at 19.5: queue 0.5, stream 0.5.
+        assert hop1["waiting_s"] == pytest.approx(9.0)
+        assert hop1["queueing_s"] == pytest.approx(0.5)
+        assert hop1["transfer_s"] == pytest.approx(0.5)
+        # Hop 2: no contact event -> pure waiting.
+        assert hop2["waiting_s"] == pytest.approx(10.0)
+        assert chain["replicas_committed"] == 2
+        assert chain["evictions"] == [{"t": 25.0, "node": 1}]
+
+    def test_undelivered_states(self):
+        events = [
+            _event(0.0, "packet_created", packet=1, src=0, dst=3, size=10,
+                   deadline=50.0, stored=True),
+            _event(50.0, "packet_expired", packet=1, deadline=50.0),
+            _event(0.0, "packet_created", packet=2, src=0, dst=3, size=10,
+                   deadline=None, stored=True),
+            _event(5.0, "packet_evicted", packet=2, node=0),
+            _event(0.0, "packet_created", packet=3, src=0, dst=3, size=10,
+                   deadline=None, stored=True),
+            _event(0.0, "packet_created", packet=4, src=0, dst=3, size=10,
+                   deadline=None, stored=False),
+        ]
+        assert causal_chain(events, 1)["state"] == "expired"
+        assert causal_chain(events, 2)["state"] == "evicted"
+        assert causal_chain(events, 3)["state"] == "in_flight"
+        assert causal_chain(events, 4)["state"] == "refused_at_source"
+
+    def test_unknown_packet_raises(self):
+        with pytest.raises(ForensicsError, match="no events"):
+            causal_chain(_delivered_trace(), 999)
+
+    def test_why_text_renders(self):
+        text = why_text(_delivered_trace(), 7)
+        assert "winning path: 0 -> 1 -> 2 -> 3" in text
+        assert "latency decomposition" in text
+
+    def test_why_text_with_decisions(self):
+        decisions = [
+            _event(10.0, "replication_rank", node=0, peer=1, protocol="rapid",
+                   candidates=[7], score=[0.5]),
+            _event(25.0, "eviction_choice", node=1, protocol="rapid",
+                   incoming=9, candidates=[7], score=[0.1], victim=7,
+                   reason="lowest_score"),
+        ]
+        text = why_text(_delivered_trace(), 7, decisions=decisions)
+        assert "decision audit" in text
+        assert "victim (lowest_score)" in text
+        assert "score=0.5" in text
+
+    def test_decision_references_filters_and_sorts(self):
+        decisions = [
+            _event(30.0, "replication_rank", node=0, peer=1, protocol="rapid",
+                   candidates=[7], score=[0.5]),
+            _event(10.0, "eviction_choice", node=1, protocol="rapid",
+                   incoming=9, candidates=[8], score=[0.1], victim=8,
+                   reason="lowest_score"),
+            _event(20.0, "eviction_choice", node=2, protocol="rapid",
+                   incoming=9, candidates=[7, 8], score=[0.1, 0.2], victim=7,
+                   reason="lowest_score"),
+        ]
+        refs = decision_references(decisions, 7)
+        assert [e["t"] for e in refs] == [20.0, 30.0]
+
+    def test_funnel_text_renders(self):
+        text = funnel_text(_delivered_trace())
+        assert "delivered" in text and "(100.0%)" in text
+        assert funnel_text([]) == "no packets in trace"
+
+    def test_latency_handles_instantaneous_contacts(self):
+        # No contact/transfer events at all: everything is waiting time.
+        events = [
+            _event(0.0, "packet_created", packet=1, src=0, dst=2, size=10,
+                   deadline=None, stored=True),
+            _event(4.0, "packet_replicated", packet=1, **{"from": 0, "to": 1},
+                   size=10),
+            _event(9.0, "packet_delivered", packet=1, **{"from": 1, "to": 2},
+                   hops=2),
+        ]
+        chain = causal_chain(events, 1)
+        latency = chain["latency"]
+        assert latency["waiting_s"] == pytest.approx(9.0)
+        assert latency["queueing_s"] == 0.0
+        assert latency["transfer_s"] == 0.0

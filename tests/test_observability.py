@@ -127,8 +127,12 @@ class TestTraceSinks:
         sink.close()
         sink.close()  # idempotent
         lines = path.read_text().splitlines()
-        assert len(lines) == 2
-        assert json.loads(lines[0])["ev"] == "ack_learned"
+        assert len(lines) == 3  # schema header + two events
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro-dtn-trace"
+        assert header["version"] == 1
+        assert "packet_created" in header["events"]
+        assert json.loads(lines[1])["ev"] == "ack_learned"
 
 
 # ----------------------------------------------------------------------
@@ -523,3 +527,231 @@ class TestTimingsMergeAcrossWorkers:
         for key in results[0].timings:
             expected = sum(r.timings.get(key, 0.0) for r in results)
             assert merged.timings[key] == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Schema header and gzip transport
+# ----------------------------------------------------------------------
+class TestSchemaHeader:
+    def test_header_shape(self):
+        from repro.observability import (
+            DECISION_EVENT_NAMES,
+            SCHEMA_NAME,
+            SCHEMA_VERSION,
+            is_schema_header,
+            schema_header,
+        )
+
+        header = schema_header()
+        assert header["schema"] == SCHEMA_NAME
+        assert header["version"] == SCHEMA_VERSION
+        assert header["kind"] == "lifecycle"
+        assert is_schema_header(header)
+        decisions = schema_header(
+            events=DECISION_EVENT_NAMES, kind="decisions", result_mode="streaming"
+        )
+        assert decisions["events"] == ["replication_rank", "eviction_choice"]
+        assert decisions["result_mode"] == "streaming"
+        # None-valued extras are dropped, not serialized as null.
+        assert "result_mode" not in schema_header(result_mode=None)
+        assert not is_schema_header({"t": 0.0, "ev": "packet_created"})
+        assert not is_schema_header([1, 2])
+
+    def test_read_trace_returns_header(self, tmp_path):
+        from repro.observability.inspect import read_trace
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        TraceRecorder(sink).ack_learned(0, 1)
+        sink.close()
+        header, events = read_trace(path)
+        assert header is not None and header["version"] == 1
+        assert len(events) == 1 and events[0]["ev"] == "ack_learned"
+
+    def test_headerless_trace_still_loads(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text('{"t":0.0,"ev":"ack_learned","node":0,"packet":1}\n')
+        events = load_trace(path)
+        assert len(events) == 1
+
+    def test_unknown_version_warns(self, tmp_path, capsys):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"schema":"repro-dtn-trace","version":99,"kind":"lifecycle","events":[]}\n'
+            '{"t":0.0,"ev":"ack_learned","node":0,"packet":1}\n'
+        )
+        events = load_trace(path)
+        assert len(events) == 1
+        assert "version 99" in capsys.readouterr().err
+
+    def test_header_only_first_record(self, tmp_path):
+        # A schema-shaped dict after events is malformed, not a header.
+        path = tmp_path / "mid.jsonl"
+        path.write_text(
+            '{"t":0.0,"ev":"ack_learned","node":0,"packet":1}\n'
+            '{"schema":"repro-dtn-trace","version":1}\n'
+        )
+        with pytest.raises(TraceFormatError, match="missing t/ev"):
+            load_trace(path)
+
+
+class TestGzipTraces:
+    def test_jsonl_sink_gzip_round_trip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.jsonl.gz"
+        sink = JsonlSink(path)
+        recorder = TraceRecorder(sink)
+        recorder.ack_learned(0, 1)
+        recorder.ack_learned(1, 1)
+        sink.close()
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 3  # header + 2 events
+        events = load_trace(path)
+        assert [e["ev"] for e in events] == ["ack_learned", "ack_learned"]
+
+    def test_gzip_bytes_are_deterministic(self, tmp_path):
+        digests = []
+        for name in ("a.jsonl.gz", "b.jsonl.gz"):
+            path = tmp_path / name
+            sink = JsonlSink(path)
+            TraceRecorder(sink).ack_learned(0, 1)
+            sink.close()
+            digests.append(path.read_bytes())
+        assert digests[0] == digests[1]
+
+    def test_corrupt_gzip_is_a_trace_format_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        path.write_bytes(b"not gzip at all")
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Decision audit
+# ----------------------------------------------------------------------
+class TestDecisionRecorder:
+    def test_null_sink_disables(self):
+        from repro.observability import DecisionRecorder
+
+        recorder = DecisionRecorder()
+        assert recorder.enabled is False
+        recorder = DecisionRecorder(NullSink())
+        assert recorder.enabled is False
+
+    def test_replication_rank_event(self):
+        from repro.observability import DecisionRecorder
+
+        sink = MemorySink()
+        recorder = DecisionRecorder(sink)
+        recorder.replication_rank(
+            2, 5, 10.0, "rapid",
+            candidates=[1, 3], score=[0.5, float("inf")], improves=[True, False],
+        )
+        event = sink.events[0]
+        assert event["ev"] == "replication_rank"
+        assert event["node"] == 2 and event["peer"] == 5 and event["t"] == 10.0
+        assert event["candidates"] == [1, 3]
+        assert event["score"] == [0.5, None]  # non-finite -> null
+        assert event["improves"] == [True, False]
+        json.loads(sink.lines()[0])  # strict canonical JSON
+
+    def test_eviction_choice_event(self):
+        from repro.observability import DecisionRecorder
+
+        sink = MemorySink()
+        recorder = DecisionRecorder(sink)
+        recorder.eviction_choice(
+            4, 20.0, "rapid", 9,
+            candidates=[7, 8], score=[1.0, 2.0], victim=7, reason="lowest_score",
+        )
+        event = sink.events[0]
+        assert event["ev"] == "eviction_choice"
+        assert event["victim"] == 7 and event["reason"] == "lowest_score"
+        recorder.eviction_choice(
+            4, 21.0, "rapid", 9,
+            candidates=[], score=[], victim=None, reason="own_packets_protected",
+        )
+        assert sink.events[1]["victim"] is None
+
+
+class TestSimulatorDecisionAudit:
+    def _run(self, protocol, sink, seed=3):
+        schedule, packets = _quick_inputs(seed=seed)
+        return run_simulation(
+            schedule,
+            packets,
+            create_factory(protocol),
+            buffer_capacity=8 * units.KB,
+            seed=7,
+            options={"decision_sink": sink} if sink is not None else None,
+        )
+
+    @pytest.mark.parametrize("protocol", ["rapid", "maxprop", "prophet", "balanced"])
+    def test_protocols_emit_decisions(self, protocol):
+        sink = MemorySink()
+        self._run(protocol, sink)
+        kinds = {e["ev"] for e in sink.events}
+        assert "replication_rank" in kinds
+        assert all(e["protocol"] == protocol for e in sink.events)
+        for event in sink.events:
+            if event["ev"] == "replication_rank":
+                assert len(event["candidates"]) == len(event["score"])
+
+    def test_audit_does_not_change_results(self):
+        default = self._run("rapid", None)
+        sink = MemorySink()
+        audited = self._run("rapid", sink)
+        assert sink.events, "audit emitted nothing under buffer pressure"
+        assert _canonical(audited.to_dict()) == _canonical(default.to_dict())
+
+    def test_audit_is_deterministic(self):
+        traces = []
+        for _ in range(2):
+            sink = MemorySink()
+            self._run("rapid", sink)
+            traces.append("\n".join(sink.lines()))
+        assert traces[0] == traces[1]
+
+    def test_eviction_choices_recorded_under_pressure(self):
+        sink = MemorySink()
+        self._run("rapid", sink)
+        evictions = [e for e in sink.events if e["ev"] == "eviction_choice"]
+        assert evictions, "no eviction decisions under an 8KB buffer"
+        for event in evictions:
+            if event["victim"] is not None:
+                assert event["victim"] in event["candidates"]
+            assert event["reason"]
+
+    def test_invalid_decision_sink_rejected(self):
+        with pytest.raises(ConfigurationError, match="decision_sink"):
+            self._run("rapid", "not-a-sink")
+
+
+class TestEngineDecisionAudit:
+    def _decisions(self, grid, workers, cache_dir=None):
+        lines = []
+        with ExperimentEngine(workers=workers, cache_dir=cache_dir) as engine:
+            engine.run_cells(
+                grid.cells(),
+                observability=ObservabilityOptions(decisions=True),
+                decisions_writer=lines.append,
+            )
+        return "\n".join(lines)
+
+    def test_decisions_identical_across_backends_and_cache_states(self, tmp_path):
+        grid = _grid()
+        serial = self._decisions(grid, workers=1)
+        parallel = self._decisions(grid, workers=4)
+        cold = self._decisions(grid, 1, tmp_path / "cache")
+        warm = self._decisions(grid, 1, tmp_path / "cache")
+        assert serial, "no decision events traced"
+        assert parallel == serial
+        assert cold == serial == warm
+
+    def test_options_round_trip_decisions_flag(self):
+        options = ObservabilityOptions(decisions=True)
+        assert options.enabled
+        restored = ObservabilityOptions.from_dict(options.to_dict())
+        assert restored.decisions is True
